@@ -1,0 +1,46 @@
+// Ablation 1: Algorithm 1's lazy one-column-at-a-time transform schedule
+// vs. eager early-materialization-style transformation of every payload
+// column up front (§4.1 argues lazy saves memory at equal work). Sweeps the
+// payload column count and reports both simulated time and peak memory.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Ablation 1", "GFTR lazy (Algorithm 1) vs eager transform");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"payload cols", "impl", "schedule", "total(ms)",
+                            "peak mem (MB)"});
+  for (int cols : {2, 4, 8}) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples() / 2;
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = cols;
+    spec.s_payload_cols = cols;
+    auto w = MustUpload(device, spec);
+    for (join::JoinAlgo algo : {join::JoinAlgo::kSmjOm, join::JoinAlgo::kPhjOm}) {
+      for (bool eager : {false, true}) {
+        join::JoinOptions opts;
+        opts.eager_transform = eager;
+        const auto res = MustJoin(device, algo, w.r, w.s, opts);
+        tp.AddRow({std::to_string(cols), join::JoinAlgoName(algo),
+                   eager ? "eager" : "lazy (Alg. 1)",
+                   Ms(res.phases.total_s()),
+                   harness::TablePrinter::Fmt(res.peak_mem_bytes / 1e6, 1)});
+      }
+    }
+  }
+  tp.Print();
+  std::printf(
+      "expected: near-identical totals (lazy is marginally faster: its final\n"
+      "re-transform passes skip the transformed-key stores). Peak memory\n"
+      "depends on what coexists: lazy holds a transform scratch quad while\n"
+      "the output accumulates, eager holds all transformed payloads but\n"
+      "releases them progressively — at bench scale the two land within a\n"
+      "few percent of each other (Algorithm 1's all-at-once saving applies\n"
+      "to disciplines that keep every transformed column live).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation 2: partitioned-hash-join fan-out sweep. The radix bit count
+// trades partitioning work (more bits can mean more passes) against
+// match-finding locality (partitions must fit the shared-memory hash
+// table or the block-nested loop re-streams the probe side). The default
+// derives the bits from the shared-memory capacity; this sweep shows the
+// bathtub around it.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Ablation 2", "PHJ radix-bits (fan-out) sweep");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = harness::ScaleTuples() / 2;
+  spec.s_rows = harness::ScaleTuples();
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  auto w = MustUpload(device, spec);
+
+  harness::TablePrinter tp({"radix bits", "impl", "transform(ms)", "match(ms)",
+                            "materialize(ms)", "total(ms)"});
+  for (int bits : {4, 6, 8, 10, 12, 14, 16}) {
+    for (join::JoinAlgo algo : {join::JoinAlgo::kPhjUm, join::JoinAlgo::kPhjOm}) {
+      join::JoinOptions opts;
+      opts.radix_bits_override = bits;
+      const auto res = MustJoin(device, algo, w.r, w.s, opts);
+      tp.AddRow({std::to_string(bits), join::JoinAlgoName(algo),
+                 Ms(res.phases.transform_s), Ms(res.phases.match_s),
+                 Ms(res.phases.materialize_s), Ms(res.phases.total_s())});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation 3: cost-model robustness. The headline conclusion (PHJ-OM wins
+// wide high-match joins; *-UM wins low-match joins) should not hinge on the
+// exact DRAM row-activation penalty. Sweeps the penalty from 0 (pure
+// bandwidth model) upward and reports the PHJ-OM : PHJ-UM ratio on both a
+// high-match and a low-match workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Ablation 3", "DRAM row-penalty sensitivity");
+
+  harness::TablePrinter tp({"row penalty (B)", "match ratio",
+                            "PHJ-UM (ms)", "PHJ-OM (ms)", "OM speedup"});
+  for (double penalty : {0.0, 32.0, 64.0, 96.0, 160.0, 256.0}) {
+    for (double match : {1.0, 0.05}) {
+      vgpu::DeviceConfig cfg = vgpu::DeviceConfig::ScaledToWorkload(
+          harness::BaseDeviceConfig(), harness::ScaleTuples());
+      cfg.dram_row_penalty_bytes = penalty;
+      vgpu::Device device(cfg);
+      workload::JoinWorkloadSpec spec;
+      spec.r_rows = harness::ScaleTuples() / 2;
+      spec.s_rows = harness::ScaleTuples();
+      spec.r_payload_cols = 2;
+      spec.s_payload_cols = 2;
+      spec.match_ratio = match;
+      auto w = MustUpload(device, spec);
+      const double um =
+          MustJoin(device, join::JoinAlgo::kPhjUm, w.r, w.s).phases.total_s();
+      const double om =
+          MustJoin(device, join::JoinAlgo::kPhjOm, w.r, w.s).phases.total_s();
+      tp.AddRow({harness::TablePrinter::Fmt(penalty, 0),
+                 harness::TablePrinter::Fmt(match, 2), Ms(um), Ms(om),
+                 harness::TablePrinter::Fmt(um / om, 2) + "x"});
+    }
+  }
+  tp.Print();
+  std::printf("expected: OM's advantage at match=1.0 grows with the random-"
+              "access penalty and never inverts; at match=0.05 the variants "
+              "stay near parity regardless\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Helpers shared by the figure/table reproduction benches.
+
+#ifndef GPUJOIN_BENCH_BENCH_COMMON_H_
+#define GPUJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/harness.h"
+#include "join/join.h"
+#include "workload/generator.h"
+
+namespace gpujoin::bench {
+
+/// Runs one join over a generated workload on the given device; aborts on
+/// error (benches treat errors as fatal).
+inline join::JoinRunResult MustJoin(vgpu::Device& device, join::JoinAlgo algo,
+                                    const Table& r, const Table& s,
+                                    const join::JoinOptions& opts = {}) {
+  auto res = harness::RunJoinCold(device, algo, r, s, opts);
+  GPUJOIN_CHECK_OK(res.status());
+  return std::move(res).value();
+}
+
+inline harness::DeviceWorkload MustUpload(vgpu::Device& device,
+                                          const workload::JoinWorkloadSpec& spec) {
+  auto w = workload::GenerateJoinInput(spec);
+  GPUJOIN_CHECK_OK(w.status());
+  auto up = harness::Upload(device, *w);
+  GPUJOIN_CHECK_OK(up.status());
+  return std::move(up).value();
+}
+
+/// Mtuples/s of a join run ((|R|+|S|) / total time, the paper's metric).
+inline double MTuples(const join::JoinRunResult& r) {
+  return r.throughput_tuples_per_sec / 1e6;
+}
+
+inline std::string Ms(double seconds) {
+  return harness::TablePrinter::Fmt(seconds * 1e3, 3);
+}
+
+}  // namespace gpujoin::bench
+
+#endif  // GPUJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,36 @@
+// Figure 9: time breakdown of GPU narrow joins (transformation vs match
+// finding; narrow joins have no materialization phase). Paper observations:
+// SMJ-OM is identical to SMJ-UM on narrow inputs; PHJ-UM is slightly ahead
+// of PHJ-OM at small sizes and they converge at 1G x 2G; NPHJ's match
+// finding (global hash table) is the slowest.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 9", "narrow join phase breakdown");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"|R| x |S| (tuples)", "impl", "transform(ms)",
+                            "match(ms)", "total(ms)"});
+  for (int shift : {2, 0}) {
+    const uint64_t r_rows = harness::ScaleTuples() >> shift;
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = r_rows;
+    spec.s_rows = 2 * r_rows;
+    vgpu::Device dev = harness::MakeBenchDevice();
+    auto w = MustUpload(dev, spec);
+    const std::string label =
+        std::to_string(spec.r_rows) + " x " + std::to_string(spec.s_rows);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(dev, algo, w.r, w.s);
+      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.transform_s),
+                 Ms(res.phases.match_s + res.phases.materialize_s),
+                 Ms(res.phases.total_s())});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 10: time breakdown of wide joins (two payload columns per
+// relation, |S| = 2|R|, 100% match) across sizes. The paper's key numbers:
+// materialization dominates the *-UM implementations; SMJ-OM ~1.6x faster
+// than SMJ-UM and ~1.6x faster than PHJ-UM; PHJ-OM the fastest with ~2.3x
+// over PHJ-UM and ~1.4x over SMJ-OM.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 10", "wide join phase breakdown (2+2 payloads)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"|R| x |S| (tuples)", "impl", "transform(ms)",
+                            "match(ms)", "materialize(ms)", "total(ms)",
+                            "Mtuples/s"});
+  double smj_um = 0, smj_om = 0, phj_um = 0, phj_om = 0;
+  for (int shift : {2, 1, 0}) {
+    const uint64_t r_rows = harness::ScaleTuples() >> shift;
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = r_rows;
+    spec.s_rows = 2 * r_rows;
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    auto w = MustUpload(device, spec);
+    const std::string label =
+        std::to_string(spec.r_rows) + " x " + std::to_string(spec.s_rows);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.transform_s),
+                 Ms(res.phases.match_s), Ms(res.phases.materialize_s),
+                 Ms(res.phases.total_s()),
+                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      if (shift == 0) {
+        const double t = res.phases.total_s();
+        if (algo == join::JoinAlgo::kSmjUm) smj_um = t;
+        if (algo == join::JoinAlgo::kSmjOm) smj_om = t;
+        if (algo == join::JoinAlgo::kPhjUm) phj_um = t;
+        if (algo == join::JoinAlgo::kPhjOm) phj_om = t;
+      }
+    }
+  }
+  tp.Print();
+  std::printf("largest size: SMJ-OM/SMJ-UM %.2fx (paper ~1.6x) | "
+              "SMJ-OM/PHJ-UM %.2fx (paper ~1.6x) | PHJ-OM/PHJ-UM %.2fx "
+              "(paper ~2.3x) | PHJ-OM/SMJ-OM %.2fx (paper ~1.4x)\n",
+              smj_um / smj_om, phj_um / smj_om, phj_um / phj_om,
+              smj_om / phj_om);
+  return 0;
+}

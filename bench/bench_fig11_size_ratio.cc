@@ -1,0 +1,32 @@
+// Figure 11: effect of the |R|/|S| size ratio (|S| fixed, two payload
+// columns per relation). The paper observes *-OM still ahead of *-UM even
+// when R is small and materialization is cheaper.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 11", "|R|/|S| ratio sweep (|S| fixed)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"|R|/|S|", "impl", "time(ms)", "Mtuples/s"});
+  const uint64_t s_rows = harness::ScaleTuples();
+  for (int shift : {4, 3, 2, 1, 0}) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = s_rows >> shift;
+    spec.s_rows = s_rows;
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    auto w = MustUpload(device, spec);
+    const std::string label = "1/" + std::to_string(1 << shift);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.total_s()),
+                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 12: effect of the number of payload columns (|R| = |S|). The
+// paper reports PHJ-OM and SMJ-OM maintaining ~2x and ~1.3x speedups over
+// PHJ-UM as the column count grows.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 12", "payload column count sweep (|R| = |S|)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"payload cols/side", "impl", "time(ms)",
+                            "Mtuples/s"});
+  for (int cols : {1, 2, 4, 6, 8}) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples();
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = cols;
+    spec.s_payload_cols = cols;
+    auto w = MustUpload(device, spec);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({std::to_string(cols), join::JoinAlgoName(algo),
+                 Ms(res.phases.total_s()),
+                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 13: effect of the match ratio (|R| = |S|, two payloads each).
+// The paper: *-OM ahead at high match ratios; below ~25% the GFUR variants
+// win because little is materialized, with PHJ-UM best at low ratios.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 13", "match ratio sweep");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"match ratio", "impl", "time(ms)", "Mtuples/s",
+                            "out rows"});
+  for (double ratio : {1.0, 0.75, 0.5, 0.25, 0.1, 0.03}) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples();
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    spec.match_ratio = ratio;
+    auto w = MustUpload(device, spec);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({harness::TablePrinter::Fmt(ratio, 2),
+                 join::JoinAlgoName(algo), Ms(res.phases.total_s()),
+                 harness::TablePrinter::Fmt(MTuples(res), 0),
+                 std::to_string(res.output_rows)});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 14: effect of foreign-key skewness (Zipf factor sweep, |R| = |S|,
+// two payloads each). The paper's observations: PHJ-UM's bucket-chain
+// partitioning collapses once the Zipf factor exceeds 1 (shared-memory
+// atomic contention), RADIX-PARTITION-based transforms (PHJ-OM, SMJ-*) are
+// flat across skew, match finding is robust everywhere, materialization
+// shrinks with skew (fewer distinct primary keys are touched), and PHJ-OM
+// is the best throughout.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 14", "foreign-key skew sweep (Zipf factor)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"zipf", "impl", "transform(ms)", "match(ms)",
+                            "materialize(ms)", "total(ms)"});
+  for (double theta : {0.0, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples();
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    spec.zipf_theta = theta;
+    auto w = MustUpload(device, spec);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({harness::TablePrinter::Fmt(theta, 2),
+                 join::JoinAlgoName(algo), Ms(res.phases.transform_s),
+                 Ms(res.phases.match_s), Ms(res.phases.materialize_s),
+                 Ms(res.phases.total_s())});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 15: effect of data types — mixtures of 4-byte and 8-byte keys and
+// payloads (|R| = |S|, two payloads each). The paper: with 8-byte payloads
+// *-UM barely moves while *-OM pays more for transforming wider columns
+// (SMJ-OM loses its edge); with 8-byte keys everything's transform and
+// match finding get more expensive; PHJ-OM leads in all combinations.
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 15", "data type mix sweep");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  struct Mix {
+    const char* label;
+    DataType key;
+    DataType payload;
+  };
+  const Mix mixes[] = {
+      {"4B key + 4B payload", DataType::kInt32, DataType::kInt32},
+      {"4B key + 8B payload", DataType::kInt32, DataType::kInt64},
+      {"8B key + 8B payload", DataType::kInt64, DataType::kInt64},
+  };
+
+  harness::TablePrinter tp({"types", "impl", "transform(ms)", "match(ms)",
+                            "materialize(ms)", "total(ms)"});
+  for (const Mix& mix : mixes) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples();
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    spec.key_type = mix.key;
+    spec.r_payload_type = mix.payload;
+    spec.s_payload_type = mix.payload;
+    auto w = MustUpload(device, spec);
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      tp.AddRow({mix.label, join::JoinAlgoName(algo),
+                 Ms(res.phases.transform_s), Ms(res.phases.match_s),
+                 Ms(res.phases.materialize_s), Ms(res.phases.total_s())});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 18: validates the decision trees by running the planner against
+// measured results over the microbenchmark grid (payload widths x match
+// ratios x skews x type mixes) and reporting (a) how often the planner's
+// choice is the measured-best algorithm and (b) the regret (time lost vs
+// the best) when it is not — the practical quality metric for an optimizer
+// heuristic.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "join/planner.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Figure 18", "planner decision-tree validation");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  struct GridPoint {
+    int payloads;
+    double match;
+    double zipf;
+    DataType key_type;
+    DataType payload_type;
+  };
+  std::vector<GridPoint> grid;
+  for (int payloads : {1, 2, 4}) {
+    for (double match : {1.0, 0.5, 0.1}) {
+      for (double zipf : {0.0, 1.25}) {
+        grid.push_back({payloads, match, zipf, DataType::kInt32,
+                        DataType::kInt32});
+      }
+    }
+  }
+  grid.push_back({2, 1.0, 0.0, DataType::kInt32, DataType::kInt64});
+  grid.push_back({2, 1.0, 0.0, DataType::kInt64, DataType::kInt64});
+
+  harness::TablePrinter tp({"payloads", "match", "zipf", "types", "planner",
+                            "best", "regret%", "smj planner", "smj best"});
+  int hits = 0, smj_hits = 0;
+  double total_regret = 0;
+  for (const GridPoint& g : grid) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples() / 2;
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = g.payloads;
+    spec.s_payload_cols = g.payloads;
+    spec.match_ratio = g.match;
+    spec.zipf_theta = g.zipf;
+    spec.key_type = g.key_type;
+    spec.r_payload_type = g.payload_type;
+    spec.s_payload_type = g.payload_type;
+    auto w = MustUpload(device, spec);
+
+    join::JoinFeatures f = join::JoinFeatures::FromTables(w.r, w.s);
+    f.match_ratio = g.match;
+    f.zipf_theta = g.zipf;
+    const join::JoinAlgo choice = ChooseJoinAlgo(f);
+    const join::JoinAlgo smj_choice = ChooseSortMergeVariant(f);
+
+    double best = 1e30, chosen = 0, smj_best = 1e30;
+    join::JoinAlgo best_algo = choice, smj_best_algo = smj_choice;
+    for (join::JoinAlgo algo :
+         {join::JoinAlgo::kSmjUm, join::JoinAlgo::kSmjOm, join::JoinAlgo::kPhjUm,
+          join::JoinAlgo::kPhjOm}) {
+      const auto res = MustJoin(device, algo, w.r, w.s);
+      const double t = res.phases.total_s();
+      if (t < best) {
+        best = t;
+        best_algo = algo;
+      }
+      if (algo == choice) chosen = t;
+      const bool is_smj =
+          algo == join::JoinAlgo::kSmjUm || algo == join::JoinAlgo::kSmjOm;
+      if (is_smj && t < smj_best) {
+        smj_best = t;
+        smj_best_algo = algo;
+      }
+    }
+    const double regret = 100.0 * (chosen - best) / best;
+    total_regret += regret;
+    if (choice == best_algo) ++hits;
+    if (smj_choice == smj_best_algo) ++smj_hits;
+    const std::string types =
+        std::string(g.key_type == DataType::kInt64 ? "8B" : "4B") + "k/" +
+        (g.payload_type == DataType::kInt64 ? "8B" : "4B") + "p";
+    tp.AddRow({std::to_string(g.payloads),
+               harness::TablePrinter::Fmt(g.match, 2),
+               harness::TablePrinter::Fmt(g.zipf, 2), types,
+               join::JoinAlgoName(choice), join::JoinAlgoName(best_algo),
+               harness::TablePrinter::Fmt(regret, 1),
+               join::JoinAlgoName(smj_choice),
+               join::JoinAlgoName(smj_best_algo)});
+  }
+  tp.Print();
+  std::printf("Fig 18a planner: best-pick rate %d/%zu, mean regret %.1f%%\n",
+              hits, grid.size(), total_regret / grid.size());
+  std::printf("Fig 18b (SMJ family): best-pick rate %d/%zu\n", smj_hits,
+              grid.size());
+  return 0;
+}

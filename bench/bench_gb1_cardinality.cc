@@ -1,0 +1,44 @@
+// GB1 (designed; see DESIGN.md §0): grouped-aggregation throughput vs the
+// number of groups. Expected shape: the global hash table wins while it
+// fits in cache, then collapses under random access; the partitioned
+// variant is flat and best at high cardinalities; sort-based is flat but
+// pays the full sort (4 passes vs 2).
+
+#include "bench_common.h"
+#include "groupby/groupby.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("GB1", "group-by cardinality sweep (SUM of one column)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"groups", "algo", "transform(ms)", "aggregate(ms)",
+                            "total(ms)", "Mtuples/s"});
+  const uint64_t n = harness::ScaleTuples();
+  for (int g_log2 : {4, 8, 12, 16, 18, 20}) {
+    const uint64_t groups = std::min(n, uint64_t{1} << g_log2);
+    workload::GroupByWorkloadSpec spec;
+    spec.rows = n;
+    spec.num_groups = groups;
+    auto host = workload::GenerateGroupByInput(spec);
+    GPUJOIN_CHECK_OK(host.status());
+    auto input = Table::FromHost(device, *host);
+    GPUJOIN_CHECK_OK(input.status());
+    groupby::GroupBySpec gs;
+    gs.aggregates = {{1, groupby::AggOp::kSum}};
+    for (groupby::GroupByAlgo algo : groupby::kAllGroupByAlgos) {
+      device.FlushL2();
+      auto res = RunGroupBy(device, algo, *input, gs);
+      GPUJOIN_CHECK_OK(res.status());
+      tp.AddRow({std::to_string(groups), GroupByAlgoName(algo),
+                 Ms(res->phases.transform_s), Ms(res->phases.match_s),
+                 Ms(res->phases.total_s()),
+                 harness::TablePrinter::Fmt(
+                     res->throughput_tuples_per_sec / 1e6, 0)});
+    }
+  }
+  tp.Print();
+  return 0;
+}

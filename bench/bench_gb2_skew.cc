@@ -1,0 +1,41 @@
+// GB2 (designed; see DESIGN.md §0): grouped aggregation under key skew.
+// Expected shape: the global-hash variant degrades as hot groups serialize
+// its global atomics; the partitioned and sort-based variants are
+// distribution-oblivious (RADIX-PARTITION / radix sort), mirroring the
+// join-side Figure 14.
+
+#include "bench_common.h"
+#include "groupby/groupby.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("GB2", "group-by skew sweep (Zipf factor)");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp({"zipf", "algo", "total(ms)", "Mtuples/s"});
+  for (double theta : {0.0, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+    workload::GroupByWorkloadSpec spec;
+    spec.rows = harness::ScaleTuples();
+    spec.num_groups = uint64_t{1} << 16;
+    spec.zipf_theta = theta;
+    auto host = workload::GenerateGroupByInput(spec);
+    GPUJOIN_CHECK_OK(host.status());
+    auto input = Table::FromHost(device, *host);
+    GPUJOIN_CHECK_OK(input.status());
+    groupby::GroupBySpec gs;
+    gs.aggregates = {{1, groupby::AggOp::kSum}, {1, groupby::AggOp::kCount}};
+    for (groupby::GroupByAlgo algo : groupby::kAllGroupByAlgos) {
+      device.FlushL2();
+      auto res = RunGroupBy(device, algo, *input, gs);
+      GPUJOIN_CHECK_OK(res.status());
+      tp.AddRow({harness::TablePrinter::Fmt(theta, 2), GroupByAlgoName(algo),
+                 Ms(res->phases.total_s()),
+                 harness::TablePrinter::Fmt(
+                     res->throughput_tuples_per_sec / 1e6, 0)});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// GB3 (designed; see DESIGN.md §0): effect of the number of aggregated
+// columns and of value widths — the group-by analog of the join-side
+// Figures 12 and 15. The GFTR-style partitioned variant transforms every
+// aggregate column (2 passes each); sort-based pays 4 passes; the global
+// hash variant's cost is per-update and grows with the aggregate count
+// through extra atomics.
+
+#include "bench_common.h"
+#include "groupby/groupby.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("GB3", "aggregate count x value width sweep");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  harness::TablePrinter tp(
+      {"agg cols", "value type", "algo", "total(ms)", "Mtuples/s"});
+  for (DataType vt : {DataType::kInt32, DataType::kInt64}) {
+    for (int cols : {1, 2, 4, 8}) {
+      workload::GroupByWorkloadSpec spec;
+      spec.rows = harness::ScaleTuples();
+      spec.num_groups = uint64_t{1} << 14;
+      spec.payload_cols = cols;
+      spec.payload_type = vt;
+      auto host = workload::GenerateGroupByInput(spec);
+      GPUJOIN_CHECK_OK(host.status());
+      auto input = Table::FromHost(device, *host);
+      GPUJOIN_CHECK_OK(input.status());
+      groupby::GroupBySpec gs;
+      for (int c = 1; c <= cols; ++c) {
+        gs.aggregates.push_back({c, groupby::AggOp::kSum});
+      }
+      for (groupby::GroupByAlgo algo : groupby::kAllGroupByAlgos) {
+        device.FlushL2();
+        auto res = RunGroupBy(device, algo, *input, gs);
+        GPUJOIN_CHECK_OK(res.status());
+        tp.AddRow({std::to_string(cols), DataTypeName(vt),
+                   GroupByAlgoName(algo), Ms(res->phases.total_s()),
+                   harness::TablePrinter::Fmt(
+                       res->throughput_tuples_per_sec / 1e6, 0)});
+      }
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// GB4 (designed; see DESIGN.md §0): the combined join + grouped-aggregation
+// pipeline — the end-to-end query shape ("join a fact table with a
+// dimension, aggregate per dimension attribute") that motivates processing
+// both operators on the GPU. Compares every join algorithm feeding every
+// group-by algorithm.
+
+#include "bench_common.h"
+#include "groupby/groupby.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("GB4", "join + grouped aggregation pipeline");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  // R: dimension with one group attribute (few distinct values); S: fact
+  // with one measure. Join on the PK, aggregate the measure per attribute.
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = harness::ScaleTuples() / 2;
+  spec.s_rows = harness::ScaleTuples();
+  spec.r_payload_cols = 1;
+  spec.s_payload_cols = 1;
+  auto w = workload::GenerateJoinInput(spec);
+  GPUJOIN_CHECK_OK(w.status());
+  // Recode R's payload into a group attribute with 2^12 distinct values.
+  for (auto& v : w->r.columns[1].values) v &= 0xfff;
+  auto up = harness::Upload(device, *w);
+  GPUJOIN_CHECK_OK(up.status());
+
+  harness::TablePrinter tp({"join algo", "groupby algo", "join(ms)",
+                            "groupby(ms)", "total(ms)"});
+  for (join::JoinAlgo ja : join::kAllJoinAlgos) {
+    device.FlushL2();
+    auto jr = RunJoin(device, ja, up->r, up->s);
+    GPUJOIN_CHECK_OK(jr.status());
+    // Joined schema: (key, r_pay1, s_pay1) -> group by r_pay1, SUM(s_pay1).
+    Table grouped_input = Table::FromColumns(
+        "joined", {"group_attr", "measure"},
+        [&] {
+          std::vector<DeviceColumn> cols;
+          cols.push_back(jr->output.TakeColumn(1));
+          cols.push_back(jr->output.TakeColumn(2));
+          return cols;
+        }());
+    groupby::GroupBySpec gs;
+    gs.aggregates = {{1, groupby::AggOp::kSum}};
+    for (groupby::GroupByAlgo ga : groupby::kAllGroupByAlgos) {
+      auto gr = RunGroupBy(device, ga, grouped_input, gs);
+      GPUJOIN_CHECK_OK(gr.status());
+      tp.AddRow({join::JoinAlgoName(ja), GroupByAlgoName(ga),
+                 Ms(jr->phases.total_s()), Ms(gr->phases.total_s()),
+                 Ms(jr->phases.total_s() + gr->phases.total_s())});
+    }
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Google-benchmark microbenchmarks of the *simulator itself* (host
+// wall-clock, not simulated time): how fast the vgpu memory model and the
+// primitives execute per element. These guard against regressions that
+// would make the figure benches impractically slow.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "join/transform.h"
+#include "prim/gather.h"
+#include "prim/hash_join.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin {
+namespace {
+
+vgpu::Device MakeDevice(uint64_t n) {
+  return vgpu::Device(
+      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), n));
+}
+
+void BM_SimSequentialScan(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  vgpu::Device device = MakeDevice(n);
+  auto buf = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  for (auto _ : state) {
+    vgpu::KernelScope ks(device, "scan");
+    device.LoadSeq(buf.addr(), n, 4);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimSequentialScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SimRandomGather(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  vgpu::Device device = MakeDevice(n);
+  auto in = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto map = vgpu::DeviceBuffer<RowId>::Allocate(device, n).ValueOrDie();
+  auto out = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::vector<RowId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::mt19937_64 rng(1);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::copy(perm.begin(), perm.end(), map.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::Gather(device, in, map, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimRandomGather)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SimRadixSortPairs(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  vgpu::Device device = MakeDevice(n);
+  auto keys = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::mt19937_64 rng(2);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = static_cast<int32_t>(rng() % n);
+  for (auto _ : state) {
+    vgpu::DeviceBuffer<int32_t> tk, tv;
+    benchmark::DoNotOptimize(join::TransformPairOutOfPlace(
+        device, keys, vals, &tk, &tv, join::TransformKind::kSort, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimRadixSortPairs)->Arg(1 << 16)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace gpujoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 5: peak device memory usage per implementation for the data-type
+// mixes of Figure 15. The paper reports SMJ-OM and PHJ-OM (the GFTR
+// variants) more memory-efficient than their GFUR counterparts in every
+// mix, with PHJ-UM worst (bucket-chain fragmentation + two pools).
+
+#include "bench_common.h"
+
+using namespace gpujoin;         // NOLINT(build/namespaces)
+using namespace gpujoin::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  harness::PrintBanner("Table 5", "peak memory usage per implementation");
+  vgpu::Device device = harness::MakeBenchDevice();
+
+  struct Mix {
+    const char* label;
+    DataType key;
+    DataType payload;
+  };
+  const Mix mixes[] = {
+      {"4B key + 4B payload", DataType::kInt32, DataType::kInt32},
+      {"4B key + 8B payload", DataType::kInt32, DataType::kInt64},
+      {"8B key + 8B payload", DataType::kInt64, DataType::kInt64},
+  };
+
+  harness::TablePrinter tp({"impl", "4B K + 4B P (MB)", "4B K + 8B P (MB)",
+                            "8B K + 8B P (MB)"});
+  std::vector<std::vector<double>> peaks(join::kAllJoinAlgos.size());
+  for (const Mix& mix : mixes) {
+    workload::JoinWorkloadSpec spec;
+    spec.r_rows = harness::ScaleTuples();
+    spec.s_rows = harness::ScaleTuples();
+    spec.r_payload_cols = 2;
+    spec.s_payload_cols = 2;
+    spec.key_type = mix.key;
+    spec.r_payload_type = mix.payload;
+    spec.s_payload_type = mix.payload;
+    auto w = MustUpload(device, spec);
+    for (size_t a = 0; a < join::kAllJoinAlgos.size(); ++a) {
+      const auto res = MustJoin(device, join::kAllJoinAlgos[a], w.r, w.s);
+      peaks[a].push_back(static_cast<double>(res.peak_mem_bytes) / 1e6);
+    }
+  }
+  for (size_t a = 0; a < join::kAllJoinAlgos.size(); ++a) {
+    tp.AddRow({join::JoinAlgoName(join::kAllJoinAlgos[a]),
+               harness::TablePrinter::Fmt(peaks[a][0], 1),
+               harness::TablePrinter::Fmt(peaks[a][1], 1),
+               harness::TablePrinter::Fmt(peaks[a][2], 1)});
+  }
+  tp.Print();
+  return 0;
+}

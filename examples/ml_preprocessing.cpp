@@ -1,0 +1,66 @@
+// The paper's motivating scenario (§1): assembling an ML feature table on
+// the GPU by joining a fact table against several dimension tables with a
+// 100% match ratio — the setting where materialization dominates and the
+// GFTR pattern shines. This example runs the same star-schema pipeline with
+// GFUR (PHJ-UM) and GFTR (PHJ-OM) materialization and reports the speedup.
+//
+//   $ ./example_ml_preprocessing
+
+#include <cstdio>
+
+#include "join/pipeline.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+#include "workload/generator.h"
+
+using namespace gpujoin;  // NOLINT(build/namespaces)
+
+int main() {
+  const uint64_t kFactRows = 1 << 18;
+  vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(
+      vgpu::DeviceConfig::A100(), kFactRows));
+
+  // A 4-dimension star schema: e.g. clicks joined with user, item, seller,
+  // and campaign tables to assemble training features.
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = kFactRows;
+  spec.num_dims = 4;
+  spec.dim_rows = kFactRows / 4;
+  auto schema = workload::GenerateStarSchema(spec);
+  GPUJOIN_CHECK_OK(schema.status());
+
+  auto fact = Table::FromHost(device, schema->fact);
+  GPUJOIN_CHECK_OK(fact.status());
+  std::vector<Table> dims;
+  for (const HostTable& d : schema->dims) {
+    auto t = Table::FromHost(device, d);
+    GPUJOIN_CHECK_OK(t.status());
+    dims.push_back(std::move(*t));
+  }
+
+  std::printf("feature assembly: %llu fact rows x %d dimension joins "
+              "(100%% match — nothing is filtered before training)\n\n",
+              static_cast<unsigned long long>(spec.fact_rows), spec.num_dims);
+
+  double gfur_s = 0, gftr_s = 0;
+  for (join::JoinAlgo algo : {join::JoinAlgo::kPhjUm, join::JoinAlgo::kPhjOm}) {
+    device.FlushL2();
+    auto res = join::RunJoinPipeline(device, algo, *fact, dims);
+    GPUJOIN_CHECK_OK(res.status());
+    std::printf("%s (%s): %.3f ms simulated, %.0f Mtuples/s, %llu feature rows, "
+                "%d feature columns\n",
+                join::JoinAlgoName(algo),
+                algo == join::JoinAlgo::kPhjUm ? "GFUR" : "GFTR",
+                res->total_seconds * 1e3,
+                res->throughput_tuples_per_sec / 1e6,
+                static_cast<unsigned long long>(res->final_rows),
+                res->output.num_columns());
+    if (algo == join::JoinAlgo::kPhjUm) gfur_s = res->total_seconds;
+    if (algo == join::JoinAlgo::kPhjOm) gftr_s = res->total_seconds;
+  }
+  std::printf("\nGFTR speedup for the feature pipeline: %.2fx\n",
+              gfur_s / gftr_s);
+  std::printf("(the joined table would now feed the GPU training job "
+              "without leaving device memory)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build two small tables, run an end-to-end GPU join (PHJ-OM,
+// the paper's best all-round implementation), and print the result along
+// with the phase breakdown.
+//
+//   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+using gpujoin::DataType;
+using gpujoin::HostColumn;
+using gpujoin::HostTable;
+using gpujoin::Table;
+
+int main() {
+  // A simulated NVIDIA A100 (the paper's primary machine).
+  gpujoin::vgpu::Device device(gpujoin::vgpu::DeviceConfig::A100());
+
+  // R: customers (key, age, score). S: orders (customer key, amount).
+  HostTable customers{
+      "customers",
+      {{"cust_key", DataType::kInt32, {0, 1, 2, 3, 4}},
+       {"age", DataType::kInt32, {34, 58, 41, 25, 63}},
+       {"score", DataType::kInt32, {720, 680, 790, 655, 700}}}};
+  HostTable orders{"orders",
+                   {{"cust_key", DataType::kInt32, {3, 1, 4, 1, 0, 2, 1}},
+                    {"amount", DataType::kInt32, {120, 80, 45, 230, 19, 77, 60}}}};
+
+  auto r = Table::FromHost(device, customers);
+  auto s = Table::FromHost(device, orders);
+  GPUJOIN_CHECK_OK(r.status());
+  GPUJOIN_CHECK_OK(s.status());
+
+  auto result = gpujoin::join::RunJoin(device, gpujoin::join::JoinAlgo::kPhjOm,
+                                       *r, *s);
+  GPUJOIN_CHECK_OK(result.status());
+
+  const HostTable out = result->output.ToHost();
+  std::printf("joined %llu orders with %llu customers -> %llu rows\n\n",
+              static_cast<unsigned long long>(s->num_rows()),
+              static_cast<unsigned long long>(r->num_rows()),
+              static_cast<unsigned long long>(result->output_rows));
+  for (const HostColumn& c : out.columns) std::printf("%10s", c.name.c_str());
+  std::printf("\n");
+  for (uint64_t i = 0; i < out.num_rows(); ++i) {
+    for (const HostColumn& c : out.columns) {
+      std::printf("%10lld", static_cast<long long>(c.values[i]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsimulated phases: transform=%.1fus match=%.1fus "
+              "materialize=%.1fus\n",
+              result->phases.transform_s * 1e6, result->phases.match_s * 1e6,
+              result->phases.materialize_s * 1e6);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Runs the five TPC-H/TPC-DS joins of the paper's Table 6 with the
+// Figure 18 planner choosing the implementation, and shows the decision
+// rationale plus how the choice compares against running every algorithm.
+//
+//   $ ./example_tpc_analytics
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "join/join.h"
+#include "join/planner.h"
+#include "workload/tpc.h"
+
+using namespace gpujoin;  // NOLINT(build/namespaces)
+
+int main() {
+  const uint64_t kScale = 1 << 18;  // Paper-scale 2^27, scaled down.
+  vgpu::Device device(
+      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), kScale));
+
+  workload::TpcGenOptions gen;
+  gen.scale_tuples = kScale;
+
+  for (const workload::TpcJoinSpec& spec : workload::TpcJoinSpecs()) {
+    auto w = workload::GenerateTpcJoin(spec, gen);
+    GPUJOIN_CHECK_OK(w.status());
+    auto up = harness::Upload(device, *w);
+    GPUJOIN_CHECK_OK(up.status());
+
+    join::JoinFeatures f = join::JoinFeatures::FromTables(up->r, up->s);
+    f.match_ratio = 1.0;  // Table 6: |T| == |S| for all five joins.
+    const join::JoinAlgo choice = ChooseJoinAlgo(f);
+
+    std::printf("\n%s — %s  (|R|=%llu, |S|=%llu)\n", spec.id.c_str(),
+                spec.source.c_str(),
+                static_cast<unsigned long long>(up->r.num_rows()),
+                static_cast<unsigned long long>(up->s.num_rows()));
+    std::printf("  planner: %s\n", ExplainChoice(f).c_str());
+
+    join::JoinOptions opts;
+    opts.pk_fk = spec.pk_fk;
+    double best = 1e30, chosen = 0;
+    const char* best_name = "?";
+    for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+      device.FlushL2();
+      auto res = RunJoin(device, algo, up->r, up->s, opts);
+      GPUJOIN_CHECK_OK(res.status());
+      const double t = res->phases.total_s();
+      std::printf("  %-7s %9.3f ms  %8.0f Mtuples/s%s\n",
+                  join::JoinAlgoName(algo), t * 1e3,
+                  res->throughput_tuples_per_sec / 1e6,
+                  algo == choice ? "   <- planner's choice" : "");
+      if (t < best) {
+        best = t;
+        best_name = join::JoinAlgoName(algo);
+      }
+      if (algo == choice) chosen = t;
+    }
+    std::printf("  planner regret: %.1f%% vs best (%s)\n",
+                100.0 * (chosen - best) / best, best_name);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the library, runs the full test suite, and regenerates every paper
+# table/figure reproduction. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+#
+# Usage: scripts/reproduce.sh [scale_log2]
+#   scale_log2: log2 of the canonical relation size (default 20; the paper
+#               uses 27 — see DESIGN.md on device scaling).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-20}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+GPUJOIN_SCALE="$SCALE" bash -c '
+  for b in build/bench/bench_*; do
+    echo "===== $(basename "$b") ====="
+    "$b"
+  done
+' 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

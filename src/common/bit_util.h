@@ -1,0 +1,62 @@
+// Small bit-manipulation helpers used by the radix primitives and the
+// memory model.
+
+#ifndef GPUJOIN_COMMON_BIT_UTIL_H_
+#define GPUJOIN_COMMON_BIT_UTIL_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gpujoin::bit_util {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v must be >= 1; result saturates at 2^63).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+/// floor(log2(v)) for v >= 1.
+constexpr int Log2Floor(uint64_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(v)) for v >= 1. Number of bits needed to represent values in
+/// [0, v).
+constexpr int Log2Ceil(uint64_t v) {
+  if (v <= 1) return 0;
+  return Log2Floor(v - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds a up to the next multiple of align (align must be a power of two).
+constexpr uint64_t AlignUp(uint64_t a, uint64_t align) {
+  return (a + align - 1) & ~(align - 1);
+}
+
+/// Extracts the radix digit: bits [lo, lo+width) of key, as an unsigned value.
+template <typename K>
+constexpr uint32_t RadixDigit(K key, int lo, int width) {
+  using U = std::make_unsigned_t<K>;
+  const U u = static_cast<U>(key);
+  if (width >= 64) return static_cast<uint32_t>(u >> lo);
+  const U mask = (U{1} << width) - 1;
+  return static_cast<uint32_t>((u >> lo) & mask);
+}
+
+}  // namespace gpujoin::bit_util
+
+#endif  // GPUJOIN_COMMON_BIT_UTIL_H_

@@ -1,0 +1,53 @@
+#include "groupby/planner.h"
+
+namespace gpujoin::groupby {
+
+namespace {
+
+/// Bytes of one global-table group entry: key slot + 8-byte accumulators
+/// (+ count), doubled for the open-addressing load factor.
+uint64_t GlobalTableBytes(const GroupByFeatures& f) {
+  const uint64_t slot = 8 + 8 * static_cast<uint64_t>(f.num_aggregates) + 8;
+  return f.estimated_groups * slot * 2;
+}
+
+constexpr double kSkewThreshold = 1.0;
+
+}  // namespace
+
+GroupByAlgo ChooseGroupByAlgo(const vgpu::Device& device,
+                              const GroupByFeatures& features) {
+  if (features.zipf_theta > kSkewThreshold) {
+    // Hot groups serialize the global table's atomics; partitioning keeps
+    // the contention inside shared memory where it is an order of
+    // magnitude cheaper.
+    return GroupByAlgo::kHashPartitioned;
+  }
+  if (GlobalTableBytes(features) <= device.config().l2_bytes / 2) {
+    // Cache-resident table: random updates are L2 hits; no transform cost.
+    return GroupByAlgo::kHashGlobal;
+  }
+  // Large group counts: pay the 2-pass partition, aggregate locally.
+  return GroupByAlgo::kHashPartitioned;
+}
+
+std::string ExplainGroupByChoice(const vgpu::Device& device,
+                                 const GroupByFeatures& features) {
+  std::string out = "groupby features: rows=" + std::to_string(features.rows);
+  out += " groups~" + std::to_string(features.estimated_groups);
+  out += " zipf~" + std::to_string(features.zipf_theta);
+  out += " aggs=" + std::to_string(features.num_aggregates);
+  out += " -> ";
+  const GroupByAlgo choice = ChooseGroupByAlgo(device, features);
+  out += GroupByAlgoName(choice);
+  if (features.zipf_theta > kSkewThreshold) {
+    out += " (skewed keys: global atomics on hot groups serialize)";
+  } else if (choice == GroupByAlgo::kHashGlobal) {
+    out += " (table fits L2: random updates stay on chip)";
+  } else {
+    out += " (table exceeds L2: partition so groups fit shared memory)";
+  }
+  return out;
+}
+
+}  // namespace gpujoin::groupby

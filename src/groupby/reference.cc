@@ -1,0 +1,72 @@
+#include "groupby/reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace gpujoin::groupby {
+
+std::vector<std::vector<int64_t>> ReferenceGroupByRows(const HostTable& input,
+                                                       const GroupBySpec& spec) {
+  struct Acc {
+    int64_t count = 0;
+    std::vector<int64_t> vals;
+  };
+  std::map<int64_t, Acc> accs;
+  const uint64_t n = input.num_rows();
+  for (uint64_t i = 0; i < n; ++i) {
+    Acc& acc = accs[input.columns[0].values[i]];
+    if (acc.count == 0) {
+      acc.vals.assign(spec.aggregates.size(), 0);
+      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+        if (spec.aggregates[a].op == AggOp::kMin) {
+          acc.vals[a] = std::numeric_limits<int64_t>::max();
+        } else if (spec.aggregates[a].op == AggOp::kMax) {
+          acc.vals[a] = std::numeric_limits<int64_t>::min();
+        }
+      }
+    }
+    ++acc.count;
+    for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+      const AggSpec& as = spec.aggregates[a];
+      if (as.op == AggOp::kCount) continue;
+      const int64_t v = input.columns[as.column].values[i];
+      switch (as.op) {
+        case AggOp::kSum:
+        case AggOp::kAvg:
+          acc.vals[a] += v;
+          break;
+        case AggOp::kMin:
+          acc.vals[a] = std::min(acc.vals[a], v);
+          break;
+        case AggOp::kMax:
+          acc.vals[a] = std::max(acc.vals[a], v);
+          break;
+        case AggOp::kCount:
+          break;
+      }
+    }
+  }
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(accs.size());
+  for (const auto& [key, acc] : accs) {
+    std::vector<int64_t> row;
+    row.push_back(key);
+    for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+      switch (spec.aggregates[a].op) {
+        case AggOp::kCount:
+          row.push_back(acc.count);
+          break;
+        case AggOp::kAvg:
+          row.push_back(acc.count == 0 ? 0 : acc.vals[a] / acc.count);
+          break;
+        default:
+          row.push_back(acc.vals[a]);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace gpujoin::groupby

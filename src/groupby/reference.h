@@ -1,0 +1,21 @@
+// Host-side reference (oracle) grouped aggregation for verifying the GPU
+// implementations.
+
+#ifndef GPUJOIN_GROUPBY_REFERENCE_H_
+#define GPUJOIN_GROUPBY_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "groupby/groupby.h"
+#include "storage/table.h"
+
+namespace gpujoin::groupby {
+
+/// Expected output rows [key, agg1, agg2, ...] (widened), sorted by key.
+std::vector<std::vector<int64_t>> ReferenceGroupByRows(const HostTable& input,
+                                                       const GroupBySpec& spec);
+
+}  // namespace gpujoin::groupby
+
+#endif  // GPUJOIN_GROUPBY_REFERENCE_H_

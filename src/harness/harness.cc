@@ -1,0 +1,94 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gpujoin::harness {
+
+int ScaleLog2() {
+  const char* env = std::getenv("GPUJOIN_SCALE");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 10 && v <= 27) return v;
+    std::fprintf(stderr, "GPUJOIN_SCALE=%s out of [10,27]; using 20\n", env);
+  }
+  return 20;
+}
+
+uint64_t ScaleTuples() { return uint64_t{1} << ScaleLog2(); }
+
+vgpu::DeviceConfig BaseDeviceConfig() {
+  const char* env = std::getenv("GPUJOIN_DEVICE");
+  if (env != nullptr && std::strcmp(env, "RTX3090") == 0) {
+    return vgpu::DeviceConfig::RTX3090();
+  }
+  return vgpu::DeviceConfig::A100();
+}
+
+vgpu::Device MakeBenchDevice() {
+  return vgpu::Device(
+      vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()));
+}
+
+Result<DeviceWorkload> Upload(vgpu::Device& device,
+                              const workload::JoinWorkload& w) {
+  DeviceWorkload out;
+  GPUJOIN_ASSIGN_OR_RETURN(out.r, Table::FromHost(device, w.r));
+  GPUJOIN_ASSIGN_OR_RETURN(out.s, Table::FromHost(device, w.s));
+  return out;
+}
+
+Result<join::JoinRunResult> RunJoinCold(vgpu::Device& device, join::JoinAlgo algo,
+                                        const Table& r, const Table& s,
+                                        const join::JoinOptions& opts) {
+  device.FlushL2();
+  return join::RunJoin(device, algo, r, s, opts);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("  %s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& what) {
+  const vgpu::DeviceConfig cfg = BaseDeviceConfig();
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
+  std::printf("device=%s (scaled to 2^%d tuples; paper scale is 2^27)\n",
+              cfg.name.c_str(), ScaleLog2());
+}
+
+}  // namespace gpujoin::harness

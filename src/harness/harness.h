@@ -1,0 +1,71 @@
+// Experiment harness shared by the bench binaries: device construction from
+// environment knobs, workload-to-device upload, and aligned table printing
+// in the style of the paper's figures.
+//
+// Environment variables:
+//   GPUJOIN_SCALE   log2 of the canonical relation tuple count (default 20;
+//                   the paper uses 27 — see DESIGN.md on scaling).
+//   GPUJOIN_DEVICE  "A100" (default) or "RTX3090".
+
+#ifndef GPUJOIN_HARNESS_HARNESS_H_
+#define GPUJOIN_HARNESS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+#include "workload/generator.h"
+
+namespace gpujoin::harness {
+
+/// log2 of the canonical bench relation size (GPUJOIN_SCALE, default 20).
+int ScaleLog2();
+
+/// Canonical bench relation size in tuples: 1 << ScaleLog2().
+uint64_t ScaleTuples();
+
+/// The base (unscaled) device config selected by GPUJOIN_DEVICE.
+vgpu::DeviceConfig BaseDeviceConfig();
+
+/// A device whose caches are scaled to the canonical bench size, so the
+/// paper's cache-to-working-set ratios hold at GPUJOIN_SCALE (see DESIGN.md).
+vgpu::Device MakeBenchDevice();
+
+/// Uploads both sides of a generated workload.
+struct DeviceWorkload {
+  Table r;
+  Table s;
+};
+Result<DeviceWorkload> Upload(vgpu::Device& device,
+                              const workload::JoinWorkload& w);
+
+/// Runs one join and flushes device caches first (cold-cache convention used
+/// by all benches for comparability).
+Result<join::JoinRunResult> RunJoinCold(vgpu::Device& device, join::JoinAlgo algo,
+                                        const Table& r, const Table& s,
+                                        const join::JoinOptions& opts = {});
+
+/// Fixed-width console table writer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard bench banner (experiment id, device, scale).
+void PrintBanner(const std::string& experiment, const std::string& what);
+
+}  // namespace gpujoin::harness
+
+#endif  // GPUJOIN_HARNESS_HARNESS_H_

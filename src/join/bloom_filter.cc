@@ -1,0 +1,124 @@
+#include "join/bloom_filter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "join/transform.h"
+#include "prim/hash.h"
+
+namespace gpujoin::join {
+
+namespace {
+
+/// Two derived probe positions per key (Kirsch-Mitzenmacher construction).
+inline void ProbeBits(int64_t key, uint64_t mask, uint64_t* b1, uint64_t* b2) {
+  const uint64_t h = prim::Murmur3Fmix64(static_cast<uint64_t>(key));
+  *b1 = h & mask;
+  *b2 = (h >> 32) & mask;
+}
+
+}  // namespace
+
+Result<BloomFilter> BloomFilter::Build(vgpu::Device& device, const Table& build,
+                                       int bits_per_key) {
+  if (build.num_columns() < 1 || build.num_rows() == 0) {
+    return Status::InvalidArgument("BloomFilter::Build: empty build side");
+  }
+  if (bits_per_key < 2 || bits_per_key > 64) {
+    return Status::InvalidArgument("BloomFilter::Build: bits_per_key out of range");
+  }
+  BloomFilter bf;
+  const uint64_t bits = bit_util::NextPowerOfTwo(
+      std::max<uint64_t>(64, build.num_rows() * static_cast<uint64_t>(bits_per_key)));
+  bf.mask_ = bits - 1;
+  GPUJOIN_ASSIGN_OR_RETURN(
+      bf.words_, vgpu::DeviceBuffer<uint64_t>::Allocate(device, bits / 64));
+
+  const DeviceColumn& keys = build.column(0);
+  const int warp = device.config().warp_size;
+  vgpu::KernelScope ks(device, "bloom_build");
+  device.LoadSeq(keys.addr(), keys.size(),
+                 static_cast<uint32_t>(DataTypeSize(keys.type())));
+  uint64_t addrs[32];
+  for (uint64_t i = 0; i < keys.size(); i += warp) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min<uint64_t>(warp, keys.size() - i));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      uint64_t b1, b2;
+      ProbeBits(keys.Get(i + l), bf.mask_, &b1, &b2);
+      bf.words_[b1 / 64] |= uint64_t{1} << (b1 % 64);
+      bf.words_[b2 / 64] |= uint64_t{1} << (b2 % 64);
+      addrs[l] = bf.words_.addr(b1 / 64);
+    }
+    // Atomic-OR into the filter: one random RMW per key (the second probe
+    // usually shares the word's cache line in blocked filters; charged as
+    // one access).
+    device.GlobalAtomic({addrs, lanes}, 8);
+  }
+  return bf;
+}
+
+bool BloomFilter::MightContain(int64_t key) const {
+  uint64_t b1, b2;
+  ProbeBits(key, mask_, &b1, &b2);
+  return (words_[b1 / 64] >> (b1 % 64) & 1) && (words_[b2 / 64] >> (b2 % 64) & 1);
+}
+
+Result<Table> BloomFilter::FilterTable(vgpu::Device& device,
+                                       const Table& probe) const {
+  const DeviceColumn& keys = probe.column(0);
+  const uint64_t n = keys.size();
+  const int warp = device.config().warp_size;
+  std::vector<RowId> kept;
+  {
+    vgpu::KernelScope ks(device, "bloom_probe");
+    device.LoadSeq(keys.addr(), n, static_cast<uint32_t>(DataTypeSize(keys.type())));
+    uint64_t addrs[32];
+    for (uint64_t i = 0; i < n; i += warp) {
+      const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, n - i));
+      for (uint32_t l = 0; l < lanes; ++l) {
+        uint64_t b1, b2;
+        ProbeBits(keys.Get(i + l), mask_, &b1, &b2);
+        addrs[l] = words_.addr(b1 / 64);
+        if (MightContain(keys.Get(i + l))) {
+          kept.push_back(static_cast<RowId>(i + l));
+        }
+      }
+      device.Load({addrs, lanes}, 8);
+    }
+  }
+  GPUJOIN_ASSIGN_OR_RETURN(auto map,
+                           vgpu::DeviceBuffer<RowId>::FromHost(device, kept));
+  {
+    vgpu::KernelScope ks(device, "bloom_compact_map");
+    device.StoreSeq(map.addr(), map.size(), sizeof(RowId));
+  }
+  std::vector<std::string> names;
+  std::vector<DeviceColumn> cols;
+  for (int c = 0; c < probe.num_columns(); ++c) {
+    GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn col,
+                             GatherColumn(device, probe.column(c), map));
+    names.push_back(probe.column_name(c));
+    cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(probe.name() + "_sip", std::move(names),
+                            std::move(cols));
+}
+
+Result<Table> SipPruneProbeSide(vgpu::Device& device, const Table& build,
+                                const Table& probe, SipJoinStats* stats,
+                                int bits_per_key) {
+  const double t0 = device.ElapsedSeconds();
+  GPUJOIN_ASSIGN_OR_RETURN(BloomFilter bf,
+                           BloomFilter::Build(device, build, bits_per_key));
+  GPUJOIN_ASSIGN_OR_RETURN(Table pruned, bf.FilterTable(device, probe));
+  if (stats != nullptr) {
+    stats->probe_rows_in = probe.num_rows();
+    stats->probe_rows_kept = pruned.num_rows();
+    stats->filter_seconds = device.ElapsedSeconds() - t0;
+  }
+  return pruned;
+}
+
+}  // namespace gpujoin::join

@@ -1,0 +1,148 @@
+#include "join/join_aggregate.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ops/ops.h"
+
+namespace gpujoin::join {
+
+namespace {
+
+/// Collects the distinct referenced payload columns of one side, in a
+/// stable order. The join key (column 0) is always materialized by the
+/// join itself.
+std::vector<int> ReferencedColumns(const JoinAggregateSpec& spec,
+                                   JoinColumnRef::Side side) {
+  std::vector<int> cols;
+  auto add = [&](const JoinColumnRef& ref) {
+    if (ref.side != side || ref.column == 0) return;
+    if (std::find(cols.begin(), cols.end(), ref.column) == cols.end()) {
+      cols.push_back(ref.column);
+    }
+  };
+  add(spec.group_by);
+  for (const auto& agg : spec.aggregates) {
+    if (agg.op != groupby::AggOp::kCount) add(agg.column);
+  }
+  return cols;
+}
+
+/// Maps a column reference to its index in the slim join output
+/// (key, referenced R columns..., referenced S columns...).
+int OutputIndexOf(const JoinColumnRef& ref, const std::vector<int>& r_cols,
+                  const std::vector<int>& s_cols) {
+  if (ref.column == 0) return 0;  // The join key survives as column 0.
+  if (ref.side == JoinColumnRef::Side::kR) {
+    const auto it = std::find(r_cols.begin(), r_cols.end(), ref.column);
+    return 1 + static_cast<int>(it - r_cols.begin());
+  }
+  const auto it = std::find(s_cols.begin(), s_cols.end(), ref.column);
+  return 1 + static_cast<int>(r_cols.size()) +
+         static_cast<int>(it - s_cols.begin());
+}
+
+Status ValidateSpec(const Table& r, const Table& s,
+                    const JoinAggregateSpec& spec) {
+  auto check = [&](const JoinColumnRef& ref) -> Status {
+    const Table& t = ref.side == JoinColumnRef::Side::kR ? r : s;
+    if (ref.column < 0 || ref.column >= t.num_columns()) {
+      return Status::InvalidArgument("JoinAggregate: column reference out of range");
+    }
+    return Status::OK();
+  };
+  GPUJOIN_RETURN_IF_ERROR(check(spec.group_by));
+  if (spec.aggregates.empty()) {
+    return Status::InvalidArgument("JoinAggregate: no aggregates");
+  }
+  for (const auto& agg : spec.aggregates) {
+    if (agg.op == groupby::AggOp::kCount) continue;
+    GPUJOIN_RETURN_IF_ERROR(check(agg.column));
+    if (agg.column.side == spec.group_by.side &&
+        agg.column.column == spec.group_by.column) {
+      return Status::NotImplemented(
+          "JoinAggregate: aggregating the grouping attribute itself");
+    }
+    if (agg.column.column == 0 && spec.group_by.column == 0) {
+      return Status::NotImplemented(
+          "JoinAggregate: aggregating the join key while grouping by it");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinAggregateRunResult> RunJoinAggregate(vgpu::Device& device,
+                                                JoinAlgo join_algo,
+                                                groupby::GroupByAlgo agg_algo,
+                                                const Table& r, const Table& s,
+                                                const JoinAggregateSpec& spec,
+                                                const JoinOptions& options) {
+  GPUJOIN_RETURN_IF_ERROR(ValidateSpec(r, s, spec));
+  const std::vector<int> r_cols = ReferencedColumns(spec, JoinColumnRef::Side::kR);
+  const std::vector<int> s_cols = ReferencedColumns(spec, JoinColumnRef::Side::kS);
+
+  JoinAggregateRunResult res;
+  const double t0 = device.ElapsedSeconds();
+
+  // Early projection: the join inputs are narrowed to the key plus the
+  // referenced payload columns before the join runs, so the join never
+  // touches (transforms, gathers, or writes) anything else.
+  std::vector<int> r_proj = {0};
+  r_proj.insert(r_proj.end(), r_cols.begin(), r_cols.end());
+  std::vector<int> s_proj = {0};
+  s_proj.insert(s_proj.end(), s_cols.begin(), s_cols.end());
+  GPUJOIN_ASSIGN_OR_RETURN(Table r_slim, ops::Project(device, r, r_proj));
+  GPUJOIN_ASSIGN_OR_RETURN(Table s_slim, ops::Project(device, s, s_proj));
+
+  GPUJOIN_ASSIGN_OR_RETURN(JoinRunResult joined,
+                           RunJoin(device, join_algo, r_slim, s_slim, options));
+  res.join_rows = joined.output_rows;
+  res.join_seconds = device.ElapsedSeconds() - t0;
+
+  // Re-shape the slim join output as (group_key, agg inputs...) and run
+  // the grouped aggregation directly on it.
+  const double t1 = device.ElapsedSeconds();
+  const int group_idx = OutputIndexOf(spec.group_by, r_cols, s_cols);
+  std::vector<std::string> gb_names = {joined.output.column_name(group_idx)};
+  std::vector<DeviceColumn> gb_cols;
+  gb_cols.push_back(joined.output.TakeColumn(group_idx));
+  groupby::GroupBySpec gb_spec;
+  // Aggregate inputs: deduplicate identical column references so the
+  // group-by table stays narrow.
+  std::vector<int> placed_outputs;
+  for (const auto& agg : spec.aggregates) {
+    if (agg.op == groupby::AggOp::kCount) {
+      gb_spec.aggregates.push_back({1, groupby::AggOp::kCount});
+      continue;
+    }
+    const int out_idx = OutputIndexOf(agg.column, r_cols, s_cols);
+    int slot = -1;
+    for (size_t i = 0; i < placed_outputs.size(); ++i) {
+      if (placed_outputs[i] == out_idx) {
+        slot = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+    if (slot < 0) {
+      // Distinct from group_idx by validation, so the take is safe.
+      gb_names.push_back(joined.output.column_name(out_idx));
+      gb_cols.push_back(joined.output.TakeColumn(out_idx));
+      placed_outputs.push_back(out_idx);
+      slot = static_cast<int>(placed_outputs.size());
+    }
+    gb_spec.aggregates.push_back({slot, agg.op});
+  }
+  Table gb_input = Table::FromColumns("join_aggregate_input", std::move(gb_names),
+                                      std::move(gb_cols));
+
+  GPUJOIN_ASSIGN_OR_RETURN(groupby::GroupByRunResult gb,
+                           RunGroupBy(device, agg_algo, gb_input, gb_spec));
+  res.output = std::move(gb.output);
+  res.num_groups = gb.num_groups;
+  res.aggregate_seconds = device.ElapsedSeconds() - t1;
+  return res;
+}
+
+}  // namespace gpujoin::join

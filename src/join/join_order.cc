@@ -1,0 +1,74 @@
+#include "join/join_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ops/ops.h"
+#include "stats/estimator.h"
+
+namespace gpujoin::join {
+
+std::string JoinOrderDecision::Explain() const {
+  std::string out = "join order:";
+  for (int d : order) {
+    out += " D" + std::to_string(d + 1) + "(sel~" +
+           std::to_string(selectivity[d]).substr(0, 4) + ")";
+  }
+  return out;
+}
+
+Result<JoinOrderDecision> ChooseJoinOrder(vgpu::Device& device, const Table& fact,
+                                          const std::vector<Table>& dims) {
+  const int n = static_cast<int>(dims.size());
+  if (n == 0) {
+    return Status::InvalidArgument("ChooseJoinOrder: no dimension tables");
+  }
+  if (fact.num_columns() < n) {
+    return Status::InvalidArgument("ChooseJoinOrder: fewer FK columns than dims");
+  }
+  JoinOrderDecision decision;
+  decision.selectivity.resize(n);
+  for (int d = 0; d < n; ++d) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        decision.selectivity[d],
+        stats::EstimateMatchRatio(device, dims[d].column(0), fact.column(d)));
+  }
+  decision.order.resize(n);
+  std::iota(decision.order.begin(), decision.order.end(), 0);
+  std::stable_sort(decision.order.begin(), decision.order.end(),
+                   [&](int a, int b) {
+                     return decision.selectivity[a] < decision.selectivity[b];
+                   });
+  return decision;
+}
+
+Result<PipelineRunResult> RunOrderedJoinPipeline(vgpu::Device& device,
+                                                 JoinAlgo algo, const Table& fact,
+                                                 const std::vector<Table>& dims,
+                                                 const JoinOrderDecision& decision,
+                                                 const JoinOptions& options) {
+  if (decision.order.size() != dims.size()) {
+    return Status::InvalidArgument("RunOrderedJoinPipeline: order size mismatch");
+  }
+  // Permute the fact table's FK columns (and keep any trailing payload
+  // columns) to match the chosen order, then run the standard pipeline
+  // against the permuted dimension list.
+  std::vector<int> fact_cols;
+  for (int d : decision.order) fact_cols.push_back(d);
+  for (int c = static_cast<int>(dims.size()); c < fact.num_columns(); ++c) {
+    fact_cols.push_back(c);
+  }
+  GPUJOIN_ASSIGN_OR_RETURN(Table fact_perm, ops::Project(device, fact, fact_cols));
+  // Tables are move-only; rebuild shallow copies by projecting each dim
+  // fully (charged copy — acceptable: dims are small relative to the fact).
+  std::vector<Table> dims_perm;
+  for (int d : decision.order) {
+    std::vector<int> all(dims[d].num_columns());
+    std::iota(all.begin(), all.end(), 0);
+    GPUJOIN_ASSIGN_OR_RETURN(Table copy, ops::Project(device, dims[d], all));
+    dims_perm.push_back(std::move(copy));
+  }
+  return RunJoinPipeline(device, algo, fact_perm, dims_perm, options);
+}
+
+}  // namespace gpujoin::join

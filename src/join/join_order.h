@@ -1,0 +1,46 @@
+// Greedy join-order selection for multi-join pipelines (the Figure 16
+// setting): when dimension joins are selective (match ratio < 1), executing
+// the most selective joins first shrinks the carried fact side early and
+// every later join transforms and materializes fewer tuples. Selectivities
+// are estimated by sampling (stats::EstimateMatchRatio), as a real
+// optimizer would.
+
+#ifndef GPUJOIN_JOIN_JOIN_ORDER_H_
+#define GPUJOIN_JOIN_JOIN_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "join/pipeline.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+struct JoinOrderDecision {
+  /// Dimension indexes in execution order (most selective first).
+  std::vector<int> order;
+  /// Estimated fraction of fact tuples surviving each dimension's join,
+  /// indexed by ORIGINAL dimension position.
+  std::vector<double> selectivity;
+
+  std::string Explain() const;
+};
+
+/// Estimates per-dimension selectivities (dims[i] joins fact column i) and
+/// returns the greedy most-selective-first order.
+Result<JoinOrderDecision> ChooseJoinOrder(vgpu::Device& device, const Table& fact,
+                                          const std::vector<Table>& dims);
+
+/// Runs the pipeline in the optimizer-chosen order. Results equal the
+/// as-given order (inner joins commute); only the execution cost differs.
+Result<PipelineRunResult> RunOrderedJoinPipeline(vgpu::Device& device,
+                                                 JoinAlgo algo, const Table& fact,
+                                                 const std::vector<Table>& dims,
+                                                 const JoinOrderDecision& decision,
+                                                 const JoinOptions& options = {});
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_JOIN_ORDER_H_

@@ -1,0 +1,141 @@
+#include "join/out_of_core.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/bit_util.h"
+
+namespace gpujoin::join {
+
+namespace {
+
+/// Host-side stable partition of a table by the low `bits` of column 0.
+/// Returns per-fragment tables.
+std::vector<HostTable> PartitionHost(const HostTable& t, int bits) {
+  const uint32_t fanout = 1u << bits;
+  const uint64_t n = t.num_rows();
+  std::vector<uint64_t> counts(fanout, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    ++counts[bit_util::RadixDigit(t.columns[0].values[i], 0, bits)];
+  }
+  std::vector<HostTable> frags(fanout);
+  for (uint32_t f = 0; f < fanout; ++f) {
+    frags[f].name = t.name + "_f" + std::to_string(f);
+    frags[f].columns.resize(t.columns.size());
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      frags[f].columns[c].name = t.columns[c].name;
+      frags[f].columns[c].type = t.columns[c].type;
+      frags[f].columns[c].values.reserve(counts[f]);
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t f = bit_util::RadixDigit(t.columns[0].values[i], 0, bits);
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      frags[f].columns[c].values.push_back(t.columns[c].values[i]);
+    }
+  }
+  return frags;
+}
+
+uint64_t HostTableBytes(const HostTable& t) {
+  uint64_t bytes = 0;
+  for (const HostColumn& c : t.columns) {
+    bytes += c.values.size() * DataTypeSize(c.type);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
+                                            const HostTable& r,
+                                            const HostTable& s,
+                                            const OutOfCoreOptions& options) {
+  if (r.columns.empty() || s.columns.empty() || r.num_rows() == 0 ||
+      s.num_rows() == 0) {
+    return Status::InvalidArgument("RunOutOfCoreJoin: bad inputs");
+  }
+  if (options.device_budget_fraction <= 0 || options.device_budget_fraction > 1) {
+    return Status::InvalidArgument("RunOutOfCoreJoin: bad budget fraction");
+  }
+
+  // Pick the fragment count: the average co-fragment pair must fit the
+  // device budget (join working state takes the rest of the capacity).
+  int bits = options.fragment_bits;
+  if (bits <= 0) {
+    const double budget = static_cast<double>(device.config().global_mem_bytes) *
+                          options.device_budget_fraction;
+    const double total =
+        static_cast<double>(HostTableBytes(r) + HostTableBytes(s));
+    bits = 1;
+    while (bits < 16 && total / static_cast<double>(1u << bits) > budget) {
+      ++bits;
+    }
+  }
+  if (bits > 20) {
+    return Status::InvalidArgument("RunOutOfCoreJoin: fragment_bits too large");
+  }
+
+  OutOfCoreRunResult res;
+  res.fragments = 1 << bits;
+  const double dev_t0 = device.ElapsedSeconds();
+  const auto host_t0 = std::chrono::steady_clock::now();
+
+  std::vector<HostTable> r_frags = PartitionHost(r, bits);
+  std::vector<HostTable> s_frags = PartitionHost(s, bits);
+
+  double host_partition_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - host_t0)
+                                .count();
+
+  // Output accumulator (schema = key + R payloads + S payloads).
+  HostTable out;
+  out.name = "out_of_core_join_result";
+  bool out_initialized = false;
+
+  double host_merge_s = 0;
+  for (int f = 0; f < res.fragments; ++f) {
+    if (r_frags[f].num_rows() == 0 || s_frags[f].num_rows() == 0) continue;
+    const uint64_t up_bytes =
+        HostTableBytes(r_frags[f]) + HostTableBytes(s_frags[f]);
+    device.ChargeHostTransfer(up_bytes);
+    res.bytes_transferred += up_bytes;
+
+    GPUJOIN_ASSIGN_OR_RETURN(Table rd, Table::FromHost(device, r_frags[f]));
+    GPUJOIN_ASSIGN_OR_RETURN(Table sd, Table::FromHost(device, s_frags[f]));
+    GPUJOIN_ASSIGN_OR_RETURN(JoinRunResult jr,
+                             RunJoin(device, algo, rd, sd, options.join));
+
+    const HostTable part = jr.output.ToHost();
+    const uint64_t down_bytes = HostTableBytes(part);
+    device.ChargeHostTransfer(down_bytes);
+    res.bytes_transferred += down_bytes;
+
+    const auto merge_t0 = std::chrono::steady_clock::now();
+    if (!out_initialized) {
+      out.columns.resize(part.columns.size());
+      for (size_t c = 0; c < part.columns.size(); ++c) {
+        out.columns[c].name = part.columns[c].name;
+        out.columns[c].type = part.columns[c].type;
+      }
+      out_initialized = true;
+    }
+    for (size_t c = 0; c < part.columns.size(); ++c) {
+      out.columns[c].values.insert(out.columns[c].values.end(),
+                                   part.columns[c].values.begin(),
+                                   part.columns[c].values.end());
+    }
+    host_merge_s += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - merge_t0)
+                        .count();
+  }
+
+  res.output_rows = out.num_rows();
+  res.output = std::move(out);
+  res.device_seconds = device.ElapsedSeconds() - dev_t0;
+  res.host_seconds = host_partition_s + host_merge_s;
+  return res;
+}
+
+}  // namespace gpujoin::join

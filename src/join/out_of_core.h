@@ -1,0 +1,51 @@
+// Out-of-core joins: inputs larger than the device memory are radix-
+// partitioned on the host into co-fragments, and fragment pairs are
+// streamed through the device one at a time (upload over the PCIe model,
+// in-memory join, download of the partial result). The paper treats
+// out-of-memory joins as orthogonal related work [35, 55, 60]; this module
+// makes the library usable beyond the in-memory regime with the same five
+// join implementations.
+
+#ifndef GPUJOIN_JOIN_OUT_OF_CORE_H_
+#define GPUJOIN_JOIN_OUT_OF_CORE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+struct OutOfCoreOptions {
+  JoinOptions join;
+  /// Host-side fragment count as log2 (0 = derive from the device capacity:
+  /// the largest fragment pair plus working space must fit).
+  int fragment_bits = 0;
+  /// Fraction of device memory a fragment pair may plan to use (join
+  /// intermediates need the rest).
+  double device_budget_fraction = 0.2;
+};
+
+struct OutOfCoreRunResult {
+  HostTable output;
+  uint64_t output_rows = 0;
+  int fragments = 0;
+  /// Simulated device seconds (kernels + PCIe transfers).
+  double device_seconds = 0;
+  /// Native wall-clock seconds spent in host-side partitioning/merging.
+  double host_seconds = 0;
+  uint64_t bytes_transferred = 0;
+};
+
+/// Joins host tables r and s (keys in column 0) through a device that may
+/// be (much) smaller than the inputs.
+Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
+                                            const HostTable& r,
+                                            const HostTable& s,
+                                            const OutOfCoreOptions& options = {});
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_OUT_OF_CORE_H_

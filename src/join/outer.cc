@@ -1,0 +1,110 @@
+#include "join/outer.h"
+
+#include <utility>
+#include <vector>
+
+#include "join/semi.h"
+
+namespace gpujoin::join {
+
+namespace {
+
+/// Appends src's rows to dst (same type), charging a sequential copy.
+Status AppendColumn(vgpu::Device& device, const DeviceColumn& src,
+                    DeviceColumn* dst, uint64_t dst_offset) {
+  const uint32_t width = static_cast<uint32_t>(DataTypeSize(src.type()));
+  vgpu::KernelScope ks(device, "outer_concat");
+  device.LoadSeq(src.addr(), src.size(), width);
+  device.StoreSeq(dst->addr(dst_offset), src.size(), width);
+  for (uint64_t i = 0; i < src.size(); ++i) {
+    dst->Set(dst_offset + i, src.Get(i));
+  }
+  return Status::OK();
+}
+
+/// Fills dst[offset..offset+count) with `value`, charging the stores.
+Status FillColumn(vgpu::Device& device, DeviceColumn* dst, uint64_t offset,
+                  uint64_t count, int64_t value) {
+  const uint32_t width = static_cast<uint32_t>(DataTypeSize(dst->type()));
+  vgpu::KernelScope ks(device, "outer_fill");
+  device.StoreSeq(dst->addr(offset), count, width);
+  for (uint64_t i = 0; i < count; ++i) dst->Set(offset + i, value);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OuterJoinRunResult> RunLeftOuterJoin(vgpu::Device& device, JoinAlgo algo,
+                                            const Table& r, const Table& s,
+                                            const OuterJoinOptions& options) {
+  // Sentinel must fit int32 columns (payloads may be 4-byte).
+  if (options.null_sentinel < INT32_MIN || options.null_sentinel > INT32_MAX) {
+    return Status::InvalidArgument("RunLeftOuterJoin: sentinel must fit int32");
+  }
+  GPUJOIN_ASSIGN_OR_RETURN(JoinRunResult inner,
+                           RunJoin(device, algo, r, s, options.join));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      SemiJoinRunResult anti,
+      RunSemiJoin(device, algo, r, s, SemiJoinType::kAnti, options.join));
+
+  OuterJoinRunResult res;
+  res.matched_rows = inner.output_rows;
+  res.unmatched_rows = anti.output_rows;
+  res.output_rows = res.matched_rows + res.unmatched_rows;
+
+  const int n_r_pay = r.num_columns() - 1;
+  const int n_s_pay = s.num_columns() - 1;
+  std::vector<std::string> names;
+  std::vector<DeviceColumn> cols;
+
+  // Key column: inner keys then the unmatched S keys.
+  {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        DeviceColumn key,
+        DeviceColumn::Allocate(device, s.column(0).type(), res.output_rows));
+    GPUJOIN_RETURN_IF_ERROR(AppendColumn(device, inner.output.column(0), &key, 0));
+    GPUJOIN_RETURN_IF_ERROR(
+        AppendColumn(device, anti.output.column(0), &key, res.matched_rows));
+    names.push_back(s.column_name(0));
+    cols.push_back(std::move(key));
+  }
+  // R payloads: inner values then sentinels.
+  for (int c = 1; c <= n_r_pay; ++c) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        DeviceColumn col,
+        DeviceColumn::Allocate(device, r.column(c).type(), res.output_rows));
+    GPUJOIN_RETURN_IF_ERROR(AppendColumn(device, inner.output.column(c), &col, 0));
+    GPUJOIN_RETURN_IF_ERROR(FillColumn(device, &col, res.matched_rows,
+                                       res.unmatched_rows, options.null_sentinel));
+    names.push_back(r.column_name(c));
+    cols.push_back(std::move(col));
+  }
+  // S payloads: inner values then the anti-join values.
+  for (int c = 1; c <= n_s_pay; ++c) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        DeviceColumn col,
+        DeviceColumn::Allocate(device, s.column(c).type(), res.output_rows));
+    GPUJOIN_RETURN_IF_ERROR(AppendColumn(
+        device, inner.output.column(n_r_pay + c), &col, 0));
+    GPUJOIN_RETURN_IF_ERROR(
+        AppendColumn(device, anti.output.column(c), &col, res.matched_rows));
+    names.push_back(s.column_name(c));
+    cols.push_back(std::move(col));
+  }
+  if (options.emit_matched_column) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        DeviceColumn matched,
+        DeviceColumn::Allocate(device, DataType::kInt32, res.output_rows));
+    GPUJOIN_RETURN_IF_ERROR(
+        FillColumn(device, &matched, 0, res.matched_rows, 1));
+    GPUJOIN_RETURN_IF_ERROR(FillColumn(device, &matched, res.matched_rows,
+                                       res.unmatched_rows, 0));
+    names.emplace_back("matched");
+    cols.push_back(std::move(matched));
+  }
+  res.output = Table::FromColumns("left_outer_join_result", std::move(names),
+                                  std::move(cols));
+  return res;
+}
+
+}  // namespace gpujoin::join

@@ -1,0 +1,45 @@
+// Left outer join (extension): every probe-side (S) tuple survives; R
+// payloads take a caller-chosen sentinel where no partner exists (this
+// integer-only engine has no NULL representation — the sentinel plus the
+// `matched` indicator column carry the same information).
+//
+// Composed from the existing machinery: the inner join materializes the
+// matched rows, the anti join compacts the unmatched S rows, and the two
+// are concatenated with sentinel-filled R columns.
+
+#ifndef GPUJOIN_JOIN_OUTER_H_
+#define GPUJOIN_JOIN_OUTER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+struct OuterJoinOptions {
+  JoinOptions join;
+  /// Value written into R payload cells of unmatched S rows.
+  int64_t null_sentinel = -1;
+  /// Append an int32 `matched` column (1 = inner row, 0 = padded row).
+  bool emit_matched_column = true;
+};
+
+struct OuterJoinRunResult {
+  /// Schema: key, R payloads, S payloads [, matched].
+  Table output;
+  uint64_t output_rows = 0;
+  uint64_t matched_rows = 0;
+  uint64_t unmatched_rows = 0;
+};
+
+/// LEFT OUTER JOIN preserving S: r INNER s plus the unmatched S rows.
+Result<OuterJoinRunResult> RunLeftOuterJoin(vgpu::Device& device, JoinAlgo algo,
+                                            const Table& r, const Table& s,
+                                            const OuterJoinOptions& options = {});
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_OUTER_H_

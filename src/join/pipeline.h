@@ -1,0 +1,41 @@
+// Sequences of joins (§5.2.7, Figure 16): a fact table with N foreign keys
+// joined against N dimension tables. Following the paper, the fact side
+// carries physical tuple identifiers, and each foreign key is materialized
+// (gathered through the current identifiers) *right before* its join, so no
+// unused foreign key is ever materialized. The i-th join processes
+// (FK_i, ID, P_1, ..., P_{i-1}) ⋈ D_i, accumulating one dimension payload
+// column per join.
+
+#ifndef GPUJOIN_JOIN_PIPELINE_H_
+#define GPUJOIN_JOIN_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+struct PipelineRunResult {
+  /// The fully joined table: last join key, all dim payloads, fact ids.
+  Table output;
+  uint64_t final_rows = 0;
+  double total_seconds = 0;
+  /// (|F| + sum |D_i|) / total simulated seconds (Figure 16's metric).
+  double throughput_tuples_per_sec = 0;
+  /// Per-join phase breakdowns, in execution order.
+  std::vector<PhaseBreakdown> per_join;
+};
+
+/// Joins `fact` (whose first N columns are the foreign keys FK_1..FK_N)
+/// against dims[0..N-1]; dims[i] joins on its column 0 against FK_i+1.
+Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
+                                          const Table& fact,
+                                          const std::vector<Table>& dims,
+                                          const JoinOptions& options = {});
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_PIPELINE_H_

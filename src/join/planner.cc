@@ -1,0 +1,77 @@
+#include "join/planner.h"
+
+namespace gpujoin::join {
+
+namespace {
+/// Below this estimated match ratio, materialization is no longer the
+/// bottleneck and GFUR wins (§5.2.3: the crossover sits near 25%).
+constexpr double kLowMatchRatio = 0.25;
+/// Beyond this Zipf factor, bucket chaining's atomic contention collapses
+/// (§5.2.4: the degradation sets in as the factor "grows and exceeds 1").
+constexpr double kSkewThreshold = 1.0;
+}  // namespace
+
+JoinFeatures JoinFeatures::FromTables(const Table& r, const Table& s) {
+  JoinFeatures f;
+  f.r_rows = r.num_rows();
+  f.s_rows = s.num_rows();
+  f.r_payload_cols = r.num_columns() - 1;
+  f.s_payload_cols = s.num_columns() - 1;
+  f.keys_8byte = r.column(0).type() == DataType::kInt64;
+  for (const Table* t : {&r, &s}) {
+    for (int c = 1; c < t->num_columns(); ++c) {
+      if (t->column(c).type() == DataType::kInt64) f.payloads_8byte = true;
+    }
+  }
+  return f;
+}
+
+JoinAlgo ChooseJoinAlgo(const JoinFeatures& f) {
+  // Figure 18a. Partitioned hash joins dominate; the only real question is
+  // GFUR (bucket chains) vs GFTR (dense radix partition).
+  if (f.zipf_theta > kSkewThreshold) {
+    // Bucket chaining degrades sharply under skew; PHJ-OM's partitioning is
+    // distribution-oblivious and it has the cheapest materialization too.
+    return JoinAlgo::kPhjOm;
+  }
+  if (f.narrow() || f.match_ratio < kLowMatchRatio) {
+    // Little to materialize: the GFUR transform is (slightly) cheaper.
+    return JoinAlgo::kPhjUm;
+  }
+  return JoinAlgo::kPhjOm;
+}
+
+JoinAlgo ChooseSortMergeVariant(const JoinFeatures& f) {
+  // Figure 18b. SMJ-OM's extra sorting of payload columns pays off only
+  // when (a) there is enough materialization to save and (b) the payloads
+  // are cheap to sort (mostly 4-byte).
+  if (f.narrow() || f.match_ratio < kLowMatchRatio) return JoinAlgo::kSmjUm;
+  if (f.keys_8byte || f.payloads_8byte) return JoinAlgo::kSmjUm;
+  return JoinAlgo::kSmjOm;
+}
+
+std::string ExplainChoice(const JoinFeatures& f) {
+  std::string out = "join features: ";
+  out += "|R|=" + std::to_string(f.r_rows) + " |S|=" + std::to_string(f.s_rows);
+  out += " payloads=" + std::to_string(f.r_payload_cols) + "+" +
+         std::to_string(f.s_payload_cols);
+  out += " match~" + std::to_string(f.match_ratio);
+  out += " zipf~" + std::to_string(f.zipf_theta);
+  out += f.keys_8byte ? " keys=8B" : " keys=4B";
+  out += f.payloads_8byte ? " payloads incl. 8B" : " payloads=4B";
+  out += " -> ";
+  out += JoinAlgoName(ChooseJoinAlgo(f));
+  if (f.zipf_theta > kSkewThreshold) {
+    out += " (skewed FKs: bucket chaining degrades; GFTR partitioning is "
+           "distribution-oblivious)";
+  } else if (f.narrow()) {
+    out += " (narrow join: nothing to materialize, GFUR transform is cheaper)";
+  } else if (f.match_ratio < kLowMatchRatio) {
+    out += " (low match ratio: unclustered gathers touch little data)";
+  } else {
+    out += " (wide high-match join: clustered gathers repay the transform)";
+  }
+  return out;
+}
+
+}  // namespace gpujoin::join

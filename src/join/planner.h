@@ -1,0 +1,58 @@
+// Join-algorithm selection heuristics — the decision trees of Figure 18,
+// distilled from the paper's §5.4 summary:
+//
+//  * Partitioned hash joins dominate sort-merge joins everywhere
+//    (partitioning needs 2 RADIX-PARTITION invocations per column where
+//    sorting needs 4, while both make match finding equally efficient).
+//  * For narrow joins and low-match-ratio joins, materialization is cheap,
+//    so the GFUR bucket-chain variant (PHJ-UM) wins — unless the foreign
+//    keys are skewed, where bucket chaining collapses and PHJ-OM's
+//    skew-robust RADIX-PARTITION takes over.
+//  * For wide joins with a high match ratio, the GFTR variants (*-OM) win;
+//    PHJ-OM is the overall choice, and stays ahead even with 8-byte types.
+//  * Within the sort-merge family (Figure 18b), SMJ-OM pays off only when
+//    materialization dominates AND the sorted data is mostly 4-byte.
+
+#ifndef GPUJOIN_JOIN_PLANNER_H_
+#define GPUJOIN_JOIN_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "join/join.h"
+#include "storage/table.h"
+
+namespace gpujoin::join {
+
+/// Workload features available to an optimizer (cardinalities + estimates).
+struct JoinFeatures {
+  uint64_t r_rows = 0;
+  uint64_t s_rows = 0;
+  int r_payload_cols = 0;
+  int s_payload_cols = 0;
+  /// Estimated fraction of S tuples with a join partner.
+  double match_ratio = 1.0;
+  /// Estimated Zipf factor of the foreign-key distribution (0 = uniform).
+  double zipf_theta = 0.0;
+  bool keys_8byte = false;
+  bool payloads_8byte = false;
+
+  bool narrow() const { return r_payload_cols <= 1 && s_payload_cols <= 1; }
+
+  /// Derives the static features from device tables (estimates default to
+  /// uniform 100% match; callers refine them from statistics).
+  static JoinFeatures FromTables(const Table& r, const Table& s);
+};
+
+/// Figure 18a: picks among all four partitioned/sort-merge implementations.
+JoinAlgo ChooseJoinAlgo(const JoinFeatures& f);
+
+/// Figure 18b: within the sort-merge family only.
+JoinAlgo ChooseSortMergeVariant(const JoinFeatures& f);
+
+/// One-line explanation of the decision path taken (for logs/examples).
+std::string ExplainChoice(const JoinFeatures& f);
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_PLANNER_H_

@@ -1,0 +1,46 @@
+#include "join/reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gpujoin::join {
+
+std::vector<std::vector<int64_t>> ReferenceJoinRows(const HostTable& r,
+                                                    const HostTable& s) {
+  std::unordered_multimap<int64_t, uint64_t> build;
+  build.reserve(r.num_rows());
+  for (uint64_t i = 0; i < r.num_rows(); ++i) {
+    build.emplace(r.columns[0].values[i], i);
+  }
+  std::vector<std::vector<int64_t>> rows;
+  for (uint64_t j = 0; j < s.num_rows(); ++j) {
+    const int64_t key = s.columns[0].values[j];
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      std::vector<int64_t> row;
+      row.reserve(r.columns.size() + s.columns.size() - 1);
+      row.push_back(key);
+      for (size_t c = 1; c < r.columns.size(); ++c) {
+        row.push_back(r.columns[c].values[it->second]);
+      }
+      for (size_t c = 1; c < s.columns.size(); ++c) {
+        row.push_back(s.columns[c].values[j]);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::vector<int64_t>> CanonicalRows(const HostTable& t) {
+  std::vector<std::vector<int64_t>> rows(t.num_rows());
+  for (uint64_t i = 0; i < t.num_rows(); ++i) {
+    rows[i].reserve(t.columns.size());
+    for (const HostColumn& c : t.columns) rows[i].push_back(c.values[i]);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace gpujoin::join

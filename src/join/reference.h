@@ -1,0 +1,25 @@
+// Host-side reference (oracle) join used to verify every GPU implementation:
+// a straightforward hash join over the staged host tables, producing the
+// expected output as a canonically sorted multiset of rows.
+
+#ifndef GPUJOIN_JOIN_REFERENCE_H_
+#define GPUJOIN_JOIN_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace gpujoin::join {
+
+/// All rows of r ⋈ s (key = column 0 of each), each row widened to int64:
+/// [key, r payloads..., s payloads...], sorted lexicographically.
+std::vector<std::vector<int64_t>> ReferenceJoinRows(const HostTable& r,
+                                                    const HostTable& s);
+
+/// Rows of a host table in the same canonical form (widened, sorted).
+std::vector<std::vector<int64_t>> CanonicalRows(const HostTable& t);
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_REFERENCE_H_

@@ -1,0 +1,43 @@
+// Semi and anti joins (extension beyond the paper's inner joins — the
+// operators a downstream engine needs next): SEMI keeps the S tuples with
+// at least one partner in R, ANTI keeps those with none. The output is a
+// subset of S (no R payloads, so neither nulls nor materialization of the
+// build side are involved).
+//
+// Implementation: the inner-join match finders produce the matching
+// transformed S positions; those are translated to original S row ids
+// (carried as the transform's value column), deduplicated through a flag
+// vector, compacted in ascending id order, and the surviving rows are
+// gathered — the ascending map keeps the gathers clustered.
+
+#ifndef GPUJOIN_JOIN_SEMI_H_
+#define GPUJOIN_JOIN_SEMI_H_
+
+#include "common/status.h"
+#include "join/join.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+enum class SemiJoinType {
+  kSemi,  // S tuples with a partner in R.
+  kAnti,  // S tuples without a partner in R.
+};
+
+struct SemiJoinRunResult {
+  Table output;  // Subset of S's rows, full S schema.
+  uint64_t output_rows = 0;
+  join::PhaseBreakdown phases;
+};
+
+/// Semi/anti join of s against r (keys = column 0 of each). `algo` selects
+/// the underlying match-finding machinery (any of the five implementations).
+Result<SemiJoinRunResult> RunSemiJoin(vgpu::Device& device, JoinAlgo algo,
+                                      const Table& r, const Table& s,
+                                      SemiJoinType type,
+                                      const JoinOptions& options = {});
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_SEMI_H_

@@ -1,0 +1,194 @@
+// Transformation-phase helpers shared by the join drivers: out-of-place
+// sort/partition of a (key, value) column pair, leaving the source relation
+// untouched (it is still needed by GFUR materialization), plus typed
+// column gather utilities.
+
+#ifndef GPUJOIN_JOIN_TRANSFORM_H_
+#define GPUJOIN_JOIN_TRANSFORM_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/status.h"
+#include "prim/gather.h"
+#include "prim/radix_partition.h"
+#include "storage/column.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::join {
+
+/// How a relation is transformed before match finding.
+enum class TransformKind {
+  kSort,       // SORT-PAIRS: full-key-width LSD radix sort (SMJ).
+  kPartition,  // RADIX-PARTITION: low `radix_bits` only (PHJ-OM).
+};
+
+/// Out-of-place stable radix transform of (src_keys, src_vals) into
+/// (*out_keys, *out_vals): sorts by the full key width (kSort) or groups by
+/// the low total_bits (kPartition). Temp ping-pong buffers (the paper's M_t)
+/// are allocated and freed inside.
+///
+/// discard_keys: the caller never reads the transformed keys (Algorithm 1's
+/// materialization re-transform) — the final pass skips writing them, which
+/// trims a key-column from the peak footprint. *out_keys is left empty when
+/// the optimization elides the buffer entirely (two-pass partitions).
+template <typename K, typename V>
+Status TransformPairOutOfPlace(vgpu::Device& device,
+                               const vgpu::DeviceBuffer<K>& src_keys,
+                               const vgpu::DeviceBuffer<V>& src_vals,
+                               vgpu::DeviceBuffer<K>* out_keys,
+                               vgpu::DeviceBuffer<V>* out_vals,
+                               TransformKind kind, int radix_bits,
+                               bool discard_keys = false) {
+  const uint64_t n = src_keys.size();
+  if (src_vals.size() != n) {
+    return Status::InvalidArgument("TransformPairOutOfPlace: size mismatch");
+  }
+  const int total_bits =
+      kind == TransformKind::kSort ? static_cast<int>(sizeof(K)) * 8 : radix_bits;
+  if (total_bits < 1) {
+    return Status::InvalidArgument("TransformPairOutOfPlace: bits < 1");
+  }
+  const int passes = static_cast<int>(bit_util::CeilDiv(
+      static_cast<uint64_t>(total_bits), prim::kMaxRadixBitsPerPass));
+  std::vector<int> widths(passes, total_bits / passes);
+  for (int i = 0; i < total_bits % passes; ++i) ++widths[i];
+
+  GPUJOIN_ASSIGN_OR_RETURN(*out_vals, vgpu::DeviceBuffer<V>::Allocate(device, n));
+  if (passes == 1) {
+    if (discard_keys) {
+      return prim::RadixPartitionPass<K, V>(device, src_keys, src_vals, nullptr,
+                                            out_vals, 0, widths[0]);
+    }
+    GPUJOIN_ASSIGN_OR_RETURN(*out_keys,
+                             vgpu::DeviceBuffer<K>::Allocate(device, n));
+    return prim::RadixPartitionPass(device, src_keys, src_vals, out_keys,
+                                    out_vals, 0, widths[0]);
+  }
+  if (passes == 2 && discard_keys) {
+    // src -> (A_k, A_v) -> vals-only final pass into out_vals; the
+    // transformed key buffer for the final pass is never materialized.
+    GPUJOIN_ASSIGN_OR_RETURN(auto keys_a, vgpu::DeviceBuffer<K>::Allocate(device, n));
+    GPUJOIN_ASSIGN_OR_RETURN(auto vals_a, vgpu::DeviceBuffer<V>::Allocate(device, n));
+    GPUJOIN_RETURN_IF_ERROR(prim::RadixPartitionPass(
+        device, src_keys, src_vals, &keys_a, &vals_a, 0, widths[0]));
+    return prim::RadixPartitionPass<K, V>(device, keys_a, vals_a, nullptr,
+                                          out_vals, widths[0], widths[1]);
+  }
+  // Multi-pass: first pass src -> out, then ping-pong out <-> tmp; a final
+  // pointer swap (free on real hardware) puts the result in out. With
+  // discard_keys, the final pass skips the key stores (same buffers).
+  GPUJOIN_ASSIGN_OR_RETURN(*out_keys, vgpu::DeviceBuffer<K>::Allocate(device, n));
+  GPUJOIN_ASSIGN_OR_RETURN(auto keys_tmp, vgpu::DeviceBuffer<K>::Allocate(device, n));
+  GPUJOIN_ASSIGN_OR_RETURN(auto vals_tmp, vgpu::DeviceBuffer<V>::Allocate(device, n));
+  GPUJOIN_RETURN_IF_ERROR(prim::RadixPartitionPass(device, src_keys, src_vals,
+                                                   out_keys, out_vals, 0,
+                                                   widths[0]));
+  vgpu::DeviceBuffer<K>* ka = out_keys;
+  vgpu::DeviceBuffer<V>* va = out_vals;
+  vgpu::DeviceBuffer<K>* kb = &keys_tmp;
+  vgpu::DeviceBuffer<V>* vb = &vals_tmp;
+  int bit_lo = widths[0];
+  for (int p = 1; p < passes; ++p) {
+    const bool last = (p == passes - 1);
+    GPUJOIN_RETURN_IF_ERROR(prim::RadixPartitionPass(
+        device, *ka, *va, (last && discard_keys) ? nullptr : kb, vb, bit_lo,
+        widths[p]));
+    bit_lo += widths[p];
+    std::swap(ka, kb);
+    std::swap(va, vb);
+  }
+  if (ka != out_keys) {
+    std::swap(*out_keys, keys_tmp);
+    std::swap(*out_vals, vals_tmp);
+  }
+  if (discard_keys) {
+    out_keys->Release();
+    keys_tmp.Release();
+  }
+  return Status::OK();
+}
+
+/// Visits the typed buffer inside a DeviceColumn.
+template <typename Fn>
+auto VisitColumn(const DeviceColumn& col, Fn&& fn) {
+  if (col.type() == DataType::kInt32) return fn(col.i32());
+  return fn(col.i64());
+}
+template <typename Fn>
+auto VisitColumnMut(DeviceColumn& col, Fn&& fn) {
+  if (col.type() == DataType::kInt32) return fn(col.i32());
+  return fn(col.i64());
+}
+
+/// Transforms (src_keys, payload column) out of place. The transformed
+/// payload is returned as a DeviceColumn of the same type; *t_keys gets the
+/// transformed keys.
+template <typename K>
+Result<DeviceColumn> TransformKeyPayload(vgpu::Device& device,
+                                         const vgpu::DeviceBuffer<K>& src_keys,
+                                         const DeviceColumn& payload,
+                                         vgpu::DeviceBuffer<K>* t_keys,
+                                         TransformKind kind, int radix_bits,
+                                         bool discard_keys = false) {
+  if (payload.type() == DataType::kInt32) {
+    vgpu::DeviceBuffer<int32_t> t_payload;
+    GPUJOIN_RETURN_IF_ERROR(TransformPairOutOfPlace(device, src_keys,
+                                                    payload.i32(), t_keys,
+                                                    &t_payload, kind,
+                                                    radix_bits, discard_keys));
+    return DeviceColumn::WrapI32(std::move(t_payload));
+  }
+  vgpu::DeviceBuffer<int64_t> t_payload;
+  GPUJOIN_RETURN_IF_ERROR(TransformPairOutOfPlace(device, src_keys,
+                                                  payload.i64(), t_keys,
+                                                  &t_payload, kind, radix_bits,
+                                                  discard_keys));
+  return DeviceColumn::WrapI64(std::move(t_payload));
+}
+
+/// Gathers src[map[i]] into an existing column (same type, size == map size).
+inline Status GatherColumnInto(vgpu::Device& device, const DeviceColumn& src,
+                               const vgpu::DeviceBuffer<RowId>& map,
+                               DeviceColumn* out) {
+  if (out->type() != src.type() || out->size() != map.size()) {
+    return Status::InvalidArgument("GatherColumnInto: shape mismatch");
+  }
+  if (src.type() == DataType::kInt32) {
+    return prim::Gather(device, src.i32(), map, &out->i32());
+  }
+  return prim::Gather(device, src.i64(), map, &out->i64());
+}
+
+/// Gathers src[map[i]] into a fresh column of src's type.
+inline Result<DeviceColumn> GatherColumn(vgpu::Device& device,
+                                         const DeviceColumn& src,
+                                         const vgpu::DeviceBuffer<RowId>& map) {
+  if (src.type() == DataType::kInt32) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        auto out, vgpu::DeviceBuffer<int32_t>::Allocate(device, map.size()));
+    GPUJOIN_RETURN_IF_ERROR(prim::Gather(device, src.i32(), map, &out));
+    return DeviceColumn::WrapI32(std::move(out));
+  }
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto out, vgpu::DeviceBuffer<int64_t>::Allocate(device, map.size()));
+  GPUJOIN_RETURN_IF_ERROR(prim::Gather(device, src.i64(), map, &out));
+  return DeviceColumn::WrapI64(std::move(out));
+}
+
+/// Number of radix bits for the partitioned hash joins: enough bits that the
+/// average build partition fits the shared-memory hash table, clamped to the
+/// paper's 16-bit two-invocation budget.
+template <typename K>
+int ChoosePartitionBits(uint64_t build_rows, uint64_t capacity) {
+  if (build_rows <= capacity) return 1;
+  int bits = bit_util::Log2Ceil(bit_util::CeilDiv(build_rows, capacity));
+  return std::clamp(bits, 1, 16);
+}
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_TRANSFORM_H_

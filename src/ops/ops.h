@@ -1,0 +1,58 @@
+// Relational operators beyond join/group-by: selection (Filter), projection,
+// and ORDER BY — each implemented with the same simulated-kernel discipline
+// (selection compaction produces ascending gather maps, so its gathers are
+// clustered; ORDER BY applies the GFTR insight, re-sorting (key, column)
+// pairs per payload column instead of gathering through a permutation).
+
+#ifndef GPUJOIN_OPS_OPS_H_
+#define GPUJOIN_OPS_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::ops {
+
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CmpOpName(CmpOp op);
+
+/// column <op> literal.
+struct Predicate {
+  int column = 0;
+  CmpOp op = CmpOp::kEq;
+  int64_t literal = 0;
+};
+
+/// Evaluates a single predicate against a value.
+bool EvalPredicate(const Predicate& pred, int64_t value);
+
+/// Selection: keeps the rows satisfying ALL predicates (conjunction).
+/// Two kernels: predicate evaluation producing a selection bitmap + count,
+/// then a compacting gather per column (ascending map => clustered).
+Result<Table> Filter(vgpu::Device& device, const Table& input,
+                     const std::vector<Predicate>& predicates);
+
+/// Projection: copies the named subset of columns into a new table.
+Result<Table> Project(vgpu::Device& device, const Table& input,
+                      const std::vector<int>& columns);
+
+/// ORDER BY input.column(key_column) ascending. Stable. All other columns
+/// are re-sorted pairwise with the key (GFTR style) rather than gathered
+/// through the sort permutation.
+Result<Table> OrderBy(vgpu::Device& device, const Table& input, int key_column);
+
+}  // namespace gpujoin::ops
+
+#endif  // GPUJOIN_OPS_OPS_H_

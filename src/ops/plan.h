@@ -1,0 +1,68 @@
+// A small physical-plan layer composing the operators of this library:
+// Scan, Filter, Project, Join (with the Figure 18 planner choosing the
+// implementation unless one is forced), GroupBy, and OrderBy. Plans are
+// trees of owned nodes; Execute() materializes bottom-up on the device.
+//
+//   auto plan = ops::JoinNode(ops::ScanNode(&dim),
+//                             ops::FilterNode(ops::ScanNode(&fact), {...}));
+//   auto table = plan->Execute(device);
+
+#ifndef GPUJOIN_OPS_PLAN_H_
+#define GPUJOIN_OPS_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "groupby/groupby.h"
+#include "join/join.h"
+#include "join/planner.h"
+#include "ops/ops.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::ops {
+
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  /// Materializes this subtree's result on the device.
+  virtual Result<Table> Execute(vgpu::Device& device) const = 0;
+  /// EXPLAIN-style description of this subtree.
+  virtual std::string Describe(int indent = 0) const = 0;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Leaf: an existing device table (borrowed; must outlive the plan). The
+/// scan copies the table so parents can own/consume their inputs.
+PlanPtr ScanNode(const Table* table);
+
+PlanPtr FilterNode(PlanPtr child, std::vector<Predicate> predicates);
+
+PlanPtr ProjectNode(PlanPtr child, std::vector<int> columns);
+
+/// Inner equi-join of the children on column 0 of each. With
+/// algo == nullopt the Figure 18 planner picks the implementation from the
+/// table shapes (match ratio / skew estimates default to 1.0 / uniform;
+/// pass explicit features through `features_hint` to refine).
+struct JoinNodeOptions {
+  std::optional<join::JoinAlgo> algo;
+  join::JoinOptions join;
+  std::optional<join::JoinFeatures> features_hint;
+};
+PlanPtr JoinNode(PlanPtr build, PlanPtr probe, JoinNodeOptions options = {});
+
+struct GroupByNodeOptions {
+  std::optional<groupby::GroupByAlgo> algo;  // Default: heuristic choice.
+};
+PlanPtr GroupByNode(PlanPtr child, groupby::GroupBySpec spec,
+                    GroupByNodeOptions options = {});
+
+PlanPtr OrderByNode(PlanPtr child, int key_column);
+
+}  // namespace gpujoin::ops
+
+#endif  // GPUJOIN_OPS_PLAN_H_

@@ -1,0 +1,91 @@
+// GATHER / SCATTER primitives (§2.3).
+//
+// GATHER computes out[i] = in[map[i]]. The map is always read sequentially
+// and the output written sequentially; whether the read of `in` is clustered
+// (coalesced, cache-friendly) or unclustered (random) depends entirely on the
+// ordering of `map` — which is precisely the effect the GFTR pattern exploits
+// (§4.1, Table 4, Figure 7). The simulated cost model sees the actual lane
+// addresses, so clustering emerges from the data, not from a flag.
+
+#ifndef GPUJOIN_PRIM_GATHER_H_
+#define GPUJOIN_PRIM_GATHER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/types.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::prim {
+
+/// out[i] = in[map[i]] for i in [0, map.size()).
+template <typename T>
+Status Gather(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
+              const vgpu::DeviceBuffer<RowId>& map, vgpu::DeviceBuffer<T>* out) {
+  if (out->size() != map.size()) {
+    return Status::InvalidArgument("Gather: output size != map size");
+  }
+  const uint64_t n = map.size();
+  const int warp = device.config().warp_size;
+  vgpu::KernelScope ks(device, "gather");
+  uint64_t addrs[32];
+  for (uint64_t i = 0; i < n; i += warp) {
+    const uint32_t lanes = static_cast<uint32_t>(
+        std::min<uint64_t>(warp, n - i));
+    device.LoadSeq(map.addr(i), lanes, sizeof(RowId));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      const RowId src = map[i + l];
+      if (src >= in.size()) {
+        return Status::InvalidArgument("Gather: map index out of range");
+      }
+      addrs[l] = in.addr(src);
+      (*out)[i + l] = in[src];
+    }
+    device.Load({addrs, lanes}, sizeof(T));
+    device.StoreSeq(out->addr(i), lanes, sizeof(T));
+  }
+  return Status::OK();
+}
+
+/// out[map[i]] = in[i] for i in [0, map.size()).
+template <typename T>
+Status Scatter(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
+               const vgpu::DeviceBuffer<RowId>& map, vgpu::DeviceBuffer<T>* out) {
+  if (in.size() != map.size()) {
+    return Status::InvalidArgument("Scatter: input size != map size");
+  }
+  const uint64_t n = map.size();
+  const int warp = device.config().warp_size;
+  vgpu::KernelScope ks(device, "scatter");
+  uint64_t addrs[32];
+  for (uint64_t i = 0; i < n; i += warp) {
+    const uint32_t lanes = static_cast<uint32_t>(
+        std::min<uint64_t>(warp, n - i));
+    device.LoadSeq(map.addr(i), lanes, sizeof(RowId));
+    device.LoadSeq(in.addr(i), lanes, sizeof(T));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      const RowId dst = map[i + l];
+      if (dst >= out->size()) {
+        return Status::InvalidArgument("Scatter: map index out of range");
+      }
+      addrs[l] = out->addr(dst);
+      (*out)[dst] = in[i + l];
+    }
+    device.Store({addrs, lanes}, sizeof(T));
+  }
+  return Status::OK();
+}
+
+/// Fills ids with 0, 1, ..., n-1 (physical tuple-identifier initialization).
+inline Status Iota(vgpu::Device& device, vgpu::DeviceBuffer<RowId>* ids) {
+  vgpu::KernelScope ks(device, "iota");
+  for (uint64_t i = 0; i < ids->size(); ++i) (*ids)[i] = static_cast<RowId>(i);
+  device.StoreSeq(ids->addr(), ids->size(), sizeof(RowId));
+  return Status::OK();
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_GATHER_H_

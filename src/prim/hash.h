@@ -1,0 +1,27 @@
+// Hash functions used by the hash-join implementations.
+
+#ifndef GPUJOIN_PRIM_HASH_H_
+#define GPUJOIN_PRIM_HASH_H_
+
+#include <cstdint>
+
+namespace gpujoin::prim {
+
+/// MurmurHash3 64-bit finalizer: fast, well-mixed, invertible.
+inline uint64_t Murmur3Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash for hash-table placement; `mask` must be table_size - 1 (power of 2).
+inline uint64_t HashToSlot(int64_t key, uint64_t mask) {
+  return Murmur3Fmix64(static_cast<uint64_t>(key)) & mask;
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_HASH_H_

@@ -1,0 +1,225 @@
+// Hash-join match finders.
+//
+// HashJoinCoPartitioned — the partitioned hash join's match-finding phase
+// (§3.2/§4.3): for every co-partition, a thread block builds a hash table in
+// shared memory from the build-side partition and probes it with the
+// probe-side partition streaming from global memory. Build partitions larger
+// than the shared-memory capacity are processed in capacity-sized chunks,
+// re-streaming the probe partition per chunk (the block-nested-loop scheme
+// the paper describes).
+//
+// HashJoinGlobal — the non-partitioned hash join baseline (cuDF-style,
+// Figure 8): one global-memory open-addressing table built from R and probed
+// by S; every table access is a random global access, which is exactly why
+// the paper's Figure 9 shows it losing to the partitioned implementations.
+//
+// Both run a count sweep + write sweep (deterministic, clustered output).
+
+#ifndef GPUJOIN_PRIM_HASH_JOIN_H_
+#define GPUJOIN_PRIM_HASH_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/status.h"
+#include "prim/hash.h"
+#include "prim/match.h"
+#include "storage/types.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::prim {
+
+/// Sentinel for empty hash-table slots; all workload keys are non-negative.
+inline constexpr int64_t kEmptySlot = -1;
+
+/// Shared-memory hash-table capacity (entries) for a build chunk, derived
+/// from the device's shared memory budget at load factor 1/2.
+template <typename K>
+uint64_t SharedHashCapacity(const vgpu::Device& device) {
+  const uint64_t slot_bytes = sizeof(K) + sizeof(RowId);
+  const uint64_t cap = device.config().shared_mem_per_block_bytes / slot_bytes / 2;
+  return std::max<uint64_t>(cap, 64);
+}
+
+/// Inner hash join of co-partitioned key arrays. r_offsets/s_offsets are the
+/// partition boundaries (size P+1) of r_keys/s_keys. Emits positions into
+/// the partitioned arrays (virtual IDs). Output is probe-major per partition,
+/// so positions are clustered. `capacity` is the shared-table entry budget.
+template <typename K>
+Result<MatchResult<K>> HashJoinCoPartitioned(
+    vgpu::Device& device, const vgpu::DeviceBuffer<K>& r_keys,
+    const vgpu::DeviceBuffer<K>& s_keys, const std::vector<uint64_t>& r_offsets,
+    const std::vector<uint64_t>& s_offsets, uint64_t capacity) {
+  if (r_offsets.size() != s_offsets.size() || r_offsets.empty()) {
+    return Status::InvalidArgument("HashJoinCoPartitioned: offset size mismatch");
+  }
+  const size_t num_parts = r_offsets.size() - 1;
+  const int warp = device.config().warp_size;
+  const uint64_t table_size = bit_util::NextPowerOfTwo(capacity * 2);
+  const uint64_t mask = table_size - 1;
+  std::vector<int64_t> slot_keys(table_size, kEmptySlot);
+  std::vector<RowId> slot_pos(table_size, 0);
+
+  // The sweep runs twice: emit=false counts, emit=true writes.
+  MatchResult<K> out;
+  uint64_t n_matches = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const bool emit = (sweep == 1);
+    uint64_t o = 0;
+    vgpu::KernelScope ks(device,
+                         emit ? "phj_probe_write" : "phj_probe_count");
+    for (size_t p = 0; p < num_parts; ++p) {
+      const uint64_t rb = r_offsets[p], re = r_offsets[p + 1];
+      const uint64_t sb = s_offsets[p], se = s_offsets[p + 1];
+      if (rb == re || sb == se) continue;
+      for (uint64_t chunk = rb; chunk < re; chunk += capacity) {
+        const uint64_t ce = std::min(re, chunk + capacity);
+        // Build: stream the chunk, insert into the shared table.
+        device.LoadSeq(r_keys.addr(chunk), ce - chunk, sizeof(K));
+        device.SharedAccess(bit_util::CeilDiv(ce - chunk, warp) * 2);
+        std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
+        for (uint64_t i = chunk; i < ce; ++i) {
+          uint64_t h = HashToSlot(static_cast<int64_t>(r_keys[i]), mask);
+          while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
+          slot_keys[h] = static_cast<int64_t>(r_keys[i]);
+          slot_pos[h] = static_cast<RowId>(i);
+        }
+        // Probe: stream the S partition.
+        device.LoadSeq(s_keys.addr(sb), se - sb, sizeof(K));
+        device.SharedAccess(bit_util::CeilDiv(se - sb, warp) * 2);
+        for (uint64_t j = sb; j < se; ++j) {
+          uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[j]), mask);
+          while (slot_keys[h] != kEmptySlot) {
+            if (slot_keys[h] == static_cast<int64_t>(s_keys[j])) {
+              if (emit) {
+                out.keys[o] = s_keys[j];
+                out.r_pos[o] = slot_pos[h];
+                out.s_pos[o] = static_cast<RowId>(j);
+              }
+              ++o;
+            }
+            h = (h + 1) & mask;
+          }
+        }
+      }
+    }
+    if (!emit) {
+      n_matches = o;
+      GPUJOIN_ASSIGN_OR_RETURN(out.keys,
+                               vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
+      GPUJOIN_ASSIGN_OR_RETURN(
+          out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+      GPUJOIN_ASSIGN_OR_RETURN(
+          out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+    } else {
+      device.StoreSeq(out.keys.addr(), n_matches, sizeof(K));
+      device.StoreSeq(out.r_pos.addr(), n_matches, sizeof(RowId));
+      device.StoreSeq(out.s_pos.addr(), n_matches, sizeof(RowId));
+    }
+  }
+  return out;
+}
+
+/// Non-partitioned hash join: global-memory table, random accesses.
+template <typename K>
+Result<MatchResult<K>> HashJoinGlobal(vgpu::Device& device,
+                                      const vgpu::DeviceBuffer<K>& r_keys,
+                                      const vgpu::DeviceBuffer<K>& s_keys) {
+  const uint64_t nr = r_keys.size();
+  const uint64_t ns = s_keys.size();
+  const int warp = device.config().warp_size;
+  const uint64_t table_size = bit_util::NextPowerOfTwo(std::max<uint64_t>(nr * 2, 16));
+  const uint64_t mask = table_size - 1;
+
+  // The table lives in (simulated) global memory: allocate so accesses have
+  // real addresses and the allocator sees the footprint.
+  GPUJOIN_ASSIGN_OR_RETURN(auto table_keys,
+                           vgpu::DeviceBuffer<int64_t>::Allocate(device, table_size));
+  GPUJOIN_ASSIGN_OR_RETURN(auto table_pos,
+                           vgpu::DeviceBuffer<RowId>::Allocate(device, table_size));
+  std::fill(table_keys.data(), table_keys.data() + table_size, kEmptySlot);
+
+  // --- Build kernel: one random load+store chain per R tuple.
+  {
+    vgpu::KernelScope ks(device, "nphj_build");
+    device.LoadSeq(r_keys.addr(), nr, sizeof(K));
+    uint64_t load_addrs[32];
+    uint64_t store_addrs[32];
+    for (uint64_t i = 0; i < nr; i += warp) {
+      const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, nr - i));
+      for (uint32_t l = 0; l < lanes; ++l) {
+        const uint64_t idx = i + l;
+        uint64_t h = HashToSlot(static_cast<int64_t>(r_keys[idx]), mask);
+        uint64_t steps = 1;
+        while (table_keys[h] != kEmptySlot) {
+          h = (h + 1) & mask;
+          ++steps;
+        }
+        table_keys[h] = static_cast<int64_t>(r_keys[idx]);
+        table_pos[h] = static_cast<RowId>(idx);
+        load_addrs[l] = table_keys.addr(h);
+        store_addrs[l] = table_keys.addr(h);
+        // Collision chain steps beyond the first: extra probes, charged as
+        // additional warp accesses (approximately batched).
+        if (steps > 1) device.Compute(steps - 1);
+      }
+      device.Load({load_addrs, lanes}, sizeof(int64_t));
+      device.Store({store_addrs, lanes}, sizeof(int64_t) + sizeof(RowId));
+    }
+  }
+
+  // --- Probe kernels: count sweep then write sweep.
+  MatchResult<K> out;
+  uint64_t n_matches = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const bool emit = (sweep == 1);
+    vgpu::KernelScope ks(device, emit ? "nphj_probe_write" : "nphj_probe_count");
+    device.LoadSeq(s_keys.addr(), ns, sizeof(K));
+    uint64_t o = 0;
+    uint64_t addrs[32];
+    for (uint64_t j = 0; j < ns; j += warp) {
+      const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, ns - j));
+      for (uint32_t l = 0; l < lanes; ++l) {
+        const uint64_t idx = j + l;
+        uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[idx]), mask);
+        addrs[l] = table_keys.addr(h);
+        uint64_t steps = 1;
+        while (table_keys[h] != kEmptySlot) {
+          if (table_keys[h] == static_cast<int64_t>(s_keys[idx])) {
+            if (emit) {
+              out.keys[o] = s_keys[idx];
+              out.r_pos[o] = table_pos[h];
+              out.s_pos[o] = static_cast<RowId>(idx);
+            }
+            ++o;
+          }
+          h = (h + 1) & mask;
+          ++steps;
+        }
+        if (steps > 1) device.Compute(steps - 1);
+      }
+      device.Load({addrs, lanes}, sizeof(int64_t) + sizeof(RowId));
+    }
+    if (!emit) {
+      n_matches = o;
+      GPUJOIN_ASSIGN_OR_RETURN(out.keys,
+                               vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
+      GPUJOIN_ASSIGN_OR_RETURN(
+          out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+      GPUJOIN_ASSIGN_OR_RETURN(
+          out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+    } else {
+      device.StoreSeq(out.keys.addr(), n_matches, sizeof(K));
+      device.StoreSeq(out.r_pos.addr(), n_matches, sizeof(RowId));
+      device.StoreSeq(out.s_pos.addr(), n_matches, sizeof(RowId));
+    }
+  }
+  return out;
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_HASH_JOIN_H_

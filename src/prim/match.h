@@ -1,0 +1,34 @@
+// Common output type of the match-finding phase: matched keys plus the
+// *positions* of the matching tuples in the (transformed) input relations.
+//
+// Positions are virtual tuple identifiers in the sense of §4.1: position i
+// refers to the i-th tuple of the transformed relation the match finder
+// consumed. Drivers translate positions into whatever the pattern needs
+// (physical IDs for GFUR via a clustered gather of the carried ID column;
+// direct clustered gathers for GFTR).
+
+#ifndef GPUJOIN_PRIM_MATCH_H_
+#define GPUJOIN_PRIM_MATCH_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::prim {
+
+template <typename K>
+struct MatchResult {
+  /// Matched key values, in output order.
+  vgpu::DeviceBuffer<K> keys;
+  /// Position of the R-side match in the transformed R relation.
+  vgpu::DeviceBuffer<RowId> r_pos;
+  /// Position of the S-side match in the transformed S relation.
+  vgpu::DeviceBuffer<RowId> s_pos;
+
+  uint64_t count() const { return keys.size(); }
+};
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_MATCH_H_

@@ -1,0 +1,90 @@
+// The GPU Merge Path algorithm (Green et al., cited as the paper's §3.1
+// mechanism for skew-resilient merge joins): finding, for a given output
+// diagonal, the unique split point (i, j) with i + j = diagonal such that
+// merging a[0..i) and b[0..j) yields the first `diagonal` outputs of the
+// full merge. Splitting both sorted inputs at evenly spaced diagonals
+// yields independently mergeable partitions of identical total size —
+// which is exactly why the merge join's work stays balanced regardless of
+// the key distribution.
+
+#ifndef GPUJOIN_PRIM_MERGE_PATH_H_
+#define GPUJOIN_PRIM_MERGE_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::prim {
+
+/// A split of the two sorted inputs: the segment merges a[a_begin..a_end)
+/// with b[b_begin..b_end).
+struct MergeSegment {
+  uint64_t a_begin = 0;
+  uint64_t a_end = 0;
+  uint64_t b_begin = 0;
+  uint64_t b_end = 0;
+};
+
+/// Binary search along the `diagonal` (0 <= diagonal <= |a|+|b|) for the
+/// merge-path split point: returns i such that merging a[0..i) with
+/// b[0..diagonal-i) produces the first `diagonal` merged elements
+/// (ties broken a-first, matching a stable merge).
+template <typename K>
+uint64_t MergePathSearch(const vgpu::DeviceBuffer<K>& a,
+                         const vgpu::DeviceBuffer<K>& b, uint64_t diagonal) {
+  uint64_t lo = diagonal > b.size() ? diagonal - b.size() : 0;
+  uint64_t hi = std::min<uint64_t>(diagonal, a.size());
+  while (lo < hi) {
+    const uint64_t i = lo + (hi - lo) / 2;
+    const uint64_t j = diagonal - i;
+    // Stable split invariant: a[i-1] <= b[j] and b[j-1] < a[i].
+    if (i > 0 && j < b.size() && a[i - 1] > b[j]) {
+      hi = i;  // Too many a's taken.
+    } else if (j > 0 && i < a.size() && b[j - 1] >= a[i]) {
+      lo = i + 1;  // Too few a's taken.
+    } else {
+      return i;
+    }
+  }
+  return lo;
+}
+
+/// Splits the merge of two sorted arrays into `num_segments` independently
+/// mergeable segments of (near-)equal output size. Charges the per-segment
+/// binary-search descents.
+template <typename K>
+Result<std::vector<MergeSegment>> MergePathPartition(
+    vgpu::Device& device, const vgpu::DeviceBuffer<K>& a,
+    const vgpu::DeviceBuffer<K>& b, uint64_t num_segments) {
+  if (num_segments == 0) {
+    return Status::InvalidArgument("MergePathPartition: zero segments");
+  }
+  const uint64_t total = a.size() + b.size();
+  num_segments = std::min<uint64_t>(num_segments, std::max<uint64_t>(total, 1));
+  std::vector<MergeSegment> segments(num_segments);
+  {
+    vgpu::KernelScope ks(device, "merge_path_partition");
+    uint64_t prev_i = 0, prev_j = 0;
+    for (uint64_t s = 1; s <= num_segments; ++s) {
+      const uint64_t diagonal = total * s / num_segments;
+      const uint64_t i =
+          s == num_segments ? a.size() : MergePathSearch(a, b, diagonal);
+      const uint64_t j = diagonal - i;
+      segments[s - 1] = {prev_i, i, prev_j, j};
+      prev_i = i;
+      prev_j = j;
+      // The descent touches ~log2(total) elements of each input.
+      device.Compute(2 * (64 - __builtin_clzll(total | 1)));
+    }
+    // Each probed element is a (scattered) global load.
+    device.Compute(num_segments);
+  }
+  return segments;
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_MERGE_PATH_H_

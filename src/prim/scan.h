@@ -1,0 +1,63 @@
+// Scan (prefix sum) and histogram primitives. The radix machinery inlines
+// its own fused versions for the hot paths; these standalone forms are the
+// public building blocks (and are used for partition-offset computation).
+
+#ifndef GPUJOIN_PRIM_SCAN_H_
+#define GPUJOIN_PRIM_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/status.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::prim {
+
+/// Exclusive prefix sum over a device buffer: out[i] = sum(in[0..i)).
+/// Charged as the standard two-sweep (reduce + downsweep) device scan.
+template <typename T>
+Status ExclusiveScan(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
+                     vgpu::DeviceBuffer<T>* out) {
+  if (out->size() != in.size()) {
+    return Status::InvalidArgument("ExclusiveScan: size mismatch");
+  }
+  const uint64_t n = in.size();
+  vgpu::KernelScope ks(device, "exclusive_scan");
+  device.LoadSeq(in.addr(), n, sizeof(T));
+  T running{};
+  for (uint64_t i = 0; i < n; ++i) {
+    (*out)[i] = running;
+    running = static_cast<T>(running + in[i]);
+  }
+  device.StoreSeq(out->addr(), n, sizeof(T));
+  // Tree sweeps: ~2 extra passes of block partials at warp granularity.
+  device.Compute(bit_util::CeilDiv(n, device.config().warp_size) * 2);
+  return Status::OK();
+}
+
+/// Histogram of the `bits`-wide digit at bit_lo of every key. Charged like
+/// the radix histogram kernel (sequential read + warp-aggregated shared
+/// counters). counts gets 2^bits entries.
+template <typename K>
+Status Histogram(vgpu::Device& device, const vgpu::DeviceBuffer<K>& keys,
+                 int bit_lo, int bits, std::vector<uint64_t>* counts) {
+  if (bits < 1 || bits > 24) {
+    return Status::InvalidArgument("Histogram: bits out of [1,24]");
+  }
+  counts->assign(uint64_t{1} << bits, 0);
+  vgpu::KernelScope ks(device, "histogram");
+  device.LoadSeq(keys.addr(), keys.size(), sizeof(K));
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    ++(*counts)[bit_util::RadixDigit(keys[i], bit_lo, bits)];
+  }
+  const int warp = device.config().warp_size;
+  device.SharedAccess(bit_util::CeilDiv(keys.size(), warp));
+  device.Compute(bit_util::CeilDiv(keys.size(), warp));
+  return Status::OK();
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_SCAN_H_

@@ -1,0 +1,50 @@
+// SORT-PAIRS primitive (§2.3): least-significant-digit radix sort of a
+// (key, value) array pair, built — exactly as CUB does — from repeated
+// stable RADIX-PARTITION passes of 8 bits each. A 4-byte key therefore
+// costs 4 passes (the paper's "about 17 sequential scans" for key+payload),
+// an 8-byte key costs 8.
+//
+// Keys must be non-negative (all workloads in the paper use non-negative
+// keys; dictionary codes are non-negative by construction).
+
+#ifndef GPUJOIN_PRIM_SORT_PAIRS_H_
+#define GPUJOIN_PRIM_SORT_PAIRS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "prim/radix_partition.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::prim {
+
+/// Sorts (keys, vals) in place by keys, stably, using the provided temp
+/// buffers (same sizes). Sorts the full key width like CUB's default.
+template <typename K, typename V>
+Status SortPairs(vgpu::Device& device, vgpu::DeviceBuffer<K>* keys,
+                 vgpu::DeviceBuffer<V>* vals, vgpu::DeviceBuffer<K>* keys_tmp,
+                 vgpu::DeviceBuffer<V>* vals_tmp) {
+  const int total_bits = static_cast<int>(sizeof(K)) * 8;
+  GPUJOIN_ASSIGN_OR_RETURN(
+      int passes, RadixPartitionMultiPass(device, keys, vals, keys_tmp, vals_tmp,
+                                          total_bits));
+  (void)passes;
+  return Status::OK();
+}
+
+/// Convenience overload that allocates (and frees) its own temp buffers.
+/// The temporaries count toward peak device memory (the paper's M_t).
+template <typename K, typename V>
+Status SortPairsAllocTemp(vgpu::Device& device, vgpu::DeviceBuffer<K>* keys,
+                          vgpu::DeviceBuffer<V>* vals) {
+  GPUJOIN_ASSIGN_OR_RETURN(auto keys_tmp,
+                           vgpu::DeviceBuffer<K>::Allocate(device, keys->size()));
+  GPUJOIN_ASSIGN_OR_RETURN(auto vals_tmp,
+                           vgpu::DeviceBuffer<V>::Allocate(device, vals->size()));
+  return SortPairs(device, keys, vals, &keys_tmp, &vals_tmp);
+}
+
+}  // namespace gpujoin::prim
+
+#endif  // GPUJOIN_PRIM_SORT_PAIRS_H_

@@ -1,0 +1,33 @@
+// Cardinality and selectivity estimation for the planners. Real optimizers
+// decide from estimates, not oracles: EstimateDistinct is a HyperLogLog
+// sketch built in one sequential pass over the column (charged); the
+// match-ratio estimator probes a sample of the probe side's keys against
+// the build side's key set.
+
+#ifndef GPUJOIN_STATS_ESTIMATOR_H_
+#define GPUJOIN_STATS_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::stats {
+
+/// HyperLogLog distinct-count estimate over a device column. One streaming
+/// kernel; typical error ~1.04/sqrt(2^precision_bits) (~1.6% at 12 bits).
+Result<uint64_t> EstimateDistinct(vgpu::Device& device, const DeviceColumn& column,
+                                  int precision_bits = 12);
+
+/// Estimates the fraction of `probe_keys` values present in `build_keys`
+/// by testing `sample_size` evenly spaced probe keys against a hash set of
+/// the build keys (one build scan + the sampled probes, charged).
+Result<double> EstimateMatchRatio(vgpu::Device& device,
+                                  const DeviceColumn& build_keys,
+                                  const DeviceColumn& probe_keys,
+                                  uint64_t sample_size = 1024);
+
+}  // namespace gpujoin::stats
+
+#endif  // GPUJOIN_STATS_ESTIMATOR_H_

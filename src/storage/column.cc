@@ -1,0 +1,102 @@
+#include "storage/column.h"
+
+#include <limits>
+
+namespace gpujoin {
+
+Result<DeviceColumn> DeviceColumn::Allocate(vgpu::Device& device, DataType type,
+                                            uint64_t n) {
+  if (n > kMaxRows) {
+    return Status::InvalidArgument("column too large: " + std::to_string(n));
+  }
+  DeviceColumn col;
+  col.type_ = type;
+  if (type == DataType::kInt32) {
+    GPUJOIN_ASSIGN_OR_RETURN(auto buf,
+                             vgpu::DeviceBuffer<int32_t>::Allocate(device, n));
+    col.buf_ = std::move(buf);
+  } else {
+    GPUJOIN_ASSIGN_OR_RETURN(auto buf,
+                             vgpu::DeviceBuffer<int64_t>::Allocate(device, n));
+    col.buf_ = std::move(buf);
+  }
+  return col;
+}
+
+Result<DeviceColumn> DeviceColumn::FromHost(vgpu::Device& device, DataType type,
+                                            std::span<const int64_t> values) {
+  GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn col,
+                           Allocate(device, type, values.size()));
+  if (type == DataType::kInt32) {
+    auto& buf = col.i32();
+    for (uint64_t i = 0; i < values.size(); ++i) {
+      const int64_t v = values[i];
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        return Status::InvalidArgument("value " + std::to_string(v) +
+                                       " does not fit int32 column");
+      }
+      buf[i] = static_cast<int32_t>(v);
+    }
+  } else {
+    auto& buf = col.i64();
+    for (uint64_t i = 0; i < values.size(); ++i) buf[i] = values[i];
+  }
+  return col;
+}
+
+DeviceColumn DeviceColumn::WrapI32(vgpu::DeviceBuffer<int32_t> buf) {
+  DeviceColumn col;
+  col.type_ = DataType::kInt32;
+  col.buf_ = std::move(buf);
+  return col;
+}
+
+DeviceColumn DeviceColumn::WrapI64(vgpu::DeviceBuffer<int64_t> buf) {
+  DeviceColumn col;
+  col.type_ = DataType::kInt64;
+  col.buf_ = std::move(buf);
+  return col;
+}
+
+uint64_t DeviceColumn::size() const {
+  return type_ == DataType::kInt32
+             ? std::get<vgpu::DeviceBuffer<int32_t>>(buf_).size()
+             : std::get<vgpu::DeviceBuffer<int64_t>>(buf_).size();
+}
+
+uint64_t DeviceColumn::addr(uint64_t i) const {
+  return type_ == DataType::kInt32
+             ? std::get<vgpu::DeviceBuffer<int32_t>>(buf_).addr(i)
+             : std::get<vgpu::DeviceBuffer<int64_t>>(buf_).addr(i);
+}
+
+int64_t DeviceColumn::Get(uint64_t i) const {
+  return type_ == DataType::kInt32
+             ? static_cast<int64_t>(std::get<vgpu::DeviceBuffer<int32_t>>(buf_)[i])
+             : std::get<vgpu::DeviceBuffer<int64_t>>(buf_)[i];
+}
+
+void DeviceColumn::Set(uint64_t i, int64_t v) {
+  if (type_ == DataType::kInt32) {
+    std::get<vgpu::DeviceBuffer<int32_t>>(buf_)[i] = static_cast<int32_t>(v);
+  } else {
+    std::get<vgpu::DeviceBuffer<int64_t>>(buf_)[i] = v;
+  }
+}
+
+std::vector<int64_t> DeviceColumn::ToHost() const {
+  std::vector<int64_t> out(size());
+  for (uint64_t i = 0; i < out.size(); ++i) out[i] = Get(i);
+  return out;
+}
+
+void DeviceColumn::Release() {
+  if (type_ == DataType::kInt32) {
+    std::get<vgpu::DeviceBuffer<int32_t>>(buf_).Release();
+  } else {
+    std::get<vgpu::DeviceBuffer<int64_t>>(buf_).Release();
+  }
+}
+
+}  // namespace gpujoin

@@ -1,0 +1,74 @@
+// DeviceColumn: a type-erased column of int32 or int64 values resident in
+// simulated device memory. Generic code uses the widened Get/Set accessors;
+// performance-sensitive kernels dispatch to the typed buffers.
+
+#ifndef GPUJOIN_STORAGE_COLUMN_H_
+#define GPUJOIN_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin {
+
+class DeviceColumn {
+ public:
+  DeviceColumn() = default;
+
+  /// Allocates a zero-initialized column of n values.
+  static Result<DeviceColumn> Allocate(vgpu::Device& device, DataType type,
+                                       uint64_t n);
+  /// Allocates and fills from widened host values. Values must fit the type.
+  static Result<DeviceColumn> FromHost(vgpu::Device& device, DataType type,
+                                       std::span<const int64_t> values);
+
+  /// Wraps an existing device buffer as a column (takes ownership).
+  static DeviceColumn WrapI32(vgpu::DeviceBuffer<int32_t> buf);
+  static DeviceColumn WrapI64(vgpu::DeviceBuffer<int64_t> buf);
+
+  DeviceColumn(DeviceColumn&&) = default;
+  DeviceColumn& operator=(DeviceColumn&&) = default;
+  DeviceColumn(const DeviceColumn&) = delete;
+  DeviceColumn& operator=(const DeviceColumn&) = delete;
+
+  DataType type() const { return type_; }
+  uint64_t size() const;
+  bool empty() const { return size() == 0; }
+  uint64_t size_bytes() const { return size() * DataTypeSize(type_); }
+  /// Device address of element i.
+  uint64_t addr(uint64_t i = 0) const;
+
+  /// Widened element access (functional only; does not touch the cost model).
+  int64_t Get(uint64_t i) const;
+  void Set(uint64_t i, int64_t v);
+
+  /// Typed access. Calling the mismatched accessor aborts.
+  vgpu::DeviceBuffer<int32_t>& i32() { return std::get<vgpu::DeviceBuffer<int32_t>>(buf_); }
+  const vgpu::DeviceBuffer<int32_t>& i32() const {
+    return std::get<vgpu::DeviceBuffer<int32_t>>(buf_);
+  }
+  vgpu::DeviceBuffer<int64_t>& i64() { return std::get<vgpu::DeviceBuffer<int64_t>>(buf_); }
+  const vgpu::DeviceBuffer<int64_t>& i64() const {
+    return std::get<vgpu::DeviceBuffer<int64_t>>(buf_);
+  }
+
+  /// Copies the whole column out as widened host values (for tests/output).
+  std::vector<int64_t> ToHost() const;
+
+  /// Releases the device allocation.
+  void Release();
+
+ private:
+  DataType type_ = DataType::kInt32;
+  std::variant<vgpu::DeviceBuffer<int32_t>, vgpu::DeviceBuffer<int64_t>> buf_;
+};
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_STORAGE_COLUMN_H_

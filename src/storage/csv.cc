@@ -1,0 +1,113 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gpujoin {
+
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const HostTable& table) {
+  std::string out;
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    if (c > 0) out += ',';
+    out += table.columns[c].name + ':' +
+           (table.columns[c].type == DataType::kInt32 ? "i32" : "i64");
+  }
+  out += '\n';
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out += ',';
+      out += std::to_string(table.columns[c].values[r]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const HostTable& table, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  f << WriteCsvString(table);
+  return f.good() ? Status::OK()
+                  : Status::Internal("write to " + path + " failed");
+}
+
+Result<HostTable> ReadCsvString(const std::string& data, std::string table_name) {
+  std::stringstream ss(data);
+  std::string line;
+  if (!std::getline(ss, line) || line.empty()) {
+    return Status::InvalidArgument("CSV: missing header");
+  }
+  HostTable table;
+  table.name = std::move(table_name);
+  for (const std::string& field : SplitComma(line)) {
+    const size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("CSV header field '" + field +
+                                     "' lacks a :type suffix");
+    }
+    HostColumn col;
+    col.name = field.substr(0, colon);
+    const std::string type = field.substr(colon + 1);
+    if (type == "i32") {
+      col.type = DataType::kInt32;
+    } else if (type == "i64") {
+      col.type = DataType::kInt64;
+    } else {
+      return Status::InvalidArgument("CSV: unknown type '" + type + "'");
+    }
+    table.columns.push_back(std::move(col));
+  }
+  uint64_t row = 0;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    const auto cells = SplitComma(line);
+    if (cells.size() != table.columns.size()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(row) + " has " +
+                                     std::to_string(cells.size()) +
+                                     " cells, expected " +
+                                     std::to_string(table.columns.size()));
+    }
+    for (size_t c = 0; c < cells.size(); ++c) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(cells[c].c_str(), &end, 10);
+      if (errno != 0 || end == cells[c].c_str() || *end != '\0') {
+        return Status::InvalidArgument("CSV: bad integer '" + cells[c] +
+                                       "' at row " + std::to_string(row));
+      }
+      table.columns[c].values.push_back(v);
+    }
+    ++row;
+  }
+  return table;
+}
+
+Result<HostTable> ReadCsvFile(const std::string& path, std::string table_name) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return ReadCsvString(buf.str(), std::move(table_name));
+}
+
+}  // namespace gpujoin

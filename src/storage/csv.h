@@ -1,0 +1,26 @@
+// CSV import/export for host tables — minimal but strict: a header row of
+// "name:type" fields (type in {i32,i64}), integer-valued cells, comma
+// separated. Intended for loading small reference datasets into examples
+// and dumping experiment outputs; not a general CSV parser.
+
+#ifndef GPUJOIN_STORAGE_CSV_H_
+#define GPUJOIN_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gpujoin {
+
+/// Serializes a host table ("name:type" header + one line per row).
+std::string WriteCsvString(const HostTable& table);
+Status WriteCsvFile(const HostTable& table, const std::string& path);
+
+/// Parses the format produced by WriteCsv*.
+Result<HostTable> ReadCsvString(const std::string& data, std::string table_name);
+Result<HostTable> ReadCsvFile(const std::string& path, std::string table_name);
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_STORAGE_CSV_H_

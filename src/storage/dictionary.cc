@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+namespace gpujoin {
+
+int64_t DictionaryEncoder::Encode(std::string_view value) {
+  auto it = codes_.find(std::string(value));
+  if (it != codes_.end()) return it->second;
+  const int64_t code = static_cast<int64_t>(values_.size());
+  values_.emplace_back(value);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+Result<std::string> DictionaryEncoder::Decode(int64_t code) const {
+  if (code < 0 || static_cast<size_t>(code) >= values_.size()) {
+    return Status::InvalidArgument("unknown dictionary code " +
+                                   std::to_string(code));
+  }
+  return values_[static_cast<size_t>(code)];
+}
+
+int64_t DictionaryEncoder::Lookup(std::string_view value) const {
+  auto it = codes_.find(std::string(value));
+  return it == codes_.end() ? -1 : it->second;
+}
+
+}  // namespace gpujoin

@@ -1,0 +1,40 @@
+// Dictionary encoding of strings to dense integer codes (§5.3: "we transform
+// strings into numeric values by dictionary encoding"). Used by the TPC-H/DS
+// workload generators to turn string attributes into joinable/aggregatable
+// integer columns.
+
+#ifndef GPUJOIN_STORAGE_DICTIONARY_H_
+#define GPUJOIN_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gpujoin {
+
+class DictionaryEncoder {
+ public:
+  /// Returns the code for `value`, assigning the next dense code on first
+  /// sight. Codes start at 0.
+  int64_t Encode(std::string_view value);
+
+  /// Returns the string for a code, or an error for unknown codes.
+  Result<std::string> Decode(int64_t code) const;
+
+  /// Code already assigned? Returns -1 if not present (does not insert).
+  int64_t Lookup(std::string_view value) const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, int64_t> codes_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_STORAGE_DICTIONARY_H_

@@ -1,0 +1,53 @@
+#include "storage/key_pack.h"
+
+namespace gpujoin {
+
+Result<DeviceColumn> PackKeyColumns(vgpu::Device& device, const DeviceColumn& hi,
+                                    const DeviceColumn& lo) {
+  if (hi.type() != DataType::kInt32 || lo.type() != DataType::kInt32) {
+    return Status::InvalidArgument("PackKeyColumns: inputs must be int32");
+  }
+  if (hi.size() != lo.size()) {
+    return Status::InvalidArgument("PackKeyColumns: size mismatch");
+  }
+  const uint64_t n = hi.size();
+  GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn out,
+                           DeviceColumn::Allocate(device, DataType::kInt64, n));
+  vgpu::KernelScope ks(device, "key_pack");
+  device.LoadSeq(hi.addr(), n, 4);
+  device.LoadSeq(lo.addr(), n, 4);
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t h = hi.Get(i);
+    const int64_t l = lo.Get(i);
+    if (h < 0 || l < 0) {
+      return Status::InvalidArgument("PackKeyColumns: negative key component");
+    }
+    out.Set(i, (h << 32) | l);
+  }
+  device.StoreSeq(out.addr(), n, 8);
+  return out;
+}
+
+Result<std::pair<DeviceColumn, DeviceColumn>> UnpackKeyColumn(
+    vgpu::Device& device, const DeviceColumn& packed) {
+  if (packed.type() != DataType::kInt64) {
+    return Status::InvalidArgument("UnpackKeyColumn: input must be int64");
+  }
+  const uint64_t n = packed.size();
+  GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn hi,
+                           DeviceColumn::Allocate(device, DataType::kInt32, n));
+  GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn lo,
+                           DeviceColumn::Allocate(device, DataType::kInt32, n));
+  vgpu::KernelScope ks(device, "key_unpack");
+  device.LoadSeq(packed.addr(), n, 8);
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t v = packed.Get(i);
+    hi.Set(i, v >> 32);
+    lo.Set(i, v & 0xffffffff);
+  }
+  device.StoreSeq(hi.addr(), n, 4);
+  device.StoreSeq(lo.addr(), n, 4);
+  return std::make_pair(std::move(hi), std::move(lo));
+}
+
+}  // namespace gpujoin

@@ -1,0 +1,28 @@
+// Composite-key support by key packing: two 4-byte non-negative key columns
+// are packed into one int64 column ((hi << 32) | lo), turning a multi-column
+// equi-join or group-by into the single-key form the operators consume.
+// The standard trick GPU engines use before radix-based operators.
+
+#ifndef GPUJOIN_STORAGE_KEY_PACK_H_
+#define GPUJOIN_STORAGE_KEY_PACK_H_
+
+#include <utility>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "vgpu/device.h"
+
+namespace gpujoin {
+
+/// packed[i] = (hi[i] << 32) | lo[i]. Both inputs must be non-negative
+/// int32 columns of equal size. One streaming kernel.
+Result<DeviceColumn> PackKeyColumns(vgpu::Device& device, const DeviceColumn& hi,
+                                    const DeviceColumn& lo);
+
+/// Inverse of PackKeyColumns.
+Result<std::pair<DeviceColumn, DeviceColumn>> UnpackKeyColumn(
+    vgpu::Device& device, const DeviceColumn& packed);
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_STORAGE_KEY_PACK_H_

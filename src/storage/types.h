@@ -1,0 +1,34 @@
+// Column data types. The paper evaluates 4-byte and 8-byte integer keys and
+// payloads (strings are dictionary-encoded to integers, §5.3); we support
+// exactly those physical types.
+
+#ifndef GPUJOIN_STORAGE_TYPES_H_
+#define GPUJOIN_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpujoin {
+
+enum class DataType {
+  kInt32,
+  kInt64,
+};
+
+inline constexpr size_t DataTypeSize(DataType t) {
+  return t == DataType::kInt32 ? 4 : 8;
+}
+
+inline constexpr const char* DataTypeName(DataType t) {
+  return t == DataType::kInt32 ? "int32" : "int64";
+}
+
+/// Row/tuple index type used throughout (tuple identifiers, gather maps).
+/// The paper uses 4-byte physical IDs; we keep 32-bit ids and check sizes.
+using RowId = uint32_t;
+
+inline constexpr uint64_t kMaxRows = uint64_t{1} << 31;
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_STORAGE_TYPES_H_

@@ -1,0 +1,99 @@
+// DeviceBuffer<T>: a typed array in simulated device memory.
+//
+// The element storage lives in host memory (the simulator computes real
+// results); the buffer additionally owns a range of simulated device
+// addresses so that every element has a stable address for the memory model:
+// addr(i) = base_addr + i * sizeof(T).
+
+#ifndef GPUJOIN_VGPU_BUFFER_H_
+#define GPUJOIN_VGPU_BUFFER_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::vgpu {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  /// Creates an empty (unallocated) buffer.
+  DeviceBuffer() = default;
+
+  /// Allocates a buffer of n elements on `device` (zero-initialized).
+  static Result<DeviceBuffer<T>> Allocate(Device& device, uint64_t n) {
+    GPUJOIN_ASSIGN_OR_RETURN(uint64_t addr, device.AllocateRaw(n * sizeof(T)));
+    DeviceBuffer<T> buf;
+    buf.device_ = &device;
+    buf.base_addr_ = addr;
+    buf.data_.assign(n, T{});
+    return buf;
+  }
+
+  /// Allocates and copies host data in.
+  static Result<DeviceBuffer<T>> FromHost(Device& device, std::span<const T> host) {
+    GPUJOIN_ASSIGN_OR_RETURN(DeviceBuffer<T> buf, Allocate(device, host.size()));
+    std::copy(host.begin(), host.end(), buf.data_.begin());
+    return buf;
+  }
+
+  ~DeviceBuffer() { Release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      device_ = other.device_;
+      base_addr_ = other.base_addr_;
+      data_ = std::move(other.data_);
+      other.device_ = nullptr;
+      other.base_addr_ = 0;
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  /// Frees the simulated allocation; the buffer becomes empty.
+  void Release() {
+    if (device_ != nullptr) {
+      // Free cannot fail for a live allocation; ignore the status.
+      (void)device_->FreeRaw(base_addr_);
+      device_ = nullptr;
+      base_addr_ = 0;
+      data_.clear();
+    }
+  }
+
+  bool empty() const { return data_.empty(); }
+  uint64_t size() const { return data_.size(); }
+  uint64_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  /// Device address of element i.
+  uint64_t addr(uint64_t i = 0) const { return base_addr_ + i * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](uint64_t i) { return data_[i]; }
+  const T& operator[](uint64_t i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  Device* device() const { return device_; }
+
+ private:
+  Device* device_ = nullptr;
+  uint64_t base_addr_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_BUFFER_H_

@@ -1,0 +1,280 @@
+#include "vgpu/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bit_util.h"
+
+namespace gpujoin::vgpu {
+
+Device::Device(DeviceConfig config) : config_(std::move(config)), l2_(config_) {
+  const int buffers = std::max(config_.dram_row_assoc, config_.dram_row_buffers);
+  dram_open_rows_.assign(buffers, ~uint64_t{0});
+  dram_row_lru_.assign(buffers, 0);
+}
+
+Result<uint64_t> Device::AllocateRaw(uint64_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (memory_stats_.live_bytes + bytes > config_.global_mem_bytes) {
+    return Status::ResourceExhausted(
+        "device OOM: requested " + std::to_string(bytes) + " B with " +
+        std::to_string(memory_stats_.live_bytes) + " B live of " +
+        std::to_string(config_.global_mem_bytes) + " B capacity");
+  }
+  const uint64_t addr = next_addr_;
+  next_addr_ = bit_util::AlignUp(next_addr_ + bytes, 256);
+  allocations_.emplace(addr, bytes);
+  memory_stats_.live_bytes += bytes;
+  memory_stats_.peak_bytes =
+      std::max(memory_stats_.peak_bytes, memory_stats_.live_bytes);
+  ++memory_stats_.total_allocations;
+  return addr;
+}
+
+Status Device::FreeRaw(uint64_t addr) {
+  auto it = allocations_.find(addr);
+  if (it == allocations_.end()) {
+    return Status::InvalidArgument("FreeRaw of unknown device address " +
+                                   std::to_string(addr));
+  }
+  memory_stats_.live_bytes -= it->second;
+  allocations_.erase(it);
+  return Status::OK();
+}
+
+void Device::BeginKernel(const char* name) {
+  assert(!in_kernel_ && "kernels do not nest");
+  in_kernel_ = true;
+  kernel_name_ = name;
+  current_ = KernelStats{};
+}
+
+const KernelStats& Device::EndKernel() {
+  assert(in_kernel_);
+  in_kernel_ = false;
+  // Cost model (see DeviceConfig docs): compute and memory pipes overlap.
+  const double issue_work =
+      static_cast<double>(current_.warp_instructions) +
+      static_cast<double>(current_.transactions) +
+      static_cast<double>(current_.shared_accesses) +
+      static_cast<double>(current_.atomic_serializations);
+  current_.compute_cycles = issue_work / static_cast<double>(config_.num_sms) +
+                            current_.serial_cycles;
+  const double dram_bytes =
+      static_cast<double>(current_.dram_sectors) * config_.sector_bytes +
+      static_cast<double>(current_.dram_row_misses) * config_.dram_row_penalty_bytes;
+  const double l2_bytes =
+      static_cast<double>(current_.l2_hit_sectors) * config_.sector_bytes;
+  current_.memory_cycles = dram_bytes / config_.dram_bytes_per_cycle() +
+                           l2_bytes / config_.l2_bytes_per_cycle();
+  current_.cycles = std::max(current_.compute_cycles, current_.memory_cycles) +
+                    config_.launch_overhead_cycles;
+  elapsed_cycles_ += current_.cycles;
+  last_kernel_ = current_;
+  total_.Add(current_);
+  profiler_.Record(kernel_name_, current_);
+  return last_kernel_;
+}
+
+void Device::ResetStats() {
+  total_ = KernelStats{};
+  last_kernel_ = KernelStats{};
+}
+
+void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
+                        uint32_t bytes_per_lane, bool is_store) {
+  assert(in_kernel_ && "memory access outside of a kernel");
+  if (lane_addrs.empty()) return;
+  ++current_.warp_instructions;
+  ++current_.mem_instructions;
+  const uint64_t bytes = static_cast<uint64_t>(lane_addrs.size()) * bytes_per_lane;
+  if (is_store) {
+    current_.bytes_written += bytes;
+  } else {
+    current_.bytes_read += bytes;
+  }
+
+  // Collect the distinct sectors and 128B lines this warp touches. A lane of
+  // up to 8 bytes touches at most 2 sectors, so <= 64 entries.
+  uint64_t sectors[64];
+  int n_sectors = 0;
+  uint64_t lines[64];
+  int n_lines = 0;
+  const int sector_shift = bit_util::Log2Floor(config_.sector_bytes);
+  const int line_shift = bit_util::Log2Floor(config_.cacheline_bytes);
+  for (uint64_t addr : lane_addrs) {
+    const uint64_t first_sector = addr >> sector_shift;
+    const uint64_t last_sector = (addr + bytes_per_lane - 1) >> sector_shift;
+    for (uint64_t s = first_sector; s <= last_sector; ++s) {
+      bool seen = false;
+      for (int i = n_sectors - 1; i >= 0; --i) {
+        if (sectors[i] == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && n_sectors < 64) sectors[n_sectors++] = s;
+    }
+    const uint64_t first_line = addr >> line_shift;
+    const uint64_t last_line = (addr + bytes_per_lane - 1) >> line_shift;
+    for (uint64_t l = first_line; l <= last_line; ++l) {
+      bool seen = false;
+      for (int i = n_lines - 1; i >= 0; --i) {
+        if (lines[i] == l) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && n_lines < 64) lines[n_lines++] = l;
+    }
+  }
+  current_.transactions += static_cast<uint64_t>(n_lines);
+  current_.sectors += static_cast<uint64_t>(n_sectors);
+  const int row_shift =
+      bit_util::Log2Floor(static_cast<uint64_t>(config_.dram_row_bytes));
+  const uint64_t n_rows = dram_open_rows_.size();
+  for (int i = 0; i < n_sectors; ++i) {
+    if (l2_.Access(sectors[i])) {
+      ++current_.l2_hit_sectors;
+    } else {
+      ++current_.dram_sectors;
+      // DRAM row-buffer model: an L2 miss to a row that is not open pays an
+      // activation penalty (this is what makes random access slower than
+      // streaming even at equal sector counts).
+      const uint64_t byte_addr = sectors[i] << bit_util::Log2Floor(
+                                     static_cast<uint64_t>(config_.sector_bytes));
+      const uint64_t row = byte_addr >> row_shift;
+      // Hash the row to a tracker group: real DRAM interleaves banks on low
+      // address bits, so large power-of-two strides must not alias. Full
+      // murmur fmix64 — a single multiply is not avalanche-complete for
+      // strided row numbers and produces persistent group collisions.
+      uint64_t mix = row;
+      mix ^= mix >> 33;
+      mix *= 0xff51afd7ed558ccdull;
+      mix ^= mix >> 33;
+      mix *= 0xc4ceb9fe1a85ec53ull;
+      mix ^= mix >> 33;
+      const int assoc = config_.dram_row_assoc;
+      const uint64_t group = (mix % (n_rows / assoc)) * assoc;
+      ++dram_row_clock_;
+      bool hit = false;
+      int victim = 0;
+      uint32_t victim_lru = ~uint32_t{0};
+      for (int w = 0; w < assoc; ++w) {
+        if (dram_open_rows_[group + w] == row) {
+          dram_row_lru_[group + w] = dram_row_clock_;
+          hit = true;
+          break;
+        }
+        if (dram_row_lru_[group + w] < victim_lru) {
+          victim_lru = dram_row_lru_[group + w];
+          victim = w;
+        }
+      }
+      if (!hit) {
+        dram_open_rows_[group + victim] = row;
+        dram_row_lru_[group + victim] = dram_row_clock_;
+        ++current_.dram_row_misses;
+      }
+    }
+  }
+}
+
+void Device::Load(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane) {
+  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/false);
+}
+
+void Device::Store(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane) {
+  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
+}
+
+void Device::LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
+  uint64_t addrs[32];
+  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
+  for (uint64_t i = 0; i < count; i += warp) {
+    const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      addrs[l] = base_addr + (i + l) * elem_bytes;
+    }
+    AccessWarp({addrs, lanes}, elem_bytes, /*is_store=*/false);
+  }
+}
+
+void Device::StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
+  uint64_t addrs[32];
+  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
+  for (uint64_t i = 0; i < count; i += warp) {
+    const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      addrs[l] = base_addr + (i + l) * elem_bytes;
+    }
+    AccessWarp({addrs, lanes}, elem_bytes, /*is_store=*/true);
+  }
+}
+
+void Device::SharedAccess(uint64_t count) {
+  assert(in_kernel_);
+  current_.shared_accesses += count;
+  current_.warp_instructions += count;
+}
+
+void Device::SharedAtomic(std::span<const uint32_t> lane_slots) {
+  assert(in_kernel_);
+  if (lane_slots.empty()) return;
+  ++current_.warp_instructions;
+  ++current_.shared_accesses;
+  // Lanes targeting the same slot serialize; the warp pays for the most
+  // contended slot, and each serialized retry is a multi-cycle shared-memory
+  // round trip (this is the §5.2.4 bucket-chain skew collapse). Count
+  // multiplicities with a small quadratic scan (<= 32 lanes).
+  constexpr uint64_t kSharedAtomicSerializeCost = 4;
+  uint32_t max_mult = 1;
+  for (size_t i = 0; i < lane_slots.size(); ++i) {
+    uint32_t mult = 1;
+    for (size_t j = i + 1; j < lane_slots.size(); ++j) {
+      if (lane_slots[j] == lane_slots[i]) ++mult;
+    }
+    max_mult = std::max(max_mult, mult);
+  }
+  current_.atomic_serializations +=
+      static_cast<uint64_t>(max_mult - 1) * kSharedAtomicSerializeCost;
+}
+
+void Device::Compute(uint64_t count) {
+  assert(in_kernel_);
+  current_.warp_instructions += count;
+}
+
+void Device::ChargeHostTransfer(uint64_t bytes) {
+  const double bytes_per_cycle = config_.pcie_gbps / config_.clock_ghz;
+  elapsed_cycles_ +=
+      static_cast<double>(bytes) / bytes_per_cycle + config_.pcie_latency_cycles;
+}
+
+void Device::SerialStall(double cycles) {
+  assert(in_kernel_);
+  current_.serial_cycles += cycles;
+}
+
+void Device::GlobalAtomic(std::span<const uint64_t> lane_addrs,
+                          uint32_t bytes_per_lane) {
+  assert(in_kernel_);
+  if (lane_addrs.empty()) return;
+  // The read-modify-write memory traffic.
+  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
+  // Serialization: lanes hitting the same address queue at the L2 atomic
+  // unit; a DRAM-latency-scale round trip per conflicting lane.
+  constexpr uint64_t kGlobalAtomicSerializeCost = 8;
+  uint32_t max_mult = 1;
+  for (size_t i = 0; i < lane_addrs.size(); ++i) {
+    uint32_t mult = 1;
+    for (size_t j = i + 1; j < lane_addrs.size(); ++j) {
+      if (lane_addrs[j] == lane_addrs[i]) ++mult;
+    }
+    max_mult = std::max(max_mult, mult);
+  }
+  current_.atomic_serializations +=
+      static_cast<uint64_t>(max_mult - 1) * kGlobalAtomicSerializeCost;
+}
+
+}  // namespace gpujoin::vgpu

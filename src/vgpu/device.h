@@ -1,0 +1,157 @@
+// The simulated GPU device: allocator, memory model, kernel accounting, and
+// the simulated clock.
+//
+// Kernels in gpujoin are ordinary host functions that (a) compute real
+// results on host memory and (b) report every warp-level memory access to
+// the Device, which classifies sectors through the L2 model and charges
+// cycles per the DeviceConfig cost model. A kernel is bracketed by
+// BeginKernel()/EndKernel() — use the RAII KernelScope.
+//
+// Thread-safety: a Device is single-threaded by design (the simulator is
+// deterministic and sequential).
+
+#ifndef GPUJOIN_VGPU_DEVICE_H_
+#define GPUJOIN_VGPU_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "vgpu/device_config.h"
+#include "vgpu/l2_cache.h"
+#include "vgpu/profiler.h"
+#include "vgpu/stats.h"
+
+namespace gpujoin::vgpu {
+
+class Device {
+ public:
+  explicit Device(DeviceConfig config);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+
+  // --- Allocation (Table 5 accounting) ---
+
+  /// Reserves `bytes` of simulated device memory; returns the base address.
+  /// Fails with ResourceExhausted when the device capacity is exceeded.
+  Result<uint64_t> AllocateRaw(uint64_t bytes);
+  /// Releases an allocation made by AllocateRaw.
+  Status FreeRaw(uint64_t addr);
+
+  const MemoryStats& memory_stats() const { return memory_stats_; }
+  /// Resets the peak-memory watermark to the current live bytes.
+  void ResetPeakMemory() { memory_stats_.peak_bytes = memory_stats_.live_bytes; }
+
+  // --- Kernel bracketing ---
+
+  /// Starts accounting a new kernel. Kernels do not nest.
+  void BeginKernel(const char* name);
+  /// Finishes the kernel: derives cycles from the accumulated counters and
+  /// advances the simulated clock. Returns the kernel's stats.
+  const KernelStats& EndKernel();
+
+  /// Stats of the most recently completed kernel.
+  const KernelStats& last_kernel_stats() const { return last_kernel_; }
+  /// Stats accumulated over all kernels since construction/ResetStats().
+  const KernelStats& total_stats() const { return total_; }
+  /// Per-kernel-name profiling (the Nsight Compute analog, Table 4).
+  const Profiler& profiler() const { return profiler_; }
+  Profiler& profiler() { return profiler_; }
+
+  /// Simulated seconds elapsed since construction (or ResetClock()).
+  double ElapsedSeconds() const { return config_.CyclesToSeconds(elapsed_cycles_); }
+  double elapsed_cycles() const { return elapsed_cycles_; }
+  void ResetClock() { elapsed_cycles_ = 0; }
+  void ResetStats();
+  /// Drops all cached state in the L2 model (does not touch the clock).
+  void FlushL2() { l2_.Clear(); }
+
+  // --- Memory-access hooks (call only between Begin/EndKernel) ---
+
+  /// One warp-level load: up to warp_size lane addresses, each reading
+  /// `bytes_per_lane` bytes. Classifies the touched sectors via the L2.
+  void Load(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane);
+  /// One warp-level store (same classification as Load; write-allocate).
+  void Store(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane);
+
+  /// Fast path: a fully coalesced sequential read of `count` elements of
+  /// `elem_bytes` starting at `base_addr` (charged warp by warp).
+  void LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes);
+  /// Fast path: fully coalesced sequential write.
+  void StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes);
+
+  /// Charges `count` warp-level shared-memory accesses (no bank conflicts).
+  void SharedAccess(uint64_t count = 1);
+  /// Charges a warp of shared-memory atomics given the per-lane target slots;
+  /// lanes hitting the same slot serialize (cost = max multiplicity).
+  void SharedAtomic(std::span<const uint32_t> lane_slots);
+  /// Charges a warp of global-memory atomics (read-modify-write): the memory
+  /// access plus a serialization penalty kGlobalAtomicSerializeCost x
+  /// (max same-address multiplicity - 1). Global atomic contention is far
+  /// costlier than shared-memory contention (DRAM round trips).
+  void GlobalAtomic(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane);
+  /// Charges `count` warp-level compute instructions.
+  void Compute(uint64_t count = 1);
+  /// Charges cycles that serialize across the whole device (e.g. a chain of
+  /// same-address global atomics) — they are NOT divided by the SM count.
+  void SerialStall(double cycles);
+
+  /// Advances the simulated clock by a host <-> device transfer of `bytes`
+  /// over the PCIe model (bandwidth + fixed latency). Not a kernel; used by
+  /// the out-of-core join to charge fragment staging.
+  void ChargeHostTransfer(uint64_t bytes);
+
+  // --- Determinism control ---
+
+  /// Seed that nondeterministic implementations (PHJ-UM bucket chaining) use
+  /// to model atomics arrival order. Deterministic implementations ignore it.
+  uint64_t interleave_seed() const { return interleave_seed_; }
+  void set_interleave_seed(uint64_t seed) { interleave_seed_ = seed; }
+
+ private:
+  void AccessWarp(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane,
+                  bool is_store);
+
+  DeviceConfig config_;
+  L2Cache l2_;
+  std::vector<uint64_t> dram_open_rows_;  // Row tracker tags (set-assoc LRU).
+  std::vector<uint32_t> dram_row_lru_;
+  uint32_t dram_row_clock_ = 0;
+  MemoryStats memory_stats_;
+  std::unordered_map<uint64_t, uint64_t> allocations_;  // addr -> bytes.
+  uint64_t next_addr_ = 4096;  // Leave page 0 unmapped for easier debugging.
+
+  bool in_kernel_ = false;
+  const char* kernel_name_ = "";
+  KernelStats current_;
+  KernelStats last_kernel_;
+  KernelStats total_;
+  Profiler profiler_;
+  double elapsed_cycles_ = 0;
+  uint64_t interleave_seed_ = 0x9e3779b97f4a7c15ull;
+};
+
+/// RAII kernel bracket.
+class KernelScope {
+ public:
+  KernelScope(Device& device, const char* name) : device_(device) {
+    device_.BeginKernel(name);
+  }
+  ~KernelScope() { device_.EndKernel(); }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  Device& device_;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_DEVICE_H_

@@ -1,0 +1,65 @@
+#include "vgpu/device_config.h"
+
+#include <algorithm>
+
+namespace gpujoin::vgpu {
+
+DeviceConfig DeviceConfig::A100() {
+  DeviceConfig c;
+  c.name = "A100";
+  c.num_sms = 108;
+  c.shared_mem_per_block_bytes = 164 * 1024;
+  c.l2_bytes = 40ull * 1024 * 1024;
+  c.global_mem_bytes = 40ull * 1024 * 1024 * 1024;
+  c.clock_ghz = 1.095;
+  c.mem_bandwidth_gbps = 1555.0;
+  c.l2_bandwidth_ratio = 3.0;
+  return c;
+}
+
+DeviceConfig DeviceConfig::RTX3090() {
+  DeviceConfig c;
+  c.name = "RTX3090";
+  c.num_sms = 82;
+  c.shared_mem_per_block_bytes = 100 * 1024;
+  c.l2_bytes = 6ull * 1024 * 1024;
+  c.global_mem_bytes = 24ull * 1024 * 1024 * 1024;
+  c.clock_ghz = 1.395;
+  c.mem_bandwidth_gbps = 936.0;
+  c.l2_bandwidth_ratio = 3.0;
+  return c;
+}
+
+DeviceConfig DeviceConfig::ScaledToWorkload(const DeviceConfig& base,
+                                            size_t n_tuples,
+                                            size_t paper_n_tuples) {
+  DeviceConfig c = base;
+  if (n_tuples == 0 || n_tuples >= paper_n_tuples) return c;
+  const double factor =
+      static_cast<double>(n_tuples) / static_cast<double>(paper_n_tuples);
+  c.name = base.name + "-scaled";
+  // Keep at least a few cache sets so associativity still means something.
+  c.l2_bytes = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(base.l2_bytes) * factor),
+      static_cast<size_t>(base.l2_ways) * base.sector_bytes * 16);
+  c.global_mem_bytes = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(base.global_mem_bytes) * factor),
+      16ull * 1024 * 1024);
+  // Shared memory (and thus bucket/partition sizing) shrinks with the same
+  // factor so that the partitioning fan-out per pass matches the paper's
+  // two-pass structure. Floor keeps histograms for 256-way fan-out viable.
+  c.shared_mem_per_block_bytes = std::max<size_t>(
+      static_cast<size_t>(
+          static_cast<double>(base.shared_mem_per_block_bytes) * factor),
+      4 * 1024);
+  // Kernel count is size-independent, so the launch overhead must shrink
+  // with the data volume to keep its relative weight paper-like.
+  c.launch_overhead_cycles =
+      std::max(base.launch_overhead_cycles * factor, 50.0);
+  // DRAM row-buffer geometry is physical and does not scale; consequently
+  // random-access effects need workloads of >= ~2^20 tuples to emerge
+  // (column span >> row_buffers * row_bytes), which is the bench default.
+  return c;
+}
+
+}  // namespace gpujoin::vgpu

@@ -1,0 +1,99 @@
+// Static description of a simulated GPU: geometry (SMs, warp size, memory
+// sizes) plus the parameters of the analytic cost model.
+//
+// Presets are provided for the two GPUs evaluated in the paper (NVIDIA A100
+// and RTX 3090, Table 3). Because the simulator runs scaled-down workloads,
+// ScaledToWorkload() derives a device whose cache capacity keeps the paper's
+// cache-to-working-set ratio.
+
+#ifndef GPUJOIN_VGPU_DEVICE_CONFIG_H_
+#define GPUJOIN_VGPU_DEVICE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpujoin::vgpu {
+
+/// Hardware parameters of a simulated device.
+///
+/// The cost model charges, per kernel:
+///   compute_cycles = (warp instructions + transaction replays +
+///                     shared-memory accesses + atomic serializations) /
+///                    num_sms
+///   memory_cycles  = dram_sectors * sector_bytes / dram_bytes_per_cycle()
+///                  + l2_hit_sectors * sector_bytes / l2_bytes_per_cycle()
+///   kernel_cycles  = max(compute_cycles, memory_cycles) + launch_overhead
+///
+/// i.e., compute and memory overlap perfectly (latency hiding), and the
+/// kernel is bound by whichever pipe saturates — the same first-order model
+/// the paper's analysis uses (sequential scans are bandwidth-bound, random
+/// gathers are sector/replay-bound).
+struct DeviceConfig {
+  std::string name = "custom";
+
+  // --- Geometry (Table 3 of the paper) ---
+  int num_sms = 108;
+  int warp_size = 32;
+  size_t shared_mem_per_block_bytes = 164 * 1024;
+  size_t l2_bytes = 40ull * 1024 * 1024;
+  size_t global_mem_bytes = 40ull * 1024 * 1024 * 1024;
+  double clock_ghz = 1.095;
+  double mem_bandwidth_gbps = 1555.0;  // bytes/ns = GB/s.
+
+  // --- Memory system granularity ---
+  int sector_bytes = 32;      // DRAM/L2 transfer granularity.
+  int cacheline_bytes = 128;  // L1 line = 4 sectors; one transaction each.
+  int l2_ways = 16;
+
+  // --- Cost-model knobs ---
+  /// L2 delivers this multiple of DRAM bandwidth (A100: ~4 TB/s vs 1.5 TB/s).
+  double l2_bandwidth_ratio = 3.0;
+  /// Fixed per-kernel-launch overhead, in cycles.
+  double launch_overhead_cycles = 5000.0;
+
+  // --- DRAM row-buffer model ---
+  // Peak bandwidth is only achieved by row-buffer-friendly (streaming)
+  // access; an L2-miss sector whose DRAM row is not open pays an activation
+  // penalty. This is what makes unclustered gathers ~4x more expensive per
+  // byte than streams (Table 4: ~410 GB/s effective vs 1555 GB/s peak on
+  // A100 for random 32 B reads).
+  int dram_row_bytes = 1024;
+  int dram_row_buffers = 1024;  // Open rows tracked across banks/channels.
+  /// Associativity of the open-row tracker: models the memory controller's
+  /// request reordering, which keeps hundreds of write streams row-friendly.
+  int dram_row_assoc = 8;
+  /// Activation cost, expressed in bandwidth-equivalent bytes per row miss.
+  double dram_row_penalty_bytes = 96.0;
+
+  // --- Host interconnect (out-of-core joins) ---
+  /// Host <-> device transfer bandwidth (PCIe 4.0 x16 effective).
+  double pcie_gbps = 25.0;
+  /// Fixed per-transfer setup latency, in cycles (~10 us).
+  double pcie_latency_cycles = 11000.0;
+
+  /// NVIDIA A100 40 GB (SXM) — the paper's primary machine.
+  static DeviceConfig A100();
+  /// NVIDIA GeForce RTX 3090 — the paper's secondary machine.
+  static DeviceConfig RTX3090();
+
+  /// Derives a device for a scaled-down workload: cache and global-memory
+  /// capacities shrink by (n_tuples / paper_n_tuples) so that the paper's
+  /// cache-to-working-set ratios are preserved. Compute geometry, pass
+  /// structure, and bandwidth ratios are unchanged. paper_n_tuples defaults
+  /// to the paper's canonical relation size 2^27.
+  static DeviceConfig ScaledToWorkload(const DeviceConfig& base, size_t n_tuples,
+                                       size_t paper_n_tuples = size_t{1} << 27);
+
+  double dram_bytes_per_cycle() const { return mem_bandwidth_gbps / clock_ghz; }
+  double l2_bytes_per_cycle() const {
+    return dram_bytes_per_cycle() * l2_bandwidth_ratio;
+  }
+  int sectors_per_line() const { return cacheline_bytes / sector_bytes; }
+  /// Simulated seconds for a cycle count.
+  double CyclesToSeconds(double cycles) const { return cycles / (clock_ghz * 1e9); }
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_DEVICE_CONFIG_H_

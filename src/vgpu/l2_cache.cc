@@ -1,0 +1,61 @@
+#include "vgpu/l2_cache.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace gpujoin::vgpu {
+
+L2Cache::L2Cache(const DeviceConfig& config) {
+  ways_ = std::max(1, config.l2_ways);
+  const size_t total_sectors =
+      std::max<size_t>(1, config.l2_bytes / config.sector_bytes);
+  num_sets_ = std::max<size_t>(1, total_sectors / ways_);
+  // Power-of-two sets make indexing a mask; round down to keep capacity <=
+  // configured size.
+  size_t pow2 = bit_util::NextPowerOfTwo(num_sets_);
+  if (pow2 > num_sets_) pow2 >>= 1;
+  num_sets_ = std::max<size_t>(1, pow2);
+  ways_storage_.assign(num_sets_ * ways_, Way{});
+}
+
+namespace {
+// Mixes the sector id so that buffers allocated at large power-of-two
+// strides do not alias into the same set (models address interleaving).
+inline uint64_t MixAddressBits(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+bool L2Cache::Access(uint64_t sector_id) {
+  const size_t set = MixAddressBits(sector_id) & (num_sets_ - 1);
+  Way* set_ways = &ways_storage_[set * ways_];
+  ++clock_;
+  int victim = 0;
+  uint32_t victim_lru = ~uint32_t{0};
+  for (int w = 0; w < ways_; ++w) {
+    if (set_ways[w].tag == sector_id) {
+      set_ways[w].lru = clock_;
+      return true;
+    }
+    if (set_ways[w].lru < victim_lru) {
+      victim_lru = set_ways[w].lru;
+      victim = w;
+    }
+  }
+  set_ways[victim].tag = sector_id;
+  set_ways[victim].lru = clock_;
+  return false;
+}
+
+void L2Cache::Clear() {
+  std::fill(ways_storage_.begin(), ways_storage_.end(), Way{});
+  clock_ = 0;
+}
+
+}  // namespace gpujoin::vgpu

@@ -1,0 +1,46 @@
+// Sector-granular set-associative L2 cache model with LRU replacement.
+//
+// The cache is addressed by 32-byte sector ids of the simulated device
+// address space. It only tracks tags (no data): the simulator executes
+// functionally on host memory, and the cache model exists to classify each
+// sector access as an L2 hit or a DRAM access for the cost model.
+
+#ifndef GPUJOIN_VGPU_L2_CACHE_H_
+#define GPUJOIN_VGPU_L2_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vgpu/device_config.h"
+
+namespace gpujoin::vgpu {
+
+class L2Cache {
+ public:
+  explicit L2Cache(const DeviceConfig& config);
+
+  /// Looks up (and on miss, installs) a sector. Returns true on hit.
+  bool Access(uint64_t sector_id);
+
+  /// Invalidates all contents (e.g., between experiments).
+  void Clear();
+
+  size_t num_sets() const { return num_sets_; }
+  int ways() const { return ways_; }
+
+ private:
+  struct Way {
+    uint64_t tag = kInvalidTag;
+    uint32_t lru = 0;  // Higher = more recently used.
+  };
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
+  size_t num_sets_;
+  int ways_;
+  uint32_t clock_ = 0;
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_.
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_L2_CACHE_H_

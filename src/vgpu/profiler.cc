@@ -1,0 +1,55 @@
+#include "vgpu/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpujoin::vgpu {
+
+void Profiler::Record(const char* name, const KernelStats& stats) {
+  KernelProfile& p = by_name_[name];
+  if (p.invocations == 0) p.name = name;
+  ++p.invocations;
+  p.stats.Add(stats);
+}
+
+std::vector<KernelProfile> Profiler::Profiles() const {
+  std::vector<KernelProfile> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, profile] : by_name_) out.push_back(profile);
+  std::sort(out.begin(), out.end(),
+            [](const KernelProfile& a, const KernelProfile& b) {
+              return a.stats.cycles > b.stats.cycles;
+            });
+  return out;
+}
+
+KernelProfile Profiler::ProfileFor(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    KernelProfile empty;
+    empty.name = name;
+    return empty;
+  }
+  return it->second;
+}
+
+std::string Profiler::Report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %6s %12s %10s %9s %7s %10s\n",
+                "kernel", "calls", "cycles", "warp_instr", "sect/req",
+                "l2_hit", "dram(MB)");
+  out += line;
+  for (const KernelProfile& p : Profiles()) {
+    std::snprintf(line, sizeof(line), "%-24s %6llu %12.0f %10llu %9.2f %6.1f%% %10.2f\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.invocations),
+                  p.stats.cycles,
+                  static_cast<unsigned long long>(p.stats.warp_instructions),
+                  p.stats.AvgSectorsPerRequest(), p.stats.L2HitRate() * 100.0,
+                  static_cast<double>(p.stats.dram_sectors) * 32.0 / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gpujoin::vgpu

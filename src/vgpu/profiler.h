@@ -1,0 +1,49 @@
+// Per-kernel profiling — the simulator's analog of NVIDIA Nsight Compute
+// (§5.2.1 / Table 4 were produced with Nsight). The device aggregates the
+// stats of every kernel execution by kernel name; the profiler renders the
+// per-kernel table (invocations, cycles, instructions, sector efficiency,
+// L2 hit rate, DRAM traffic).
+
+#ifndef GPUJOIN_VGPU_PROFILER_H_
+#define GPUJOIN_VGPU_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vgpu/stats.h"
+
+namespace gpujoin::vgpu {
+
+/// Aggregated statistics of all executions of one kernel name.
+struct KernelProfile {
+  std::string name;
+  uint64_t invocations = 0;
+  KernelStats stats;
+};
+
+class Profiler {
+ public:
+  /// Records one finished kernel execution.
+  void Record(const char* name, const KernelStats& stats);
+
+  /// Profiles aggregated by kernel name, ordered by total cycles (desc).
+  std::vector<KernelProfile> Profiles() const;
+
+  /// A profile for a specific kernel name (zeroed if never executed).
+  KernelProfile ProfileFor(const std::string& name) const;
+
+  /// Multi-line human-readable report (one row per kernel).
+  std::string Report() const;
+
+  void Clear() { by_name_.clear(); }
+  bool empty() const { return by_name_.empty(); }
+
+ private:
+  std::map<std::string, KernelProfile> by_name_;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_PROFILER_H_

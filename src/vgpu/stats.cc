@@ -1,0 +1,24 @@
+#include "vgpu/stats.h"
+
+#include <cstdio>
+
+namespace gpujoin::vgpu {
+
+std::string KernelStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "warp_instrs=%llu mem_instrs=%llu transactions=%llu sectors=%llu "
+                "l2_hits=%llu dram=%llu sectors/req=%.2f l2_hit_rate=%.2f "
+                "cycles=%.0f (compute=%.0f, memory=%.0f)",
+                static_cast<unsigned long long>(warp_instructions),
+                static_cast<unsigned long long>(mem_instructions),
+                static_cast<unsigned long long>(transactions),
+                static_cast<unsigned long long>(sectors),
+                static_cast<unsigned long long>(l2_hit_sectors),
+                static_cast<unsigned long long>(dram_sectors),
+                AvgSectorsPerRequest(), L2HitRate(), cycles, compute_cycles,
+                memory_cycles);
+  return buf;
+}
+
+}  // namespace gpujoin::vgpu

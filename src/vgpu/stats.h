@@ -1,0 +1,97 @@
+// Execution counters produced by the simulated memory system and kernel
+// scheduler. KernelStats corresponds to what NVIDIA Nsight Compute reports
+// for one kernel (Table 4 of the paper): warp instructions, transactions,
+// sectors, cache hits, and derived cycles.
+
+#ifndef GPUJOIN_VGPU_STATS_H_
+#define GPUJOIN_VGPU_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gpujoin::vgpu {
+
+/// Counters for one kernel execution (or an accumulation over kernels).
+struct KernelStats {
+  /// Total warp-level instructions issued (memory + compute alike).
+  uint64_t warp_instructions = 0;
+  /// Warp-level global-memory instructions (subset of warp_instructions).
+  uint64_t mem_instructions = 0;
+  /// 128-byte line transactions (each costs one issue/replay slot).
+  uint64_t transactions = 0;
+  /// 32-byte sectors touched by global accesses (L2 lookups).
+  uint64_t sectors = 0;
+  /// Sectors served from the L2 cache.
+  uint64_t l2_hit_sectors = 0;
+  /// Sectors served from DRAM (L2 misses).
+  uint64_t dram_sectors = 0;
+  /// DRAM accesses that had to open a new row (activation penalty).
+  uint64_t dram_row_misses = 0;
+  /// Bytes requested by loads (lane-level, not sector-level).
+  uint64_t bytes_read = 0;
+  /// Bytes requested by stores.
+  uint64_t bytes_written = 0;
+  /// Warp-level shared-memory accesses.
+  uint64_t shared_accesses = 0;
+  /// Extra serialization cycles from atomic contention (warp-level).
+  uint64_t atomic_serializations = 0;
+  /// Cycles that do not parallelize across SMs (cross-block serialization,
+  /// e.g. contended global allocators); added to compute time directly.
+  double serial_cycles = 0;
+
+  // Derived by Device::EndKernel():
+  double compute_cycles = 0;
+  double memory_cycles = 0;
+  double cycles = 0;
+
+  void Add(const KernelStats& o) {
+    warp_instructions += o.warp_instructions;
+    mem_instructions += o.mem_instructions;
+    transactions += o.transactions;
+    sectors += o.sectors;
+    l2_hit_sectors += o.l2_hit_sectors;
+    dram_sectors += o.dram_sectors;
+    dram_row_misses += o.dram_row_misses;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    shared_accesses += o.shared_accesses;
+    atomic_serializations += o.atomic_serializations;
+    serial_cycles += o.serial_cycles;
+    compute_cycles += o.compute_cycles;
+    memory_cycles += o.memory_cycles;
+    cycles += o.cycles;
+  }
+
+  /// Average 32B sectors per global-memory warp instruction — the paper's
+  /// "avg. sectors read per load request" (Table 4). Coalesced 4-byte
+  /// accesses give 4; fully random gathers give ~32.
+  double AvgSectorsPerRequest() const {
+    return mem_instructions == 0
+               ? 0.0
+               : static_cast<double>(sectors) / static_cast<double>(mem_instructions);
+  }
+  /// L2 hit rate over sectors.
+  double L2HitRate() const {
+    return sectors == 0 ? 0.0
+                        : static_cast<double>(l2_hit_sectors) /
+                              static_cast<double>(sectors);
+  }
+  /// Cycles per warp instruction (Table 4's "avg. cycles per warp instr").
+  double CyclesPerWarpInstruction() const {
+    return warp_instructions == 0 ? 0.0
+                                  : cycles / static_cast<double>(warp_instructions);
+  }
+
+  std::string ToString() const;
+};
+
+/// Counters for memory allocation (Table 5 of the paper).
+struct MemoryStats {
+  uint64_t live_bytes = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t total_allocations = 0;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_STATS_H_

@@ -1,0 +1,201 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <random>
+
+#include "workload/zipf.h"
+
+namespace gpujoin::workload {
+
+namespace {
+
+int64_t RandomPayload(std::mt19937_64& rng, DataType type) {
+  if (type == DataType::kInt32) {
+    return static_cast<int64_t>(rng() & 0x7fffffffull);
+  }
+  return static_cast<int64_t>(rng() & 0x7fffffffffffffffull);
+}
+
+}  // namespace
+
+Status JoinWorkloadSpec::Validate() const {
+  if (r_rows == 0 || s_rows == 0) {
+    return Status::InvalidArgument("workload: relations must be non-empty");
+  }
+  if (r_payload_cols < 0 || s_payload_cols < 0) {
+    return Status::InvalidArgument("workload: negative payload column count");
+  }
+  if (match_ratio < 0.0 || match_ratio > 1.0) {
+    return Status::InvalidArgument("workload: match_ratio must be in [0,1]");
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("workload: zipf_theta must be >= 0");
+  }
+  if (key_type == DataType::kInt32 &&
+      r_rows + s_rows > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::InvalidArgument("workload: key domain exceeds int32");
+  }
+  return Status::OK();
+}
+
+Result<JoinWorkload> GenerateJoinInput(const JoinWorkloadSpec& spec) {
+  GPUJOIN_RETURN_IF_ERROR(spec.Validate());
+  std::mt19937_64 rng(spec.seed);
+
+  JoinWorkload out;
+  out.r.name = "R";
+  out.s.name = "S";
+
+  // R keys: 0..|R|-1 shuffled; a (1 - match_ratio) fraction is replaced by
+  // values outside S's foreign-key domain so exactly match_ratio of S's
+  // (uniform) foreign keys find a partner.
+  std::vector<int64_t> r_keys(spec.r_rows);
+  std::iota(r_keys.begin(), r_keys.end(), 0);
+  const uint64_t non_matching = static_cast<uint64_t>(
+      static_cast<double>(spec.r_rows) * (1.0 - spec.match_ratio) + 0.5);
+  for (uint64_t i = 0; i < non_matching; ++i) {
+    // Remove the *least popular* key values (highest Zipf ranks) and replace
+    // them with unique values >= |R| that are never generated as foreign
+    // keys. Under a uniform FK distribution the expected match ratio is
+    // exact; under skew the ratio errs toward more matches, never fewer.
+    r_keys[spec.r_rows - 1 - i] = static_cast<int64_t>(spec.r_rows + i);
+  }
+  std::shuffle(r_keys.begin(), r_keys.end(), rng);
+
+  HostColumn r_key_col;
+  r_key_col.name = "r_key";
+  r_key_col.type = spec.key_type;
+  r_key_col.values = std::move(r_keys);
+  out.r.columns.push_back(std::move(r_key_col));
+  for (int c = 0; c < spec.r_payload_cols; ++c) {
+    HostColumn col;
+    col.name = "r_pay" + std::to_string(c + 1);
+    col.type = spec.r_payload_type;
+    col.values.resize(spec.r_rows);
+    for (auto& v : col.values) v = RandomPayload(rng, spec.r_payload_type);
+    out.r.columns.push_back(std::move(col));
+  }
+
+  // S foreign keys: uniform or Zipfian draws over the original key domain
+  // [0, |R|). Values removed from R above cause the S tuples that drew them
+  // to have no partner.
+  ZipfGenerator zipf(spec.r_rows, spec.zipf_theta, rng());
+  HostColumn s_key_col;
+  s_key_col.name = "s_key";
+  s_key_col.type = spec.key_type;
+  s_key_col.values.resize(spec.s_rows);
+  for (auto& v : s_key_col.values) v = static_cast<int64_t>(zipf.Next());
+  out.s.columns.push_back(std::move(s_key_col));
+  for (int c = 0; c < spec.s_payload_cols; ++c) {
+    HostColumn col;
+    col.name = "s_pay" + std::to_string(c + 1);
+    col.type = spec.s_payload_type;
+    col.values.resize(spec.s_rows);
+    for (auto& v : col.values) v = RandomPayload(rng, spec.s_payload_type);
+    out.s.columns.push_back(std::move(col));
+  }
+  return out;
+}
+
+Status StarSchemaSpec::Validate() const {
+  if (fact_rows == 0 || dim_rows == 0) {
+    return Status::InvalidArgument("star schema: empty relations");
+  }
+  if (num_dims < 1 || num_dims > 64) {
+    return Status::InvalidArgument("star schema: num_dims out of range");
+  }
+  if (key_type == DataType::kInt32 &&
+      dim_rows > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::InvalidArgument("star schema: dim key domain exceeds int32");
+  }
+  return Status::OK();
+}
+
+Result<StarSchema> GenerateStarSchema(const StarSchemaSpec& spec) {
+  GPUJOIN_RETURN_IF_ERROR(spec.Validate());
+  std::mt19937_64 rng(spec.seed);
+  StarSchema out;
+  out.fact.name = "F";
+  for (int d = 0; d < spec.num_dims; ++d) {
+    HostColumn fk;
+    fk.name = "fk" + std::to_string(d + 1);
+    fk.type = spec.key_type;
+    fk.values.resize(spec.fact_rows);
+    for (auto& v : fk.values) v = static_cast<int64_t>(rng() % spec.dim_rows);
+    out.fact.columns.push_back(std::move(fk));
+
+    HostTable dim;
+    dim.name = "D" + std::to_string(d + 1);
+    HostColumn key;
+    key.name = "k" + std::to_string(d + 1);
+    key.type = spec.key_type;
+    key.values.resize(spec.dim_rows);
+    std::iota(key.values.begin(), key.values.end(), 0);
+    std::shuffle(key.values.begin(), key.values.end(), rng);
+    dim.columns.push_back(std::move(key));
+    HostColumn pay;
+    pay.name = "p" + std::to_string(d + 1);
+    pay.type = spec.payload_type;
+    pay.values.resize(spec.dim_rows);
+    for (auto& v : pay.values) v = RandomPayload(rng, spec.payload_type);
+    dim.columns.push_back(std::move(pay));
+    out.dims.push_back(std::move(dim));
+  }
+  return out;
+}
+
+Status GroupByWorkloadSpec::Validate() const {
+  if (rows == 0) return Status::InvalidArgument("groupby workload: rows == 0");
+  if (num_groups == 0) {
+    return Status::InvalidArgument("groupby workload: num_groups == 0");
+  }
+  if (payload_cols < 0) {
+    return Status::InvalidArgument("groupby workload: negative payload cols");
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("groupby workload: zipf_theta < 0");
+  }
+  if (key_type == DataType::kInt32 &&
+      num_groups > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return Status::InvalidArgument("groupby workload: group domain exceeds int32");
+  }
+  return Status::OK();
+}
+
+Result<HostTable> GenerateGroupByInput(const GroupByWorkloadSpec& spec) {
+  GPUJOIN_RETURN_IF_ERROR(spec.Validate());
+  std::mt19937_64 rng(spec.seed);
+  HostTable t;
+  t.name = "G";
+  ZipfGenerator zipf(spec.num_groups, spec.zipf_theta, rng());
+  HostColumn keys;
+  keys.name = "g_key";
+  keys.type = spec.key_type;
+  keys.values.resize(spec.rows);
+  for (auto& v : keys.values) v = static_cast<int64_t>(zipf.Next());
+  t.columns.push_back(std::move(keys));
+  for (int c = 0; c < spec.payload_cols; ++c) {
+    HostColumn col;
+    col.name = "g_val" + std::to_string(c + 1);
+    col.type = spec.payload_type;
+    col.values.resize(spec.rows);
+    // Keep values small enough that int64 SUMs cannot overflow.
+    for (auto& v : col.values) {
+      v = static_cast<int64_t>(rng() & 0xffffff);
+    }
+    t.columns.push_back(std::move(col));
+  }
+  return t;
+}
+
+uint64_t RowsForGigabytes(double gigabytes, int payload_cols, DataType key_type,
+                          DataType payload_type) {
+  const double row_bytes =
+      static_cast<double>(DataTypeSize(key_type)) +
+      static_cast<double>(payload_cols) * static_cast<double>(DataTypeSize(payload_type));
+  return static_cast<uint64_t>(gigabytes * 1e9 / row_bytes);
+}
+
+}  // namespace gpujoin::workload

@@ -1,0 +1,89 @@
+// Synthetic join workload generator, following the paper's §5.1 description:
+// R holds shuffled primary keys 0..|R|-1, S holds foreign keys drawn from
+// R's key domain (uniform or Zipfian); payloads are random integers of the
+// requested width; the match ratio is adjusted by replacing a fraction of
+// R's primary keys with values outside S's domain (§5.2.3).
+
+#ifndef GPUJOIN_WORKLOAD_GENERATOR_H_
+#define GPUJOIN_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gpujoin::workload {
+
+struct JoinWorkloadSpec {
+  uint64_t r_rows = 1 << 16;
+  uint64_t s_rows = 1 << 17;
+  int r_payload_cols = 1;
+  int s_payload_cols = 1;
+  DataType key_type = DataType::kInt32;
+  DataType r_payload_type = DataType::kInt32;
+  DataType s_payload_type = DataType::kInt32;
+  /// Fraction of S tuples that find a partner in R (1.0 = every FK matches).
+  double match_ratio = 1.0;
+  /// Zipf factor of the foreign-key distribution (0 = uniform).
+  double zipf_theta = 0.0;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Generated host tables: first = R (primary-key side), second = S.
+struct JoinWorkload {
+  HostTable r;
+  HostTable s;
+};
+
+Result<JoinWorkload> GenerateJoinInput(const JoinWorkloadSpec& spec);
+
+/// Star-schema workload for join sequences (§5.2.7, Figure 16): a fact
+/// table with `num_dims` foreign-key columns and `num_dims` dimension tables
+/// of `dim_rows` tuples (primary key + one payload column) each.
+struct StarSchemaSpec {
+  uint64_t fact_rows = 1 << 17;
+  int num_dims = 4;
+  uint64_t dim_rows = 1 << 15;
+  DataType key_type = DataType::kInt32;
+  DataType payload_type = DataType::kInt32;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+struct StarSchema {
+  HostTable fact;
+  std::vector<HostTable> dims;
+};
+
+Result<StarSchema> GenerateStarSchema(const StarSchemaSpec& spec);
+
+/// Group-by workload: `rows` tuples whose keys are drawn from `num_groups`
+/// distinct values (uniform or Zipf-skewed) plus `payload_cols` payload
+/// columns of the given type.
+struct GroupByWorkloadSpec {
+  uint64_t rows = 1 << 16;
+  uint64_t num_groups = 1 << 10;
+  int payload_cols = 1;
+  DataType key_type = DataType::kInt32;
+  DataType payload_type = DataType::kInt32;
+  double zipf_theta = 0.0;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+Result<HostTable> GenerateGroupByInput(const GroupByWorkloadSpec& spec);
+
+/// Computes per-relation sizes matching the paper's "xG ⋈ yG" notation:
+/// rows such that (1 + payload_cols) columns of the given types total
+/// `gigabytes` GB.
+uint64_t RowsForGigabytes(double gigabytes, int payload_cols, DataType key_type,
+                          DataType payload_type);
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_GENERATOR_H_

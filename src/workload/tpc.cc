@@ -1,0 +1,145 @@
+#include "workload/tpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "storage/dictionary.h"
+
+namespace gpujoin::workload {
+
+namespace {
+
+constexpr uint64_t kPaperScale = uint64_t{1} << 27;
+
+uint64_t Scale(uint64_t paper_rows, uint64_t scale_tuples) {
+  const double f =
+      static_cast<double>(scale_tuples) / static_cast<double>(kPaperScale);
+  return std::max<uint64_t>(
+      1024, static_cast<uint64_t>(static_cast<double>(paper_rows) * f));
+}
+
+/// A small pool of realistic string values (dictionary-encoded into an
+/// int64 payload column — §5.3's treatment of string attributes).
+HostColumn MakeDictColumn(const std::string& name, uint64_t rows,
+                          std::mt19937_64& rng) {
+  static const char* kShipModes[] = {"AIR",   "AIR REG", "RAIL", "SHIP",
+                                     "TRUCK", "MAIL",    "FOB"};
+  DictionaryEncoder dict;
+  HostColumn col;
+  col.name = name;
+  col.type = DataType::kInt64;
+  col.values.resize(rows);
+  for (auto& v : col.values) {
+    v = dict.Encode(kShipModes[rng() % 7]);
+  }
+  return col;
+}
+
+void AppendPayloads(HostTable* t, const std::string& prefix, int key_payloads,
+                    int nonkey_payloads, DataType nonkey_type,
+                    std::mt19937_64& rng) {
+  for (int c = 0; c < key_payloads; ++c) {
+    HostColumn col;
+    col.name = prefix + "_kp" + std::to_string(c + 1);
+    col.type = DataType::kInt32;  // Other PK/FK ids are 4-byte.
+    col.values.resize(t->num_rows());
+    for (auto& v : col.values) v = static_cast<int64_t>(rng() & 0x7fffffff);
+    t->columns.push_back(std::move(col));
+  }
+  for (int c = 0; c < nonkey_payloads; ++c) {
+    if (c == 0) {
+      // The first non-key attribute is a dictionary-encoded string column.
+      HostColumn col = MakeDictColumn(prefix + "_dict", t->num_rows(), rng);
+      if (nonkey_type == DataType::kInt32) col.type = DataType::kInt32;
+      t->columns.push_back(std::move(col));
+      continue;
+    }
+    HostColumn col;
+    col.name = prefix + "_nk" + std::to_string(c + 1);
+    col.type = nonkey_type;
+    col.values.resize(t->num_rows());
+    for (auto& v : col.values) {
+      v = nonkey_type == DataType::kInt32
+              ? static_cast<int64_t>(rng() & 0x7fffffff)
+              : static_cast<int64_t>(rng() & 0x7fffffffffffffff);
+    }
+    t->columns.push_back(std::move(col));
+  }
+}
+
+}  // namespace
+
+uint64_t TpcJoinSpec::ScaledR(uint64_t scale_tuples) const {
+  return Scale(r_rows, scale_tuples);
+}
+uint64_t TpcJoinSpec::ScaledS(uint64_t scale_tuples) const {
+  return Scale(s_rows, scale_tuples);
+}
+
+std::vector<TpcJoinSpec> TpcJoinSpecs() {
+  // Table 6. Row counts are the paper's (TPC-H SF=10, TPC-DS SF=100).
+  return {
+      // id, source, |R|, |S|, |T|, RK, RNK, SK, SNK, self, pkfk
+      {"J1", "TPC-H Q7 (SF=10)", 15'000'000, 18'200'000, 18'200'000, 1, 3, 0, 1,
+       false, true},
+      {"J2", "TPC-H Q18 (SF=10)", 15'000'000, 60'000'000, 60'000'000, 1, 2, 0, 1,
+       false, true},
+      {"J3", "TPC-H Q19 (SF=10)", 2'000'000, 2'100'000, 2'100'000, 0, 3, 0, 3,
+       false, true},
+      {"J4", "TPC-DS Q64 (SF=100)", 1'900'000, 58'000'000, 58'000'000, 0, 1, 3, 7,
+       false, true},
+      {"J5", "TPC-DS Q95 (SF=100)", 72'000'000, 72'000'000, 904'000'000, 0, 1, 0,
+       1, true, false},
+  };
+}
+
+Result<JoinWorkload> GenerateTpcJoin(const TpcJoinSpec& spec,
+                                     const TpcGenOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  const uint64_t nr = spec.ScaledR(options.scale_tuples);
+  const uint64_t ns = spec.ScaledS(options.scale_tuples);
+
+  JoinWorkload out;
+  out.r.name = spec.id + "_R";
+  out.s.name = spec.id + "_S";
+
+  HostColumn r_keys;
+  r_keys.name = "r_key";
+  r_keys.type = options.key_type;
+  HostColumn s_keys;
+  s_keys.name = "s_key";
+  s_keys.type = options.key_type;
+
+  if (spec.self_join) {
+    // J5: a self foreign-key join. Both sides draw foreign keys from a
+    // domain sized so that |R ⋈ S| / |S| matches the paper's ratio
+    // (904M / 72M ≈ 12.6): with uniform draws, E[|T|] = nr * ns / domain.
+    const double ratio = static_cast<double>(spec.out_rows) /
+                         static_cast<double>(spec.s_rows);
+    const uint64_t domain = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(nr) / ratio));
+    r_keys.values.resize(nr);
+    for (auto& v : r_keys.values) v = static_cast<int64_t>(rng() % domain);
+    s_keys.values = r_keys.values;  // The same relation on both sides.
+  } else {
+    // PK side: shuffled 0..|R|-1; FK side: uniform draws (100% match, as in
+    // the paper's specs where |T| = |S|).
+    r_keys.values.resize(nr);
+    std::iota(r_keys.values.begin(), r_keys.values.end(), 0);
+    std::shuffle(r_keys.values.begin(), r_keys.values.end(), rng);
+    s_keys.values.resize(ns);
+    for (auto& v : s_keys.values) v = static_cast<int64_t>(rng() % nr);
+  }
+
+  out.r.columns.push_back(std::move(r_keys));
+  out.s.columns.push_back(std::move(s_keys));
+  AppendPayloads(&out.r, "r", spec.r_key_payloads, spec.r_nonkey_payloads,
+                 options.nonkey_type, rng);
+  AppendPayloads(&out.s, "s", spec.s_key_payloads, spec.s_nonkey_payloads,
+                 options.nonkey_type, rng);
+  return out;
+}
+
+}  // namespace gpujoin::workload

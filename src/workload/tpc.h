@@ -1,0 +1,63 @@
+// TPC-H / TPC-DS join workloads (Table 6 of the paper).
+//
+// No dbgen/dsdgen data is available offline, so these generators reproduce
+// the *join specifications* the paper extracted from DuckDB query plans:
+// the row counts (scaled), the key/non-key payload column layout, the match
+// cardinalities (|R ⋈ S|), and dictionary-encoded string attributes with
+// shuffled rows. See DESIGN.md §1 for the substitution rationale.
+
+#ifndef GPUJOIN_WORKLOAD_TPC_H_
+#define GPUJOIN_WORKLOAD_TPC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace gpujoin::workload {
+
+struct TpcJoinSpec {
+  std::string id;      // "J1".."J5".
+  std::string source;  // e.g. "TPC-H Q7 (SF=10)".
+  uint64_t r_rows;     // Paper-scale tuple counts.
+  uint64_t s_rows;
+  uint64_t out_rows;
+  // Payload columns: "key" attributes are other PK/FK columns riding along
+  // (4-byte ids); "non-key" attributes are 8-byte values (or strings,
+  // dictionary-encoded).
+  int r_key_payloads;
+  int r_nonkey_payloads;
+  int s_key_payloads;
+  int s_nonkey_payloads;
+  bool self_join;  // J5: S is the same relation as R, joined on foreign keys.
+  bool pk_fk;
+
+  /// Rows after scaling the paper-sized relation counts by
+  /// (scale_tuples / 2^27), clamped to >= 1024.
+  uint64_t ScaledR(uint64_t scale_tuples) const;
+  uint64_t ScaledS(uint64_t scale_tuples) const;
+};
+
+/// The five joins of Table 6.
+std::vector<TpcJoinSpec> TpcJoinSpecs();
+
+struct TpcGenOptions {
+  /// Canonical scale in tuples (paper: 2^27); relation sizes scale by
+  /// scale_tuples / 2^27.
+  uint64_t scale_tuples = uint64_t{1} << 20;
+  /// Width of non-key payloads. The paper evaluates kInt64 (default,
+  /// "4-byte keys + 8-byte non-keys") and an all-8-byte variant where keys
+  /// are also 8 bytes.
+  DataType nonkey_type = DataType::kInt64;
+  DataType key_type = DataType::kInt32;
+  uint64_t seed = 42;
+};
+
+Result<JoinWorkload> GenerateTpcJoin(const TpcJoinSpec& spec,
+                                     const TpcGenOptions& options);
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_TPC_H_

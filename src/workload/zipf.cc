@@ -1,0 +1,31 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpujoin::workload {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
+  if (theta_ <= 0.0) return;
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < n_; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_[k] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (cdf_.empty()) {
+    return rng_() % n_;
+  }
+  const double u = unit_(rng_);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace gpujoin::workload

@@ -1,0 +1,35 @@
+// Zipfian key generator (§5.2.4): foreign keys drawn from [0, n) with
+// P(rank k) proportional to 1 / k^theta. theta = 0 degenerates to uniform.
+// Implemented with a precomputed CDF + binary search (deterministic, seeded),
+// the same construction Balkesen et al.'s generator uses.
+
+#ifndef GPUJOIN_WORKLOAD_ZIPF_H_
+#define GPUJOIN_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gpujoin::workload {
+
+class ZipfGenerator {
+ public:
+  /// Draws values in [0, n). theta >= 0; theta == 0 is uniform.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t domain() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::vector<double> cdf_;  // Empty when theta == 0 (uniform fast path).
+};
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_ZIPF_H_

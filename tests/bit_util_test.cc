@@ -1,0 +1,86 @@
+// Bit-manipulation helpers used by the radix primitives.
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+
+namespace gpujoin::bit_util {
+namespace {
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 40));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 40) + 1));
+}
+
+TEST(BitUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo((uint64_t{1} << 33) - 1), uint64_t{1} << 33);
+}
+
+TEST(BitUtilTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(uint64_t{1} << 50), 50);
+}
+
+TEST(BitUtilTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil((uint64_t{1} << 20) + 1), 21);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(BitUtilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 256), 0u);
+  EXPECT_EQ(AlignUp(1, 256), 256u);
+  EXPECT_EQ(AlignUp(256, 256), 256u);
+  EXPECT_EQ(AlignUp(257, 256), 512u);
+}
+
+TEST(BitUtilTest, RadixDigitExtractsRequestedBits) {
+  const int32_t key = 0b1011'0110'1100;  // 0xB6C
+  EXPECT_EQ(RadixDigit(key, 0, 4), 0b1100u);
+  EXPECT_EQ(RadixDigit(key, 4, 4), 0b0110u);
+  EXPECT_EQ(RadixDigit(key, 8, 4), 0b1011u);
+  EXPECT_EQ(RadixDigit(key, 0, 12), 0xB6Cu);
+}
+
+TEST(BitUtilTest, RadixDigitInt64HighBits) {
+  const int64_t key = int64_t{0x7Eu} << 40;
+  EXPECT_EQ(RadixDigit(key, 40, 8), 0x7Eu);
+  EXPECT_EQ(RadixDigit(key, 0, 8), 0u);
+}
+
+TEST(BitUtilTest, RadixDigitComposition) {
+  // Digits of consecutive passes reassemble the full value — the property
+  // LSD multi-pass partitioning relies on.
+  for (int64_t key : {int64_t{0}, int64_t{123456789}, int64_t{0x7fffffff}}) {
+    const uint32_t lo = RadixDigit(key, 0, 8);
+    const uint32_t mid = RadixDigit(key, 8, 8);
+    const uint32_t hi = RadixDigit(key, 16, 16);
+    EXPECT_EQ((static_cast<int64_t>(hi) << 16) | (mid << 8) | lo, key);
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin::bit_util

@@ -1,0 +1,211 @@
+// Bloom-filter sideways information passing, string-column round trips,
+// and a randomized differential fuzz over the whole join surface.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "join/bloom_filter.h"
+#include "join/join.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using join::JoinAlgo;
+using testing::MakeTestDevice;
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  vgpu::Device device = MakeTestDevice();
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 4096;
+  spec.s_rows = 1;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto bf = join::BloomFilter::Build(device, r).ValueOrDie();
+  for (int64_t key : w.r.columns[0].values) {
+    EXPECT_TRUE(bf.MightContain(key));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsLow) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable r{"r", {{"k", DataType::kInt32, {}}}};
+  for (int i = 0; i < 8192; ++i) r.columns[0].values.push_back(i);
+  auto rd = Table::FromHost(device, r).ValueOrDie();
+  auto bf = join::BloomFilter::Build(device, rd, 10).ValueOrDie();
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (bf.MightContain(1'000'000 + i)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.05);
+}
+
+TEST(BloomFilterTest, SipPreservesJoinResults) {
+  // join(R, SIP(R, S)) == join(R, S): no false negatives means no lost
+  // matches; false positives are removed by the join itself.
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 2048;
+  spec.s_rows = 8192;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  spec.match_ratio = 0.1;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+
+  join::SipJoinStats stats;
+  auto pruned = SipPruneProbeSide(device, r, s, &stats).ValueOrDie();
+  EXPECT_EQ(stats.probe_rows_in, spec.s_rows);
+  // 10% match ratio: the filter should drop most of the probe side.
+  EXPECT_LT(stats.probe_rows_kept, spec.s_rows / 4);
+
+  auto joined = RunJoin(device, JoinAlgo::kPhjOm, r, pruned).ValueOrDie();
+  EXPECT_EQ(join::CanonicalRows(joined.output.ToHost()),
+            join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST(BloomFilterTest, SipPaysOffAtLowMatchRatio) {
+  const uint64_t n = uint64_t{1} << 17;
+  vgpu::Device device(
+      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), n));
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = n / 2;
+  spec.s_rows = n;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  spec.match_ratio = 0.05;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+
+  device.FlushL2();
+  const double p0 = device.ElapsedSeconds();
+  auto plain = RunJoin(device, JoinAlgo::kPhjOm, r, s).ValueOrDie();
+  const double plain_s = device.ElapsedSeconds() - p0;
+
+  device.FlushL2();
+  const double s0 = device.ElapsedSeconds();
+  auto pruned = join::SipPruneProbeSide(device, r, s, nullptr).ValueOrDie();
+  auto sip = RunJoin(device, JoinAlgo::kPhjOm, r, pruned).ValueOrDie();
+  const double sip_s = device.ElapsedSeconds() - s0;
+
+  EXPECT_EQ(plain.output_rows, sip.output_rows);
+  EXPECT_LT(sip_s, plain_s);
+}
+
+TEST(BloomFilterTest, RejectsBadParameters) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable r{"r", {{"k", DataType::kInt32, {1}}}};
+  auto rd = Table::FromHost(device, r).ValueOrDie();
+  EXPECT_FALSE(join::BloomFilter::Build(device, rd, 1).ok());
+  EXPECT_FALSE(join::BloomFilter::Build(device, rd, 100).ok());
+}
+
+// ---------------------------------------------------------------------------
+// String columns.
+// ---------------------------------------------------------------------------
+
+TEST(StringColumnTest, UploadEncodesAndToHostDecodes) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable t{"t", {{"k", DataType::kInt32, {1, 2, 3, 4}}}};
+  HostColumn mode;
+  mode.name = "ship_mode";
+  mode.type = DataType::kInt32;
+  mode.strings = {"AIR", "RAIL", "AIR", "SHIP"};
+  t.columns.push_back(mode);
+
+  auto dt = Table::FromHost(device, t).ValueOrDie();
+  ASSERT_NE(dt.dictionary(1), nullptr);
+  EXPECT_EQ(dt.dictionary(0), nullptr);
+  // Dense codes in first-seen order.
+  EXPECT_EQ(dt.column(1).Get(0), 0);  // AIR
+  EXPECT_EQ(dt.column(1).Get(1), 1);  // RAIL
+  EXPECT_EQ(dt.column(1).Get(2), 0);  // AIR again
+  const HostTable back = dt.ToHost();
+  EXPECT_EQ(back.columns[1].strings,
+            (std::vector<std::string>{"AIR", "RAIL", "AIR", "SHIP"}));
+}
+
+TEST(StringColumnTest, JoinOnStringCodesThenDecode) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable dim{"dim", {{"k", DataType::kInt32, {0, 1, 2}}}};
+  HostColumn names;
+  names.name = "region";
+  names.type = DataType::kInt32;
+  names.strings = {"EU", "US", "APAC"};
+  dim.columns.push_back(names);
+  HostTable fact{"fact", {{"k", DataType::kInt32, {2, 0, 1, 2}},
+                          {"amount", DataType::kInt32, {5, 6, 7, 8}}}};
+  auto dim_t = Table::FromHost(device, dim).ValueOrDie();
+  auto fact_t = Table::FromHost(device, fact).ValueOrDie();
+  auto res = RunJoin(device, JoinAlgo::kPhjOm, dim_t, fact_t).ValueOrDie();
+  // Decode the joined region codes through the input table's dictionary.
+  const HostTable out = res.output.ToHost();
+  const DictionaryEncoder* dict = dim_t.dictionary(1);
+  ASSERT_NE(dict, nullptr);
+  std::multiset<std::string> regions;
+  for (int64_t code : out.columns[1].values) {
+    regions.insert(dict->Decode(code).ValueOrDie());
+  }
+  EXPECT_EQ(regions, (std::multiset<std::string>{"EU", "US", "APAC", "APAC"}));
+}
+
+TEST(StringColumnTest, RaggedStringColumnRejected) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable t{"t", {{"k", DataType::kInt32, {1, 2}}}};
+  HostColumn s;
+  s.name = "s";
+  s.strings = {"one"};
+  t.columns.push_back(s);
+  EXPECT_FALSE(Table::FromHost(device, t).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential fuzz: random workload shapes, every algorithm,
+// always compared against the host oracle.
+// ---------------------------------------------------------------------------
+
+class JoinFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinFuzzTest, RandomShapeMatchesOracleOnEveryAlgorithm) {
+  std::mt19937_64 rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 64 + rng() % 4000;
+  spec.s_rows = 64 + rng() % 8000;
+  spec.r_payload_cols = static_cast<int>(rng() % 4);
+  spec.s_payload_cols = static_cast<int>(rng() % 4);
+  spec.match_ratio = static_cast<double>(rng() % 101) / 100.0;
+  spec.zipf_theta = static_cast<double>(rng() % 16) / 10.0;
+  spec.key_type = rng() % 2 ? DataType::kInt64 : DataType::kInt32;
+  spec.r_payload_type = rng() % 2 ? DataType::kInt64 : DataType::kInt32;
+  spec.s_payload_type = rng() % 2 ? DataType::kInt64 : DataType::kInt32;
+  spec.seed = rng();
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  const auto expected = join::ReferenceJoinRows(w.r, w.s);
+
+  for (JoinAlgo algo : join::kAllJoinAlgos) {
+    vgpu::Device device = MakeTestDevice();
+    device.set_interleave_seed(rng());
+    auto r = Table::FromHost(device, w.r).ValueOrDie();
+    auto s = Table::FromHost(device, w.s).ValueOrDie();
+    auto res = RunJoin(device, algo, r, s);
+    ASSERT_OK(res);
+    ASSERT_EQ(join::CanonicalRows(res->output.ToHost()), expected)
+        << join::JoinAlgoName(algo) << " seed " << GetParam() << " |R|="
+        << spec.r_rows << " |S|=" << spec.s_rows << " pay="
+        << spec.r_payload_cols << "/" << spec.s_payload_cols << " match="
+        << spec.match_ratio << " zipf=" << spec.zipf_theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace gpujoin

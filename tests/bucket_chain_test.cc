@@ -1,0 +1,176 @@
+// Bucket-chain partitioning (the PHJ-UM transform): partition validity,
+// fragmentation accounting, the §3.2 non-determinism (different atomics
+// arrival orders produce different — yet all valid — layouts), value
+// replay alignment, and chain-based match finding.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "prim/bucket_chain.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::prim {
+namespace {
+
+using testing::MakeTestDevice;
+using vgpu::DeviceBuffer;
+
+std::vector<int32_t> RandomKeys(uint64_t n, int32_t range, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int32_t> keys(n);
+  for (auto& k : keys) k = static_cast<int32_t>(rng() % range);
+  return keys;
+}
+
+TEST(BucketChainTest, PartitionsContainExactlyTheRightKeys) {
+  vgpu::Device device = MakeTestDevice();
+  const int bits1 = 3, bits2 = 4;
+  const auto host = RandomKeys(20000, 1 << 12, 11);
+  auto keys = DeviceBuffer<int32_t>::FromHost(device, host).ValueOrDie();
+  auto layout = BuildBucketChainLayout(device, keys, bits1, bits2, 128);
+  ASSERT_OK(layout);
+  ASSERT_EQ(layout->num_partitions(), 1u << (bits1 + bits2));
+
+  // Every tuple lands in the partition of its digit; sizes add up.
+  std::map<uint32_t, uint64_t> expected_sizes;
+  for (int32_t k : host) {
+    ++expected_sizes[bit_util::RadixDigit(k, 0, bits1 + bits2)];
+  }
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < layout->num_partitions(); ++p) {
+    EXPECT_EQ(layout->sizes[p], expected_sizes[p]) << "partition " << p;
+    total += layout->sizes[p];
+    for (uint64_t i = 0; i < layout->sizes[p]; ++i) {
+      const int32_t k = layout->keys[layout->starts[p] + i];
+      EXPECT_EQ(bit_util::RadixDigit(k, 0, bits1 + bits2), p);
+    }
+  }
+  EXPECT_EQ(total, host.size());
+}
+
+TEST(BucketChainTest, FragmentationIsBucketAligned) {
+  vgpu::Device device = MakeTestDevice();
+  const uint32_t bucket = 100;
+  const auto host = RandomKeys(5000, 1 << 10, 3);
+  auto keys = DeviceBuffer<int32_t>::FromHost(device, host).ValueOrDie();
+  auto layout = BuildBucketChainLayout(device, keys, 2, 2, bucket);
+  ASSERT_OK(layout);
+  // Starts are bucket-aligned and the pool over-allocates (fragmentation).
+  for (uint32_t p = 0; p < layout->num_partitions(); ++p) {
+    EXPECT_EQ(layout->starts[p] % bucket, 0u);
+  }
+  EXPECT_GT(layout->pool2_elems, host.size());
+  EXPECT_EQ(layout->keys.size(), layout->pool2_elems);
+}
+
+TEST(BucketChainTest, DifferentSeedsPermuteWithinPartitions) {
+  // §3.2: atomics make partition-internal order non-deterministic. Same
+  // seed => identical layout; different seed => same partition contents as
+  // multisets but (almost surely) different order.
+  const auto host = RandomKeys(30000, 1 << 10, 5);
+  auto run = [&](uint64_t seed) {
+    vgpu::Device device = MakeTestDevice();
+    device.set_interleave_seed(seed);
+    auto keys = DeviceBuffer<int32_t>::FromHost(device, host).ValueOrDie();
+    auto layout = BuildBucketChainLayout(device, keys, 2, 2, 256);
+    GPUJOIN_CHECK_OK(layout.status());
+    return std::vector<RowId>(layout->perm2.begin(), layout->perm2.end());
+  };
+  const auto a1 = run(42);
+  const auto a2 = run(42);
+  const auto b = run(43);
+  EXPECT_EQ(a1, a2);  // Reproducible given the seed.
+  EXPECT_NE(a1, b);   // Arrival order differs across runs.
+}
+
+TEST(BucketChainTest, ValueReplayAlignsWithKeys) {
+  // ApplyBucketChainToValues must route values exactly like the keys —
+  // vals[pos] must be the original value of the tuple whose key is at pos.
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 10000;
+  const auto host = RandomKeys(n, 1 << 12, 9);
+  auto keys = DeviceBuffer<int32_t>::FromHost(device, host).ValueOrDie();
+  auto layout = BuildBucketChainLayout(device, keys, 3, 3, 64);
+  ASSERT_OK(layout);
+
+  // Values are functions of their original index: value[i] = i * 3 + 1.
+  auto vals = DeviceBuffer<int64_t>::Allocate(device, n).ValueOrDie();
+  for (uint64_t i = 0; i < n; ++i) vals[i] = static_cast<int64_t>(i) * 3 + 1;
+  auto pool = ApplyBucketChainToValues(device, *layout, vals);
+  ASSERT_OK(pool);
+  ASSERT_EQ(pool->size(), layout->pool2_elems);
+  for (uint32_t p = 0; p < layout->num_partitions(); ++p) {
+    for (uint64_t i = 0; i < layout->sizes[p]; ++i) {
+      const uint64_t pos = layout->starts[p] + i;
+      const RowId src = layout->perm1[layout->perm2[pos]];
+      ASSERT_NE(src, kInvalidRow);
+      EXPECT_EQ((*pool)[pos], static_cast<int64_t>(src) * 3 + 1);
+      EXPECT_EQ(layout->keys[pos], host[src]);
+    }
+  }
+}
+
+TEST(BucketChainTest, MatchFindingOverChains) {
+  vgpu::Device device = MakeTestDevice();
+  const auto r_host = RandomKeys(3000, 1 << 10, 21);
+  const auto s_host = RandomKeys(8000, 1 << 10, 22);
+  auto r_keys = DeviceBuffer<int32_t>::FromHost(device, r_host).ValueOrDie();
+  auto s_keys = DeviceBuffer<int32_t>::FromHost(device, s_host).ValueOrDie();
+  auto r_layout = BuildBucketChainLayout(device, r_keys, 2, 3, 64);
+  auto s_layout = BuildBucketChainLayout(device, s_keys, 2, 3, 64);
+  ASSERT_OK(r_layout);
+  ASSERT_OK(s_layout);
+
+  auto match = HashJoinBucketChains(device, *r_layout, *s_layout, 256);
+  ASSERT_OK(match);
+
+  std::map<int32_t, uint64_t> r_counts;
+  for (int32_t k : r_host) ++r_counts[k];
+  uint64_t expected = 0;
+  for (int32_t k : s_host) {
+    auto it = r_counts.find(k);
+    if (it != r_counts.end()) expected += it->second;
+  }
+  EXPECT_EQ(match->count(), expected);
+  for (uint64_t i = 0; i < match->count(); ++i) {
+    EXPECT_EQ(r_layout->keys[match->r_pos[i]], match->keys[i]);
+    EXPECT_EQ(s_layout->keys[match->s_pos[i]], match->keys[i]);
+  }
+}
+
+TEST(BucketChainTest, SkewRaisesSerializedTransformCost) {
+  // The Figure 14 mechanism: a heavily skewed key column must charge far
+  // more transform cycles than a uniform one of the same size.
+  const uint64_t n = 1 << 16;
+  auto measure = [&](bool skewed) {
+    vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(
+        vgpu::DeviceConfig::A100(), n));
+    auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+    std::mt19937_64 rng(2);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = skewed ? 7 : static_cast<int32_t>(rng() % n);
+    }
+    const double t0 = device.ElapsedSeconds();
+    GPUJOIN_CHECK_OK(
+        BuildBucketChainLayout(device, keys, 4, 4, 256).status());
+    return device.ElapsedSeconds() - t0;
+  };
+  EXPECT_GT(measure(true), measure(false) * 3);
+}
+
+TEST(BucketChainTest, RejectsInvalidParameters) {
+  vgpu::Device device = MakeTestDevice();
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, 64).ValueOrDie();
+  EXPECT_FALSE(BuildBucketChainLayout(device, keys, 0, 4, 64).ok());
+  EXPECT_FALSE(BuildBucketChainLayout(device, keys, 9, 4, 64).ok());
+  EXPECT_FALSE(BuildBucketChainLayout(device, keys, 4, 9, 64).ok());
+  EXPECT_FALSE(BuildBucketChainLayout(device, keys, 4, 4, 0).ok());
+}
+
+}  // namespace
+}  // namespace gpujoin::prim

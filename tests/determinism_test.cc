@@ -1,0 +1,93 @@
+// Determinism guarantees (§4.3): the GFTR implementations (SMJ-OM, PHJ-OM)
+// are bit-deterministic regardless of the scheduling seed, while PHJ-UM's
+// bucket chaining produces run-dependent (yet always correct) layouts —
+// which is exactly why it cannot support the GFTR pattern.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "join/join.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using join::JoinAlgo;
+using testing::MakeTestDevice;
+
+std::vector<std::vector<int64_t>> RunWithSeed(JoinAlgo algo, uint64_t seed,
+                                              bool* identical_order_marker,
+                                              const workload::JoinWorkload& w) {
+  vgpu::Device device = MakeTestDevice();
+  device.set_interleave_seed(seed);
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  auto res = RunJoin(device, algo, r, s).ValueOrDie();
+  (void)identical_order_marker;
+  // Return rows in OUTPUT ORDER (not canonicalized) to compare layouts.
+  const HostTable out = res.output.ToHost();
+  std::vector<std::vector<int64_t>> rows(out.num_rows());
+  for (uint64_t i = 0; i < out.num_rows(); ++i) {
+    for (const HostColumn& c : out.columns) rows[i].push_back(c.values[i]);
+  }
+  return rows;
+}
+
+workload::JoinWorkload MakeWorkload() {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 6000;
+  spec.s_rows = 12000;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  return workload::GenerateJoinInput(spec).ValueOrDie();
+}
+
+TEST(DeterminismTest, GftrImplementationsAreSeedIndependent) {
+  const auto w = MakeWorkload();
+  for (JoinAlgo algo : {JoinAlgo::kSmjOm, JoinAlgo::kPhjOm, JoinAlgo::kSmjUm,
+                        JoinAlgo::kNphj}) {
+    const auto a = RunWithSeed(algo, 1, nullptr, w);
+    const auto b = RunWithSeed(algo, 999, nullptr, w);
+    EXPECT_EQ(a, b) << join::JoinAlgoName(algo)
+                    << " must be bit-deterministic across seeds";
+  }
+}
+
+TEST(DeterminismTest, BucketChainOutputOrderIsSeedDependentYetCorrect) {
+  const auto w = MakeWorkload();
+  auto a = RunWithSeed(JoinAlgo::kPhjUm, 1, nullptr, w);
+  auto b = RunWithSeed(JoinAlgo::kPhjUm, 999, nullptr, w);
+  // Different atomics arrival order => different output order...
+  EXPECT_NE(a, b);
+  // ...but the same multiset of rows, and both match the oracle.
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST(DeterminismTest, SameSeedReproducesBucketChainExactly) {
+  const auto w = MakeWorkload();
+  const auto a = RunWithSeed(JoinAlgo::kPhjUm, 77, nullptr, w);
+  const auto b = RunWithSeed(JoinAlgo::kPhjUm, 77, nullptr, w);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, SimulatedTimingIsReproducible) {
+  const auto w = MakeWorkload();
+  double t1 = 0, t2 = 0;
+  for (double* t : {&t1, &t2}) {
+    vgpu::Device device = MakeTestDevice();
+    auto r = Table::FromHost(device, w.r).ValueOrDie();
+    auto s = Table::FromHost(device, w.s).ValueOrDie();
+    auto res = RunJoin(device, join::JoinAlgo::kPhjOm, r, s).ValueOrDie();
+    *t = res.phases.total_s();
+  }
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,139 @@
+// Algebraic property tests for grouped aggregation: SUM linearity over
+// partitions of the input, COUNT totals, MIN/MAX idempotence under
+// duplication, AVG consistency with SUM/COUNT, and cross-algorithm
+// agreement on identical inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "groupby/groupby.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using groupby::AggOp;
+using groupby::GroupByAlgo;
+using groupby::GroupBySpec;
+using testing::MakeTestDevice;
+
+HostTable RandomInput(uint64_t rows, uint64_t groups, uint64_t seed) {
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = rows;
+  spec.num_groups = groups;
+  spec.seed = seed;
+  return workload::GenerateGroupByInput(spec).ValueOrDie();
+}
+
+std::vector<std::vector<int64_t>> RunGb(GroupByAlgo algo, const HostTable& input,
+                                      const GroupBySpec& spec) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, input).ValueOrDie();
+  auto res = RunGroupBy(device, algo, t, spec).ValueOrDie();
+  return join::CanonicalRows(res.output.ToHost());
+}
+
+class GroupByPropertyTest : public ::testing::TestWithParam<GroupByAlgo> {};
+
+TEST_P(GroupByPropertyTest, SumIsLinearOverInputPartitions) {
+  // SUM(A ++ B) per group == SUM(A) + SUM(B) per group.
+  const HostTable a = RandomInput(4000, 128, 1);
+  const HostTable b = RandomInput(3000, 128, 2);
+  HostTable ab = a;
+  for (size_t c = 0; c < ab.columns.size(); ++c) {
+    ab.columns[c].values.insert(ab.columns[c].values.end(),
+                                b.columns[c].values.begin(),
+                                b.columns[c].values.end());
+  }
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kSum}};
+  const auto sum_a = RunGb(GetParam(), a, spec);
+  const auto sum_b = RunGb(GetParam(), b, spec);
+  const auto sum_ab = RunGb(GetParam(), ab, spec);
+
+  std::map<int64_t, int64_t> merged;
+  for (const auto& row : sum_a) merged[row[0]] += row[1];
+  for (const auto& row : sum_b) merged[row[0]] += row[1];
+  ASSERT_EQ(sum_ab.size(), merged.size());
+  for (const auto& row : sum_ab) {
+    EXPECT_EQ(row[1], merged[row[0]]) << "group " << row[0];
+  }
+}
+
+TEST_P(GroupByPropertyTest, CountsSumToInputSize) {
+  const HostTable input = RandomInput(5000, 300, 3);
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kCount}};
+  const auto rows = RunGb(GetParam(), input, spec);
+  int64_t total = 0;
+  for (const auto& row : rows) total += row[1];
+  EXPECT_EQ(total, 5000);
+}
+
+TEST_P(GroupByPropertyTest, MinMaxIdempotentUnderDuplication) {
+  // Duplicating the input must not change MIN or MAX, and must double SUM.
+  const HostTable input = RandomInput(2000, 64, 4);
+  HostTable doubled = input;
+  for (size_t c = 0; c < doubled.columns.size(); ++c) {
+    doubled.columns[c].values.insert(doubled.columns[c].values.end(),
+                                     input.columns[c].values.begin(),
+                                     input.columns[c].values.end());
+  }
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kMin}, {1, AggOp::kMax}, {1, AggOp::kSum}};
+  const auto once = RunGb(GetParam(), input, spec);
+  const auto twice = RunGb(GetParam(), doubled, spec);
+  ASSERT_EQ(once.size(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i][0], twice[i][0]);
+    EXPECT_EQ(once[i][1], twice[i][1]);          // MIN unchanged.
+    EXPECT_EQ(once[i][2], twice[i][2]);          // MAX unchanged.
+    EXPECT_EQ(once[i][3] * 2, twice[i][3]);      // SUM doubled.
+  }
+}
+
+TEST_P(GroupByPropertyTest, AvgIsFlooredSumOverCount) {
+  const HostTable input = RandomInput(3000, 100, 5);
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kSum}, {1, AggOp::kCount}, {1, AggOp::kAvg}};
+  const auto rows = RunGb(GetParam(), input, spec);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row[3], row[1] / row[2]) << "group " << row[0];
+  }
+}
+
+TEST_P(GroupByPropertyTest, MinLeMax) {
+  const HostTable input = RandomInput(3000, 100, 6);
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kMin}, {1, AggOp::kMax}};
+  for (const auto& row : RunGb(GetParam(), input, spec)) {
+    EXPECT_LE(row[1], row[2]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, GroupByPropertyTest,
+                         ::testing::ValuesIn(groupby::kAllGroupByAlgos),
+                         [](const ::testing::TestParamInfo<GroupByAlgo>& i) {
+                           std::string n = groupby::GroupByAlgoName(i.param);
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(GroupByAgreementTest, AllAlgorithmsAgree) {
+  const HostTable input = RandomInput(8000, 1000, 7);
+  GroupBySpec spec;
+  spec.aggregates = {{1, AggOp::kSum}, {1, AggOp::kMin}, {1, AggOp::kCount}};
+  const auto a = RunGb(GroupByAlgo::kHashGlobal, input, spec);
+  const auto b = RunGb(GroupByAlgo::kHashPartitioned, input, spec);
+  const auto c = RunGb(GroupByAlgo::kSortBased, input, spec);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,162 @@
+// Correctness of the grouped-aggregation implementations against the host
+// oracle, across algorithms, aggregate sets, group cardinalities, and skew.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "groupby/groupby.h"
+#include "groupby/reference.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using groupby::AggOp;
+using groupby::AggSpec;
+using groupby::GroupByAlgo;
+using groupby::GroupBySpec;
+using groupby::RunGroupBy;
+using testing::MakeTestDevice;
+using workload::GenerateGroupByInput;
+using workload::GroupByWorkloadSpec;
+
+struct GroupByCase {
+  std::string name;
+  GroupByWorkloadSpec workload;
+  GroupBySpec spec;
+};
+
+std::vector<GroupByCase> GroupByCases() {
+  std::vector<GroupByCase> cases;
+  {
+    GroupByCase c;
+    c.name = "sum_small_groups";
+    c.workload.rows = 8192;
+    c.workload.num_groups = 32;
+    c.spec.aggregates = {{1, AggOp::kSum}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "sum_many_groups";
+    c.workload.rows = 8192;
+    c.workload.num_groups = 4096;
+    c.spec.aggregates = {{1, AggOp::kSum}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "all_ops";
+    c.workload.rows = 4096;
+    c.workload.num_groups = 256;
+    c.workload.payload_cols = 2;
+    c.spec.aggregates = {{1, AggOp::kSum},
+                         {1, AggOp::kMin},
+                         {2, AggOp::kMax},
+                         {2, AggOp::kAvg},
+                         {1, AggOp::kCount}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "count_only";
+    c.workload.rows = 4096;
+    c.workload.num_groups = 128;
+    c.workload.payload_cols = 0;
+    c.spec.aggregates = {{1, AggOp::kCount}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "zipf_skew";
+    c.workload.rows = 8192;
+    c.workload.num_groups = 1024;
+    c.workload.zipf_theta = 1.25;
+    c.spec.aggregates = {{1, AggOp::kSum}, {1, AggOp::kCount}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "int64_keys_values";
+    c.workload.rows = 4096;
+    c.workload.num_groups = 512;
+    c.workload.key_type = DataType::kInt64;
+    c.workload.payload_type = DataType::kInt64;
+    c.spec.aggregates = {{1, AggOp::kSum}, {1, AggOp::kMax}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "one_group";
+    c.workload.rows = 2048;
+    c.workload.num_groups = 1;
+    c.spec.aggregates = {{1, AggOp::kSum}, {1, AggOp::kAvg}};
+    cases.push_back(c);
+  }
+  {
+    GroupByCase c;
+    c.name = "all_distinct";
+    c.workload.rows = 2048;
+    c.workload.num_groups = 1u << 24;  // Mostly unique keys.
+    c.spec.aggregates = {{1, AggOp::kSum}};
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class GroupByCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<GroupByAlgo, GroupByCase>> {};
+
+TEST_P(GroupByCorrectnessTest, MatchesReferenceOracle) {
+  const auto& [algo, gc] = GetParam();
+  ASSERT_OK_AND_ASSIGN(HostTable host, GenerateGroupByInput(gc.workload));
+  vgpu::Device device = MakeTestDevice();
+  ASSERT_OK_AND_ASSIGN(Table input, Table::FromHost(device, host));
+
+  ASSERT_OK_AND_ASSIGN(auto res, RunGroupBy(device, algo, input, gc.spec));
+  const auto expected = groupby::ReferenceGroupByRows(host, gc.spec);
+  const auto actual = join::CanonicalRows(res.output.ToHost());
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(res.num_groups, expected.size());
+}
+
+std::string GroupByCaseName(
+    const ::testing::TestParamInfo<std::tuple<GroupByAlgo, GroupByCase>>& info) {
+  std::string algo = groupby::GroupByAlgoName(std::get<0>(info.param));
+  for (char& ch : algo) {
+    if (ch == '-') ch = '_';
+  }
+  return algo + "_" + std::get<1>(info.param).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgosAllCases, GroupByCorrectnessTest,
+    ::testing::Combine(::testing::ValuesIn(groupby::kAllGroupByAlgos),
+                       ::testing::ValuesIn(GroupByCases())),
+    GroupByCaseName);
+
+TEST(GroupByValidationTest, RejectsBadAggregateColumn) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable host{"G", {{"k", DataType::kInt32, {1, 2, 3}}}};
+  ASSERT_OK_AND_ASSIGN(Table input, Table::FromHost(device, host));
+  GroupBySpec spec;
+  spec.aggregates = {{5, AggOp::kSum}};
+  auto res = RunGroupBy(device, GroupByAlgo::kHashGlobal, input, spec);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GroupByValidationTest, RejectsEmptyInput) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable host{"G", {{"k", DataType::kInt32, {}}}};
+  ASSERT_OK_AND_ASSIGN(Table input, Table::FromHost(device, host));
+  EXPECT_FALSE(RunGroupBy(device, GroupByAlgo::kSortBased, input, {}).ok());
+}
+
+}  // namespace
+}  // namespace gpujoin

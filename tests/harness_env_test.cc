@@ -1,0 +1,107 @@
+// Harness environment handling: scale parsing, device selection, and
+// workload upload plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/harness.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin::harness {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) old_ = old;
+    had_old_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(HarnessEnvTest, DefaultScaleIsTwenty) {
+  ScopedEnv env("GPUJOIN_SCALE", nullptr);
+  EXPECT_EQ(ScaleLog2(), 20);
+  EXPECT_EQ(ScaleTuples(), uint64_t{1} << 20);
+}
+
+TEST(HarnessEnvTest, ScaleFromEnvironment) {
+  ScopedEnv env("GPUJOIN_SCALE", "16");
+  EXPECT_EQ(ScaleLog2(), 16);
+  EXPECT_EQ(ScaleTuples(), uint64_t{1} << 16);
+}
+
+TEST(HarnessEnvTest, OutOfRangeScaleFallsBack) {
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "5");
+    EXPECT_EQ(ScaleLog2(), 20);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "99");
+    EXPECT_EQ(ScaleLog2(), 20);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "banana");
+    EXPECT_EQ(ScaleLog2(), 20);
+  }
+}
+
+TEST(HarnessEnvTest, DeviceSelection) {
+  {
+    ScopedEnv env("GPUJOIN_DEVICE", nullptr);
+    EXPECT_EQ(BaseDeviceConfig().name, "A100");
+  }
+  {
+    ScopedEnv env("GPUJOIN_DEVICE", "RTX3090");
+    EXPECT_EQ(BaseDeviceConfig().name, "RTX3090");
+  }
+  {
+    ScopedEnv env("GPUJOIN_DEVICE", "H100");  // Unknown -> default.
+    EXPECT_EQ(BaseDeviceConfig().name, "A100");
+  }
+}
+
+TEST(HarnessEnvTest, BenchDeviceIsScaled) {
+  ScopedEnv scale("GPUJOIN_SCALE", "16");
+  ScopedEnv dev("GPUJOIN_DEVICE", nullptr);
+  vgpu::Device device = MakeBenchDevice();
+  EXPECT_LT(device.config().l2_bytes, vgpu::DeviceConfig::A100().l2_bytes);
+  EXPECT_EQ(device.config().num_sms, 108);
+}
+
+TEST(HarnessTest, UploadAndRunJoinCold) {
+  vgpu::Device device = testing::MakeTestDevice();
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 512;
+  spec.s_rows = 1024;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  auto up = Upload(device, w);
+  ASSERT_OK(up);
+  EXPECT_EQ(up->r.num_rows(), 512u);
+  EXPECT_EQ(up->s.num_rows(), 1024u);
+  auto res = RunJoinCold(device, join::JoinAlgo::kPhjOm, up->r, up->s);
+  ASSERT_OK(res);
+  EXPECT_EQ(res->output_rows, 1024u);
+}
+
+}  // namespace
+}  // namespace gpujoin::harness

@@ -1,0 +1,170 @@
+// Relational property tests for the join implementations: output
+// cardinality identities, schema preservation, commutativity of the result
+// multiset under algorithm choice, and behavior at parameter extremes.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "join/join.h"
+#include "harness/harness.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using join::JoinAlgo;
+using testing::MakeTestDevice;
+
+class JoinPropertyTest : public ::testing::TestWithParam<JoinAlgo> {};
+
+TEST_P(JoinPropertyTest, PkFkOutputCardinalityEqualsMatchingFks) {
+  // For a PK-FK join, |T| equals the number of S tuples whose key exists
+  // in R — independent of payload shape.
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 2048;
+  spec.s_rows = 8192;
+  spec.match_ratio = 0.6;
+  spec.r_payload_cols = 3;
+  spec.s_payload_cols = 2;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  std::set<int64_t> r_keys(w.r.columns[0].values.begin(),
+                           w.r.columns[0].values.end());
+  uint64_t expected = 0;
+  for (int64_t k : w.s.columns[0].values) expected += r_keys.count(k);
+
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  auto res = RunJoin(device, GetParam(), r, s).ValueOrDie();
+  EXPECT_EQ(res.output_rows, expected);
+}
+
+TEST_P(JoinPropertyTest, OutputSchemaIsKeyThenRThenSPayloads) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable r{"r", {{"k", DataType::kInt32, {1, 2}},
+                    {"ra", DataType::kInt32, {10, 20}},
+                    {"rb", DataType::kInt64, {100, 200}}}};
+  HostTable s{"s", {{"k", DataType::kInt32, {2, 1}},
+                    {"sa", DataType::kInt64, {7, 8}},
+                    {"sb", DataType::kInt32, {70, 80}}}};
+  auto rd = Table::FromHost(device, r).ValueOrDie();
+  auto sd = Table::FromHost(device, s).ValueOrDie();
+  auto res = RunJoin(device, GetParam(), rd, sd).ValueOrDie();
+  ASSERT_EQ(res.output.num_columns(), 5);
+  EXPECT_EQ(res.output.column_name(0), "k");
+  EXPECT_EQ(res.output.column_name(1), "ra");
+  EXPECT_EQ(res.output.column_name(2), "rb");
+  EXPECT_EQ(res.output.column_name(3), "sa");
+  EXPECT_EQ(res.output.column_name(4), "sb");
+  // Types survive the join.
+  EXPECT_EQ(res.output.column(2).type(), DataType::kInt64);
+  EXPECT_EQ(res.output.column(4).type(), DataType::kInt32);
+}
+
+TEST_P(JoinPropertyTest, ZeroMatchesProducesEmptyWellFormedOutput) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable r{"r", {{"k", DataType::kInt32, {1, 2, 3}},
+                    {"p", DataType::kInt32, {1, 2, 3}}}};
+  HostTable s{"s", {{"k", DataType::kInt32, {100, 200}},
+                    {"q", DataType::kInt32, {9, 9}}}};
+  auto rd = Table::FromHost(device, r).ValueOrDie();
+  auto sd = Table::FromHost(device, s).ValueOrDie();
+  auto res = RunJoin(device, GetParam(), rd, sd).ValueOrDie();
+  EXPECT_EQ(res.output_rows, 0u);
+  EXPECT_EQ(res.output.num_rows(), 0u);
+  EXPECT_EQ(res.output.num_columns(), 3);
+}
+
+TEST_P(JoinPropertyTest, SelfJoinYieldsAtLeastInputCardinality) {
+  // R ⋈ R on a key column always contains each row matched with itself.
+  vgpu::Device device = MakeTestDevice();
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 2000;
+  spec.s_rows = 2000;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  auto r1 = Table::FromHost(device, w.r).ValueOrDie();
+  auto r2 = Table::FromHost(device, w.r).ValueOrDie();
+  join::JoinOptions opts;
+  opts.pk_fk = false;
+  auto res = RunJoin(device, GetParam(), r1, r2, opts).ValueOrDie();
+  EXPECT_GE(res.output_rows, 2000u);
+}
+
+TEST_P(JoinPropertyTest, AllAlgorithmsProduceTheSameMultiset) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 3000;
+  spec.s_rows = 6000;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 1;
+  spec.zipf_theta = 0.8;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  auto baseline =
+      RunJoin(device, JoinAlgo::kNphj, r, s).ValueOrDie().output.ToHost();
+  const auto canon = join::CanonicalRows(baseline);
+  auto res = RunJoin(device, GetParam(), r, s).ValueOrDie();
+  EXPECT_EQ(join::CanonicalRows(res.output.ToHost()), canon);
+}
+
+TEST_P(JoinPropertyTest, RadixBitsOverrideDoesNotChangeResults) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 4096;
+  spec.s_rows = 4096;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  const auto expected = join::ReferenceJoinRows(w.r, w.s);
+  for (int bits : {2, 7, 10}) {
+    vgpu::Device device = MakeTestDevice();
+    auto r = Table::FromHost(device, w.r).ValueOrDie();
+    auto s = Table::FromHost(device, w.s).ValueOrDie();
+    join::JoinOptions opts;
+    opts.radix_bits_override = bits;
+    auto res = RunJoin(device, GetParam(), r, s, opts).ValueOrDie();
+    EXPECT_EQ(join::CanonicalRows(res.output.ToHost()), expected)
+        << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, JoinPropertyTest,
+                         ::testing::ValuesIn(join::kAllJoinAlgos),
+                         [](const ::testing::TestParamInfo<JoinAlgo>& i) {
+                           std::string n = join::JoinAlgoName(i.param);
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(JoinOptionTest, EagerTransformMatchesLazyResults) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 3000;
+  spec.s_rows = 5000;
+  spec.r_payload_cols = 3;
+  spec.s_payload_cols = 3;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  const auto expected = join::ReferenceJoinRows(w.r, w.s);
+  for (join::JoinAlgo algo : {JoinAlgo::kSmjOm, JoinAlgo::kPhjOm}) {
+    vgpu::Device device = MakeTestDevice();
+    auto r = Table::FromHost(device, w.r).ValueOrDie();
+    auto s = Table::FromHost(device, w.s).ValueOrDie();
+    join::JoinOptions opts;
+    opts.eager_transform = true;
+    auto res = RunJoin(device, algo, r, s, opts).ValueOrDie();
+    EXPECT_EQ(join::CanonicalRows(res.output.ToHost()), expected);
+  }
+}
+
+TEST(HarnessTest, TablePrinterFormatsNumbers) {
+  EXPECT_EQ(harness::TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(harness::TablePrinter::Fmt(1.0, 0), "1");
+  EXPECT_EQ(harness::TablePrinter::Fmt(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,129 @@
+// Merge Path partitioning: split-point invariants, balanced segment sizes,
+// and equivalence of segment-wise merging with a full merge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "prim/merge_path.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::prim {
+namespace {
+
+using testing::MakeTestDevice;
+using vgpu::DeviceBuffer;
+
+DeviceBuffer<int32_t> SortedRandom(vgpu::Device& device, uint64_t n,
+                                   int32_t range, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = static_cast<int64_t>(rng() % range);
+  std::sort(v.begin(), v.end());
+  std::vector<int32_t> narrow(v.begin(), v.end());
+  return DeviceBuffer<int32_t>::FromHost(
+             device, {narrow.data(), narrow.size()})
+      .ValueOrDie();
+}
+
+TEST(MergePathSearchTest, SplitInvariantHoldsOnEveryDiagonal) {
+  vgpu::Device device = MakeTestDevice();
+  auto a = SortedRandom(device, 500, 300, 1);
+  auto b = SortedRandom(device, 800, 300, 2);
+  for (uint64_t d = 0; d <= a.size() + b.size(); d += 37) {
+    const uint64_t i = MergePathSearch(a, b, d);
+    const uint64_t j = d - i;
+    ASSERT_LE(i, a.size());
+    ASSERT_LE(j, b.size());
+    // Stable-merge split invariants.
+    if (i > 0 && j < b.size()) {
+      EXPECT_LE(a[i - 1], b[j]) << "d=" << d;
+    }
+    if (j > 0 && i < a.size()) {
+      EXPECT_LT(b[j - 1], a[i]) << "d=" << d;
+    }
+  }
+}
+
+TEST(MergePathSearchTest, ExtremeDiagonals) {
+  vgpu::Device device = MakeTestDevice();
+  auto a = SortedRandom(device, 100, 50, 3);
+  auto b = SortedRandom(device, 200, 50, 4);
+  EXPECT_EQ(MergePathSearch(a, b, 0), 0u);
+  EXPECT_EQ(MergePathSearch(a, b, a.size() + b.size()), a.size());
+}
+
+TEST(MergePathPartitionTest, SegmentsAreBalancedAndContiguous) {
+  vgpu::Device device = MakeTestDevice();
+  auto a = SortedRandom(device, 10000, 5000, 5);
+  auto b = SortedRandom(device, 30000, 5000, 6);
+  const uint64_t n_seg = 64;
+  auto segments = MergePathPartition(device, a, b, n_seg).ValueOrDie();
+  ASSERT_EQ(segments.size(), n_seg);
+  EXPECT_EQ(segments.front().a_begin, 0u);
+  EXPECT_EQ(segments.front().b_begin, 0u);
+  EXPECT_EQ(segments.back().a_end, a.size());
+  EXPECT_EQ(segments.back().b_end, b.size());
+  const uint64_t ideal = (a.size() + b.size()) / n_seg;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    if (s > 0) {
+      EXPECT_EQ(segments[s].a_begin, segments[s - 1].a_end);
+      EXPECT_EQ(segments[s].b_begin, segments[s - 1].b_end);
+    }
+    const uint64_t work = (segments[s].a_end - segments[s].a_begin) +
+                          (segments[s].b_end - segments[s].b_begin);
+    EXPECT_NEAR(static_cast<double>(work), static_cast<double>(ideal), 1.5)
+        << "segment " << s;
+  }
+}
+
+TEST(MergePathPartitionTest, BalancedEvenUnderExtremeSkew) {
+  // The §3.1 point: all-equal keys (the worst case for naive splitting)
+  // still produce equal-work segments.
+  vgpu::Device device = MakeTestDevice();
+  std::vector<int32_t> same_a(5000, 7), same_b(15000, 7);
+  auto a = DeviceBuffer<int32_t>::FromHost(device, {same_a.data(), same_a.size()})
+               .ValueOrDie();
+  auto b = DeviceBuffer<int32_t>::FromHost(device, {same_b.data(), same_b.size()})
+               .ValueOrDie();
+  auto segments = MergePathPartition(device, a, b, 32).ValueOrDie();
+  const uint64_t ideal = 20000 / 32;
+  for (const MergeSegment& s : segments) {
+    const uint64_t work = (s.a_end - s.a_begin) + (s.b_end - s.b_begin);
+    EXPECT_NEAR(static_cast<double>(work), static_cast<double>(ideal), 1.5);
+  }
+}
+
+TEST(MergePathPartitionTest, SegmentwiseMergeEqualsFullMerge) {
+  vgpu::Device device = MakeTestDevice();
+  auto a = SortedRandom(device, 4000, 1000, 7);
+  auto b = SortedRandom(device, 9000, 1000, 8);
+  auto segments = MergePathPartition(device, a, b, 17).ValueOrDie();
+
+  std::vector<int32_t> merged;
+  for (const MergeSegment& s : segments) {
+    uint64_t i = s.a_begin, j = s.b_begin;
+    while (i < s.a_end || j < s.b_end) {
+      if (i < s.a_end && (j == s.b_end || a[i] <= b[j])) {
+        merged.push_back(a[i++]);
+      } else {
+        merged.push_back(b[j++]);
+      }
+    }
+  }
+  std::vector<int32_t> reference(a.data(), a.data() + a.size());
+  reference.insert(reference.end(), b.data(), b.data() + b.size());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(merged, reference);
+}
+
+TEST(MergePathPartitionTest, RejectsZeroSegments) {
+  vgpu::Device device = MakeTestDevice();
+  auto a = SortedRandom(device, 10, 10, 9);
+  EXPECT_FALSE(MergePathPartition(device, a, a, 0).ok());
+}
+
+}  // namespace
+}  // namespace gpujoin::prim

@@ -1,0 +1,244 @@
+// Relational operators (Filter / Project / OrderBy), the plan executor,
+// and the CSV loader.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "join/reference.h"
+#include "ops/ops.h"
+#include "ops/plan.h"
+#include "storage/csv.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using testing::MakeTestDevice;
+
+HostTable SampleTable() {
+  return HostTable{"t",
+                   {{"k", DataType::kInt32, {5, 2, 9, 2, 7, 1}},
+                    {"a", DataType::kInt32, {50, 20, 90, 21, 70, 10}},
+                    {"b", DataType::kInt64, {500, 200, 900, 210, 700, 100}}}};
+}
+
+TEST(FilterTest, ConjunctionKeepsMatchingRows) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto out = ops::Filter(device, t,
+                         {{0, ops::CmpOp::kGe, 2}, {1, ops::CmpOp::kLt, 80}});
+  ASSERT_OK(out);
+  // Rows with k>=2 and a<80: (5,50), (2,20), (2,21), (7,70).
+  EXPECT_EQ(out->num_rows(), 4u);
+  const HostTable h = out->ToHost();
+  EXPECT_EQ(h.columns[0].values, (std::vector<int64_t>{5, 2, 2, 7}));
+  EXPECT_EQ(h.columns[2].values, (std::vector<int64_t>{500, 200, 210, 700}));
+}
+
+TEST(FilterTest, EmptyAndFullSelections) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto none = ops::Filter(device, t, {{0, ops::CmpOp::kGt, 100}});
+  ASSERT_OK(none);
+  EXPECT_EQ(none->num_rows(), 0u);
+  auto all = ops::Filter(device, t, {});
+  ASSERT_OK(all);
+  EXPECT_EQ(all->num_rows(), 6u);
+}
+
+TEST(FilterTest, AllOperators) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto count = [&](ops::CmpOp op, int64_t lit) {
+    return ops::Filter(device, t, {{0, op, lit}}).ValueOrDie().num_rows();
+  };
+  EXPECT_EQ(count(ops::CmpOp::kEq, 2), 2u);
+  EXPECT_EQ(count(ops::CmpOp::kNe, 2), 4u);
+  EXPECT_EQ(count(ops::CmpOp::kLt, 5), 3u);
+  EXPECT_EQ(count(ops::CmpOp::kLe, 5), 4u);
+  EXPECT_EQ(count(ops::CmpOp::kGt, 5), 2u);
+  EXPECT_EQ(count(ops::CmpOp::kGe, 5), 3u);
+}
+
+TEST(FilterTest, RejectsBadColumn) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  EXPECT_FALSE(ops::Filter(device, t, {{9, ops::CmpOp::kEq, 0}}).ok());
+}
+
+TEST(ProjectTest, SelectsAndReordersColumns) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto out = ops::Project(device, t, {2, 0});
+  ASSERT_OK(out);
+  EXPECT_EQ(out->num_columns(), 2);
+  EXPECT_EQ(out->column_name(0), "b");
+  EXPECT_EQ(out->column_name(1), "k");
+  EXPECT_EQ(out->column(0).type(), DataType::kInt64);
+  EXPECT_EQ(out->ToHost().columns[1].values,
+            SampleTable().columns[0].values);
+}
+
+TEST(ProjectTest, RejectsEmptyAndOutOfRange) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  EXPECT_FALSE(ops::Project(device, t, {}).ok());
+  EXPECT_FALSE(ops::Project(device, t, {5}).ok());
+}
+
+TEST(OrderByTest, SortsAllColumnsByKey) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto out = ops::OrderBy(device, t, 0);
+  ASSERT_OK(out);
+  const HostTable h = out->ToHost();
+  EXPECT_EQ(h.columns[0].values, (std::vector<int64_t>{1, 2, 2, 5, 7, 9}));
+  // Rows stay intact: b == k * 100 (+epsilon for the duplicate).
+  EXPECT_EQ(h.columns[2].values,
+            (std::vector<int64_t>{100, 200, 210, 500, 700, 900}));
+  // Stability: the two k==2 rows keep their input order (20 before 21).
+  EXPECT_EQ(h.columns[1].values[1], 20);
+  EXPECT_EQ(h.columns[1].values[2], 21);
+}
+
+TEST(OrderByTest, LargeRandomAgainstStdSort) {
+  vgpu::Device device = MakeTestDevice();
+  std::mt19937_64 rng(8);
+  HostTable host{"t", {{"k", DataType::kInt32, {}}, {"v", DataType::kInt32, {}}}};
+  for (int i = 0; i < 20000; ++i) {
+    host.columns[0].values.push_back(static_cast<int64_t>(rng() % 1000));
+    host.columns[1].values.push_back(i);
+  }
+  auto t = Table::FromHost(device, host).ValueOrDie();
+  auto out = ops::OrderBy(device, t, 0).ValueOrDie().ToHost();
+  std::vector<std::pair<int64_t, int64_t>> ref(20000);
+  for (int i = 0; i < 20000; ++i) {
+    ref[i] = {host.columns[0].values[i], host.columns[1].values[i]};
+  }
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(out.columns[0].values[i], ref[i].first);
+    ASSERT_EQ(out.columns[1].values[i], ref[i].second);
+  }
+}
+
+TEST(OrderByTest, NonZeroKeyColumnAndSingleColumn) {
+  vgpu::Device device = MakeTestDevice();
+  auto t = Table::FromHost(device, SampleTable()).ValueOrDie();
+  auto by_a = ops::OrderBy(device, t, 1).ValueOrDie().ToHost();
+  EXPECT_TRUE(std::is_sorted(by_a.columns[1].values.begin(),
+                             by_a.columns[1].values.end()));
+  HostTable single{"s", {{"k", DataType::kInt32, {3, 1, 2}}}};
+  auto st = Table::FromHost(device, single).ValueOrDie();
+  auto sorted = ops::OrderBy(device, st, 0).ValueOrDie().ToHost();
+  EXPECT_EQ(sorted.columns[0].values, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(PlanTest, FilterJoinGroupByOrderByPipeline) {
+  vgpu::Device device = MakeTestDevice();
+  // dim(key, group), fact(key, measure).
+  HostTable dim{"dim", {{"k", DataType::kInt32, {}}, {"grp", DataType::kInt32, {}}}};
+  HostTable fact{"fact",
+                 {{"k", DataType::kInt32, {}}, {"m", DataType::kInt32, {}}}};
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 512; ++i) {
+    dim.columns[0].values.push_back(i);
+    dim.columns[1].values.push_back(i % 8);
+  }
+  for (int i = 0; i < 4096; ++i) {
+    fact.columns[0].values.push_back(static_cast<int64_t>(rng() % 512));
+    fact.columns[1].values.push_back(static_cast<int64_t>(rng() % 100));
+  }
+  auto dim_t = Table::FromHost(device, dim).ValueOrDie();
+  auto fact_t = Table::FromHost(device, fact).ValueOrDie();
+
+  groupby::GroupBySpec spec;
+  spec.aggregates = {{1, groupby::AggOp::kSum}};
+  // SELECT grp, SUM(m) FROM dim JOIN fact WHERE m < 50 GROUP BY grp ORDER BY grp.
+  auto plan = ops::OrderByNode(
+      ops::GroupByNode(
+          ops::ProjectNode(
+              ops::JoinNode(ops::ScanNode(&dim_t),
+                            ops::FilterNode(ops::ScanNode(&fact_t),
+                                            {{1, ops::CmpOp::kLt, 50}})),
+              {1, 2}),  // (grp, m).
+          spec),
+      0);
+  const std::string desc = plan->Describe();
+  EXPECT_NE(desc.find("Join"), std::string::npos);
+  EXPECT_NE(desc.find("Filter"), std::string::npos);
+
+  auto result = plan->Execute(device);
+  ASSERT_OK(result);
+  const HostTable out = result->ToHost();
+  ASSERT_EQ(out.num_rows(), 8u);  // 8 groups.
+  EXPECT_TRUE(std::is_sorted(out.columns[0].values.begin(),
+                             out.columns[0].values.end()));
+
+  // Reference: host-side computation of the same query.
+  std::vector<int64_t> expected(8, 0);
+  for (int i = 0; i < 4096; ++i) {
+    const int64_t m = fact.columns[1].values[i];
+    if (m < 50) {
+      expected[fact.columns[0].values[i] % 8] += m;
+    }
+  }
+  for (int g = 0; g < 8; ++g) {
+    EXPECT_EQ(out.columns[1].values[g], expected[g]) << "group " << g;
+  }
+}
+
+TEST(PlanTest, ForcedAlgoIsHonored) {
+  vgpu::Device device = MakeTestDevice();
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1024;
+  spec.s_rows = 2048;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  ops::JoinNodeOptions opts;
+  opts.algo = join::JoinAlgo::kSmjOm;
+  auto plan = ops::JoinNode(ops::ScanNode(&r), ops::ScanNode(&s), std::move(opts));
+  EXPECT_NE(plan->Describe().find("SMJ-OM"), std::string::npos);
+  auto result = plan->Execute(device);
+  ASSERT_OK(result);
+  EXPECT_EQ(join::CanonicalRows(result->ToHost()),
+            join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST(CsvTest, RoundTrip) {
+  const HostTable t = SampleTable();
+  const std::string csv = WriteCsvString(t);
+  auto back = ReadCsvString(csv, "t");
+  ASSERT_OK(back);
+  ASSERT_EQ(back->columns.size(), 3u);
+  EXPECT_EQ(back->columns[0].name, "k");
+  EXPECT_EQ(back->columns[2].type, DataType::kInt64);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(back->columns[c].values, t.columns[c].values);
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const HostTable t = SampleTable();
+  const std::string path = ::testing::TempDir() + "/gpujoin_csv_test.csv";
+  ASSERT_OK(WriteCsvFile(t, path));
+  auto back = ReadCsvFile(path, "t");
+  ASSERT_OK(back);
+  EXPECT_EQ(back->columns[1].values, t.columns[1].values);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2\n", "t").ok());        // No types.
+  EXPECT_FALSE(ReadCsvString("a:i32\n1,2\n", "t").ok());      // Ragged row.
+  EXPECT_FALSE(ReadCsvString("a:i32\nxyz\n", "t").ok());      // Non-integer.
+  EXPECT_FALSE(ReadCsvString("a:f64\n1.5\n", "t").ok());      // Unknown type.
+}
+
+}  // namespace
+}  // namespace gpujoin

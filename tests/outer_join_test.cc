@@ -1,0 +1,137 @@
+// Left outer join: oracle equivalence, sentinel semantics, and cardinality
+// identities across all five machineries.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "join/outer.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using join::JoinAlgo;
+using testing::MakeTestDevice;
+
+class OuterJoinTest : public ::testing::TestWithParam<JoinAlgo> {};
+
+TEST_P(OuterJoinTest, PreservesEverySRow) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 2048;
+  spec.s_rows = 6000;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 1;
+  spec.match_ratio = 0.5;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+
+  auto res = RunLeftOuterJoin(device, GetParam(), r, s);
+  ASSERT_OK(res);
+  // Cardinality: inner matches + unmatched S rows; with unique R keys the
+  // inner count equals the matching-S count, so total == |S|.
+  EXPECT_EQ(res->output_rows, spec.s_rows);
+  EXPECT_EQ(res->matched_rows + res->unmatched_rows, res->output_rows);
+
+  // Oracle: inner rows match ReferenceJoinRows; padded rows carry the
+  // sentinel in every R payload and matched == 0.
+  const HostTable out = res->output.ToHost();
+  const int matched_col = res->output.num_columns() - 1;
+  std::set<int64_t> r_keys(w.r.columns[0].values.begin(),
+                           w.r.columns[0].values.end());
+  uint64_t padded = 0;
+  for (uint64_t i = 0; i < out.num_rows(); ++i) {
+    const bool is_matched = out.columns[matched_col].values[i] == 1;
+    const bool key_in_r = r_keys.count(out.columns[0].values[i]) > 0;
+    EXPECT_EQ(is_matched, key_in_r) << "row " << i;
+    if (!is_matched) {
+      ++padded;
+      EXPECT_EQ(out.columns[1].values[i], -1);
+      EXPECT_EQ(out.columns[2].values[i], -1);
+    }
+  }
+  EXPECT_EQ(padded, res->unmatched_rows);
+}
+
+TEST_P(OuterJoinTest, InnerPortionMatchesInnerJoinOracle) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1024;
+  spec.s_rows = 3000;
+  spec.r_payload_cols = 1;
+  spec.s_payload_cols = 2;
+  spec.match_ratio = 0.7;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  join::OuterJoinOptions opts;
+  opts.emit_matched_column = false;
+  auto res = RunLeftOuterJoin(device, GetParam(), r, s, opts);
+  ASSERT_OK(res);
+  // Filter the output to rows whose key exists in R: must equal the inner
+  // join as a multiset.
+  std::set<int64_t> r_keys(w.r.columns[0].values.begin(),
+                           w.r.columns[0].values.end());
+  const HostTable out = res->output.ToHost();
+  std::vector<std::vector<int64_t>> inner_rows;
+  for (uint64_t i = 0; i < out.num_rows(); ++i) {
+    if (r_keys.count(out.columns[0].values[i]) == 0) continue;
+    std::vector<int64_t> row;
+    for (const HostColumn& c : out.columns) row.push_back(c.values[i]);
+    inner_rows.push_back(std::move(row));
+  }
+  std::sort(inner_rows.begin(), inner_rows.end());
+  EXPECT_EQ(inner_rows, join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST_P(OuterJoinTest, FullMatchHasNoPadding) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1024;
+  spec.s_rows = 2048;
+  auto w = workload::GenerateJoinInput(spec).ValueOrDie();
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  auto res = RunLeftOuterJoin(device, GetParam(), r, s);
+  ASSERT_OK(res);
+  EXPECT_EQ(res->unmatched_rows, 0u);
+  EXPECT_EQ(res->output_rows, spec.s_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, OuterJoinTest,
+                         ::testing::ValuesIn(join::kAllJoinAlgos),
+                         [](const ::testing::TestParamInfo<JoinAlgo>& i) {
+                           std::string n = join::JoinAlgoName(i.param);
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(OuterJoinTest, CustomSentinel) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable r{"r", {{"k", DataType::kInt32, {1}}, {"p", DataType::kInt32, {10}}}};
+  HostTable s{"s", {{"k", DataType::kInt32, {1, 2}},
+                    {"q", DataType::kInt32, {5, 6}}}};
+  auto rd = Table::FromHost(device, r).ValueOrDie();
+  auto sd = Table::FromHost(device, s).ValueOrDie();
+  join::OuterJoinOptions opts;
+  opts.null_sentinel = -999;
+  auto res = RunLeftOuterJoin(device, join::JoinAlgo::kPhjOm, rd, sd, opts);
+  ASSERT_OK(res);
+  const HostTable out = res->output.ToHost();
+  std::map<int64_t, int64_t> p_by_key;
+  for (uint64_t i = 0; i < out.num_rows(); ++i) {
+    p_by_key[out.columns[0].values[i]] = out.columns[1].values[i];
+  }
+  EXPECT_EQ(p_by_key[1], 10);
+  EXPECT_EQ(p_by_key[2], -999);
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,178 @@
+// RADIX-PARTITION primitive: correctness against std::stable_sort-by-digit,
+// stability (the property GFTR's payload alignment rests on, §4.3),
+// multi-pass composition, and partition-offset computation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "prim/radix_partition.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::prim {
+namespace {
+
+using testing::MakeTestDevice;
+using vgpu::DeviceBuffer;
+
+struct Pair {
+  int32_t key;
+  int32_t val;
+};
+
+std::vector<Pair> RandomPairs(uint64_t n, int32_t key_range, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Pair> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = {static_cast<int32_t>(rng() % key_range), static_cast<int32_t>(i)};
+  }
+  return out;
+}
+
+class RadixPartitionPassTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixPartitionPassTest, MatchesStableSortByDigit) {
+  const int bits = GetParam();
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 10000;
+  auto pairs = RandomPairs(n, 1 << 14, 42);
+
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = pairs[i].key;
+    vals[i] = pairs[i].val;
+  }
+  auto keys_out = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals_out = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::vector<uint64_t> hist;
+  ASSERT_OK(RadixPartitionPass(device, keys, vals, &keys_out, &vals_out, 2,
+                               bits, &hist));
+
+  // Reference: stable sort by the same digit.
+  std::stable_sort(pairs.begin(), pairs.end(), [&](const Pair& a, const Pair& b) {
+    return bit_util::RadixDigit(a.key, 2, bits) <
+           bit_util::RadixDigit(b.key, 2, bits);
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys_out[i], pairs[i].key) << "at " << i;
+    EXPECT_EQ(vals_out[i], pairs[i].val) << "at " << i;
+  }
+
+  // Histogram integrity.
+  ASSERT_EQ(hist.size(), size_t{1} << bits);
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RadixPartitionPassTest,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+TEST(RadixPartitionPassTest, RejectsBadBitWidths) {
+  vgpu::Device device = MakeTestDevice();
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto ko = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto vo = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  EXPECT_FALSE(RadixPartitionPass(device, keys, vals, &ko, &vo, 0, 0).ok());
+  EXPECT_FALSE(RadixPartitionPass(device, keys, vals, &ko, &vo, 0, 9).ok());
+}
+
+TEST(RadixPartitionPassTest, RejectsSizeMismatch) {
+  vgpu::Device device = MakeTestDevice();
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, 8).ValueOrDie();
+  auto ko = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto vo = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  EXPECT_FALSE(RadixPartitionPass(device, keys, vals, &ko, &vo, 0, 4).ok());
+}
+
+class MultiPassTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiPassTest, GroupsByFullDigitStably) {
+  const int total_bits = GetParam();
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 20000;
+  auto pairs = RandomPairs(n, 1 << 18, 7);
+
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto keys_tmp = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals_tmp = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = pairs[i].key;
+    vals[i] = pairs[i].val;
+  }
+  auto passes = RadixPartitionMultiPass(device, &keys, &vals, &keys_tmp,
+                                        &vals_tmp, total_bits);
+  ASSERT_OK(passes);
+  EXPECT_EQ(*passes, static_cast<int>(bit_util::CeilDiv(total_bits, 8)));
+
+  std::stable_sort(pairs.begin(), pairs.end(), [&](const Pair& a, const Pair& b) {
+    return bit_util::RadixDigit(a.key, 0, total_bits) <
+           bit_util::RadixDigit(b.key, 0, total_bits);
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], pairs[i].key) << "at " << i;
+    ASSERT_EQ(vals[i], pairs[i].val) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TotalBits, MultiPassTest,
+                         ::testing::Values(4, 8, 11, 15, 16));
+
+TEST(ComputePartitionOffsetsTest, BoundariesMatchContents) {
+  vgpu::Device device = MakeTestDevice();
+  const int bits = 6;
+  const uint64_t n = 5000;
+  auto pairs = RandomPairs(n, 1 << 12, 3);
+  std::stable_sort(pairs.begin(), pairs.end(), [&](const Pair& a, const Pair& b) {
+    return bit_util::RadixDigit(a.key, 0, bits) <
+           bit_util::RadixDigit(b.key, 0, bits);
+  });
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  for (uint64_t i = 0; i < n; ++i) keys[i] = pairs[i].key;
+
+  std::vector<uint64_t> offsets;
+  ASSERT_OK(ComputePartitionOffsets(device, keys, bits, &offsets));
+  ASSERT_EQ(offsets.size(), (size_t{1} << bits) + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), n);
+  for (uint32_t p = 0; p < (1u << bits); ++p) {
+    for (uint64_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      EXPECT_EQ(bit_util::RadixDigit(keys[i], 0, bits), p);
+    }
+  }
+}
+
+TEST(RadixPartitionDeterminismTest, IdenticalAcrossRuns) {
+  // The §4.3 requirement: RADIX-PARTITION must produce identical results
+  // across runs (unlike bucket chaining) so payload transforms align.
+  const uint64_t n = 8192;
+  std::vector<int32_t> first_keys, second_keys;
+  for (int run = 0; run < 2; ++run) {
+    vgpu::Device device = MakeTestDevice();
+    device.set_interleave_seed(run * 777 + 1);  // Must have no effect here.
+    auto pairs = RandomPairs(n, 1 << 12, 99);
+    auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+    auto vals = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = pairs[i].key;
+      vals[i] = pairs[i].val;
+    }
+    auto ko = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+    auto vo = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+    ASSERT_OK(RadixPartitionPass(device, keys, vals, &ko, &vo, 0, 8));
+    auto& target = run == 0 ? first_keys : second_keys;
+    target.assign(ko.data(), ko.data() + n);
+  }
+  EXPECT_EQ(first_keys, second_keys);
+}
+
+}  // namespace
+}  // namespace gpujoin::prim

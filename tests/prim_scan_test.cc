@@ -1,0 +1,89 @@
+// Scan and histogram primitives.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "prim/scan.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::prim {
+namespace {
+
+using testing::MakeTestDevice;
+using vgpu::DeviceBuffer;
+
+TEST(ExclusiveScanTest, MatchesReference) {
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 10000;
+  auto in = DeviceBuffer<uint32_t>::Allocate(device, n).ValueOrDie();
+  auto out = DeviceBuffer<uint32_t>::Allocate(device, n).ValueOrDie();
+  std::mt19937_64 rng(1);
+  for (uint64_t i = 0; i < n; ++i) in[i] = static_cast<uint32_t>(rng() % 10);
+  ASSERT_OK(ExclusiveScan(device, in, &out));
+  uint32_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], sum) << "at " << i;
+    sum += in[i];
+  }
+}
+
+TEST(ExclusiveScanTest, EmptyAndSingle) {
+  vgpu::Device device = MakeTestDevice();
+  auto e_in = DeviceBuffer<uint64_t>::Allocate(device, 0).ValueOrDie();
+  auto e_out = DeviceBuffer<uint64_t>::Allocate(device, 0).ValueOrDie();
+  ASSERT_OK(ExclusiveScan(device, e_in, &e_out));
+  auto s_in = DeviceBuffer<uint64_t>::FromHost(device, {{7}}).ValueOrDie();
+  auto s_out = DeviceBuffer<uint64_t>::Allocate(device, 1).ValueOrDie();
+  ASSERT_OK(ExclusiveScan(device, s_in, &s_out));
+  EXPECT_EQ(s_out[0], 0u);
+}
+
+TEST(ExclusiveScanTest, RejectsSizeMismatch) {
+  vgpu::Device device = MakeTestDevice();
+  auto in = DeviceBuffer<uint32_t>::Allocate(device, 4).ValueOrDie();
+  auto out = DeviceBuffer<uint32_t>::Allocate(device, 5).ValueOrDie();
+  EXPECT_FALSE(ExclusiveScan(device, in, &out).ok());
+}
+
+TEST(HistogramTest, CountsDigitsExactly) {
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 20000;
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::mt19937_64 rng(2);
+  std::vector<uint64_t> expected(16, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int32_t>(rng() % 100000);
+    ++expected[(keys[i] >> 3) & 0xF];
+  }
+  std::vector<uint64_t> counts;
+  ASSERT_OK(Histogram(device, keys, 3, 4, &counts));
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(HistogramTest, RejectsBadWidth) {
+  vgpu::Device device = MakeTestDevice();
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, 4).ValueOrDie();
+  std::vector<uint64_t> counts;
+  EXPECT_FALSE(Histogram(device, keys, 0, 0, &counts).ok());
+  EXPECT_FALSE(Histogram(device, keys, 0, 25, &counts).ok());
+}
+
+TEST(HistogramScanTest, ComposeIntoPartitionOffsets) {
+  // histogram -> exclusive scan is exactly the §4.3 offsets computation.
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 5000;
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::mt19937_64 rng(3);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = static_cast<int32_t>(rng() % 256);
+  std::vector<uint64_t> counts;
+  ASSERT_OK(Histogram(device, keys, 0, 6, &counts));
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, n);
+}
+
+}  // namespace
+}  // namespace gpujoin::prim

@@ -1,0 +1,110 @@
+// Columns, tables, and the dictionary encoder.
+
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace gpujoin {
+namespace {
+
+using testing::MakeTestDevice;
+
+TEST(DeviceColumnTest, Int32RoundTrip) {
+  vgpu::Device device = MakeTestDevice();
+  auto col =
+      DeviceColumn::FromHost(device, DataType::kInt32, {{1, -2, 3}}).ValueOrDie();
+  EXPECT_EQ(col.type(), DataType::kInt32);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.size_bytes(), 12u);
+  EXPECT_EQ(col.Get(1), -2);
+  col.Set(1, 42);
+  EXPECT_EQ(col.Get(1), 42);
+  EXPECT_EQ(col.ToHost(), (std::vector<int64_t>{1, 42, 3}));
+}
+
+TEST(DeviceColumnTest, Int64HoldsWideValues) {
+  vgpu::Device device = MakeTestDevice();
+  const int64_t big = int64_t{1} << 50;
+  auto col =
+      DeviceColumn::FromHost(device, DataType::kInt64, {{big, 0}}).ValueOrDie();
+  EXPECT_EQ(col.Get(0), big);
+  EXPECT_EQ(col.size_bytes(), 16u);
+}
+
+TEST(DeviceColumnTest, RejectsValuesThatDoNotFit) {
+  vgpu::Device device = MakeTestDevice();
+  auto r = DeviceColumn::FromHost(device, DataType::kInt32,
+                                  {{int64_t{1} << 40}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceColumnTest, AddressesAreElementStrided) {
+  vgpu::Device device = MakeTestDevice();
+  auto c32 = DeviceColumn::Allocate(device, DataType::kInt32, 8).ValueOrDie();
+  EXPECT_EQ(c32.addr(3), c32.addr(0) + 12);
+  auto c64 = DeviceColumn::Allocate(device, DataType::kInt64, 8).ValueOrDie();
+  EXPECT_EQ(c64.addr(3), c64.addr(0) + 24);
+}
+
+TEST(TableTest, FromHostAndBack) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable host{"t",
+                 {{"k", DataType::kInt32, {1, 2}},
+                  {"v", DataType::kInt64, {10, 20}}}};
+  auto table = Table::FromHost(device, host).ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2);
+  EXPECT_EQ(table.column_name(1), "v");
+  EXPECT_EQ(table.total_bytes(), 2 * 4 + 2 * 8u);
+  const HostTable round = table.ToHost();
+  EXPECT_EQ(round.columns[0].values, host.columns[0].values);
+  EXPECT_EQ(round.columns[1].values, host.columns[1].values);
+}
+
+TEST(TableTest, RejectsRaggedColumns) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable host{"t",
+                 {{"k", DataType::kInt32, {1, 2}},
+                  {"v", DataType::kInt32, {10}}}};
+  EXPECT_FALSE(Table::FromHost(device, host).ok());
+}
+
+TEST(TableTest, AddColumnValidatesRowCount) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable host{"t", {{"k", DataType::kInt32, {1, 2, 3}}}};
+  auto table = Table::FromHost(device, host).ValueOrDie();
+  auto good = DeviceColumn::Allocate(device, DataType::kInt32, 3).ValueOrDie();
+  ASSERT_OK(table.AddColumn("ok", std::move(good)));
+  auto bad = DeviceColumn::Allocate(device, DataType::kInt32, 5).ValueOrDie();
+  EXPECT_FALSE(table.AddColumn("bad", std::move(bad)).ok());
+}
+
+TEST(DictionaryTest, EncodesDenselyAndDecodes) {
+  DictionaryEncoder dict;
+  EXPECT_EQ(dict.Encode("AIR"), 0);
+  EXPECT_EQ(dict.Encode("RAIL"), 1);
+  EXPECT_EQ(dict.Encode("AIR"), 0);  // Idempotent.
+  EXPECT_EQ(dict.Encode("SHIP"), 2);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.Decode(1).ValueOrDie(), "RAIL");
+  EXPECT_EQ(dict.Lookup("SHIP"), 2);
+  EXPECT_EQ(dict.Lookup("TRUCK"), -1);
+  EXPECT_FALSE(dict.Decode(99).ok());
+  EXPECT_FALSE(dict.Decode(-1).ok());
+}
+
+TEST(DictionaryTest, ManyDistinctValues) {
+  DictionaryEncoder dict;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(dict.Encode("value_" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.Decode(9999).ValueOrDie(), "value_9999");
+}
+
+}  // namespace
+}  // namespace gpujoin

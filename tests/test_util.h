@@ -1,0 +1,54 @@
+// Shared helpers for the gpujoin test suites.
+
+#ifndef GPUJOIN_TESTS_TEST_UTIL_H_
+#define GPUJOIN_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/status.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::testing {
+
+/// Asserts a Status-like expression is OK, with the message on failure.
+#define ASSERT_OK(expr)                                                   \
+  do {                                                                    \
+    const ::gpujoin::Status _st =                                         \
+        ::gpujoin::internal::GenericToStatus((expr));                     \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                              \
+  } while (0)
+
+#define EXPECT_OK(expr)                                                   \
+  do {                                                                    \
+    const ::gpujoin::Status _st =                                         \
+        ::gpujoin::internal::GenericToStatus((expr));                     \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                              \
+  } while (0)
+
+/// ASSERT_OK + move the value out of a Result.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                 \
+  ASSERT_OK_AND_ASSIGN_IMPL(                             \
+      GPUJOIN_CONCAT(_test_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result_name, lhs, rexpr)      \
+  auto result_name = (rexpr);                                   \
+  ASSERT_TRUE(result_name.ok()) << result_name.status().ToString(); \
+  lhs = std::move(result_name).value();
+
+/// A small-capacity test device: A100 geometry with caches scaled for
+/// ~2^16-tuple workloads, so cache effects are visible at test sizes.
+inline vgpu::Device MakeTestDevice() {
+  return vgpu::Device(vgpu::DeviceConfig::ScaledToWorkload(
+      vgpu::DeviceConfig::A100(), uint64_t{1} << 16));
+}
+
+/// An unscaled A100 device (large caches relative to test inputs).
+inline vgpu::Device MakeFullA100() {
+  return vgpu::Device(vgpu::DeviceConfig::A100());
+}
+
+}  // namespace gpujoin::testing
+
+#endif  // GPUJOIN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,90 @@
+// All five Table 6 TPC joins executed end to end against the oracle at a
+// small scale, on every implementation — the correctness backing behind
+// bench_fig17_tpc.
+
+#include <gtest/gtest.h>
+
+#include "join/join.h"
+#include "join/reference.h"
+#include "test_util.h"
+#include "workload/tpc.h"
+
+namespace gpujoin {
+namespace {
+
+using testing::MakeTestDevice;
+
+class TpcJoinExecutionTest
+    : public ::testing::TestWithParam<std::tuple<int, join::JoinAlgo>> {};
+
+TEST_P(TpcJoinExecutionTest, MatchesOracle) {
+  const auto& [spec_idx, algo] = GetParam();
+  const workload::TpcJoinSpec spec = workload::TpcJoinSpecs()[spec_idx];
+  workload::TpcGenOptions gen;
+  gen.scale_tuples = uint64_t{1} << 14;  // Tiny but structurally faithful.
+  auto w = workload::GenerateTpcJoin(spec, gen).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+  auto r = Table::FromHost(device, w.r).ValueOrDie();
+  auto s = Table::FromHost(device, w.s).ValueOrDie();
+  join::JoinOptions opts;
+  opts.pk_fk = spec.pk_fk;
+  auto res = RunJoin(device, algo, r, s, opts);
+  ASSERT_OK(res);
+  EXPECT_EQ(join::CanonicalRows(res->output.ToHost()),
+            join::ReferenceJoinRows(w.r, w.s))
+      << spec.id;
+  // Output schema: join key + all payloads from both sides.
+  EXPECT_EQ(res->output.num_columns(),
+            1 + (r.num_columns() - 1) + (s.num_columns() - 1));
+}
+
+std::string TpcCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, join::JoinAlgo>>& info) {
+  std::string algo = join::JoinAlgoName(std::get<1>(info.param));
+  for (char& ch : algo) {
+    if (ch == '-') ch = '_';
+  }
+  return workload::TpcJoinSpecs()[std::get<0>(info.param)].id + "_" + algo;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllJoinsAllAlgos, TpcJoinExecutionTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::ValuesIn(join::kAllJoinAlgos)),
+    TpcCaseName);
+
+TEST(TpcLayoutTest, PayloadColumnCountsMatchTableSix) {
+  workload::TpcGenOptions gen;
+  gen.scale_tuples = uint64_t{1} << 12;
+  const auto specs = workload::TpcJoinSpecs();
+  // J2: R = key + 1 key-payload + 2 non-keys; S = key + 1 non-key.
+  auto j2 = workload::GenerateTpcJoin(specs[1], gen).ValueOrDie();
+  EXPECT_EQ(j2.r.columns.size(), 4u);
+  EXPECT_EQ(j2.s.columns.size(), 2u);
+  // J3: 3 non-keys each side.
+  auto j3 = workload::GenerateTpcJoin(specs[2], gen).ValueOrDie();
+  EXPECT_EQ(j3.r.columns.size(), 4u);
+  EXPECT_EQ(j3.s.columns.size(), 4u);
+  // J4: R = key + 1 non-key; S = key + 3 key-payloads + 7 non-keys.
+  auto j4 = workload::GenerateTpcJoin(specs[3], gen).ValueOrDie();
+  EXPECT_EQ(j4.r.columns.size(), 2u);
+  EXPECT_EQ(j4.s.columns.size(), 11u);
+  // Key payloads are 4-byte ids even in the 8-byte non-key regime.
+  EXPECT_EQ(j4.s.columns[1].type, DataType::kInt32);
+  EXPECT_EQ(j4.s.columns[5].type, DataType::kInt64);
+}
+
+TEST(TpcLayoutTest, AllEightByteRegime) {
+  workload::TpcGenOptions gen;
+  gen.scale_tuples = uint64_t{1} << 12;
+  gen.key_type = DataType::kInt64;
+  gen.nonkey_type = DataType::kInt64;
+  auto j1 = workload::GenerateTpcJoin(workload::TpcJoinSpecs()[0], gen)
+                .ValueOrDie();
+  EXPECT_EQ(j1.r.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(j1.r.columns[2].type, DataType::kInt64);
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,135 @@
+// Transformation-phase helpers, and the invariant all of GFTR rests on:
+// re-transforming the ORIGINAL key column with a different payload column
+// reproduces the exact same permutation (Algorithm 1, lines 4-9), for both
+// sorting and partitioning.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "join/transform.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin::join {
+namespace {
+
+using testing::MakeTestDevice;
+using vgpu::DeviceBuffer;
+
+class TransformAlignmentTest
+    : public ::testing::TestWithParam<std::tuple<TransformKind, int>> {};
+
+TEST_P(TransformAlignmentTest, PayloadColumnsAlignAcrossReTransforms) {
+  const auto& [kind, radix_bits] = GetParam();
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 20000;
+  std::mt19937_64 rng(31);
+
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto pay1 = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto pay2 = DeviceBuffer<int64_t>::Allocate(device, n).ValueOrDie();
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int32_t>(rng() % 5000);  // Duplicates on purpose.
+    pay1[i] = static_cast<int32_t>(i);
+    pay2[i] = static_cast<int64_t>(i) * 1000;
+  }
+
+  // Transform (key, pay1), then independently (key, pay2).
+  DeviceBuffer<int32_t> tk1, tp1;
+  ASSERT_OK(TransformPairOutOfPlace(device, keys, pay1, &tk1, &tp1, kind,
+                                    radix_bits));
+  DeviceBuffer<int32_t> tk2;
+  DeviceBuffer<int64_t> tp2;
+  ASSERT_OK(TransformPairOutOfPlace(device, keys, pay2, &tk2, &tp2, kind,
+                                    radix_bits));
+
+  // Identical key layout, and the payloads describe the SAME tuple at every
+  // position: tp2[i] == tp1[i] * 1000.
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(tk1[i], tk2[i]) << "key mismatch at " << i;
+    ASSERT_EQ(tp2[i], static_cast<int64_t>(tp1[i]) * 1000)
+        << "payload misalignment at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBits, TransformAlignmentTest,
+    ::testing::Values(std::make_tuple(TransformKind::kSort, 0),
+                      std::make_tuple(TransformKind::kPartition, 4),
+                      std::make_tuple(TransformKind::kPartition, 11),
+                      std::make_tuple(TransformKind::kPartition, 16)));
+
+TEST(TransformTest, SourceColumnsAreNotModified) {
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 1000;
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  std::mt19937_64 rng(5);
+  std::vector<int32_t> key_copy(n), val_copy(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int32_t>(rng() % 100);
+    vals[i] = static_cast<int32_t>(rng());
+    key_copy[i] = keys[i];
+    val_copy[i] = vals[i];
+  }
+  DeviceBuffer<int32_t> tk, tv;
+  ASSERT_OK(TransformPairOutOfPlace(device, keys, vals, &tk, &tv,
+                                    TransformKind::kSort, 0));
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], key_copy[i]);
+    ASSERT_EQ(vals[i], val_copy[i]);
+  }
+}
+
+TEST(TransformTest, TempBuffersAreReleased) {
+  vgpu::Device device = MakeTestDevice();
+  const uint64_t n = 4096;
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  const uint64_t live_before = device.memory_stats().live_bytes;
+  DeviceBuffer<int32_t> tk, tv;
+  ASSERT_OK(TransformPairOutOfPlace(device, keys, vals, &tk, &tv,
+                                    TransformKind::kSort, 0));
+  // Only the two output buffers remain live beyond the inputs (M_t freed).
+  EXPECT_EQ(device.memory_stats().live_bytes, live_before + 2 * n * 4);
+}
+
+TEST(TransformTest, RejectsZeroBits) {
+  vgpu::Device device = MakeTestDevice();
+  auto keys = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  auto vals = DeviceBuffer<int32_t>::Allocate(device, 16).ValueOrDie();
+  DeviceBuffer<int32_t> tk, tv;
+  EXPECT_FALSE(TransformPairOutOfPlace(device, keys, vals, &tk, &tv,
+                                       TransformKind::kPartition, 0)
+                   .ok());
+}
+
+TEST(ChoosePartitionBitsTest, GrowsWithBuildSize) {
+  const uint64_t capacity = 512;
+  EXPECT_EQ(ChoosePartitionBits<int32_t>(100, capacity), 1);
+  EXPECT_EQ(ChoosePartitionBits<int32_t>(1024, capacity), 1);
+  EXPECT_EQ(ChoosePartitionBits<int32_t>(2048, capacity), 2);
+  EXPECT_EQ(ChoosePartitionBits<int32_t>(1 << 20, capacity), 11);
+  // Clamped at 16 bits (the paper's two-invocation budget).
+  EXPECT_EQ(ChoosePartitionBits<int32_t>(uint64_t{1} << 40, capacity), 16);
+}
+
+TEST(GatherColumnTest, PreservesColumnType) {
+  vgpu::Device device = MakeTestDevice();
+  auto col = DeviceColumn::FromHost(device, DataType::kInt64, {{10, 20, 30}})
+                 .ValueOrDie();
+  auto map = DeviceBuffer<RowId>::FromHost(device, {{2u, 0u, 1u, 2u}})
+                 .ValueOrDie();
+  auto out = GatherColumn(device, col, map);
+  ASSERT_OK(out);
+  EXPECT_EQ(out->type(), DataType::kInt64);
+  EXPECT_EQ(out->Get(0), 30);
+  EXPECT_EQ(out->Get(1), 10);
+  EXPECT_EQ(out->Get(2), 20);
+  EXPECT_EQ(out->Get(3), 30);
+}
+
+}  // namespace
+}  // namespace gpujoin::join

@@ -1,0 +1,239 @@
+// Workload generators: PK-FK structure, match-ratio accuracy, Zipf
+// distribution shape, star schemas, group-by inputs, and the Table 6 TPC
+// join specifications.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/tpc.h"
+#include "workload/zipf.h"
+
+namespace gpujoin::workload {
+namespace {
+
+TEST(JoinWorkloadTest, PrimaryKeysAreUniqueAndShuffled) {
+  JoinWorkloadSpec spec;
+  spec.r_rows = 10000;
+  spec.s_rows = 20000;
+  auto w = GenerateJoinInput(spec).ValueOrDie();
+  const auto& keys = w.r.columns[0].values;
+  std::set<int64_t> distinct(keys.begin(), keys.end());
+  EXPECT_EQ(distinct.size(), keys.size());
+  // Shuffled: not in ascending order (probability of failure ~ 0).
+  EXPECT_FALSE(std::is_sorted(keys.begin(), keys.end()));
+  // Full match ratio: all values in [0, |R|).
+  EXPECT_EQ(*distinct.rbegin(), static_cast<int64_t>(spec.r_rows) - 1);
+}
+
+TEST(JoinWorkloadTest, ForeignKeysWithinDomain) {
+  JoinWorkloadSpec spec;
+  spec.r_rows = 5000;
+  spec.s_rows = 15000;
+  auto w = GenerateJoinInput(spec).ValueOrDie();
+  for (int64_t k : w.s.columns[0].values) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, static_cast<int64_t>(spec.r_rows));
+  }
+}
+
+class MatchRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatchRatioTest, RealizedRatioIsClose) {
+  const double ratio = GetParam();
+  JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 14;
+  spec.s_rows = 1 << 16;
+  spec.match_ratio = ratio;
+  auto w = GenerateJoinInput(spec).ValueOrDie();
+  std::set<int64_t> r_keys(w.r.columns[0].values.begin(),
+                           w.r.columns[0].values.end());
+  uint64_t matches = 0;
+  for (int64_t k : w.s.columns[0].values) {
+    if (r_keys.count(k) > 0) ++matches;
+  }
+  const double realized =
+      static_cast<double>(matches) / static_cast<double>(spec.s_rows);
+  EXPECT_NEAR(realized, ratio, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MatchRatioTest,
+                         ::testing::Values(1.0, 0.75, 0.5, 0.25, 0.03, 0.0));
+
+TEST(JoinWorkloadTest, PayloadTypesRespected) {
+  JoinWorkloadSpec spec;
+  spec.r_rows = 100;
+  spec.s_rows = 100;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 3;
+  spec.key_type = DataType::kInt64;
+  spec.r_payload_type = DataType::kInt64;
+  spec.s_payload_type = DataType::kInt32;
+  auto w = GenerateJoinInput(spec).ValueOrDie();
+  EXPECT_EQ(w.r.columns.size(), 3u);
+  EXPECT_EQ(w.s.columns.size(), 4u);
+  EXPECT_EQ(w.r.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(w.r.columns[1].type, DataType::kInt64);
+  EXPECT_EQ(w.s.columns[1].type, DataType::kInt32);
+}
+
+TEST(JoinWorkloadTest, DeterministicPerSeed) {
+  JoinWorkloadSpec spec;
+  spec.r_rows = 1000;
+  spec.s_rows = 1000;
+  auto a = GenerateJoinInput(spec).ValueOrDie();
+  auto b = GenerateJoinInput(spec).ValueOrDie();
+  EXPECT_EQ(a.r.columns[0].values, b.r.columns[0].values);
+  spec.seed = 43;
+  auto c = GenerateJoinInput(spec).ValueOrDie();
+  EXPECT_NE(a.r.columns[0].values, c.r.columns[0].values);
+}
+
+TEST(JoinWorkloadTest, ValidatesSpec) {
+  JoinWorkloadSpec spec;
+  spec.r_rows = 0;
+  EXPECT_FALSE(GenerateJoinInput(spec).ok());
+  spec.r_rows = 10;
+  spec.match_ratio = 1.5;
+  EXPECT_FALSE(GenerateJoinInput(spec).ok());
+  spec.match_ratio = 1.0;
+  spec.zipf_theta = -1;
+  EXPECT_FALSE(GenerateJoinInput(spec).ok());
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator gen(100, 0.0, 1);
+  std::map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[gen.Next()];
+  // All values hit, roughly evenly.
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator gen(10000, 1.25, 2);
+  uint64_t top10 = 0, total = 200000;
+  for (uint64_t i = 0; i < total; ++i) {
+    if (gen.Next() < 10) ++top10;
+  }
+  // With theta=1.25 the top-10 ranks carry well over a third of the mass.
+  EXPECT_GT(static_cast<double>(top10) / total, 0.35);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  auto hottest_share = [](double theta) {
+    ZipfGenerator gen(1000, theta, 3);
+    uint64_t hot = 0, total = 100000;
+    for (uint64_t i = 0; i < total; ++i) {
+      if (gen.Next() == 0) ++hot;
+    }
+    return static_cast<double>(hot) / total;
+  };
+  EXPECT_LT(hottest_share(0.5), hottest_share(1.0));
+  EXPECT_LT(hottest_share(1.0), hottest_share(1.5));
+}
+
+TEST(ZipfTest, ValuesStayInDomain) {
+  ZipfGenerator gen(17, 1.0, 4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 17u);
+}
+
+TEST(StarSchemaTest, ShapeAndDomains) {
+  StarSchemaSpec spec;
+  spec.fact_rows = 5000;
+  spec.num_dims = 3;
+  spec.dim_rows = 500;
+  auto schema = GenerateStarSchema(spec).ValueOrDie();
+  EXPECT_EQ(schema.fact.columns.size(), 3u);
+  EXPECT_EQ(schema.dims.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(schema.dims[d].num_rows(), 500u);
+    EXPECT_EQ(schema.dims[d].columns.size(), 2u);
+    std::set<int64_t> pk(schema.dims[d].columns[0].values.begin(),
+                         schema.dims[d].columns[0].values.end());
+    EXPECT_EQ(pk.size(), 500u);  // Unique primary keys.
+    for (int64_t fk : schema.fact.columns[d].values) {
+      EXPECT_GE(fk, 0);
+      EXPECT_LT(fk, 500);
+    }
+  }
+}
+
+TEST(GroupByWorkloadTest, GroupDomainRespected) {
+  GroupByWorkloadSpec spec;
+  spec.rows = 20000;
+  spec.num_groups = 64;
+  auto t = GenerateGroupByInput(spec).ValueOrDie();
+  std::set<int64_t> groups(t.columns[0].values.begin(),
+                           t.columns[0].values.end());
+  EXPECT_LE(groups.size(), 64u);
+  EXPECT_GT(groups.size(), 60u);  // Nearly all hit at 20000 draws.
+}
+
+TEST(TpcSpecTest, TableSixSpecsAreComplete) {
+  const auto specs = TpcJoinSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].id, "J1");
+  EXPECT_EQ(specs[4].id, "J5");
+  EXPECT_TRUE(specs[4].self_join);
+  EXPECT_FALSE(specs[4].pk_fk);
+  // Table 6 row counts.
+  EXPECT_EQ(specs[1].s_rows, 60'000'000u);
+  EXPECT_EQ(specs[3].s_key_payloads, 3);
+  EXPECT_EQ(specs[3].s_nonkey_payloads, 7);
+}
+
+TEST(TpcSpecTest, ScalingIsProportional) {
+  const auto specs = TpcJoinSpecs();
+  const uint64_t scale = uint64_t{1} << 20;
+  // J2: |S|/|R| = 4 at paper scale; preserved after scaling.
+  const double ratio = static_cast<double>(specs[1].ScaledS(scale)) /
+                       static_cast<double>(specs[1].ScaledR(scale));
+  EXPECT_NEAR(ratio, 4.0, 0.1);
+}
+
+TEST(TpcGenTest, J1ColumnLayoutMatchesTable6) {
+  TpcGenOptions gen;
+  gen.scale_tuples = uint64_t{1} << 16;
+  auto w = GenerateTpcJoin(TpcJoinSpecs()[0], gen).ValueOrDie();
+  // J1: R = key + 1 key-payload + 3 non-keys; S = key + 1 non-key.
+  EXPECT_EQ(w.r.columns.size(), 5u);
+  EXPECT_EQ(w.s.columns.size(), 2u);
+  EXPECT_EQ(w.r.columns[0].type, DataType::kInt32);
+  EXPECT_EQ(w.r.columns[1].type, DataType::kInt32);  // Key payload: 4B id.
+  EXPECT_EQ(w.r.columns[2].type, DataType::kInt64);  // Non-key: 8B.
+}
+
+TEST(TpcGenTest, J5SelfJoinOutputCardinality) {
+  TpcGenOptions gen;
+  gen.scale_tuples = uint64_t{1} << 18;
+  const auto& j5 = TpcJoinSpecs()[4];
+  auto w = GenerateTpcJoin(j5, gen).ValueOrDie();
+  EXPECT_EQ(w.r.columns[0].values, w.s.columns[0].values);  // Self join.
+  // E[|T|] / |S| should approximate the paper's 904M / 72M ~ 12.6.
+  std::map<int64_t, uint64_t> counts;
+  for (int64_t k : w.r.columns[0].values) ++counts[k];
+  uint64_t pairs = 0;
+  for (const auto& [k, c] : counts) pairs += c * c;
+  const double ratio =
+      static_cast<double>(pairs) / static_cast<double>(w.s.num_rows());
+  EXPECT_NEAR(ratio, 12.6, 2.0);
+}
+
+TEST(RowsForGigabytesTest, MatchesPaperNotation) {
+  // 1.5 GB with 2 payload columns of 4B + 4B key = 12 B/row -> 125M rows,
+  // i.e. about 2^27 (the paper's canonical size).
+  const uint64_t rows =
+      RowsForGigabytes(1.5, 2, DataType::kInt32, DataType::kInt32);
+  EXPECT_NEAR(static_cast<double>(rows), 125e6, 1e6);
+}
+
+}  // namespace
+}  // namespace gpujoin::workload
