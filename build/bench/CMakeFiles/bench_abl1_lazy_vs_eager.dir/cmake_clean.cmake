@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl1_lazy_vs_eager.dir/bench_abl1_lazy_vs_eager.cc.o"
+  "CMakeFiles/bench_abl1_lazy_vs_eager.dir/bench_abl1_lazy_vs_eager.cc.o.d"
+  "bench_abl1_lazy_vs_eager"
+  "bench_abl1_lazy_vs_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl1_lazy_vs_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

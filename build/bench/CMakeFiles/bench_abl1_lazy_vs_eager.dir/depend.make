@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl1_lazy_vs_eager.
+# This may be replaced when dependencies are built.

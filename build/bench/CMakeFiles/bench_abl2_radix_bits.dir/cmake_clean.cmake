@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl2_radix_bits.dir/bench_abl2_radix_bits.cc.o"
+  "CMakeFiles/bench_abl2_radix_bits.dir/bench_abl2_radix_bits.cc.o.d"
+  "bench_abl2_radix_bits"
+  "bench_abl2_radix_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_radix_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_gather.dir/bench_fig07_gather.cc.o"
+  "CMakeFiles/bench_fig07_gather.dir/bench_fig07_gather.cc.o.d"
+  "bench_fig07_gather"
+  "bench_fig07_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

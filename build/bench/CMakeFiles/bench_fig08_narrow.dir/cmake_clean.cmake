@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_narrow.dir/bench_fig08_narrow.cc.o"
+  "CMakeFiles/bench_fig08_narrow.dir/bench_fig08_narrow.cc.o.d"
+  "bench_fig08_narrow"
+  "bench_fig08_narrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_narrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_narrow_breakdown.dir/bench_fig09_narrow_breakdown.cc.o"
+  "CMakeFiles/bench_fig09_narrow_breakdown.dir/bench_fig09_narrow_breakdown.cc.o.d"
+  "bench_fig09_narrow_breakdown"
+  "bench_fig09_narrow_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_narrow_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_wide.dir/bench_fig10_wide.cc.o"
+  "CMakeFiles/bench_fig10_wide.dir/bench_fig10_wide.cc.o.d"
+  "bench_fig10_wide"
+  "bench_fig10_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_payload_cols.dir/bench_fig12_payload_cols.cc.o"
+  "CMakeFiles/bench_fig12_payload_cols.dir/bench_fig12_payload_cols.cc.o.d"
+  "bench_fig12_payload_cols"
+  "bench_fig12_payload_cols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_payload_cols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

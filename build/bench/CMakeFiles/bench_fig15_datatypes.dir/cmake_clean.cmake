@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_datatypes.dir/bench_fig15_datatypes.cc.o"
+  "CMakeFiles/bench_fig15_datatypes.dir/bench_fig15_datatypes.cc.o.d"
+  "bench_fig15_datatypes"
+  "bench_fig15_datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

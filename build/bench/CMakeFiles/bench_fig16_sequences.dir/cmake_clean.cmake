@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sequences.dir/bench_fig16_sequences.cc.o"
+  "CMakeFiles/bench_fig16_sequences.dir/bench_fig16_sequences.cc.o.d"
+  "bench_fig16_sequences"
+  "bench_fig16_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tpc.dir/bench_fig17_tpc.cc.o"
+  "CMakeFiles/bench_fig17_tpc.dir/bench_fig17_tpc.cc.o.d"
+  "bench_fig17_tpc"
+  "bench_fig17_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_planner.dir/bench_fig18_planner.cc.o"
+  "CMakeFiles/bench_fig18_planner.dir/bench_fig18_planner.cc.o.d"
+  "bench_fig18_planner"
+  "bench_fig18_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

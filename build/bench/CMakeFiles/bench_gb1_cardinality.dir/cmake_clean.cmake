@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb1_cardinality.dir/bench_gb1_cardinality.cc.o"
+  "CMakeFiles/bench_gb1_cardinality.dir/bench_gb1_cardinality.cc.o.d"
+  "bench_gb1_cardinality"
+  "bench_gb1_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb1_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb2_skew.dir/bench_gb2_skew.cc.o"
+  "CMakeFiles/bench_gb2_skew.dir/bench_gb2_skew.cc.o.d"
+  "bench_gb2_skew"
+  "bench_gb2_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb2_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

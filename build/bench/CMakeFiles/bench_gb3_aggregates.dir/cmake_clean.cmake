@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb3_aggregates.dir/bench_gb3_aggregates.cc.o"
+  "CMakeFiles/bench_gb3_aggregates.dir/bench_gb3_aggregates.cc.o.d"
+  "bench_gb3_aggregates"
+  "bench_gb3_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb3_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb4_join_groupby.dir/bench_gb4_join_groupby.cc.o"
+  "CMakeFiles/bench_gb4_join_groupby.dir/bench_gb4_join_groupby.cc.o.d"
+  "bench_gb4_join_groupby"
+  "bench_gb4_join_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb4_join_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gb4_join_groupby.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb5_planner.dir/bench_gb5_planner.cc.o"
+  "CMakeFiles/bench_gb5_planner.dir/bench_gb5_planner.cc.o.d"
+  "bench_gb5_planner"
+  "bench_gb5_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb5_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb6_fused.dir/bench_gb6_fused.cc.o"
+  "CMakeFiles/bench_gb6_fused.dir/bench_gb6_fused.cc.o.d"
+  "bench_gb6_fused"
+  "bench_gb6_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb6_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_primitives.dir/bench_sim_primitives.cc.o"
+  "CMakeFiles/bench_sim_primitives.dir/bench_sim_primitives.cc.o.d"
+  "bench_sim_primitives"
+  "bench_sim_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

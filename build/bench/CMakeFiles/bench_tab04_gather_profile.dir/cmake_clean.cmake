@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_gather_profile.dir/bench_tab04_gather_profile.cc.o"
+  "CMakeFiles/bench_tab04_gather_profile.dir/bench_tab04_gather_profile.cc.o.d"
+  "bench_tab04_gather_profile"
+  "bench_tab04_gather_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_gather_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

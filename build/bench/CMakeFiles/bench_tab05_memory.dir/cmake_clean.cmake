@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_memory.dir/bench_tab05_memory.cc.o"
+  "CMakeFiles/bench_tab05_memory.dir/bench_tab05_memory.cc.o.d"
+  "bench_tab05_memory"
+  "bench_tab05_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_groupby_report.dir/groupby_report.cpp.o"
+  "CMakeFiles/example_groupby_report.dir/groupby_report.cpp.o.d"
+  "example_groupby_report"
+  "example_groupby_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_groupby_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

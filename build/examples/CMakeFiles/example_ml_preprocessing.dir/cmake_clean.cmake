@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ml_preprocessing.dir/ml_preprocessing.cpp.o"
+  "CMakeFiles/example_ml_preprocessing.dir/ml_preprocessing.cpp.o.d"
+  "example_ml_preprocessing"
+  "example_ml_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ml_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_out_of_core.dir/out_of_core.cpp.o"
+  "CMakeFiles/example_out_of_core.dir/out_of_core.cpp.o.d"
+  "example_out_of_core"
+  "example_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

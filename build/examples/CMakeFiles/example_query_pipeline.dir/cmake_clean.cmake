@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_pipeline.dir/query_pipeline.cpp.o"
+  "CMakeFiles/example_query_pipeline.dir/query_pipeline.cpp.o.d"
+  "example_query_pipeline"
+  "example_query_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpc_analytics.dir/tpc_analytics.cpp.o"
+  "CMakeFiles/example_tpc_analytics.dir/tpc_analytics.cpp.o.d"
+  "example_tpc_analytics"
+  "example_tpc_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpc_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gpujoin.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/common/status.cc.o.d"
+  "/root/repo/src/cpubase/cpu_radix_join.cc" "src/CMakeFiles/gpujoin.dir/cpubase/cpu_radix_join.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/cpubase/cpu_radix_join.cc.o.d"
+  "/root/repo/src/groupby/groupby.cc" "src/CMakeFiles/gpujoin.dir/groupby/groupby.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/groupby/groupby.cc.o.d"
+  "/root/repo/src/groupby/planner.cc" "src/CMakeFiles/gpujoin.dir/groupby/planner.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/groupby/planner.cc.o.d"
+  "/root/repo/src/groupby/reference.cc" "src/CMakeFiles/gpujoin.dir/groupby/reference.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/groupby/reference.cc.o.d"
+  "/root/repo/src/harness/harness.cc" "src/CMakeFiles/gpujoin.dir/harness/harness.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/harness/harness.cc.o.d"
+  "/root/repo/src/join/bloom_filter.cc" "src/CMakeFiles/gpujoin.dir/join/bloom_filter.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/bloom_filter.cc.o.d"
+  "/root/repo/src/join/join.cc" "src/CMakeFiles/gpujoin.dir/join/join.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/join.cc.o.d"
+  "/root/repo/src/join/join_aggregate.cc" "src/CMakeFiles/gpujoin.dir/join/join_aggregate.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/join_aggregate.cc.o.d"
+  "/root/repo/src/join/join_order.cc" "src/CMakeFiles/gpujoin.dir/join/join_order.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/join_order.cc.o.d"
+  "/root/repo/src/join/out_of_core.cc" "src/CMakeFiles/gpujoin.dir/join/out_of_core.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/out_of_core.cc.o.d"
+  "/root/repo/src/join/outer.cc" "src/CMakeFiles/gpujoin.dir/join/outer.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/outer.cc.o.d"
+  "/root/repo/src/join/pipeline.cc" "src/CMakeFiles/gpujoin.dir/join/pipeline.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/pipeline.cc.o.d"
+  "/root/repo/src/join/planner.cc" "src/CMakeFiles/gpujoin.dir/join/planner.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/planner.cc.o.d"
+  "/root/repo/src/join/reference.cc" "src/CMakeFiles/gpujoin.dir/join/reference.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/reference.cc.o.d"
+  "/root/repo/src/join/semi.cc" "src/CMakeFiles/gpujoin.dir/join/semi.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/join/semi.cc.o.d"
+  "/root/repo/src/ops/ops.cc" "src/CMakeFiles/gpujoin.dir/ops/ops.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/ops/ops.cc.o.d"
+  "/root/repo/src/ops/plan.cc" "src/CMakeFiles/gpujoin.dir/ops/plan.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/ops/plan.cc.o.d"
+  "/root/repo/src/stats/estimator.cc" "src/CMakeFiles/gpujoin.dir/stats/estimator.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/stats/estimator.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/gpujoin.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/gpujoin.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/gpujoin.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/key_pack.cc" "src/CMakeFiles/gpujoin.dir/storage/key_pack.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/storage/key_pack.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/gpujoin.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/storage/table.cc.o.d"
+  "/root/repo/src/vgpu/device.cc" "src/CMakeFiles/gpujoin.dir/vgpu/device.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/vgpu/device.cc.o.d"
+  "/root/repo/src/vgpu/device_config.cc" "src/CMakeFiles/gpujoin.dir/vgpu/device_config.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/vgpu/device_config.cc.o.d"
+  "/root/repo/src/vgpu/l2_cache.cc" "src/CMakeFiles/gpujoin.dir/vgpu/l2_cache.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/vgpu/l2_cache.cc.o.d"
+  "/root/repo/src/vgpu/profiler.cc" "src/CMakeFiles/gpujoin.dir/vgpu/profiler.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/vgpu/profiler.cc.o.d"
+  "/root/repo/src/vgpu/stats.cc" "src/CMakeFiles/gpujoin.dir/vgpu/stats.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/vgpu/stats.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/gpujoin.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/tpc.cc" "src/CMakeFiles/gpujoin.dir/workload/tpc.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/workload/tpc.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/gpujoin.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/gpujoin.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpujoin.
+# This may be replaced when dependencies are built.

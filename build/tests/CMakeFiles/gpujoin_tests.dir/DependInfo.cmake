@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bit_util_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/bit_util_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/bit_util_test.cc.o.d"
+  "/root/repo/tests/bloom_string_fuzz_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/bloom_string_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/bloom_string_fuzz_test.cc.o.d"
+  "/root/repo/tests/bucket_chain_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/bucket_chain_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/bucket_chain_test.cc.o.d"
+  "/root/repo/tests/cpu_pipeline_planner_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/cpu_pipeline_planner_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/cpu_pipeline_planner_test.cc.o.d"
+  "/root/repo/tests/cross_device_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/cross_device_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/cross_device_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/estimator_profiler_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/estimator_profiler_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/estimator_profiler_test.cc.o.d"
+  "/root/repo/tests/extension_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/extension_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/extension_test.cc.o.d"
+  "/root/repo/tests/groupby_property_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/groupby_property_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/groupby_property_test.cc.o.d"
+  "/root/repo/tests/groupby_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/groupby_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/groupby_test.cc.o.d"
+  "/root/repo/tests/harness_env_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/harness_env_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/harness_env_test.cc.o.d"
+  "/root/repo/tests/join_correctness_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/join_correctness_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/join_correctness_test.cc.o.d"
+  "/root/repo/tests/join_order_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/join_order_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/join_order_test.cc.o.d"
+  "/root/repo/tests/join_property_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/join_property_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/join_property_test.cc.o.d"
+  "/root/repo/tests/l2_cache_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/l2_cache_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/l2_cache_test.cc.o.d"
+  "/root/repo/tests/memory_accounting_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/memory_accounting_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/memory_accounting_test.cc.o.d"
+  "/root/repo/tests/merge_path_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/merge_path_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/merge_path_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/outer_join_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/outer_join_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/outer_join_test.cc.o.d"
+  "/root/repo/tests/perf_shape_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/perf_shape_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/perf_shape_test.cc.o.d"
+  "/root/repo/tests/prim_match_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/prim_match_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/prim_match_test.cc.o.d"
+  "/root/repo/tests/prim_radix_partition_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/prim_radix_partition_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/prim_radix_partition_test.cc.o.d"
+  "/root/repo/tests/prim_scan_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/prim_scan_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/prim_scan_test.cc.o.d"
+  "/root/repo/tests/prim_sort_gather_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/prim_sort_gather_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/prim_sort_gather_test.cc.o.d"
+  "/root/repo/tests/semi_join_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/semi_join_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/semi_join_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tpc_join_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/tpc_join_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/tpc_join_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/transform_test.cc.o.d"
+  "/root/repo/tests/vgpu_device_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/vgpu_device_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/vgpu_device_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/gpujoin_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/gpujoin_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpujoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
