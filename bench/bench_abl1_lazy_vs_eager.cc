@@ -42,5 +42,6 @@ int main() {
       "releases them progressively — at bench scale the two land within a\n"
       "few percent of each other (Algorithm 1's all-at-once saving applies\n"
       "to disciplines that keep every transformed column live).\n");
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

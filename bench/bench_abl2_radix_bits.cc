@@ -34,5 +34,6 @@ int main() {
     }
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

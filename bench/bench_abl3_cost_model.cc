@@ -42,5 +42,6 @@ int main() {
   std::printf("expected: OM's advantage at match=1.0 grows with the random-"
               "access penalty and never inverts; at match=0.05 the variants "
               "stay near parity regardless\n");
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

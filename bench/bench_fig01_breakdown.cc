@@ -45,5 +45,6 @@ int main() {
   std::printf(
       "PHJ-OM speedup over PHJ-UM: %.2fx (paper: up to 2.3x on this shape)\n",
       um_total / om_total);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -89,5 +89,6 @@ int main() {
   std::printf(
       "paper: A100 partition+gather 1.79x, sort+gather 1.23x; RTX3090 2.2x / "
       "1.37x\n");
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -49,5 +49,6 @@ int main() {
     }
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

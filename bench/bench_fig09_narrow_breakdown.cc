@@ -32,5 +32,6 @@ int main() {
     }
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

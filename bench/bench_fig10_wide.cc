@@ -50,5 +50,6 @@ int main() {
               "(paper ~2.3x) | PHJ-OM/SMJ-OM %.2fx (paper ~1.4x)\n",
               smj_um / smj_om, phj_um / smj_om, phj_um / phj_om,
               smj_om / phj_om);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

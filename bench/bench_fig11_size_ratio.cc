@@ -28,5 +28,6 @@ int main() {
     }
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -30,5 +30,6 @@ int main() {
     }
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
   std::printf("PHJ-OM over PHJ-UM: %.2fx at N=2 (paper 1.49x), %.2fx at N=8 "
               "(paper 1.78x)\n",
               um2 / om2, um8 / om8);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

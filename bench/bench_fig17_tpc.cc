@@ -49,5 +49,6 @@ int main() {
   RunRegime("4-byte keys, 8-byte non-key attributes", DataType::kInt32,
             DataType::kInt64);
   RunRegime("all attributes 8-byte", DataType::kInt64, DataType::kInt64);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -98,5 +98,6 @@ int main() {
               hits, grid.size(), total_regret / grid.size());
   std::printf("Fig 18b (SMJ family): best-pick rate %d/%zu\n", smj_hits,
               grid.size());
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

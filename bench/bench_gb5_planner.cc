@@ -68,5 +68,6 @@ int main() {
   tp.Print();
   std::printf("planner best-pick rate %d/%d, mean regret %.1f%%\n", hits, total,
               total_regret / total);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

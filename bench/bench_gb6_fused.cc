@@ -70,5 +70,6 @@ int main() {
   tp.Print();
   std::printf("expected: speedup grows with the number of unreferenced "
               "payload columns\n");
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -33,6 +33,18 @@ void BM_SimSequentialScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SimSequentialScan)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_SimSequentialStore(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  vgpu::Device device = MakeDevice(n);
+  auto buf = vgpu::DeviceBuffer<int32_t>::Allocate(device, n).ValueOrDie();
+  for (auto _ : state) {
+    vgpu::KernelScope ks(device, "fill");
+    device.StoreSeq(buf.addr(), n, 4);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimSequentialStore)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_SimRandomGather(benchmark::State& state) {
   const uint64_t n = static_cast<uint64_t>(state.range(0));
   vgpu::Device device = MakeDevice(n);

@@ -77,5 +77,6 @@ int main() {
   tp.Print();
   std::printf("clustered speedup: %.2fx (paper: ~8.5x)\n",
               un.cycles / cl.cycles);
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

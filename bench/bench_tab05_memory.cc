@@ -48,5 +48,6 @@ int main() {
                harness::TablePrinter::Fmt(peaks[a][2], 1)});
   }
   tp.Print();
+  gpujoin::harness::PrintSimSummary();
   return 0;
 }

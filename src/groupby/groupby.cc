@@ -220,16 +220,19 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashGlobalAggregate(
     device.SerialStall(static_cast<double>(max_group_freq) /
                        device.config().warp_size *
                        static_cast<double>(n_acc) * kSameAddressAtomicCycles);
+    // Key and aggregate-input columns are fully coalesced sequential
+    // streams: charge them as bulk runs up front. Only the probe/update
+    // traffic depends on the hash of each key and stays per-warp.
+    device.LoadSeq(input.column(0).addr(), n,
+                   static_cast<uint32_t>(DataTypeSize(input.column(0).type())));
+    for (int c : needed) {
+      device.LoadSeq(input.column(c).addr(), n,
+                     static_cast<uint32_t>(DataTypeSize(input.column(c).type())));
+    }
     uint64_t probe_addrs[32];
     uint64_t acc_addrs[32];
     for (uint64_t i = 0; i < n; i += warp) {
       const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, n - i));
-      device.LoadSeq(input.column(0).addr(i), lanes,
-                     static_cast<uint32_t>(DataTypeSize(input.column(0).type())));
-      for (int c : needed) {
-        device.LoadSeq(input.column(c).addr(i), lanes,
-                       static_cast<uint32_t>(DataTypeSize(input.column(c).type())));
-      }
       for (uint32_t l = 0; l < lanes; ++l) {
         const int64_t key = input.column(0).Get(i + l);
         uint64_t h = prim::HashToSlot(key, mask);

@@ -5,14 +5,24 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/bit_util.h"
+
 namespace gpujoin::harness {
 
 int ScaleLog2() {
   const char* env = std::getenv("GPUJOIN_SCALE");
   if (env != nullptr) {
-    const int v = std::atoi(env);
-    if (v >= 10 && v <= 27) return v;
-    std::fprintf(stderr, "GPUJOIN_SCALE=%s out of [10,27]; using 20\n", env);
+    const long long v = std::atoll(env);
+    if (v >= 10 && v <= 27) return static_cast<int>(v);
+    // Absolute tuple counts are accepted too (e.g. 4194304 == 2^22) and
+    // rounded down to the nearest power of two.
+    if (v >= 1024 && v <= (1ll << 27)) {
+      return bit_util::Log2Floor(static_cast<uint64_t>(v));
+    }
+    std::fprintf(stderr,
+                 "GPUJOIN_SCALE=%s is neither a log2 in [10,27] nor a tuple "
+                 "count in [2^10,2^27]; using 20\n",
+                 env);
   }
   return 20;
 }
@@ -89,6 +99,16 @@ void PrintBanner(const std::string& experiment, const std::string& what) {
   std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
   std::printf("device=%s (scaled to 2^%d tuples; paper scale is 2^27)\n",
               cfg.name.c_str(), ScaleLog2());
+}
+
+void PrintSimSummary() {
+  const vgpu::SimSelfProfile& p = vgpu::GlobalSimSelfProfile();
+  const double rate = p.host_seconds > 0 ? p.sim_cycles / p.host_seconds : 0;
+  std::printf(
+      "[sim] %llu kernels, %.3g simulated cycles in %.2f s host wall-clock "
+      "(%.3g cycles/s)\n",
+      static_cast<unsigned long long>(p.kernels), p.sim_cycles, p.host_seconds,
+      rate);
 }
 
 }  // namespace gpujoin::harness

@@ -66,6 +66,11 @@ class TablePrinter {
 /// Prints the standard bench banner (experiment id, device, scale).
 void PrintBanner(const std::string& experiment, const std::string& what);
 
+/// Prints a one-line simulator self-profile: kernels simulated, simulated
+/// cycles, host wall-clock spent simulating, and sim throughput
+/// (cycles/second of host time). Call at the end of a bench main.
+void PrintSimSummary();
+
 }  // namespace gpujoin::harness
 
 #endif  // GPUJOIN_HARNESS_HARNESS_H_

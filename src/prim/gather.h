@@ -30,11 +30,14 @@ Status Gather(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
   const uint64_t n = map.size();
   const int warp = device.config().warp_size;
   vgpu::KernelScope ks(device, "gather");
+  // The map read and output write are fully coalesced streams: charge them
+  // as bulk runs. Only the data read depends on the map contents and needs
+  // per-warp lane addresses.
+  device.LoadSeq(map.addr(), n, sizeof(RowId));
   uint64_t addrs[32];
   for (uint64_t i = 0; i < n; i += warp) {
     const uint32_t lanes = static_cast<uint32_t>(
         std::min<uint64_t>(warp, n - i));
-    device.LoadSeq(map.addr(i), lanes, sizeof(RowId));
     for (uint32_t l = 0; l < lanes; ++l) {
       const RowId src = map[i + l];
       if (src >= in.size()) {
@@ -44,8 +47,8 @@ Status Gather(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
       (*out)[i + l] = in[src];
     }
     device.Load({addrs, lanes}, sizeof(T));
-    device.StoreSeq(out->addr(i), lanes, sizeof(T));
   }
+  device.StoreSeq(out->addr(), n, sizeof(T));
   return Status::OK();
 }
 
@@ -59,12 +62,13 @@ Status Scatter(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
   const uint64_t n = map.size();
   const int warp = device.config().warp_size;
   vgpu::KernelScope ks(device, "scatter");
+  // Map and input are fully coalesced streams: charge them as bulk runs.
+  device.LoadSeq(map.addr(), n, sizeof(RowId));
+  device.LoadSeq(in.addr(), n, sizeof(T));
   uint64_t addrs[32];
   for (uint64_t i = 0; i < n; i += warp) {
     const uint32_t lanes = static_cast<uint32_t>(
         std::min<uint64_t>(warp, n - i));
-    device.LoadSeq(map.addr(i), lanes, sizeof(RowId));
-    device.LoadSeq(in.addr(i), lanes, sizeof(T));
     for (uint32_t l = 0; l < lanes; ++l) {
       const RowId dst = map[i + l];
       if (dst >= out->size()) {

@@ -1,6 +1,7 @@
 #include "vgpu/device.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/bit_util.h"
@@ -47,6 +48,7 @@ void Device::BeginKernel(const char* name) {
   in_kernel_ = true;
   kernel_name_ = name;
   current_ = KernelStats{};
+  kernel_host_start_ = std::chrono::steady_clock::now();
 }
 
 const KernelStats& Device::EndKernel() {
@@ -72,13 +74,63 @@ const KernelStats& Device::EndKernel() {
   elapsed_cycles_ += current_.cycles;
   last_kernel_ = current_;
   total_.Add(current_);
-  profiler_.Record(kernel_name_, current_);
+  const double host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    kernel_host_start_)
+          .count();
+  host_kernel_seconds_ += host_seconds;
+  profiler_.Record(kernel_name_, current_, host_seconds);
+  SimSelfProfile& g = MutableGlobalSimSelfProfile();
+  g.host_seconds += host_seconds;
+  g.sim_cycles += current_.cycles;
+  ++g.kernels;
   return last_kernel_;
 }
 
 void Device::ResetStats() {
   total_ = KernelStats{};
   last_kernel_ = KernelStats{};
+  profiler_.Clear();
+  host_kernel_seconds_ = 0;
+}
+
+void Device::TouchDramRow(uint64_t row, uint64_t multiplicity) {
+  if (multiplicity == 0) return;
+  // Hash the row to a tracker group: real DRAM interleaves banks on low
+  // address bits, so large power-of-two strides must not alias. Full
+  // murmur fmix64 — a single multiply is not avalanche-complete for
+  // strided row numbers and produces persistent group collisions.
+  uint64_t mix = row;
+  mix ^= mix >> 33;
+  mix *= 0xff51afd7ed558ccdull;
+  mix ^= mix >> 33;
+  mix *= 0xc4ceb9fe1a85ec53ull;
+  mix ^= mix >> 33;
+  const int assoc = config_.dram_row_assoc;
+  const uint64_t n_rows = dram_open_rows_.size();
+  const uint64_t group = (mix % (n_rows / assoc)) * assoc;
+  // `multiplicity` consecutive miss sectors in the same row: the first
+  // access decides hit/miss, the rest only refresh the LRU stamp — so the
+  // batched form advances the clock once by the full multiplicity and
+  // stamps the final value (identical end state to per-sector operations).
+  dram_row_clock_ += static_cast<uint32_t>(multiplicity);
+  for (int w = 0; w < assoc; ++w) {
+    if (dram_open_rows_[group + w] == row) {
+      dram_row_lru_[group + w] = dram_row_clock_;
+      return;
+    }
+  }
+  int victim = 0;
+  uint32_t victim_lru = ~uint32_t{0};
+  for (int w = 0; w < assoc; ++w) {
+    if (dram_row_lru_[group + w] < victim_lru) {
+      victim_lru = dram_row_lru_[group + w];
+      victim = w;
+    }
+  }
+  dram_open_rows_[group + victim] = row;
+  dram_row_lru_[group + victim] = dram_row_clock_;
+  ++current_.dram_row_misses;
 }
 
 void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
@@ -94,12 +146,21 @@ void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
     current_.bytes_read += bytes;
   }
 
-  // Collect the distinct sectors and 128B lines this warp touches. A lane of
-  // up to 8 bytes touches at most 2 sectors, so <= 64 entries.
-  uint64_t sectors[64];
-  int n_sectors = 0;
-  uint64_t lines[64];
-  int n_lines = 0;
+  // Collect the distinct sectors and 128B lines this warp touches. A lane
+  // spanning [a, a + bytes_per_lane) touches at most bytes_per_lane/32 + 2
+  // sectors, so the scratch capacity below is a true upper bound — wide
+  // lanes (or wide warps) are never silently dropped.
+  const size_t cap =
+      lane_addrs.size() *
+      (static_cast<size_t>(bytes_per_lane) / config_.sector_bytes + 2);
+  if (scratch_sectors_.size() < cap) {
+    scratch_sectors_.resize(cap);
+    scratch_lines_.resize(cap);
+  }
+  uint64_t* sectors = scratch_sectors_.data();
+  size_t n_sectors = 0;
+  uint64_t* lines = scratch_lines_.data();
+  size_t n_lines = 0;
   const int sector_shift = bit_util::Log2Floor(config_.sector_bytes);
   const int line_shift = bit_util::Log2Floor(config_.cacheline_bytes);
   for (uint64_t addr : lane_addrs) {
@@ -107,33 +168,32 @@ void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
     const uint64_t last_sector = (addr + bytes_per_lane - 1) >> sector_shift;
     for (uint64_t s = first_sector; s <= last_sector; ++s) {
       bool seen = false;
-      for (int i = n_sectors - 1; i >= 0; --i) {
+      for (size_t i = n_sectors; i-- > 0;) {
         if (sectors[i] == s) {
           seen = true;
           break;
         }
       }
-      if (!seen && n_sectors < 64) sectors[n_sectors++] = s;
+      if (!seen) sectors[n_sectors++] = s;
     }
     const uint64_t first_line = addr >> line_shift;
     const uint64_t last_line = (addr + bytes_per_lane - 1) >> line_shift;
     for (uint64_t l = first_line; l <= last_line; ++l) {
       bool seen = false;
-      for (int i = n_lines - 1; i >= 0; --i) {
+      for (size_t i = n_lines; i-- > 0;) {
         if (lines[i] == l) {
           seen = true;
           break;
         }
       }
-      if (!seen && n_lines < 64) lines[n_lines++] = l;
+      if (!seen) lines[n_lines++] = l;
     }
   }
   current_.transactions += static_cast<uint64_t>(n_lines);
   current_.sectors += static_cast<uint64_t>(n_sectors);
   const int row_shift =
       bit_util::Log2Floor(static_cast<uint64_t>(config_.dram_row_bytes));
-  const uint64_t n_rows = dram_open_rows_.size();
-  for (int i = 0; i < n_sectors; ++i) {
+  for (size_t i = 0; i < n_sectors; ++i) {
     if (l2_.Access(sectors[i])) {
       ++current_.l2_hit_sectors;
     } else {
@@ -141,41 +201,8 @@ void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
       // DRAM row-buffer model: an L2 miss to a row that is not open pays an
       // activation penalty (this is what makes random access slower than
       // streaming even at equal sector counts).
-      const uint64_t byte_addr = sectors[i] << bit_util::Log2Floor(
-                                     static_cast<uint64_t>(config_.sector_bytes));
-      const uint64_t row = byte_addr >> row_shift;
-      // Hash the row to a tracker group: real DRAM interleaves banks on low
-      // address bits, so large power-of-two strides must not alias. Full
-      // murmur fmix64 — a single multiply is not avalanche-complete for
-      // strided row numbers and produces persistent group collisions.
-      uint64_t mix = row;
-      mix ^= mix >> 33;
-      mix *= 0xff51afd7ed558ccdull;
-      mix ^= mix >> 33;
-      mix *= 0xc4ceb9fe1a85ec53ull;
-      mix ^= mix >> 33;
-      const int assoc = config_.dram_row_assoc;
-      const uint64_t group = (mix % (n_rows / assoc)) * assoc;
-      ++dram_row_clock_;
-      bool hit = false;
-      int victim = 0;
-      uint32_t victim_lru = ~uint32_t{0};
-      for (int w = 0; w < assoc; ++w) {
-        if (dram_open_rows_[group + w] == row) {
-          dram_row_lru_[group + w] = dram_row_clock_;
-          hit = true;
-          break;
-        }
-        if (dram_row_lru_[group + w] < victim_lru) {
-          victim_lru = dram_row_lru_[group + w];
-          victim = w;
-        }
-      }
-      if (!hit) {
-        dram_open_rows_[group + victim] = row;
-        dram_row_lru_[group + victim] = dram_row_clock_;
-        ++current_.dram_row_misses;
-      }
+      const uint64_t byte_addr = sectors[i] << sector_shift;
+      TouchDramRow(byte_addr >> row_shift, 1);
     }
   }
 }
@@ -188,28 +215,99 @@ void Device::Store(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane
   AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
 }
 
-void Device::LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
-  uint64_t addrs[32];
+void Device::AccessRunGeneric(uint64_t base_addr, uint64_t count,
+                              uint32_t elem_bytes, bool is_store) {
   const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
+  if (scratch_addrs_.size() < warp) scratch_addrs_.resize(warp);
+  uint64_t* addrs = scratch_addrs_.data();
   for (uint64_t i = 0; i < count; i += warp) {
     const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
     for (uint32_t l = 0; l < lanes; ++l) {
       addrs[l] = base_addr + (i + l) * elem_bytes;
     }
-    AccessWarp({addrs, lanes}, elem_bytes, /*is_store=*/false);
+    AccessWarp({addrs, lanes}, elem_bytes, is_store);
   }
 }
 
-void Device::StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
-  uint64_t addrs[32];
-  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
-  for (uint64_t i = 0; i < count; i += warp) {
-    const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
-    for (uint32_t l = 0; l < lanes; ++l) {
-      addrs[l] = base_addr + (i + l) * elem_bytes;
-    }
-    AccessWarp({addrs, lanes}, elem_bytes, /*is_store=*/true);
+void Device::AccessRun(uint64_t base_addr, uint64_t count, uint32_t elem_bytes,
+                       bool is_store) {
+  assert(in_kernel_ && "memory access outside of a kernel");
+  assert(elem_bytes > 0);
+  if (count == 0) return;
+  if (!fast_path_enabled_) {
+    AccessRunGeneric(base_addr, count, elem_bytes, is_store);
+    return;
   }
+
+  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
+  const int sector_shift = bit_util::Log2Floor(config_.sector_bytes);
+  const int line_shift = bit_util::Log2Floor(config_.cacheline_bytes);
+  const int row_shift =
+      bit_util::Log2Floor(static_cast<uint64_t>(config_.dram_row_bytes)) -
+      sector_shift;  // Row of a sector id.
+
+  // Closed-form per-warp instruction/byte accounting: the stream is one
+  // warp-level memory instruction per warp_size elements.
+  const uint64_t n_warps = bit_util::CeilDiv(count, warp);
+  current_.warp_instructions += n_warps;
+  current_.mem_instructions += n_warps;
+  const uint64_t total_bytes = count * elem_bytes;
+  if (is_store) {
+    current_.bytes_written += total_bytes;
+  } else {
+    current_.bytes_read += total_bytes;
+  }
+
+  // Walk the stream warp by warp. A warp covers the contiguous byte range
+  // [addr, addr + lanes*elem_bytes): its distinct sectors/lines are exactly
+  // the ranges [first..last], no dedup needed. When a warp boundary falls
+  // mid-sector, the boundary sector is accessed again by the next warp
+  // (the generic path does the same) — the L2's MRU shortcut makes that
+  // re-access cheap, and it is always a hit.
+  uint64_t pending_row = ~uint64_t{0};
+  uint64_t pending_misses = 0;
+  uint64_t addr = base_addr;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t lanes = std::min<uint64_t>(warp, remaining);
+    const uint64_t warp_bytes = lanes * elem_bytes;
+    const uint64_t last_byte = addr + warp_bytes - 1;
+    current_.transactions += (last_byte >> line_shift) - (addr >> line_shift) + 1;
+    uint64_t sector = addr >> sector_shift;
+    const uint64_t sector_end = last_byte >> sector_shift;
+    current_.sectors += sector_end - sector + 1;
+    while (sector <= sector_end) {
+      const uint32_t chunk =
+          static_cast<uint32_t>(std::min<uint64_t>(sector_end - sector + 1, 64));
+      uint64_t miss_mask = 0;
+      current_.l2_hit_sectors += l2_.AccessRun(sector, chunk, &miss_mask);
+      current_.dram_sectors += static_cast<uint64_t>(std::popcount(miss_mask));
+      while (miss_mask != 0) {
+        const int bit = std::countr_zero(miss_mask);
+        miss_mask &= miss_mask - 1;
+        const uint64_t row = (sector + static_cast<uint64_t>(bit)) >> row_shift;
+        if (row == pending_row) {
+          ++pending_misses;
+        } else {
+          TouchDramRow(pending_row, pending_misses);
+          pending_row = row;
+          pending_misses = 1;
+        }
+      }
+      sector += chunk;
+    }
+    addr += warp_bytes;
+    remaining -= lanes;
+  }
+  TouchDramRow(pending_row, pending_misses);
+}
+
+void Device::LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
+  AccessRun(base_addr, count, elem_bytes, /*is_store=*/false);
+}
+
+void Device::StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
+  AccessRun(base_addr, count, elem_bytes, /*is_store=*/true);
 }
 
 void Device::SharedAccess(uint64_t count) {

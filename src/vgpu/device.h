@@ -7,12 +7,25 @@
 // cycles per the DeviceConfig cost model. A kernel is bracketed by
 // BeginKernel()/EndKernel() — use the RAII KernelScope.
 //
+// Two accounting paths exist for global memory:
+//   * the generic per-warp path (Load/Store with explicit lane addresses),
+//     which dedups the sectors/lines each warp touches, and
+//   * the batched run path (AccessRun / LoadSeq / StoreSeq) for fully
+//     coalesced sequential streams, which derives the same counters by
+//     sector-range arithmetic — no per-lane address materialization, no
+//     in-warp dedup — and walks the L2/DRAM-row models in bulk.
+// The two paths are BIT-IDENTICAL in simulated statistics: for the same
+// logical access stream they produce exactly equal KernelStats and leave
+// the L2/row-tracker state exactly equal (enforced by
+// sim_fastpath_test.cc). The run path is purely a host-speed optimization.
+//
 // Thread-safety: a Device is single-threaded by design (the simulator is
 // deterministic and sequential).
 
 #ifndef GPUJOIN_VGPU_DEVICE_H_
 #define GPUJOIN_VGPU_DEVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -68,9 +81,16 @@ class Device {
   double ElapsedSeconds() const { return config_.CyclesToSeconds(elapsed_cycles_); }
   double elapsed_cycles() const { return elapsed_cycles_; }
   void ResetClock() { elapsed_cycles_ = 0; }
+  /// Zeroes total/last-kernel stats AND the profiler's per-kernel
+  /// aggregates, so phase-bracketed reports (Table 4 style) never leak
+  /// kernels from a prior phase.
   void ResetStats();
   /// Drops all cached state in the L2 model (does not touch the clock).
   void FlushL2() { l2_.Clear(); }
+
+  /// Host wall-clock seconds spent inside Begin/EndKernel brackets on this
+  /// device (simulator self-profiling; does not affect simulated results).
+  double host_kernel_seconds() const { return host_kernel_seconds_; }
 
   // --- Memory-access hooks (call only between Begin/EndKernel) ---
 
@@ -80,10 +100,19 @@ class Device {
   /// One warp-level store (same classification as Load; write-allocate).
   void Store(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane);
 
-  /// Fast path: a fully coalesced sequential read of `count` elements of
-  /// `elem_bytes` starting at `base_addr` (charged warp by warp).
+  /// Batched run fast path: a fully coalesced sequential access of `count`
+  /// elements of `elem_bytes` starting at `base_addr` (lane i of warp w
+  /// touches base_addr + (w*warp_size + i)*elem_bytes). Charges warp
+  /// instructions, transactions, and sector counts by range arithmetic and
+  /// walks the L2/DRAM-row models in contiguous runs; produces exactly the
+  /// stats the generic per-warp path would.
+  void AccessRun(uint64_t base_addr, uint64_t count, uint32_t elem_bytes,
+                 bool is_store);
+
+  /// Fully coalesced sequential read of `count` elements of `elem_bytes`
+  /// (AccessRun load).
   void LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes);
-  /// Fast path: fully coalesced sequential write.
+  /// Fully coalesced sequential write (AccessRun store).
   void StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes);
 
   /// Charges `count` warp-level shared-memory accesses (no bank conflicts).
@@ -114,9 +143,25 @@ class Device {
   uint64_t interleave_seed() const { return interleave_seed_; }
   void set_interleave_seed(uint64_t seed) { interleave_seed_ = seed; }
 
+  // --- Fast-path control (testing hook) ---
+
+  /// When disabled, AccessRun/LoadSeq/StoreSeq fall back to the generic
+  /// per-warp path. The two paths are bit-identical in simulated stats;
+  /// the flag exists so equivalence tests can drive both.
+  bool fast_path_enabled() const { return fast_path_enabled_; }
+  void set_fast_path_enabled(bool enabled) { fast_path_enabled_ = enabled; }
+
  private:
   void AccessWarp(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane,
                   bool is_store);
+  /// Reference implementation of AccessRun: materializes lane addresses
+  /// warp by warp and feeds them through AccessWarp.
+  void AccessRunGeneric(uint64_t base_addr, uint64_t count, uint32_t elem_bytes,
+                        bool is_store);
+  /// One open-row-tracker operation for `multiplicity` consecutive L2-miss
+  /// sectors that map to the same DRAM row (multiplicity 1 == the classic
+  /// per-sector operation).
+  void TouchDramRow(uint64_t row, uint64_t multiplicity);
 
   DeviceConfig config_;
   L2Cache l2_;
@@ -128,13 +173,21 @@ class Device {
   uint64_t next_addr_ = 4096;  // Leave page 0 unmapped for easier debugging.
 
   bool in_kernel_ = false;
+  bool fast_path_enabled_ = true;
   const char* kernel_name_ = "";
   KernelStats current_;
   KernelStats last_kernel_;
   KernelStats total_;
   Profiler profiler_;
   double elapsed_cycles_ = 0;
+  std::chrono::steady_clock::time_point kernel_host_start_;
+  double host_kernel_seconds_ = 0;
   uint64_t interleave_seed_ = 0x9e3779b97f4a7c15ull;
+  // Scratch for the generic paths (grown on demand; member state so the
+  // per-warp path never allocates in steady state).
+  std::vector<uint64_t> scratch_addrs_;
+  std::vector<uint64_t> scratch_sectors_;
+  std::vector<uint64_t> scratch_lines_;
 };
 
 /// RAII kernel bracket.

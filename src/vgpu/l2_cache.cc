@@ -16,7 +16,8 @@ L2Cache::L2Cache(const DeviceConfig& config) {
   size_t pow2 = bit_util::NextPowerOfTwo(num_sets_);
   if (pow2 > num_sets_) pow2 >>= 1;
   num_sets_ = std::max<size_t>(1, pow2);
-  ways_storage_.assign(num_sets_ * ways_, Way{});
+  tags_.assign(num_sets_ * ways_, kInvalidTag);
+  lru_.assign(num_sets_ * ways_, 0);
 }
 
 namespace {
@@ -32,30 +33,40 @@ inline uint64_t MixAddressBits(uint64_t x) {
 }
 }  // namespace
 
-bool L2Cache::Access(uint64_t sector_id) {
+bool L2Cache::AccessSlow(uint64_t sector_id) {
   const size_t set = MixAddressBits(sector_id) & (num_sets_ - 1);
-  Way* set_ways = &ways_storage_[set * ways_];
+  const uint64_t* tags = &tags_[set * ways_];
+  uint32_t* lru = &lru_[set * ways_];
   ++clock_;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags[w] == sector_id) {
+      lru[w] = clock_;
+      last_sector_ = sector_id;
+      last_slot_ = set * ways_ + w;
+      return true;
+    }
+  }
   int victim = 0;
   uint32_t victim_lru = ~uint32_t{0};
   for (int w = 0; w < ways_; ++w) {
-    if (set_ways[w].tag == sector_id) {
-      set_ways[w].lru = clock_;
-      return true;
-    }
-    if (set_ways[w].lru < victim_lru) {
-      victim_lru = set_ways[w].lru;
+    if (lru[w] < victim_lru) {
+      victim_lru = lru[w];
       victim = w;
     }
   }
-  set_ways[victim].tag = sector_id;
-  set_ways[victim].lru = clock_;
+  tags_[set * ways_ + victim] = sector_id;
+  lru[victim] = clock_;
+  last_sector_ = sector_id;
+  last_slot_ = set * ways_ + victim;
   return false;
 }
 
 void L2Cache::Clear() {
-  std::fill(ways_storage_.begin(), ways_storage_.end(), Way{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0);
   clock_ = 0;
+  last_sector_ = kInvalidTag;
+  last_slot_ = 0;
 }
 
 }  // namespace gpujoin::vgpu

@@ -4,6 +4,16 @@
 // address space. It only tracks tags (no data): the simulator executes
 // functionally on host memory, and the cache model exists to classify each
 // sector access as an L2 hit or a DRAM access for the cost model.
+//
+// The model is on the simulator's hottest path (one lookup per touched
+// sector), so the implementation is tuned for host speed without changing
+// behavior: tags and LRU stamps are stored as separate flat arrays (the
+// per-set scans vectorize), Access() is inline with a one-entry MRU
+// shortcut (sequential streams re-touch warp-boundary sectors constantly),
+// and AccessRun() classifies a contiguous ascending sector range in bulk
+// for Device::AccessRun. All of these are bit-identical in observable
+// behavior (hit/miss sequence, LRU state, victim choice) to the plain
+// per-sector lookup.
 
 #ifndef GPUJOIN_VGPU_L2_CACHE_H_
 #define GPUJOIN_VGPU_L2_CACHE_H_
@@ -20,7 +30,33 @@ class L2Cache {
   explicit L2Cache(const DeviceConfig& config);
 
   /// Looks up (and on miss, installs) a sector. Returns true on hit.
-  bool Access(uint64_t sector_id);
+  bool Access(uint64_t sector_id) {
+    if (sector_id == last_sector_) {
+      // The immediately preceding access touched this sector; it cannot
+      // have been evicted in between, so this is a hit on the same slot.
+      lru_[last_slot_] = ++clock_;
+      return true;
+    }
+    return AccessSlow(sector_id);
+  }
+
+  /// Bulk fast path: classifies `n` (<= 64) contiguous ascending sectors
+  /// [first_sector, first_sector + n). Returns the number of hits and sets
+  /// bit i of *miss_mask for every missed sector first_sector + i.
+  /// Equivalent to calling Access() n times in ascending order.
+  uint32_t AccessRun(uint64_t first_sector, uint32_t n, uint64_t* miss_mask) {
+    uint64_t mask = 0;
+    uint32_t hits = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (Access(first_sector + i)) {
+        ++hits;
+      } else {
+        mask |= uint64_t{1} << i;
+      }
+    }
+    *miss_mask = mask;
+    return hits;
+  }
 
   /// Invalidates all contents (e.g., between experiments).
   void Clear();
@@ -29,16 +65,17 @@ class L2Cache {
   int ways() const { return ways_; }
 
  private:
-  struct Way {
-    uint64_t tag = kInvalidTag;
-    uint32_t lru = 0;  // Higher = more recently used.
-  };
+  bool AccessSlow(uint64_t sector_id);
+
   static constexpr uint64_t kInvalidTag = ~uint64_t{0};
 
   size_t num_sets_;
   int ways_;
-  uint32_t clock_ = 0;
-  std::vector<Way> ways_storage_;  // num_sets_ * ways_.
+  uint32_t clock_ = 0;  // Higher = more recently used.
+  std::vector<uint64_t> tags_;  // num_sets_ * ways_, SoA with lru_.
+  std::vector<uint32_t> lru_;
+  uint64_t last_sector_ = kInvalidTag;  // One-entry MRU shortcut.
+  size_t last_slot_ = 0;
 };
 
 }  // namespace gpujoin::vgpu

@@ -5,11 +5,22 @@
 
 namespace gpujoin::vgpu {
 
-void Profiler::Record(const char* name, const KernelStats& stats) {
+SimSelfProfile& MutableGlobalSimSelfProfile() {
+  static SimSelfProfile profile;
+  return profile;
+}
+
+const SimSelfProfile& GlobalSimSelfProfile() {
+  return MutableGlobalSimSelfProfile();
+}
+
+void Profiler::Record(const char* name, const KernelStats& stats,
+                      double host_seconds) {
   KernelProfile& p = by_name_[name];
   if (p.invocations == 0) p.name = name;
   ++p.invocations;
   p.stats.Add(stats);
+  p.host_seconds += host_seconds;
 }
 
 std::vector<KernelProfile> Profiler::Profiles() const {
@@ -36,17 +47,20 @@ KernelProfile Profiler::ProfileFor(const std::string& name) const {
 std::string Profiler::Report() const {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-24s %6s %12s %10s %9s %7s %10s\n",
-                "kernel", "calls", "cycles", "warp_instr", "sect/req",
-                "l2_hit", "dram(MB)");
+  std::snprintf(line, sizeof(line),
+                "%-24s %6s %12s %10s %9s %7s %10s %11s\n", "kernel", "calls",
+                "cycles", "warp_instr", "sect/req", "l2_hit", "dram(MB)",
+                "sim_wall_s");
   out += line;
   for (const KernelProfile& p : Profiles()) {
-    std::snprintf(line, sizeof(line), "%-24s %6llu %12.0f %10llu %9.2f %6.1f%% %10.2f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-24s %6llu %12.0f %10llu %9.2f %6.1f%% %10.2f %11.4f\n",
                   p.name.c_str(), static_cast<unsigned long long>(p.invocations),
                   p.stats.cycles,
                   static_cast<unsigned long long>(p.stats.warp_instructions),
                   p.stats.AvgSectorsPerRequest(), p.stats.L2HitRate() * 100.0,
-                  static_cast<double>(p.stats.dram_sectors) * 32.0 / 1e6);
+                  static_cast<double>(p.stats.dram_sectors) * 32.0 / 1e6,
+                  p.host_seconds);
     out += line;
   }
   return out;

@@ -3,6 +3,12 @@
 // stats of every kernel execution by kernel name; the profiler renders the
 // per-kernel table (invocations, cycles, instructions, sector efficiency,
 // L2 hit rate, DRAM traffic).
+//
+// Alongside simulated counters, the profiler records the *host* wall-clock
+// spent simulating each kernel name (sim_wall_s). That column is pure
+// simulator self-profiling: it shows where the simulator's own time goes,
+// so perf work on the memory model can be targeted at the kernels that
+// actually dominate host time.
 
 #ifndef GPUJOIN_VGPU_PROFILER_H_
 #define GPUJOIN_VGPU_PROFILER_H_
@@ -21,12 +27,28 @@ struct KernelProfile {
   std::string name;
   uint64_t invocations = 0;
   KernelStats stats;
+  /// Host wall-clock seconds spent simulating this kernel (observability
+  /// only; never feeds back into simulated results).
+  double host_seconds = 0;
 };
+
+/// Process-wide tally of host wall-clock spent inside simulated kernels,
+/// across every Device in the process (bench binaries construct several).
+/// Observability only — deterministic simulated results never read it.
+struct SimSelfProfile {
+  double host_seconds = 0;
+  double sim_cycles = 0;
+  uint64_t kernels = 0;
+};
+const SimSelfProfile& GlobalSimSelfProfile();
+SimSelfProfile& MutableGlobalSimSelfProfile();
 
 class Profiler {
  public:
-  /// Records one finished kernel execution.
-  void Record(const char* name, const KernelStats& stats);
+  /// Records one finished kernel execution (and the host seconds spent
+  /// simulating it).
+  void Record(const char* name, const KernelStats& stats,
+              double host_seconds = 0.0);
 
   /// Profiles aggregated by kernel name, ordered by total cycles (desc).
   std::vector<KernelProfile> Profiles() const;

@@ -76,6 +76,39 @@ TEST(DeterminismTest, SameSeedReproducesBucketChainExactly) {
   EXPECT_EQ(a, b);
 }
 
+TEST(DeterminismTest, FastPathMatchesGenericPathOnFullJoins) {
+  // The batched-run memory accounting (Device fast path) must leave every
+  // simulated counter bit-identical to the generic per-warp path, for every
+  // algorithm and interleave seed — otherwise figures silently change with
+  // the host-speed optimization.
+  const auto w = MakeWorkload();
+  for (JoinAlgo algo : {JoinAlgo::kSmjOm, JoinAlgo::kPhjOm, JoinAlgo::kNphj}) {
+    for (uint64_t seed : {1ull, 77ull, 999ull}) {
+      double cycles[2];
+      uint64_t sectors[2], hits[2], row_misses[2];
+      for (bool fast : {true, false}) {
+        vgpu::Device device = MakeTestDevice();
+        device.set_fast_path_enabled(fast);
+        device.set_interleave_seed(seed);
+        auto r = Table::FromHost(device, w.r).ValueOrDie();
+        auto s = Table::FromHost(device, w.s).ValueOrDie();
+        auto res = RunJoin(device, algo, r, s).ValueOrDie();
+        (void)res;
+        const vgpu::KernelStats& t = device.total_stats();
+        cycles[fast] = t.cycles;
+        sectors[fast] = t.sectors;
+        hits[fast] = t.l2_hit_sectors;
+        row_misses[fast] = t.dram_row_misses;
+      }
+      EXPECT_DOUBLE_EQ(cycles[0], cycles[1])
+          << join::JoinAlgoName(algo) << " seed=" << seed;
+      EXPECT_EQ(sectors[0], sectors[1]);
+      EXPECT_EQ(hits[0], hits[1]);
+      EXPECT_EQ(row_misses[0], row_misses[1]);
+    }
+  }
+}
+
 TEST(DeterminismTest, SimulatedTimingIsReproducible) {
   const auto w = MakeWorkload();
   double t1 = 0, t2 = 0;

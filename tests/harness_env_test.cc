@@ -65,6 +65,30 @@ TEST(HarnessEnvTest, OutOfRangeScaleFallsBack) {
   }
 }
 
+TEST(HarnessEnvTest, TupleCountScaleIsAccepted) {
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "4194304");  // 2^22 tuples.
+    EXPECT_EQ(ScaleLog2(), 22);
+    EXPECT_EQ(ScaleTuples(), uint64_t{1} << 22);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "1024");  // Smallest tuple-count form.
+    EXPECT_EQ(ScaleLog2(), 10);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "134217728");  // 2^27 (paper scale).
+    EXPECT_EQ(ScaleLog2(), 27);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "5000000");  // Non-power-of-two rounds down.
+    EXPECT_EQ(ScaleLog2(), 22);
+  }
+  {
+    ScopedEnv env("GPUJOIN_SCALE", "999999999");  // > 2^27: falls back.
+    EXPECT_EQ(ScaleLog2(), 20);
+  }
+}
+
 TEST(HarnessEnvTest, DeviceSelection) {
   {
     ScopedEnv env("GPUJOIN_DEVICE", nullptr);

@@ -102,6 +102,43 @@ TEST(DeviceKernelTest, EightByteLanesMayStraddleSectors) {
   EXPECT_EQ(st.sectors, 2u);
 }
 
+TEST(DeviceKernelTest, WideStridedWarpCountsAllSectors) {
+  // Regression: a warp whose lanes each span several sectors can touch far
+  // more than 64 distinct sectors; the old fixed-size dedup scratch silently
+  // dropped the overflow. 32 lanes x 64 bytes at +16 into 4KB strides touch
+  // 3 sectors each (96 total) across 32 distinct lines.
+  Device device(DeviceConfig::A100());
+  auto buf = DeviceBuffer<int32_t>::Allocate(device, 1 << 20).ValueOrDie();
+  uint64_t addrs[32];
+  for (int l = 0; l < 32; ++l) {
+    addrs[l] = buf.addr() + static_cast<uint64_t>(l) * 4096 + 16;
+  }
+  device.BeginKernel("wide");
+  device.Load({addrs, 32}, 64);
+  const KernelStats st = device.EndKernel();
+  EXPECT_EQ(st.sectors, 96u);
+  EXPECT_EQ(st.transactions, 32u);
+  EXPECT_EQ(st.dram_sectors, 96u);  // Cold cache: every sector from DRAM.
+}
+
+TEST(DeviceKernelTest, ResetStatsClearsProfilerAggregates) {
+  Device device(DeviceConfig::A100());
+  auto buf = DeviceBuffer<int32_t>::Allocate(device, 1 << 12).ValueOrDie();
+  {
+    KernelScope ks(device, "phase1_kernel");
+    device.LoadSeq(buf.addr(), 1 << 12, 4);
+  }
+  EXPECT_FALSE(device.profiler().empty());
+  EXPECT_GT(device.profiler().ProfileFor("phase1_kernel").invocations, 0u);
+  device.ResetStats();
+  // A phase-bracketed report must not leak kernels from the prior phase.
+  EXPECT_TRUE(device.profiler().empty());
+  EXPECT_EQ(device.profiler().ProfileFor("phase1_kernel").invocations, 0u);
+  EXPECT_EQ(device.total_stats().sectors, 0u);
+  EXPECT_EQ(device.total_stats().warp_instructions, 0u);
+  EXPECT_DOUBLE_EQ(device.total_stats().cycles, 0);
+}
+
 TEST(DeviceCostModelTest, RandomReadCostsMoreThanSequential) {
   const uint64_t n = 1 << 18;
   Device device(DeviceConfig::ScaledToWorkload(DeviceConfig::A100(), n));
