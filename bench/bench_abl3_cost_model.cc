@@ -21,7 +21,7 @@ int main() {
       vgpu::DeviceConfig cfg = vgpu::DeviceConfig::ScaledToWorkload(
           harness::BaseDeviceConfig(), harness::ScaleTuples());
       cfg.dram_row_penalty_bytes = penalty;
-      vgpu::Device device(cfg);
+      vgpu::Device device(cfg, harness::FaultInjectorFromEnv());
       workload::JoinWorkloadSpec spec;
       spec.r_rows = harness::ScaleTuples() / 2;
       spec.s_rows = harness::ScaleTuples();

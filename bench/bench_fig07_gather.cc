@@ -59,7 +59,8 @@ double TransformPlusClusteredSeconds(vgpu::Device& device, uint64_t n,
 
 void RunForDevice(const vgpu::DeviceConfig& base) {
   const uint64_t n = harness::ScaleTuples();
-  vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(base, n));
+  vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(base, n),
+                      harness::FaultInjectorFromEnv());
   const double un = UnclusteredGatherSeconds(device, n);
   const double part =
       TransformPlusClusteredSeconds(device, n, join::TransformKind::kPartition);

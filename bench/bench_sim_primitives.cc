@@ -8,6 +8,7 @@
 #include <numeric>
 #include <random>
 
+#include "harness/harness.h"
 #include "join/transform.h"
 #include "prim/gather.h"
 #include "prim/hash_join.h"
@@ -18,7 +19,8 @@ namespace {
 
 vgpu::Device MakeDevice(uint64_t n) {
   return vgpu::Device(
-      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), n));
+      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), n),
+      harness::FaultInjectorFromEnv());
 }
 
 void BM_SimSequentialScan(benchmark::State& state) {

@@ -6,9 +6,48 @@
 # Usage: scripts/reproduce.sh [scale_log2]
 #   scale_log2: log2 of the canonical relation size (default 20; the paper
 #               uses 27 — see DESIGN.md on device scaling).
+#
+#        scripts/reproduce.sh --sanitize
+#   Robustness mode: rebuilds under ASan+UBSan (GPUJOIN_SANITIZE=ON) in
+#   build-asan/, runs the full test suite (which includes the exhaustive
+#   fault-injection failure sweeps), then smoke-checks the GPUJOIN_FAULT_*
+#   harness knobs: a bench under an injected allocation fault must exit
+#   non-zero with a clean ResourceExhausted diagnostic — never crash, hang,
+#   or trip the device's leak-abort.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -G Ninja -DGPUJOIN_SANITIZE=ON
+  cmake --build build-asan
+
+  ctest --test-dir build-asan 2>&1 | tee test_output_asan.txt
+
+  echo "===== fault-injection smoke (GPUJOIN_FAULT_NTH) ====="
+  # Inject a failure mid-query; the bench must die on the structured
+  # ResourceExhausted status, not on a sanitizer report or a leak abort.
+  set +e
+  out="$(GPUJOIN_SCALE=14 GPUJOIN_FAULT_NTH=12 build-asan/bench/bench_fig07_gather 2>&1)"
+  rc=$?
+  set -e
+  echo "$out" | tail -n 3
+  if [[ "$rc" -eq 0 ]]; then
+    echo "FAIL: bench succeeded despite injected allocation fault"
+    exit 1
+  fi
+  if ! grep -q "ResourceExhausted" <<<"$out"; then
+    echo "FAIL: bench did not fail with a clean ResourceExhausted status"
+    exit 1
+  fi
+  if grep -q "leaked simulated memory" <<<"$out"; then
+    echo "FAIL: injected fault leaked device memory"
+    exit 1
+  fi
+  echo "ok: injected fault produced a clean ResourceExhausted failure"
+  echo "done: see test_output_asan.txt"
+  exit 0
+fi
 
 SCALE="${1:-20}"
 

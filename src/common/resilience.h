@@ -1,0 +1,35 @@
+// Degradation log shared by the resilient query-layer wrappers: every time a
+// wrapper catches a resource failure and moves down its policy ladder
+// (retry, re-plan, out-of-core fallback), it records one step so callers can
+// see exactly how a query was salvaged.
+
+#ifndef GPUJOIN_COMMON_RESILIENCE_H_
+#define GPUJOIN_COMMON_RESILIENCE_H_
+
+#include <string>
+#include <vector>
+
+namespace gpujoin {
+
+/// One rung taken on a degradation ladder.
+struct DegradationStep {
+  /// Machine-checkable action name, e.g. "retry_more_partition_bits",
+  /// "out_of_core_fallback", "algo_fallback".
+  std::string action;
+  /// Human-readable context: the error that triggered the step and the
+  /// parameters chosen for the next attempt.
+  std::string detail;
+};
+
+/// Renders a degradation log as one line per step (for error messages).
+inline std::string FormatDegradation(const std::vector<DegradationStep>& steps) {
+  std::string out;
+  for (const DegradationStep& s : steps) {
+    out += "  - " + s.action + ": " + s.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_COMMON_RESILIENCE_H_

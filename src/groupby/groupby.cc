@@ -131,6 +131,7 @@ Result<Table> EmitOutput(vgpu::Device& device, const Table& input,
                          const GroupBySpec& spec,
                          const std::vector<std::pair<int64_t, GroupAcc>>& groups) {
   const uint64_t g = groups.size();
+  vgpu::AllocTagScope tag(device, "groupby:emit");
   std::vector<std::string> names;
   std::vector<DeviceColumn> cols;
   GPUJOIN_ASSIGN_OR_RETURN(
@@ -182,6 +183,7 @@ std::vector<int> NeededColumns(const GroupBySpec& spec) {
 template <typename K>
 Result<std::vector<std::pair<int64_t, GroupAcc>>> HashGlobalAggregate(
     vgpu::Device& device, const Table& input, const GroupBySpec& spec) {
+  vgpu::AllocTagScope tag(device, "groupby:hash_global");
   const uint64_t n = input.num_rows();
   const int warp = device.config().warp_size;
   // Size the table from a HyperLogLog estimate (a real system's sizing
@@ -288,6 +290,7 @@ template <typename K>
 Result<std::vector<std::pair<int64_t, GroupAcc>>> HashPartitionedAggregate(
     vgpu::Device& device, const Table& input, const GroupBySpec& spec,
     const GroupByOptions& opts, double* transform_seconds) {
+  vgpu::AllocTagScope tag(device, "groupby:hash_part");
   const uint64_t n = input.num_rows();
   const int warp = device.config().warp_size;
   const auto& key_col = input.column(0);
@@ -404,6 +407,7 @@ template <typename K>
 Result<std::vector<std::pair<int64_t, GroupAcc>>> SortAggregate(
     vgpu::Device& device, const Table& input, const GroupBySpec& spec,
     double* transform_seconds) {
+  vgpu::AllocTagScope tag(device, "groupby:sort");
   const uint64_t n = input.num_rows();
   const int warp = device.config().warp_size;
   const auto& key_col = input.column(0);

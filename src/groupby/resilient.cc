@@ -1,0 +1,98 @@
+#include "groupby/resilient.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace gpujoin::groupby {
+
+namespace {
+
+bool IsResourceFailure(const Status& st) {
+  return st.code() == StatusCode::kResourceExhausted ||
+         st.code() == StatusCode::kOutOfMemory;
+}
+
+Status VerifyCleanRollback(vgpu::Device& device, uint64_t baseline_live) {
+  const uint64_t live = device.memory_stats().live_bytes;
+  if (live != baseline_live) {
+    return Status::Internal(
+        "RunGroupByResilient: failed attempt left " + std::to_string(live) +
+        " live bytes (entry watermark " + std::to_string(baseline_live) +
+        ")\n" + device.LeakReport());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ResilientGroupByResult> RunGroupByResilient(
+    vgpu::Device& device, GroupByAlgo algo, const Table& input,
+    const GroupBySpec& spec, const GroupByResilienceOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "RunGroupByResilient: max_attempts must be >= 1");
+  }
+
+  ResilientGroupByResult res;
+  // The input table is resident and stays so: the watermark includes it.
+  const uint64_t baseline_live = device.memory_stats().live_bytes;
+  GroupByAlgo current = algo;
+  GroupByOptions gopts = options.groupby;
+  int attempt = 0;
+  Status last_error = Status::OK();
+
+  while (attempt < options.max_attempts) {
+    ++attempt;
+    Result<GroupByRunResult> run = RunGroupBy(device, current, input, spec, gopts);
+    if (run.ok()) {
+      res.run = std::move(run).value();
+      res.attempts = attempt;
+      res.algo_used = current;
+      return res;
+    }
+    if (!IsResourceFailure(run.status())) return run.status();
+    GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
+    last_error = run.status();
+    if (attempt >= options.max_attempts) break;
+
+    // Pick the next rung.
+    if (current == GroupByAlgo::kHashGlobal && options.allow_algo_fallback) {
+      current = GroupByAlgo::kHashPartitioned;
+      res.degradation.push_back(
+          {"algo_fallback", "GB-HASH-GLOBAL failed (" + last_error.message() +
+                                "); falling back to GB-HASH-PART"});
+      continue;
+    }
+    if (current == GroupByAlgo::kHashPartitioned) {
+      const int bits = gopts.radix_bits_override;
+      if (bits < 16) {
+        gopts.radix_bits_override = std::min(bits <= 0 ? 8 : bits + 2, 16);
+        res.degradation.push_back(
+            {"retry_more_partition_bits",
+             "GB-HASH-PART failed (" + last_error.message() +
+                 "); retrying with radix_bits=" +
+                 std::to_string(gopts.radix_bits_override)});
+        continue;
+      }
+      if (options.allow_algo_fallback) {
+        current = GroupByAlgo::kSortBased;
+        res.degradation.push_back(
+            {"algo_fallback", "GB-HASH-PART failed (" + last_error.message() +
+                                  "); falling back to GB-SORT"});
+        continue;
+      }
+    }
+    break;  // Sort-based failed, or fallback disabled: no rung left.
+  }
+
+  return Status::ResourceExhausted(
+      "RunGroupByResilient: " + std::string(GroupByAlgoName(algo)) +
+      " failed after " + std::to_string(attempt) +
+      " attempt(s); last error: " + last_error.message() +
+      (res.degradation.empty()
+           ? std::string("; no degradation rung applicable")
+           : "\ndegradation ladder:\n" + FormatDegradation(res.degradation)));
+}
+
+}  // namespace gpujoin::groupby

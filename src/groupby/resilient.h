@@ -1,0 +1,59 @@
+// Resilient grouped aggregation: RunGroupByResilient wraps RunGroupBy with a
+// degradation ladder mirroring the join side (see join/resilient.h):
+//
+//   1. Attempt with the requested strategy and options.
+//   2. HASH-GLOBAL falls back to HASH-PARTITIONED (the global table is the
+//      memory hog; partitioning bounds per-partition state).
+//   3. HASH-PARTITIONED retries with more radix bits.
+//   4. Final fallback to SORT-BASED (lowest footprint: one transformed copy).
+//   5. A clean structured ResourceExhausted error carrying the ladder.
+//
+// Failed attempts must restore the device's live-byte watermark; a mismatch
+// is promoted to an Internal error.
+
+#ifndef GPUJOIN_GROUPBY_RESILIENT_H_
+#define GPUJOIN_GROUPBY_RESILIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/resilience.h"
+#include "common/status.h"
+#include "groupby/groupby.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+
+namespace gpujoin::groupby {
+
+struct GroupByResilienceOptions {
+  /// Base options for every attempt (the ladder only bumps
+  /// radix_bits_override on top of these).
+  GroupByOptions groupby;
+  /// Total attempt budget across the whole ladder (first try included).
+  int max_attempts = 4;
+  /// Allow switching to a different aggregation strategy when the requested
+  /// one keeps running out of memory.
+  bool allow_algo_fallback = true;
+};
+
+struct ResilientGroupByResult {
+  /// The completed run (device-resident output table and phase stats).
+  GroupByRunResult run;
+  /// Attempts consumed (1 = first try succeeded, no degradation).
+  int attempts = 0;
+  /// Strategy that finally completed (== requested when no fallback fired).
+  GroupByAlgo algo_used = GroupByAlgo::kHashGlobal;
+  /// One entry per ladder step taken; empty on a clean first-attempt run.
+  std::vector<DegradationStep> degradation;
+};
+
+/// Groups `input` (keys in column 0) by `spec`, degrading along the ladder
+/// above instead of failing on ResourceExhausted/OutOfMemory. Non-resource
+/// errors propagate immediately.
+Result<ResilientGroupByResult> RunGroupByResilient(
+    vgpu::Device& device, GroupByAlgo algo, const Table& input,
+    const GroupBySpec& spec, const GroupByResilienceOptions& options = {});
+
+}  // namespace gpujoin::groupby
+
+#endif  // GPUJOIN_GROUPBY_RESILIENT_H_

@@ -37,9 +37,52 @@ vgpu::DeviceConfig BaseDeviceConfig() {
   return vgpu::DeviceConfig::A100();
 }
 
+vgpu::FaultInjector FaultInjectorFromEnv() {
+  const char* nth = std::getenv("GPUJOIN_FAULT_NTH");
+  const char* bytes = std::getenv("GPUJOIN_FAULT_BYTES");
+  const char* prob = std::getenv("GPUJOIN_FAULT_PROB");
+  const int set = (nth != nullptr) + (bytes != nullptr) + (prob != nullptr);
+  if (set > 1) {
+    std::fprintf(stderr,
+                 "at most one of GPUJOIN_FAULT_NTH / GPUJOIN_FAULT_BYTES / "
+                 "GPUJOIN_FAULT_PROB may be set\n");
+    std::abort();
+  }
+  if (nth != nullptr) {
+    const long long v = std::atoll(nth);
+    if (v < 1) {
+      std::fprintf(stderr, "GPUJOIN_FAULT_NTH=%s must be >= 1\n", nth);
+      std::abort();
+    }
+    return vgpu::FaultInjector::FailNth(static_cast<uint64_t>(v));
+  }
+  if (bytes != nullptr) {
+    const long long v = std::atoll(bytes);
+    if (v < 0) {
+      std::fprintf(stderr, "GPUJOIN_FAULT_BYTES=%s must be >= 0\n", bytes);
+      std::abort();
+    }
+    return vgpu::FaultInjector::FailAfterBytes(static_cast<uint64_t>(v));
+  }
+  if (prob != nullptr) {
+    const double p = std::atof(prob);
+    if (p < 0 || p >= 1) {
+      std::fprintf(stderr, "GPUJOIN_FAULT_PROB=%s must be in [0,1)\n", prob);
+      std::abort();
+    }
+    uint64_t seed = 42;
+    if (const char* s = std::getenv("GPUJOIN_FAULT_SEED")) {
+      seed = static_cast<uint64_t>(std::atoll(s));
+    }
+    return vgpu::FaultInjector::FailWithProbability(p, seed);
+  }
+  return {};
+}
+
 vgpu::Device MakeBenchDevice() {
   return vgpu::Device(
-      vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()));
+      vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()),
+      FaultInjectorFromEnv());
 }
 
 Result<DeviceWorkload> Upload(vgpu::Device& device,

@@ -3,9 +3,18 @@
 // in the style of the paper's figures.
 //
 // Environment variables:
-//   GPUJOIN_SCALE   log2 of the canonical relation tuple count (default 20;
-//                   the paper uses 27 — see DESIGN.md on scaling).
-//   GPUJOIN_DEVICE  "A100" (default) or "RTX3090".
+//   GPUJOIN_SCALE       log2 of the canonical relation tuple count (default
+//                       20; the paper uses 27 — see DESIGN.md on scaling).
+//   GPUJOIN_DEVICE      "A100" (default) or "RTX3090".
+//   GPUJOIN_FAULT_NTH   fail the Nth device allocation (one-shot).
+//   GPUJOIN_FAULT_BYTES fail every allocation once cumulative allocated
+//                       bytes exceed this budget.
+//   GPUJOIN_FAULT_PROB  fail each allocation with this probability [0,1).
+//   GPUJOIN_FAULT_SEED  RNG seed for GPUJOIN_FAULT_PROB (default 42).
+// At most one of NTH/BYTES/PROB may be set; the bench device is built with
+// the resulting injector armed, so any bench binary doubles as a fault-
+// injection smoke test (it must fail with a clean ResourceExhausted, never
+// crash or leak).
 
 #ifndef GPUJOIN_HARNESS_HARNESS_H_
 #define GPUJOIN_HARNESS_HARNESS_H_
@@ -31,8 +40,13 @@ uint64_t ScaleTuples();
 /// The base (unscaled) device config selected by GPUJOIN_DEVICE.
 vgpu::DeviceConfig BaseDeviceConfig();
 
+/// The fault injector requested via GPUJOIN_FAULT_* (unarmed when none are
+/// set; invalid or conflicting settings abort with a diagnostic).
+vgpu::FaultInjector FaultInjectorFromEnv();
+
 /// A device whose caches are scaled to the canonical bench size, so the
-/// paper's cache-to-working-set ratios hold at GPUJOIN_SCALE (see DESIGN.md).
+/// paper's cache-to-working-set ratios hold at GPUJOIN_SCALE (see DESIGN.md),
+/// with any GPUJOIN_FAULT_* injector armed.
 vgpu::Device MakeBenchDevice();
 
 /// Uploads both sides of a generated workload.

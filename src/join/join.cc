@@ -142,6 +142,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   auto transform_dense_side = [&](const SideDesc& side,
                                   const vgpu::DeviceBuffer<K>& keys,
                                   SideState<K>* state) -> Status {
+    vgpu::AllocTagScope tag(device, "join:transform:" + side.table->name());
     const bool carry_payload = side.narrow || (is_om && side.n_payloads >= 1);
     if (carry_payload) {
       GPUJOIN_ASSIGN_OR_RETURN(
@@ -180,6 +181,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   auto transform_chain_side = [&](const SideDesc& side,
                                   const vgpu::DeviceBuffer<K>& keys,
                                   SideState<K>* state) -> Status {
+    vgpu::AllocTagScope tag(device, "join:transform:" + side.table->name());
     GPUJOIN_ASSIGN_OR_RETURN(
         auto layout,
         prim::BuildBucketChainLayout(device, keys, bits1, std::max(bits2, 0),
@@ -219,7 +221,9 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
 
   // ============================ Match finding ============================
   prim::MatchResult<K> match;
-  switch (algo) {
+  {
+    vgpu::AllocTagScope tag(device, "join:match");
+    switch (algo) {
     case JoinAlgo::kSmjUm:
     case JoinAlgo::kSmjOm: {
       GPUJOIN_ASSIGN_OR_RETURN(
@@ -242,6 +246,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
                                prim::HashJoinGlobal(device, r_keys, s_keys));
       break;
     }
+    }
   }
   res.output_rows = match.count();
 
@@ -251,15 +256,17 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   vgpu::DeviceBuffer<RowId> r_ids_at_match, s_ids_at_match;
   if (!is_om && algo != JoinAlgo::kNphj) {
     if (!rd.narrow && rd.n_payloads > 0) {
-      GPUJOIN_ASSIGN_OR_RETURN(r_ids_at_match, vgpu::DeviceBuffer<RowId>::Allocate(
-                                                   device, match.count()));
+      GPUJOIN_ASSIGN_OR_RETURN(r_ids_at_match,
+                               vgpu::DeviceBuffer<RowId>::Allocate(
+                                   device, match.count(), "join:r_ids_at_match"));
       const auto& ids = algo == JoinAlgo::kPhjUm ? rs.bc_ids : rs.t_ids;
       GPUJOIN_RETURN_IF_ERROR(
           prim::Gather(device, ids, match.r_pos, &r_ids_at_match));
     }
     if (!sd.narrow && sd.n_payloads > 0) {
-      GPUJOIN_ASSIGN_OR_RETURN(s_ids_at_match, vgpu::DeviceBuffer<RowId>::Allocate(
-                                                   device, match.count()));
+      GPUJOIN_ASSIGN_OR_RETURN(s_ids_at_match,
+                               vgpu::DeviceBuffer<RowId>::Allocate(
+                                   device, match.count(), "join:s_ids_at_match"));
       const auto& ids = algo == JoinAlgo::kPhjUm ? ss.bc_ids : ss.t_ids;
       GPUJOIN_RETURN_IF_ERROR(
           prim::Gather(device, ids, match.s_pos, &s_ids_at_match));
@@ -317,6 +324,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   // Output payload columns are allocated lazily, one per gather, matching
   // Algorithm 1's free-on-exit discipline.
   if (!narrow_join || algo == JoinAlgo::kNphj) {
+    vgpu::AllocTagScope mat_tag(device, "join:materialize");
     // R side, then S side; first payload (if transformed) gathers from the
     // kept transformed column, the rest follow Algorithm 1 (re-transform
     // lazily, gather, free).

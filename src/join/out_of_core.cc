@@ -38,6 +38,8 @@ std::vector<HostTable> PartitionHost(const HostTable& t, int bits) {
   return frags;
 }
 
+}  // namespace
+
 uint64_t HostTableBytes(const HostTable& t) {
   uint64_t bytes = 0;
   for (const HostColumn& c : t.columns) {
@@ -46,7 +48,18 @@ uint64_t HostTableBytes(const HostTable& t) {
   return bytes;
 }
 
-}  // namespace
+int DeriveFragmentBits(const vgpu::Device& device, const HostTable& r,
+                       const HostTable& s, double device_budget_fraction) {
+  const double budget = static_cast<double>(device.config().global_mem_bytes) *
+                        device_budget_fraction;
+  const double total =
+      static_cast<double>(HostTableBytes(r) + HostTableBytes(s));
+  int bits = 1;
+  while (bits < 16 && total / static_cast<double>(1u << bits) > budget) {
+    ++bits;
+  }
+  return bits;
+}
 
 Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
                                             const HostTable& r,
@@ -64,14 +77,7 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
   // device budget (join working state takes the rest of the capacity).
   int bits = options.fragment_bits;
   if (bits <= 0) {
-    const double budget = static_cast<double>(device.config().global_mem_bytes) *
-                          options.device_budget_fraction;
-    const double total =
-        static_cast<double>(HostTableBytes(r) + HostTableBytes(s));
-    bits = 1;
-    while (bits < 16 && total / static_cast<double>(1u << bits) > budget) {
-      ++bits;
-    }
+    bits = DeriveFragmentBits(device, r, s, options.device_budget_fraction);
   }
   if (bits > 20) {
     return Status::InvalidArgument("RunOutOfCoreJoin: fragment_bits too large");

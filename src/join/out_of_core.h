@@ -39,6 +39,17 @@ struct OutOfCoreRunResult {
   uint64_t bytes_transferred = 0;
 };
 
+/// Total payload bytes of a host table (all columns, no metadata).
+uint64_t HostTableBytes(const HostTable& t);
+
+/// Derives the fragment count (as log2) so that the average co-fragment
+/// pair fits `device_budget_fraction` of the device's global memory; join
+/// intermediates need the rest. Result is in [1, 16]. This is the same
+/// policy RunOutOfCoreJoin applies when `fragment_bits == 0`, exposed so
+/// resilient wrappers can derive and then escalate it.
+int DeriveFragmentBits(const vgpu::Device& device, const HostTable& r,
+                       const HostTable& s, double device_budget_fraction);
+
 /// Joins host tables r and s (keys in column 0) through a device that may
 /// be (much) smaller than the inputs.
 Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,

@@ -1,5 +1,6 @@
 #include "join/pipeline.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -11,7 +12,8 @@ namespace gpujoin::join {
 Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
                                           const Table& fact,
                                           const std::vector<Table>& dims,
-                                          const JoinOptions& options) {
+                                          const JoinOptions& options,
+                                          const PipelineResilience* resilience) {
   const int n_joins = static_cast<int>(dims.size());
   if (n_joins == 0) {
     return Status::InvalidArgument("RunJoinPipeline: no dimension tables");
@@ -61,8 +63,41 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
     Table s_cur =
         Table::FromColumns("pipeline_probe", std::move(s_names), std::move(s_cols));
 
-    GPUJOIN_ASSIGN_OR_RETURN(JoinRunResult jr,
-                             RunJoin(device, algo, dims[i], s_cur, options));
+    JoinRunResult jr;
+    {
+      // Per-join resilience: a failed RunJoin releases its working state
+      // while `s_cur` and `dims[i]` stay resident, so a retry with more
+      // partition bits sees the same inputs.
+      const int max_attempts =
+          resilience != nullptr ? std::max(resilience->max_attempts_per_join, 1)
+                                : 1;
+      JoinOptions jopts = options;
+      const bool partitioned =
+          algo == JoinAlgo::kPhjUm || algo == JoinAlgo::kPhjOm;
+      for (int attempt = 1;; ++attempt) {
+        Result<JoinRunResult> run = RunJoin(device, algo, dims[i], s_cur, jopts);
+        if (run.ok()) {
+          jr = std::move(run).value();
+          break;
+        }
+        const bool resource =
+            run.status().code() == StatusCode::kResourceExhausted ||
+            run.status().code() == StatusCode::kOutOfMemory;
+        if (!resource || !partitioned || attempt >= max_attempts) {
+          return run.status();
+        }
+        jopts.radix_bits_override =
+            std::min(jopts.radix_bits_override <= 0
+                         ? 8
+                         : jopts.radix_bits_override + 2,
+                     16);
+        res.degradation.push_back(
+            {"retry_more_partition_bits",
+             "pipeline join " + std::to_string(i) + " failed (" +
+                 run.status().message() + "); retrying with radix_bits=" +
+                 std::to_string(jopts.radix_bits_override)});
+      }
+    }
     res.per_join.push_back(jr.phases);
 
     // Output schema: key, dim payloads (n_dim_pay), fact_id, previous accs.

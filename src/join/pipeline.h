@@ -11,12 +11,24 @@
 
 #include <vector>
 
+#include "common/resilience.h"
 #include "common/status.h"
 #include "join/join.h"
 #include "storage/table.h"
 #include "vgpu/device.h"
 
 namespace gpujoin::join {
+
+/// Per-join OOM handling inside a pipeline: when a constituent join hits
+/// ResourceExhausted, retry it (with more partition bits for the radix-
+/// partitioned algorithms) instead of failing the whole pipeline. The
+/// intermediate fact-side state survives a failed join attempt — RunJoin
+/// releases its own working state on error — so a retry sees the exact
+/// inputs of the failed attempt.
+struct PipelineResilience {
+  /// Attempts per constituent join (1 = no retries).
+  int max_attempts_per_join = 3;
+};
 
 struct PipelineRunResult {
   /// The fully joined table: last join key, all dim payloads, fact ids.
@@ -27,14 +39,20 @@ struct PipelineRunResult {
   double throughput_tuples_per_sec = 0;
   /// Per-join phase breakdowns, in execution order.
   std::vector<PhaseBreakdown> per_join;
+  /// Degradation steps taken by the resilience hook (empty when disabled or
+  /// never triggered).
+  std::vector<DegradationStep> degradation;
 };
 
 /// Joins `fact` (whose first N columns are the foreign keys FK_1..FK_N)
 /// against dims[0..N-1]; dims[i] joins on its column 0 against FK_i+1.
+/// Passing `resilience` enables per-join retry on resource exhaustion.
 Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
                                           const Table& fact,
                                           const std::vector<Table>& dims,
-                                          const JoinOptions& options = {});
+                                          const JoinOptions& options = {},
+                                          const PipelineResilience* resilience =
+                                              nullptr);
 
 }  // namespace gpujoin::join
 

@@ -1,0 +1,155 @@
+#include "join/resilient.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "join/out_of_core.h"
+#include "join/transform.h"
+#include "prim/hash_join.h"
+
+namespace gpujoin::join {
+
+namespace {
+
+/// Errors the ladder may absorb; everything else propagates immediately.
+bool IsResourceFailure(const Status& st) {
+  return st.code() == StatusCode::kResourceExhausted ||
+         st.code() == StatusCode::kOutOfMemory;
+}
+
+bool IsRadixPartitioned(JoinAlgo algo) {
+  return algo == JoinAlgo::kPhjUm || algo == JoinAlgo::kPhjOm;
+}
+
+/// A failed attempt must roll the device back to its entry watermark; a
+/// mismatch is a leak (or double free) in the error path and is promoted to
+/// an Internal error — degrading further would hide it.
+Status VerifyCleanRollback(vgpu::Device& device, uint64_t baseline_live) {
+  const uint64_t live = device.memory_stats().live_bytes;
+  if (live != baseline_live) {
+    return Status::Internal(
+        "RunJoinResilient: failed attempt left " + std::to_string(live) +
+        " live bytes (entry watermark " + std::to_string(baseline_live) +
+        ")\n" + device.LeakReport());
+  }
+  return Status::OK();
+}
+
+/// The partition-bit count attempt 1 would use, mirroring JoinDriver's
+/// sizing so the retry rung escalates from the actual starting point.
+int InitialPartitionBits(const vgpu::Device& device, const HostTable& r,
+                         const JoinOptions& opts) {
+  if (opts.radix_bits_override > 0) {
+    return std::min(opts.radix_bits_override, 16);
+  }
+  const uint64_t capacity = r.columns[0].type == DataType::kInt32
+                                ? prim::SharedHashCapacity<int32_t>(device)
+                                : prim::SharedHashCapacity<int64_t>(device);
+  return ChoosePartitionBits<int64_t>(r.num_rows(), capacity);
+}
+
+/// One full in-memory attempt: upload, join, download. All device state is
+/// released on exit (success or failure) by the RAII tables.
+Status AttemptInMemory(vgpu::Device& device, JoinAlgo algo, const HostTable& r,
+                       const HostTable& s, const JoinOptions& opts,
+                       ResilientJoinResult* res) {
+  GPUJOIN_ASSIGN_OR_RETURN(Table rd, Table::FromHost(device, r));
+  GPUJOIN_ASSIGN_OR_RETURN(Table sd, Table::FromHost(device, s));
+  GPUJOIN_ASSIGN_OR_RETURN(JoinRunResult jr, RunJoin(device, algo, rd, sd, opts));
+  res->output = jr.output.ToHost();
+  res->output_rows = jr.output_rows;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
+                                             JoinAlgo algo, const HostTable& r,
+                                             const HostTable& s,
+                                             const ResilienceOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("RunJoinResilient: max_attempts must be >= 1");
+  }
+  if (r.columns.empty() || s.columns.empty()) {
+    return Status::InvalidArgument("RunJoinResilient: tables need a key column");
+  }
+
+  ResilientJoinResult res;
+  const uint64_t baseline_live = device.memory_stats().live_bytes;
+  const double t0 = device.ElapsedSeconds();
+  int attempt = 0;
+  Status last_error = Status::OK();
+
+  // Rungs 1 + 2: in-memory attempts, escalating partition bits while the
+  // algorithm can use them.
+  int bits = InitialPartitionBits(device, r, options.join);
+  JoinOptions jopts = options.join;
+  while (attempt < options.max_attempts) {
+    ++attempt;
+    const Status st = AttemptInMemory(device, algo, r, s, jopts, &res);
+    if (st.ok()) {
+      res.attempts = attempt;
+      res.device_seconds = device.ElapsedSeconds() - t0;
+      return res;
+    }
+    if (!IsResourceFailure(st)) return st;
+    GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
+    last_error = st;
+
+    if (!IsRadixPartitioned(algo) || bits >= 16 ||
+        attempt >= options.max_attempts) {
+      break;  // No in-memory rung left: fall through to out-of-core.
+    }
+    bits = std::min(bits + 2, 16);
+    jopts.radix_bits_override = bits;
+    res.degradation.push_back(
+        {"retry_more_partition_bits",
+         "attempt " + std::to_string(attempt) + " failed (" + st.message() +
+             "); retrying in-memory with radix_bits=" + std::to_string(bits)});
+  }
+
+  // Rung 3: out-of-core fallback with escalating fragment counts.
+  if (options.allow_out_of_core) {
+    int frag_bits =
+        DeriveFragmentBits(device, r, s, options.device_budget_fraction);
+    while (attempt < options.max_attempts) {
+      ++attempt;
+      res.degradation.push_back(
+          {"out_of_core_fallback",
+           "in-memory failed (" + last_error.message() +
+               "); streaming fragment pairs with fragment_bits=" +
+               std::to_string(frag_bits)});
+      OutOfCoreOptions oopts;
+      oopts.join = options.join;
+      oopts.fragment_bits = frag_bits;
+      oopts.device_budget_fraction = options.device_budget_fraction;
+      Result<OutOfCoreRunResult> oc =
+          RunOutOfCoreJoin(device, algo, r, s, oopts);
+      if (oc.ok()) {
+        res.output = std::move(oc->output);
+        res.output_rows = oc->output_rows;
+        res.attempts = attempt;
+        res.used_out_of_core = true;
+        res.device_seconds = device.ElapsedSeconds() - t0;
+        return res;
+      }
+      if (!IsResourceFailure(oc.status())) return oc.status();
+      GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
+      last_error = oc.status();
+      if (frag_bits >= 20) break;  // Fragmentation limit reached.
+      frag_bits = std::min(frag_bits + 2, 20);
+    }
+  }
+
+  // Rung 4: clean structured error carrying the ladder.
+  return Status::ResourceExhausted(
+      "RunJoinResilient: " + std::string(JoinAlgoName(algo)) + " failed after " +
+      std::to_string(attempt) + " attempt(s); last error: " +
+      last_error.message() +
+      (res.degradation.empty()
+           ? std::string("; no degradation rung applicable")
+           : "\ndegradation ladder:\n" + FormatDegradation(res.degradation)));
+}
+
+}  // namespace gpujoin::join

@@ -5,28 +5,29 @@
 namespace gpujoin {
 
 Result<DeviceColumn> DeviceColumn::Allocate(vgpu::Device& device, DataType type,
-                                            uint64_t n) {
+                                            uint64_t n, const char* tag) {
   if (n > kMaxRows) {
     return Status::InvalidArgument("column too large: " + std::to_string(n));
   }
   DeviceColumn col;
   col.type_ = type;
   if (type == DataType::kInt32) {
-    GPUJOIN_ASSIGN_OR_RETURN(auto buf,
-                             vgpu::DeviceBuffer<int32_t>::Allocate(device, n));
+    GPUJOIN_ASSIGN_OR_RETURN(
+        auto buf, vgpu::DeviceBuffer<int32_t>::Allocate(device, n, tag));
     col.buf_ = std::move(buf);
   } else {
-    GPUJOIN_ASSIGN_OR_RETURN(auto buf,
-                             vgpu::DeviceBuffer<int64_t>::Allocate(device, n));
+    GPUJOIN_ASSIGN_OR_RETURN(
+        auto buf, vgpu::DeviceBuffer<int64_t>::Allocate(device, n, tag));
     col.buf_ = std::move(buf);
   }
   return col;
 }
 
 Result<DeviceColumn> DeviceColumn::FromHost(vgpu::Device& device, DataType type,
-                                            std::span<const int64_t> values) {
+                                            std::span<const int64_t> values,
+                                            const char* tag) {
   GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn col,
-                           Allocate(device, type, values.size()));
+                           Allocate(device, type, values.size(), tag));
   if (type == DataType::kInt32) {
     auto& buf = col.i32();
     for (uint64_t i = 0; i < values.size(); ++i) {

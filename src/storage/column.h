@@ -21,12 +21,14 @@ class DeviceColumn {
  public:
   DeviceColumn() = default;
 
-  /// Allocates a zero-initialized column of n values.
+  /// Allocates a zero-initialized column of n values. `tag` names the
+  /// allocation site for leak attribution.
   static Result<DeviceColumn> Allocate(vgpu::Device& device, DataType type,
-                                       uint64_t n);
+                                       uint64_t n, const char* tag = nullptr);
   /// Allocates and fills from widened host values. Values must fit the type.
   static Result<DeviceColumn> FromHost(vgpu::Device& device, DataType type,
-                                       std::span<const int64_t> values);
+                                       std::span<const int64_t> values,
+                                       const char* tag = nullptr);
 
   /// Wraps an existing device buffer as a column (takes ownership).
   static DeviceColumn WrapI32(vgpu::DeviceBuffer<int32_t> buf);

@@ -6,6 +6,8 @@ Result<Table> Table::FromHost(vgpu::Device& device, const HostTable& host) {
   Table t;
   t.name_ = host.name;
   const uint64_t rows = host.num_rows();
+  // Every uploaded column is attributed to the host table it came from.
+  vgpu::AllocTagScope tag_scope(device, "upload:" + host.name);
   for (const HostColumn& hc : host.columns) {
     if (hc.size() != rows) {
       return Status::InvalidArgument("column " + hc.name +
@@ -17,15 +19,17 @@ Result<Table> Table::FromHost(vgpu::Device& device, const HostTable& host) {
       auto dict = std::make_shared<DictionaryEncoder>();
       std::vector<int64_t> codes(rows);
       for (uint64_t i = 0; i < rows; ++i) codes[i] = dict->Encode(hc.strings[i]);
-      GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn col,
-                               DeviceColumn::FromHost(device, hc.type, codes));
+      GPUJOIN_ASSIGN_OR_RETURN(
+          DeviceColumn col,
+          DeviceColumn::FromHost(device, hc.type, codes, hc.name.c_str()));
       t.column_names_.push_back(hc.name);
       t.columns_.push_back(std::move(col));
       t.dicts_.push_back(std::move(dict));
       continue;
     }
     GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn col,
-                             DeviceColumn::FromHost(device, hc.type, hc.values));
+                             DeviceColumn::FromHost(device, hc.type, hc.values,
+                                                    hc.name.c_str()));
     t.column_names_.push_back(hc.name);
     t.columns_.push_back(std::move(col));
     t.dicts_.push_back(nullptr);

@@ -8,7 +8,9 @@
 #ifndef GPUJOIN_VGPU_BUFFER_H_
 #define GPUJOIN_VGPU_BUFFER_H_
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -25,8 +27,18 @@ class DeviceBuffer {
   DeviceBuffer() = default;
 
   /// Allocates a buffer of n elements on `device` (zero-initialized).
-  static Result<DeviceBuffer<T>> Allocate(Device& device, uint64_t n) {
-    GPUJOIN_ASSIGN_OR_RETURN(uint64_t addr, device.AllocateRaw(n * sizeof(T)));
+  /// `tag` names the allocation site for leak attribution.
+  static Result<DeviceBuffer<T>> Allocate(Device& device, uint64_t n,
+                                          const char* tag = nullptr) {
+    // n * sizeof(T) must not wrap: a wrapped (tiny) byte count would pass
+    // the capacity check and then die in the host mirror's assign below.
+    if (n > std::numeric_limits<uint64_t>::max() / sizeof(T)) {
+      return Status::OutOfMemory(
+          "DeviceBuffer::Allocate: " + std::to_string(n) + " elements of " +
+          std::to_string(sizeof(T)) + " B overflow the byte size");
+    }
+    GPUJOIN_ASSIGN_OR_RETURN(uint64_t addr,
+                             device.AllocateRaw(n * sizeof(T), tag));
     DeviceBuffer<T> buf;
     buf.device_ = &device;
     buf.base_addr_ = addr;
@@ -35,8 +47,10 @@ class DeviceBuffer {
   }
 
   /// Allocates and copies host data in.
-  static Result<DeviceBuffer<T>> FromHost(Device& device, std::span<const T> host) {
-    GPUJOIN_ASSIGN_OR_RETURN(DeviceBuffer<T> buf, Allocate(device, host.size()));
+  static Result<DeviceBuffer<T>> FromHost(Device& device, std::span<const T> host,
+                                          const char* tag = nullptr) {
+    GPUJOIN_ASSIGN_OR_RETURN(DeviceBuffer<T> buf,
+                             Allocate(device, host.size(), tag));
     std::copy(host.begin(), host.end(), buf.data_.begin());
     return buf;
   }
@@ -63,8 +77,14 @@ class DeviceBuffer {
   /// Frees the simulated allocation; the buffer becomes empty.
   void Release() {
     if (device_ != nullptr) {
-      // Free cannot fail for a live allocation; ignore the status.
-      (void)device_->FreeRaw(base_addr_);
+      // Free cannot fail for a live allocation: a failure means a
+      // double-free or a stale device pointer, which would silently corrupt
+      // live_bytes accounting — surface it in debug builds.
+      const Status st = device_->FreeRaw(base_addr_);
+      (void)st;
+      assert(st.ok() &&
+             "DeviceBuffer::Release: FreeRaw failed (double free or stale "
+             "device?)");
       device_ = nullptr;
       base_addr_ = 0;
       data_.clear();

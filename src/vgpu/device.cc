@@ -3,28 +3,63 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/bit_util.h"
 
 namespace gpujoin::vgpu {
 
-Device::Device(DeviceConfig config) : config_(std::move(config)), l2_(config_) {
+Device::Device(DeviceConfig config, FaultInjector fault)
+    : config_(std::move(config)), l2_(config_), fault_(std::move(fault)) {
   const int buffers = std::max(config_.dram_row_assoc, config_.dram_row_buffers);
   dram_open_rows_.assign(buffers, ~uint64_t{0});
   dram_row_lru_.assign(buffers, 0);
 }
 
-Result<uint64_t> Device::AllocateRaw(uint64_t bytes) {
+Device::~Device() {
+  if (leak_check_on_destroy_ && !allocations_.empty()) {
+    std::fprintf(stderr,
+                 "FATAL: Device destroyed with leaked simulated memory\n%s",
+                 LeakReport().c_str());
+    std::abort();
+  }
+}
+
+std::string Device::EffectiveTag(const char* tag) const {
+  std::string out;
+  for (const std::string& frame : alloc_tag_stack_) {
+    out += frame;
+    out += '/';
+  }
+  out += tag != nullptr ? tag : "untagged";
+  return out;
+}
+
+Result<uint64_t> Device::AllocateRaw(uint64_t bytes, const char* tag) {
   if (bytes == 0) bytes = 1;
-  if (memory_stats_.live_bytes + bytes > config_.global_mem_bytes) {
+  ++memory_stats_.alloc_attempts;
+  if (fault_.armed() && fault_.ShouldFail(bytes)) {
+    ++memory_stats_.failed_allocations;
+    ++memory_stats_.injected_failures;
     return Status::ResourceExhausted(
-        "device OOM: requested " + std::to_string(bytes) + " B with " +
-        std::to_string(memory_stats_.live_bytes) + " B live of " +
-        std::to_string(config_.global_mem_bytes) + " B capacity");
+        "injected allocation fault (" + fault_.ToString() + ") at attempt #" +
+        std::to_string(memory_stats_.alloc_attempts) + ": " +
+        std::to_string(bytes) + " B for " + EffectiveTag(tag));
+  }
+  if (memory_stats_.live_bytes + bytes > config_.global_mem_bytes) {
+    ++memory_stats_.failed_allocations;
+    return Status::ResourceExhausted(
+        "device OOM: requested " + std::to_string(bytes) + " B for " +
+        EffectiveTag(tag) + " with " + std::to_string(memory_stats_.live_bytes) +
+        " B live of " + std::to_string(config_.global_mem_bytes) +
+        " B capacity");
   }
   const uint64_t addr = next_addr_;
   next_addr_ = bit_util::AlignUp(next_addr_ + bytes, 256);
-  allocations_.emplace(addr, bytes);
+  allocations_.emplace(
+      addr,
+      AllocationInfo{bytes, memory_stats_.alloc_attempts, EffectiveTag(tag)});
   memory_stats_.live_bytes += bytes;
   memory_stats_.peak_bytes =
       std::max(memory_stats_.peak_bytes, memory_stats_.live_bytes);
@@ -38,8 +73,64 @@ Status Device::FreeRaw(uint64_t addr) {
     return Status::InvalidArgument("FreeRaw of unknown device address " +
                                    std::to_string(addr));
   }
-  memory_stats_.live_bytes -= it->second;
+  memory_stats_.live_bytes -= it->second.bytes;
   allocations_.erase(it);
+  return Status::OK();
+}
+
+std::vector<AllocationRecord> Device::OutstandingAllocations() const {
+  std::vector<AllocationRecord> live;
+  live.reserve(allocations_.size());
+  for (const auto& [addr, info] : allocations_) {
+    live.push_back(AllocationRecord{addr, info.bytes, info.seq, info.tag});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const AllocationRecord& a, const AllocationRecord& b) {
+              return a.seq < b.seq;
+            });
+  return live;
+}
+
+std::string Device::LeakReport() const {
+  if (allocations_.empty()) return "";
+  std::string report = std::to_string(allocations_.size()) +
+                       " live allocation(s), " +
+                       std::to_string(memory_stats_.live_bytes) + " B total:\n";
+  constexpr size_t kMaxListed = 16;
+  const std::vector<AllocationRecord> live = OutstandingAllocations();
+  for (size_t i = 0; i < live.size() && i < kMaxListed; ++i) {
+    report += "  #" + std::to_string(live[i].seq) + " " + live[i].tag + ": " +
+              std::to_string(live[i].bytes) + " B at addr " +
+              std::to_string(live[i].addr) + "\n";
+  }
+  if (live.size() > kMaxListed) {
+    report += "  ... and " + std::to_string(live.size() - kMaxListed) +
+              " more\n";
+  }
+  return report;
+}
+
+Status Device::CheckNoLeaks() const {
+  if (allocations_.empty()) return Status::OK();
+  return Status::Internal("leaked simulated device memory: " + LeakReport());
+}
+
+Status Device::Reset() {
+  if (!allocations_.empty()) {
+    return Status::Internal("Device::Reset with live allocations: " +
+                            LeakReport());
+  }
+  assert(!in_kernel_ && "Device::Reset inside a kernel");
+  l2_.Clear();
+  dram_open_rows_.assign(dram_open_rows_.size(), ~uint64_t{0});
+  dram_row_lru_.assign(dram_row_lru_.size(), 0);
+  dram_row_clock_ = 0;
+  memory_stats_ = MemoryStats{};
+  next_addr_ = 4096;
+  elapsed_cycles_ = 0;
+  fault_ = FaultInjector();
+  alloc_tag_stack_.clear();
+  ResetStats();
   return Status::OK();
 }
 

@@ -34,15 +34,34 @@
 
 #include "common/status.h"
 #include "vgpu/device_config.h"
+#include "vgpu/fault.h"
 #include "vgpu/l2_cache.h"
 #include "vgpu/profiler.h"
 #include "vgpu/stats.h"
 
 namespace gpujoin::vgpu {
 
+/// One live allocation, as reported by Device::OutstandingAllocations().
+struct AllocationRecord {
+  uint64_t addr = 0;
+  uint64_t bytes = 0;
+  /// 1-based allocation-attempt index at which this allocation was made
+  /// (matches the FaultInjector::FailNth numbering).
+  uint64_t seq = 0;
+  /// Allocation-site tag: the explicit tag passed to AllocateRaw prefixed
+  /// by any AllocTagScope frames active at allocation time ("untagged"
+  /// when neither is present).
+  std::string tag;
+};
+
 class Device {
  public:
-  explicit Device(DeviceConfig config);
+  explicit Device(DeviceConfig config, FaultInjector fault = {});
+
+  /// Destroying a device that still holds live allocations is a hard
+  /// failure (report + abort) unless set_leak_check_on_destroy(false):
+  /// every query must free what it allocates, on success AND error paths.
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -52,14 +71,47 @@ class Device {
   // --- Allocation (Table 5 accounting) ---
 
   /// Reserves `bytes` of simulated device memory; returns the base address.
-  /// Fails with ResourceExhausted when the device capacity is exceeded.
-  Result<uint64_t> AllocateRaw(uint64_t bytes);
+  /// Fails with ResourceExhausted when the device capacity is exceeded or
+  /// when the armed FaultInjector trips. `tag` names the allocation site
+  /// for leak attribution (see AllocationRecord::tag).
+  Result<uint64_t> AllocateRaw(uint64_t bytes, const char* tag = nullptr);
   /// Releases an allocation made by AllocateRaw.
   Status FreeRaw(uint64_t addr);
 
   const MemoryStats& memory_stats() const { return memory_stats_; }
   /// Resets the peak-memory watermark to the current live bytes.
   void ResetPeakMemory() { memory_stats_.peak_bytes = memory_stats_.live_bytes; }
+
+  // --- Fault injection ---
+
+  /// Arms (or replaces) the allocation fault injector.
+  void set_fault_injector(FaultInjector fault) { fault_ = std::move(fault); }
+  /// Disarms fault injection.
+  void clear_fault_injector() { fault_ = FaultInjector(); }
+  const FaultInjector& fault_injector() const { return fault_; }
+
+  // --- Leak auditing ---
+
+  /// Pushes/pops a tag frame that prefixes every allocation tag while
+  /// active (use the RAII AllocTagScope).
+  void PushAllocTag(std::string tag) { alloc_tag_stack_.push_back(std::move(tag)); }
+  void PopAllocTag() { alloc_tag_stack_.pop_back(); }
+
+  /// All live allocations, oldest first.
+  std::vector<AllocationRecord> OutstandingAllocations() const;
+  /// OK iff no allocation is live; otherwise Internal with the leak report.
+  Status CheckNoLeaks() const;
+  /// Human-readable report of live allocations ("" when clean).
+  std::string LeakReport() const;
+  void set_leak_check_on_destroy(bool enabled) { leak_check_on_destroy_ = enabled; }
+
+  /// Restores the device to its as-constructed state: clock, stats,
+  /// profiler, L2, DRAM row tracker, address space, tag stack, and fault
+  /// injector. Fails with Internal (and changes nothing) while allocations
+  /// are outstanding — free everything first. After a successful Reset the
+  /// device replays any workload bit-identically to a freshly constructed
+  /// device of the same config.
+  Status Reset();
 
   // --- Kernel bracketing ---
 
@@ -163,14 +215,27 @@ class Device {
   /// per-sector operation).
   void TouchDramRow(uint64_t row, uint64_t multiplicity);
 
+  /// The tag AllocateRaw records: active AllocTagScope frames joined with
+  /// '/', then the explicit site tag (or "untagged").
+  std::string EffectiveTag(const char* tag) const;
+
+  struct AllocationInfo {
+    uint64_t bytes = 0;
+    uint64_t seq = 0;
+    std::string tag;
+  };
+
   DeviceConfig config_;
   L2Cache l2_;
   std::vector<uint64_t> dram_open_rows_;  // Row tracker tags (set-assoc LRU).
   std::vector<uint32_t> dram_row_lru_;
   uint32_t dram_row_clock_ = 0;
   MemoryStats memory_stats_;
-  std::unordered_map<uint64_t, uint64_t> allocations_;  // addr -> bytes.
+  std::unordered_map<uint64_t, AllocationInfo> allocations_;  // By address.
   uint64_t next_addr_ = 4096;  // Leave page 0 unmapped for easier debugging.
+  FaultInjector fault_;
+  std::vector<std::string> alloc_tag_stack_;
+  bool leak_check_on_destroy_ = true;
 
   bool in_kernel_ = false;
   bool fast_path_enabled_ = true;
@@ -188,6 +253,23 @@ class Device {
   std::vector<uint64_t> scratch_addrs_;
   std::vector<uint64_t> scratch_sectors_;
   std::vector<uint64_t> scratch_lines_;
+};
+
+/// RAII allocation-tag frame: every allocation made while the scope is
+/// alive is attributed to `tag` (nested scopes join with '/'), so leak
+/// reports name the operator/phase that lost the buffer.
+class AllocTagScope {
+ public:
+  AllocTagScope(Device& device, std::string tag) : device_(device) {
+    device_.PushAllocTag(std::move(tag));
+  }
+  ~AllocTagScope() { device_.PopAllocTag(); }
+
+  AllocTagScope(const AllocTagScope&) = delete;
+  AllocTagScope& operator=(const AllocTagScope&) = delete;
+
+ private:
+  Device& device_;
 };
 
 /// RAII kernel bracket.

@@ -1,0 +1,85 @@
+#include "vgpu/fault.h"
+
+#include <algorithm>
+
+namespace gpujoin::vgpu {
+
+namespace {
+
+/// splitmix64: the canonical seed-expansion mixer — full avalanche, so even
+/// seed 0 or consecutive seeds give independent-looking streams.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::FailNth(uint64_t nth) {
+  FaultInjector f;
+  f.mode_ = Mode::kNth;
+  f.nth_ = std::max<uint64_t>(nth, 1);
+  return f;
+}
+
+FaultInjector FaultInjector::FailAfterBytes(uint64_t budget_bytes) {
+  FaultInjector f;
+  f.mode_ = Mode::kByteBudget;
+  f.budget_bytes_ = budget_bytes;
+  return f;
+}
+
+FaultInjector FaultInjector::FailWithProbability(double p, uint64_t seed) {
+  FaultInjector f;
+  f.mode_ = Mode::kProbability;
+  f.probability_ = std::clamp(p, 0.0, 1.0);
+  f.rng_state_ = seed;
+  return f;
+}
+
+bool FaultInjector::ShouldFail(uint64_t bytes) {
+  if (mode_ == Mode::kNone) return false;
+  ++attempts_;
+  bool fail = false;
+  switch (mode_) {
+    case Mode::kNone:
+      break;
+    case Mode::kNth:
+      fail = attempts_ == nth_;
+      break;
+    case Mode::kByteBudget:
+      // Requested bytes count whether or not the attempt succeeds: the
+      // budget trips once and every later attempt fails too, modelling a
+      // persistently smaller device.
+      cumulative_bytes_ += bytes;
+      fail = cumulative_bytes_ > budget_bytes_;
+      break;
+    case Mode::kProbability: {
+      // 53-bit uniform draw in [0, 1).
+      const double u = static_cast<double>(SplitMix64(&rng_state_) >> 11) *
+                       0x1.0p-53;
+      fail = u < probability_;
+      break;
+    }
+  }
+  if (fail) ++failures_;
+  return fail;
+}
+
+std::string FaultInjector::ToString() const {
+  switch (mode_) {
+    case Mode::kNone:
+      return "disarmed";
+    case Mode::kNth:
+      return "fail-nth(" + std::to_string(nth_) + ")";
+    case Mode::kByteBudget:
+      return "fail-after-bytes(" + std::to_string(budget_bytes_) + ")";
+    case Mode::kProbability:
+      return "fail-with-probability(" + std::to_string(probability_) + ")";
+  }
+  return "?";
+}
+
+}  // namespace gpujoin::vgpu

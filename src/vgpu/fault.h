@@ -1,0 +1,76 @@
+// FaultInjector: deterministic, configurable allocation-failure injection
+// for the simulated device.
+//
+// The injector is consulted by Device::AllocateRaw on every allocation
+// attempt; when it trips, the allocation fails with ResourceExhausted
+// exactly as a capacity OOM would, so callers exercise the same error path
+// a genuinely undersized device produces. Three modes:
+//
+//   FailNth(n)              fail the nth attempt after arming, once
+//                           (exhaustive failure sweeps: for every allocation
+//                           point k of a query, inject at k and assert a
+//                           clean non-OK status and zero leaks).
+//   FailAfterBytes(budget)  fail every attempt once cumulative requested
+//                           bytes exceed `budget` (models a smaller device
+//                           without rebuilding the config).
+//   FailWithProbability(p, seed)
+//                           fail each attempt independently with
+//                           probability p from a seeded splitmix64 stream
+//                           (chaos testing; fully reproducible per seed).
+//
+// An injector is plain value state owned by the Device; it is deliberately
+// deterministic — no wall clock, no global RNG — so a failing sweep case
+// can always be replayed.
+
+#ifndef GPUJOIN_VGPU_FAULT_H_
+#define GPUJOIN_VGPU_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gpujoin::vgpu {
+
+class FaultInjector {
+ public:
+  /// Disarmed injector: never fails anything.
+  FaultInjector() = default;
+
+  /// Fails the `nth` allocation attempt (1-based) after arming, once.
+  static FaultInjector FailNth(uint64_t nth);
+  /// Fails every attempt once cumulative requested bytes exceed the budget.
+  static FaultInjector FailAfterBytes(uint64_t budget_bytes);
+  /// Fails each attempt independently with probability `p` (clamped to
+  /// [0, 1]), drawn from a deterministic splitmix64 stream seeded by `seed`.
+  static FaultInjector FailWithProbability(double p, uint64_t seed);
+
+  bool armed() const { return mode_ != Mode::kNone; }
+
+  /// Called by Device::AllocateRaw for each attempt of `bytes` bytes.
+  /// Advances the injector's counters; returns true when the attempt must
+  /// fail. A disarmed injector always returns false (and counts nothing).
+  bool ShouldFail(uint64_t bytes);
+
+  /// Attempts seen since arming (disarmed injectors count nothing).
+  uint64_t attempts_seen() const { return attempts_; }
+  /// Failures this injector has injected.
+  uint64_t injected_failures() const { return failures_; }
+
+  /// "disarmed", "fail-nth(3)", "fail-after-bytes(1024)", ...
+  std::string ToString() const;
+
+ private:
+  enum class Mode { kNone, kNth, kByteBudget, kProbability };
+
+  Mode mode_ = Mode::kNone;
+  uint64_t nth_ = 0;
+  uint64_t budget_bytes_ = 0;
+  uint64_t cumulative_bytes_ = 0;
+  double probability_ = 0;
+  uint64_t rng_state_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_FAULT_H_

@@ -82,6 +82,11 @@ struct KernelStats {
                                   : cycles / static_cast<double>(warp_instructions);
   }
 
+  /// Exact (bit-level) equality over every counter, including the derived
+  /// cycle counts. Used by determinism and failure-sweep tests to assert two
+  /// runs are indistinguishable to the simulator.
+  bool operator==(const KernelStats&) const = default;
+
   std::string ToString() const;
 };
 
@@ -89,7 +94,16 @@ struct KernelStats {
 struct MemoryStats {
   uint64_t live_bytes = 0;
   uint64_t peak_bytes = 0;
+  /// Successful allocations.
   uint64_t total_allocations = 0;
+  /// Allocation attempts, successful or not. The attempt index identifies
+  /// an allocation point for fault-injection sweeps (FaultInjector::FailNth).
+  uint64_t alloc_attempts = 0;
+  /// Attempts that failed: capacity OOM plus injected faults.
+  uint64_t failed_allocations = 0;
+  /// Failures injected by the device's FaultInjector (subset of
+  /// failed_allocations).
+  uint64_t injected_failures = 0;
 };
 
 }  // namespace gpujoin::vgpu

@@ -112,6 +112,76 @@ TEST(HarnessEnvTest, BenchDeviceIsScaled) {
   EXPECT_EQ(device.config().num_sms, 108);
 }
 
+TEST(HarnessEnvTest, FaultInjectorDisarmedByDefault) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", nullptr);
+  ScopedEnv bytes("GPUJOIN_FAULT_BYTES", nullptr);
+  ScopedEnv prob("GPUJOIN_FAULT_PROB", nullptr);
+  EXPECT_FALSE(FaultInjectorFromEnv().armed());
+  EXPECT_EQ(FaultInjectorFromEnv().ToString(), "disarmed");
+}
+
+TEST(HarnessEnvTest, FaultInjectorNthFromEnvironment) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", "7");
+  ScopedEnv bytes("GPUJOIN_FAULT_BYTES", nullptr);
+  ScopedEnv prob("GPUJOIN_FAULT_PROB", nullptr);
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(inj.ToString(), "fail-nth(7)");
+}
+
+TEST(HarnessEnvTest, FaultInjectorBytesFromEnvironment) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", nullptr);
+  ScopedEnv bytes("GPUJOIN_FAULT_BYTES", "65536");
+  ScopedEnv prob("GPUJOIN_FAULT_PROB", nullptr);
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(inj.ToString(), "fail-after-bytes(65536)");
+}
+
+TEST(HarnessEnvTest, FaultInjectorProbabilityFromEnvironment) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", nullptr);
+  ScopedEnv bytes("GPUJOIN_FAULT_BYTES", nullptr);
+  ScopedEnv prob("GPUJOIN_FAULT_PROB", "0.25");
+  ScopedEnv seed("GPUJOIN_FAULT_SEED", "99");
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(inj.ToString(), "fail-with-probability(0.250000)");
+}
+
+TEST(HarnessEnvDeathTest, FaultInjectorRejectsConflictingKnobs) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", "3");
+  ScopedEnv bytes("GPUJOIN_FAULT_BYTES", "1024");
+  ScopedEnv prob("GPUJOIN_FAULT_PROB", nullptr);
+  EXPECT_DEATH(FaultInjectorFromEnv(), "at most one of");
+}
+
+TEST(HarnessEnvDeathTest, FaultInjectorRejectsInvalidValues) {
+  {
+    ScopedEnv nth("GPUJOIN_FAULT_NTH", "0");
+    EXPECT_DEATH(FaultInjectorFromEnv(), "must be >= 1");
+  }
+  {
+    ScopedEnv prob("GPUJOIN_FAULT_PROB", "1.5");
+    EXPECT_DEATH(FaultInjectorFromEnv(), "must be in \\[0,1\\)");
+  }
+  {
+    ScopedEnv bytes("GPUJOIN_FAULT_BYTES", "-1");
+    EXPECT_DEATH(FaultInjectorFromEnv(), "must be >= 0");
+  }
+}
+
+TEST(HarnessEnvTest, BenchDeviceCarriesEnvFaultInjector) {
+  ScopedEnv scale("GPUJOIN_SCALE", "14");
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", "1");
+  vgpu::Device device = MakeBenchDevice();
+  device.set_leak_check_on_destroy(false);
+  // The very first allocation must hit the injected fault.
+  auto addr = device.AllocateRaw(256);
+  ASSERT_FALSE(addr.ok());
+  EXPECT_EQ(addr.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(device.memory_stats().injected_failures, 1u);
+}
+
 TEST(HarnessTest, UploadAndRunJoinCold) {
   vgpu::Device device = testing::MakeTestDevice();
   workload::JoinWorkloadSpec spec;

@@ -1,0 +1,268 @@
+// Resilient execution wrappers: the degradation ladder must turn resource
+// exhaustion (real capacity or injected faults) into correct answers when
+// any rung can complete, and into clean structured errors otherwise —
+// never crashes, never leaks.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "groupby/resilient.h"
+#include "join/pipeline.h"
+#include "join/reference.h"
+#include "join/resilient.h"
+#include "storage/table.h"
+#include "test_util.h"
+#include "vgpu/device.h"
+#include "vgpu/fault.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+using ::gpujoin::testing::MakeTestDevice;
+
+workload::JoinWorkload SmallJoinWorkload() {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 9;
+  spec.s_rows = 1 << 10;
+  spec.seed = 5;
+  return workload::GenerateJoinInput(spec).ValueOrDie();
+}
+
+TEST(ResilientJoinTest, FirstAttemptSucceedsWithoutDegradation) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  ASSERT_OK_AND_ASSIGN(
+      join::ResilientJoinResult res,
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s));
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_FALSE(res.used_out_of_core);
+  EXPECT_TRUE(res.degradation.empty());
+  EXPECT_EQ(join::CanonicalRows(res.output), join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST(ResilientJoinTest, OneShotFaultIsAbsorbedByRetry) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  // The 5th allocation of the first attempt fails once; a retry (same or
+  // degraded parameters) must complete and still be correct.
+  device.set_fault_injector(vgpu::FaultInjector::FailNth(5));
+  ASSERT_OK_AND_ASSIGN(
+      join::ResilientJoinResult res,
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s));
+  EXPECT_GT(res.attempts, 1);
+  EXPECT_FALSE(res.degradation.empty());
+  EXPECT_EQ(join::CanonicalRows(res.output), join::ReferenceJoinRows(w.r, w.s));
+  device.clear_fault_injector();
+}
+
+TEST(ResilientJoinTest, UndersizedDeviceFallsBackToOutOfCore) {
+  // A device whose whole capacity is smaller than the inputs: no in-memory
+  // attempt can ever fit, so the ladder must reach the out-of-core rung and
+  // still produce the exact join result.
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 10;
+  spec.s_rows = 1 << 11;
+  spec.key_type = DataType::kInt64;
+  spec.r_payload_type = DataType::kInt64;
+  spec.s_payload_type = DataType::kInt64;
+  spec.seed = 9;
+  const workload::JoinWorkload w =
+      workload::GenerateJoinInput(spec).ValueOrDie();
+
+  vgpu::DeviceConfig cfg = vgpu::DeviceConfig::ScaledToWorkload(
+      vgpu::DeviceConfig::A100(), uint64_t{1} << 16);
+  cfg.global_mem_bytes = 24 * 1024;  // Far below the ~72 KiB of inputs.
+  vgpu::Device device(cfg);
+  testing::ScopedLeakCheck leak_check(device);
+
+  join::ResilienceOptions opts;
+  opts.max_attempts = 6;
+  ASSERT_OK_AND_ASSIGN(
+      join::ResilientJoinResult res,
+      join::RunJoinResilient(device, join::JoinAlgo::kSmjOm, w.r, w.s, opts));
+  EXPECT_TRUE(res.used_out_of_core);
+  ASSERT_FALSE(res.degradation.empty());
+  bool saw_ooc_step = false;
+  for (const DegradationStep& step : res.degradation) {
+    if (step.action == "out_of_core_fallback") saw_ooc_step = true;
+  }
+  EXPECT_TRUE(saw_ooc_step);
+  EXPECT_EQ(join::CanonicalRows(res.output), join::ReferenceJoinRows(w.r, w.s));
+}
+
+TEST(ResilientJoinTest, ExhaustedLadderReturnsStructuredError) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  // Every allocation fails: nothing can complete on any rung.
+  device.set_fault_injector(vgpu::FaultInjector::FailAfterBytes(0));
+  join::ResilienceOptions opts;
+  opts.max_attempts = 3;
+  Result<join::ResilientJoinResult> res =
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjUm, w.r, w.s, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(res.status().message().find("degradation ladder"),
+            std::string::npos)
+      << res.status().ToString();
+  device.clear_fault_injector();
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(ResilientJoinTest, NonResourceErrorsPropagateImmediately) {
+  vgpu::Device device = MakeTestDevice();
+  HostTable empty;
+  Result<join::ResilientJoinResult> res = join::RunJoinResilient(
+      device, join::JoinAlgo::kPhjOm, empty, empty);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResilientGroupByTest, FirstAttemptSucceedsWithoutDegradation) {
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = 1 << 10;
+  spec.num_groups = 1 << 5;
+  const HostTable input = workload::GenerateGroupByInput(spec).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+  groupby::GroupBySpec gspec;
+  gspec.aggregates.push_back({1, groupby::AggOp::kSum});
+  {
+    ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+    ASSERT_OK_AND_ASSIGN(groupby::ResilientGroupByResult res,
+                         groupby::RunGroupByResilient(
+                             device, groupby::GroupByAlgo::kHashGlobal, t,
+                             gspec));
+    EXPECT_EQ(res.attempts, 1);
+    EXPECT_EQ(res.algo_used, groupby::GroupByAlgo::kHashGlobal);
+    EXPECT_TRUE(res.degradation.empty());
+    EXPECT_GT(res.run.num_groups, 0u);
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(ResilientGroupByTest, HashGlobalFallsBackToPartitioned) {
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = 1 << 10;
+  spec.num_groups = 1 << 5;
+  const HostTable input = workload::GenerateGroupByInput(spec).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+  groupby::GroupBySpec gspec;
+  gspec.aggregates.push_back({1, groupby::AggOp::kSum});
+  gspec.aggregates.push_back({1, groupby::AggOp::kCount});
+
+  // Reference result, computed before any fault is armed.
+  std::vector<std::vector<int64_t>> expected;
+  {
+    ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+    ASSERT_OK_AND_ASSIGN(
+        groupby::GroupByRunResult ref,
+        groupby::RunGroupBy(device, groupby::GroupByAlgo::kHashPartitioned, t,
+                            gspec));
+    expected = join::CanonicalRows(ref.output.ToHost());
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+
+  {
+    ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+    // HASH-GLOBAL's first allocation (the global table) fails once; the
+    // ladder should land on HASH-PARTITIONED and agree with the reference.
+    device.set_fault_injector(vgpu::FaultInjector::FailNth(1));
+    ASSERT_OK_AND_ASSIGN(groupby::ResilientGroupByResult res,
+                         groupby::RunGroupByResilient(
+                             device, groupby::GroupByAlgo::kHashGlobal, t,
+                             gspec));
+    device.clear_fault_injector();
+    EXPECT_EQ(res.algo_used, groupby::GroupByAlgo::kHashPartitioned);
+    EXPECT_GT(res.attempts, 1);
+    ASSERT_FALSE(res.degradation.empty());
+    EXPECT_EQ(res.degradation[0].action, "algo_fallback");
+    EXPECT_EQ(join::CanonicalRows(res.run.output.ToHost()), expected);
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(ResilientGroupByTest, ExhaustedLadderReturnsStructuredError) {
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = 1 << 9;
+  const HostTable input = workload::GenerateGroupByInput(spec).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+  groupby::GroupBySpec gspec;
+  gspec.aggregates.push_back({1, groupby::AggOp::kSum});
+  {
+    ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+    device.set_fault_injector(vgpu::FaultInjector::FailAfterBytes(0));
+    Result<groupby::ResilientGroupByResult> res = groupby::RunGroupByResilient(
+        device, groupby::GroupByAlgo::kHashGlobal, t, gspec);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(res.status().message().find("degradation ladder"),
+              std::string::npos);
+    device.clear_fault_injector();
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(PipelineResilienceTest, PerJoinRetryAbsorbsOneShotFaults) {
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 1 << 10;
+  spec.num_dims = 2;
+  spec.dim_rows = 1 << 8;
+  const workload::StarSchema star =
+      workload::GenerateStarSchema(spec).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+  {
+    ASSERT_OK_AND_ASSIGN(Table fact, Table::FromHost(device, star.fact));
+    std::vector<Table> dims;
+    for (const HostTable& d : star.dims) {
+      ASSERT_OK_AND_ASSIGN(Table dt, Table::FromHost(device, d));
+      dims.push_back(std::move(dt));
+    }
+
+    // Reference run without faults.
+    std::vector<std::vector<int64_t>> expected;
+    {
+      ASSERT_OK_AND_ASSIGN(
+          join::PipelineRunResult ref,
+          join::RunJoinPipeline(device, join::JoinAlgo::kPhjOm, fact, dims));
+      expected = join::CanonicalRows(ref.output.ToHost());
+    }
+
+    // Sweep one-shot faults over the pipeline's first allocation points.
+    // The hook only retries the RunJoin calls (not the FK gathers between
+    // them), so each k must either be absorbed — correct output plus a
+    // degradation log — or fail cleanly; at least one k must be absorbed.
+    join::PipelineResilience resilience;
+    int absorbed = 0;
+    for (uint64_t k = 1; k <= 12; ++k) {
+      SCOPED_TRACE("fault at allocation point " + std::to_string(k));
+      device.set_fault_injector(vgpu::FaultInjector::FailNth(k));
+      Result<join::PipelineRunResult> res = join::RunJoinPipeline(
+          device, join::JoinAlgo::kPhjOm, fact, dims, {}, &resilience);
+      device.clear_fault_injector();
+      if (res.ok()) {
+        if (!res->degradation.empty()) {
+          EXPECT_EQ(res->degradation[0].action, "retry_more_partition_bits");
+          ++absorbed;
+        }
+        EXPECT_EQ(join::CanonicalRows(res->output.ToHost()), expected);
+      } else {
+        EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted)
+            << res.status().ToString();
+      }
+    }
+    EXPECT_GT(absorbed, 0) << "no fault ever reached the retry hook";
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+}  // namespace
+}  // namespace gpujoin

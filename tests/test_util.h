@@ -49,6 +49,35 @@ inline vgpu::Device MakeFullA100() {
   return vgpu::Device(vgpu::DeviceConfig::A100());
 }
 
+/// RAII leak audit: asserts the device has no outstanding allocations when
+/// the scope ends. Wrap the query under test AFTER the inputs it is allowed
+/// to keep resident have been released (or construct before any allocation).
+class ScopedLeakCheck {
+ public:
+  explicit ScopedLeakCheck(vgpu::Device& device) : device_(&device) {}
+  ~ScopedLeakCheck() {
+    const Status st = device_->CheckNoLeaks();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ScopedLeakCheck(const ScopedLeakCheck&) = delete;
+  ScopedLeakCheck& operator=(const ScopedLeakCheck&) = delete;
+
+ private:
+  vgpu::Device* device_;
+};
+
+/// Fixture base with a scaled test device that must be leak-free at
+/// TearDown (on top of the hard abort in ~Device).
+class LeakCheckedDeviceTest : public ::testing::Test {
+ protected:
+  LeakCheckedDeviceTest() : device_(MakeTestDevice()) {}
+  void TearDown() override {
+    const Status st = device_.CheckNoLeaks();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  vgpu::Device device_;
+};
+
 }  // namespace gpujoin::testing
 
 #endif  // GPUJOIN_TESTS_TEST_UTIL_H_

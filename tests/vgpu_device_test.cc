@@ -31,6 +31,9 @@ TEST(DeviceAllocatorTest, TracksLiveAndPeakBytes) {
   EXPECT_EQ(device.memory_stats().peak_bytes, 3000u);
   device.ResetPeakMemory();
   EXPECT_EQ(device.memory_stats().peak_bytes, 2500u);
+  ASSERT_OK(device.FreeRaw(*b));
+  ASSERT_OK(device.FreeRaw(*c));
+  ASSERT_OK(device.CheckNoLeaks());
 }
 
 TEST(DeviceAllocatorTest, DistinctAddressesAndAlignment) {
@@ -41,6 +44,8 @@ TEST(DeviceAllocatorTest, DistinctAddressesAndAlignment) {
   EXPECT_NE(*a, *b);
   EXPECT_EQ(*a % 256, 0u);
   EXPECT_EQ(*b % 256, 0u);
+  ASSERT_OK(device.FreeRaw(*a));
+  ASSERT_OK(device.FreeRaw(*b));
 }
 
 TEST(DeviceAllocatorTest, OomAtCapacity) {
@@ -54,7 +59,9 @@ TEST(DeviceAllocatorTest, OomAtCapacity) {
   EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
   // Freeing makes room again.
   ASSERT_OK(device.FreeRaw(*a));
-  EXPECT_TRUE(device.AllocateRaw(100).ok());
+  auto c = device.AllocateRaw(100);
+  ASSERT_TRUE(c.ok());
+  ASSERT_OK(device.FreeRaw(*c));
 }
 
 TEST(DeviceAllocatorTest, DoubleFreeIsAnError) {

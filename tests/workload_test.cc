@@ -214,7 +214,7 @@ TEST(TpcGenTest, J1ColumnLayoutMatchesTable6) {
 TEST(TpcGenTest, J5SelfJoinOutputCardinality) {
   TpcGenOptions gen;
   gen.scale_tuples = uint64_t{1} << 18;
-  const auto& j5 = TpcJoinSpecs()[4];
+  const auto j5 = TpcJoinSpecs()[4];
   auto w = GenerateTpcJoin(j5, gen).ValueOrDie();
   EXPECT_EQ(w.r.columns[0].values, w.s.columns[0].values);  // Self join.
   // E[|T|] / |S| should approximate the paper's 904M / 72M ~ 12.6.
