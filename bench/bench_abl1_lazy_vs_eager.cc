@@ -12,8 +12,8 @@ int main() {
   harness::PrintBanner("Ablation 1", "GFTR lazy (Algorithm 1) vs eager transform");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"payload cols", "impl", "schedule", "total(ms)",
-                            "peak mem (MB)"});
+  RunReporter rep(device, RunReporter::Kind::kJoin,
+                  {"payload cols", "schedule", "peak mem (MB)"});
   for (int cols : {2, 4, 8}) {
     workload::JoinWorkloadSpec spec;
     spec.r_rows = harness::ScaleTuples() / 2;
@@ -26,14 +26,13 @@ int main() {
         join::JoinOptions opts;
         opts.eager_transform = eager;
         const auto res = MustJoin(device, algo, w.r, w.s, opts);
-        tp.AddRow({std::to_string(cols), join::JoinAlgoName(algo),
-                   eager ? "eager" : "lazy (Alg. 1)",
-                   Ms(res.phases.total_s()),
-                   harness::TablePrinter::Fmt(res.peak_mem_bytes / 1e6, 1)});
+        rep.Add({std::to_string(cols), eager ? "eager" : "lazy (Alg. 1)",
+                 harness::TablePrinter::Fmt(res.peak_mem_bytes / 1e6, 1)},
+                algo, res);
       }
     }
   }
-  tp.Print();
+  rep.Print();
   std::printf(
       "expected: near-identical totals (lazy is marginally faster: its final\n"
       "re-transform passes skip the transformed-key stores). Peak memory\n"

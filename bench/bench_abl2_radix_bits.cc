@@ -21,19 +21,16 @@ int main() {
   spec.s_payload_cols = 2;
   auto w = MustUpload(device, spec);
 
-  harness::TablePrinter tp({"radix bits", "impl", "transform(ms)", "match(ms)",
-                            "materialize(ms)", "total(ms)"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"radix bits"});
   for (int bits : {4, 6, 8, 10, 12, 14, 16}) {
     for (join::JoinAlgo algo : {join::JoinAlgo::kPhjUm, join::JoinAlgo::kPhjOm}) {
       join::JoinOptions opts;
       opts.radix_bits_override = bits;
       const auto res = MustJoin(device, algo, w.r, w.s, opts);
-      tp.AddRow({std::to_string(bits), join::JoinAlgoName(algo),
-                 Ms(res.phases.transform_s), Ms(res.phases.match_s),
-                 Ms(res.phases.materialize_s), Ms(res.phases.total_s())});
+      rep.Add({std::to_string(bits)}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

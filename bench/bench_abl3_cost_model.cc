@@ -29,10 +29,18 @@ int main() {
       spec.s_payload_cols = 2;
       spec.match_ratio = match;
       auto w = MustUpload(device, spec);
-      const double um =
-          MustJoin(device, join::JoinAlgo::kPhjUm, w.r, w.s).phases.total_s();
-      const double om =
-          MustJoin(device, join::JoinAlgo::kPhjOm, w.r, w.s).phases.total_s();
+      const auto um_res = MustJoin(device, join::JoinAlgo::kPhjUm, w.r, w.s);
+      const auto om_res = MustJoin(device, join::JoinAlgo::kPhjOm, w.r, w.s);
+      const double um = um_res.phases.total_s();
+      const double om = om_res.phases.total_s();
+      for (const auto* res : {&um_res, &om_res}) {
+        RecordRun(device,
+                  {{"row penalty (B)", harness::TablePrinter::Fmt(penalty, 0)},
+                   {"match ratio", harness::TablePrinter::Fmt(match, 2)}},
+                  res == &um_res ? "PHJ-UM" : "PHJ-OM", res->phases,
+                  MTuples(*res), res->peak_mem_bytes, res->output_rows,
+                  res->stats);
+      }
       tp.AddRow({harness::TablePrinter::Fmt(penalty, 0),
                  harness::TablePrinter::Fmt(match, 2), Ms(um), Ms(om),
                  harness::TablePrinter::Fmt(um / om, 2) + "x"});

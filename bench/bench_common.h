@@ -5,10 +5,13 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "groupby/groupby.h"
 #include "harness/harness.h"
 #include "join/join.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace gpujoin::bench {
@@ -40,6 +43,105 @@ inline double MTuples(const join::JoinRunResult& r) {
 inline std::string Ms(double seconds) {
   return harness::TablePrinter::Fmt(seconds * 1e3, 3);
 }
+
+/// Records one measured run into the process-wide metrics sink (the JSON
+/// counterpart of a printed table row). Benches with fully custom tables
+/// call this directly with the same variables they print; row-based
+/// benches go through RunReporter, which calls it for them.
+inline void RecordRun(const vgpu::Device& device,
+                      std::vector<std::pair<std::string, std::string>> params,
+                      std::string algo, const join::PhaseBreakdown& phases,
+                      double mtuples_per_sec, uint64_t peak_mem_bytes,
+                      uint64_t output_rows, const vgpu::KernelStats& stats) {
+  obs::MetricRow row;
+  row.params = std::move(params);
+  row.algo = std::move(algo);
+  const double hz = device.config().clock_ghz * 1e9;
+  row.transform_cycles = phases.transform_s * hz;
+  row.match_cycles = phases.match_s * hz;
+  row.materialize_cycles = phases.materialize_s * hz;
+  row.total_cycles = phases.total_s() * hz;
+  row.mtuples_per_sec = mtuples_per_sec;
+  row.l2_hit_rate = stats.L2HitRate();
+  row.peak_mem_bytes = peak_mem_bytes;
+  row.output_rows = output_rows;
+  row.stats = stats;
+  obs::MetricsSink::Global().AddRow(std::move(row));
+}
+
+/// One reporter per bench table: every Add() derives the human table row
+/// AND the JSON MetricRow from the same values, so the printed figure and
+/// BENCH_<name>.json can never disagree.
+class RunReporter {
+ public:
+  enum class Kind { kJoin, kGroupBy };
+
+  /// `param_headers` are the bench-specific leading dimension columns
+  /// (e.g. {"groups", "zipf"}); the phase/throughput columns are standard.
+  RunReporter(const vgpu::Device& device, Kind kind,
+              std::vector<std::string> param_headers)
+      : device_(device),
+        kind_(kind),
+        param_headers_(param_headers),
+        printer_(StandardHeaders(kind, std::move(param_headers))) {}
+
+  /// Core row: `param_values` aligns with the constructor's
+  /// `param_headers`.
+  void Add(std::vector<std::string> param_values, const std::string& algo,
+           const join::PhaseBreakdown& phases, double mtuples_per_sec,
+           uint64_t peak_mem_bytes, uint64_t output_rows,
+           const vgpu::KernelStats& stats) {
+    std::vector<std::string> cells = param_values;
+    cells.push_back(algo);
+    cells.push_back(Ms(phases.transform_s));
+    cells.push_back(Ms(phases.match_s));
+    cells.push_back(Ms(phases.materialize_s));
+    cells.push_back(Ms(phases.total_s()));
+    cells.push_back(harness::TablePrinter::Fmt(mtuples_per_sec, 0));
+    printer_.AddRow(std::move(cells));
+
+    std::vector<std::pair<std::string, std::string>> params;
+    for (size_t i = 0; i < param_headers_.size() && i < param_values.size();
+         ++i) {
+      params.emplace_back(param_headers_[i], param_values[i]);
+    }
+    RecordRun(device_, std::move(params), algo, phases, mtuples_per_sec,
+              peak_mem_bytes, output_rows, stats);
+  }
+
+  void Add(std::vector<std::string> param_values, join::JoinAlgo algo,
+           const join::JoinRunResult& r) {
+    Add(std::move(param_values), join::JoinAlgoName(algo), r.phases,
+        MTuples(r), r.peak_mem_bytes, r.output_rows, r.stats);
+  }
+
+  void Add(std::vector<std::string> param_values, groupby::GroupByAlgo algo,
+           const groupby::GroupByRunResult& r) {
+    Add(std::move(param_values), groupby::GroupByAlgoName(algo), r.phases,
+        r.throughput_tuples_per_sec / 1e6, r.peak_mem_bytes, r.num_groups,
+        r.stats);
+  }
+
+  void Print() const { printer_.Print(); }
+
+  static std::vector<std::string> StandardHeaders(
+      Kind kind, std::vector<std::string> param_headers) {
+    std::vector<std::string> h = std::move(param_headers);
+    h.emplace_back("impl");
+    h.emplace_back("transform(ms)");
+    h.emplace_back(kind == Kind::kJoin ? "match(ms)" : "aggregate(ms)");
+    h.emplace_back(kind == Kind::kJoin ? "materialize(ms)" : "emit(ms)");
+    h.emplace_back("total(ms)");
+    h.emplace_back("Mtuples/s");
+    return h;
+  }
+
+ private:
+  const vgpu::Device& device_;
+  Kind kind_;
+  std::vector<std::string> param_headers_;
+  harness::TablePrinter printer_;
+};
 
 }  // namespace gpujoin::bench
 

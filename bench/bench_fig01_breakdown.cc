@@ -24,9 +24,7 @@ int main() {
   spec.s_payload_cols = 2;
   harness::DeviceWorkload w = MustUpload(device, spec);
 
-  harness::TablePrinter tp({"impl", "transform(ms)", "match(ms)",
-                            "materialize(ms)", "total(ms)", "materialize%",
-                            "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {});
   const join::JoinAlgo algos[] = {join::JoinAlgo::kNphj, join::JoinAlgo::kSmjUm,
                                   join::JoinAlgo::kPhjUm, join::JoinAlgo::kPhjOm};
   double um_total = 0, om_total = 0;
@@ -34,14 +32,9 @@ int main() {
     const auto r = MustJoin(device, algo, w.r, w.s);
     if (algo == join::JoinAlgo::kPhjUm) um_total = r.phases.total_s();
     if (algo == join::JoinAlgo::kPhjOm) om_total = r.phases.total_s();
-    tp.AddRow({join::JoinAlgoName(algo), Ms(r.phases.transform_s),
-               Ms(r.phases.match_s), Ms(r.phases.materialize_s),
-               Ms(r.phases.total_s()),
-               harness::TablePrinter::Fmt(
-                   100.0 * r.phases.materialize_s / r.phases.total_s(), 1),
-               harness::TablePrinter::Fmt(MTuples(r), 0)});
+    rep.Add({}, algo, r);
   }
-  tp.Print();
+  rep.Print();
   std::printf(
       "PHJ-OM speedup over PHJ-UM: %.2fx (paper: up to 2.3x on this shape)\n",
       um_total / om_total);

@@ -73,6 +73,12 @@ void RunForDevice(const vgpu::DeviceConfig& base) {
     tp.AddRow({base.name, name, Ms(secs),
                harness::TablePrinter::Fmt(n / secs / 1e6, 0),
                harness::TablePrinter::Fmt(un / secs, 2) + "x"});
+    // JSON counterpart: the whole strategy runs as one "match" phase.
+    join::PhaseBreakdown phases;
+    phases.match_s = secs;
+    RecordRun(device, {{"device", base.name}, {"strategy", name}}, name,
+              phases, n / secs / 1e6, device.memory_stats().peak_bytes, n,
+              device.total_stats());
   };
   add("unclustered gather", un);
   add("partition + clustered gather", part);

@@ -20,8 +20,7 @@ int main() {
   harness::PrintBanner("Figure 8", "narrow join throughput, CPU vs GPU");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"|R| x |S| (tuples)", "impl", "time(ms)",
-                            "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"|R| x |S| (tuples)"});
   for (int shift = 3; shift >= 0; --shift) {
     const uint64_t r_rows = harness::ScaleTuples() >> shift;
     const uint64_t s_rows = 2 * r_rows;
@@ -33,22 +32,25 @@ int main() {
     const std::string label =
         std::to_string(r_rows) + " x " + std::to_string(s_rows);
 
-    // CPU baseline (Balkesen-style radix join, native wall clock).
+    // CPU baseline (Balkesen-style radix join, native wall clock). Its
+    // whole runtime is reported as the match phase (the CPU join has no
+    // instrumented phase breakdown) with empty simulator counters.
     auto cpu = cpubase::CpuRadixJoin(w->r, w->s);
     GPUJOIN_CHECK_OK(cpu.status());
-    tp.AddRow({label, "CPU radix join", Ms(cpu->seconds),
-               harness::TablePrinter::Fmt(cpu->throughput_tuples_per_sec / 1e6,
-                                          0)});
+    join::PhaseBreakdown cpu_phases;
+    cpu_phases.match_s = cpu->seconds;
+    rep.Add({label}, "CPU radix join", cpu_phases,
+            cpu->throughput_tuples_per_sec / 1e6, 0, cpu->output_rows,
+            vgpu::KernelStats{});
 
     auto up = harness::Upload(device, *w);
     GPUJOIN_CHECK_OK(up.status());
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, up->r, up->s);
-      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      rep.Add({label}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

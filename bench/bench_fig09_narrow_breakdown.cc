@@ -13,8 +13,7 @@ int main() {
   harness::PrintBanner("Figure 9", "narrow join phase breakdown");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"|R| x |S| (tuples)", "impl", "transform(ms)",
-                            "match(ms)", "total(ms)"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"|R| x |S| (tuples)"});
   for (int shift : {2, 0}) {
     const uint64_t r_rows = harness::ScaleTuples() >> shift;
     workload::JoinWorkloadSpec spec;
@@ -26,12 +25,10 @@ int main() {
         std::to_string(spec.r_rows) + " x " + std::to_string(spec.s_rows);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(dev, algo, w.r, w.s);
-      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.transform_s),
-                 Ms(res.phases.match_s + res.phases.materialize_s),
-                 Ms(res.phases.total_s())});
+      rep.Add({label}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

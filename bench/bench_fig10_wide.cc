@@ -15,9 +15,7 @@ int main() {
   harness::PrintBanner("Figure 10", "wide join phase breakdown (2+2 payloads)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"|R| x |S| (tuples)", "impl", "transform(ms)",
-                            "match(ms)", "materialize(ms)", "total(ms)",
-                            "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"|R| x |S| (tuples)"});
   double smj_um = 0, smj_om = 0, phj_um = 0, phj_om = 0;
   for (int shift : {2, 1, 0}) {
     const uint64_t r_rows = harness::ScaleTuples() >> shift;
@@ -31,10 +29,7 @@ int main() {
         std::to_string(spec.r_rows) + " x " + std::to_string(spec.s_rows);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.transform_s),
-                 Ms(res.phases.match_s), Ms(res.phases.materialize_s),
-                 Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      rep.Add({label}, algo, res);
       if (shift == 0) {
         const double t = res.phases.total_s();
         if (algo == join::JoinAlgo::kSmjUm) smj_um = t;
@@ -44,7 +39,7 @@ int main() {
       }
     }
   }
-  tp.Print();
+  rep.Print();
   std::printf("largest size: SMJ-OM/SMJ-UM %.2fx (paper ~1.6x) | "
               "SMJ-OM/PHJ-UM %.2fx (paper ~1.6x) | PHJ-OM/PHJ-UM %.2fx "
               "(paper ~2.3x) | PHJ-OM/SMJ-OM %.2fx (paper ~1.4x)\n",

@@ -11,7 +11,7 @@ int main() {
   harness::PrintBanner("Figure 11", "|R|/|S| ratio sweep (|S| fixed)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"|R|/|S|", "impl", "time(ms)", "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"|R|/|S|"});
   const uint64_t s_rows = harness::ScaleTuples();
   for (int shift : {4, 3, 2, 1, 0}) {
     workload::JoinWorkloadSpec spec;
@@ -23,11 +23,10 @@ int main() {
     const std::string label = "1/" + std::to_string(1 << shift);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({label, join::JoinAlgoName(algo), Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      rep.Add({label}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -13,8 +13,7 @@ int main() {
   harness::PrintBanner("Figure 12", "payload column count sweep (|R| = |S|)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"payload cols/side", "impl", "time(ms)",
-                            "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"payload cols/side"});
   for (int cols : {1, 2, 4, 6, 8}) {
     workload::JoinWorkloadSpec spec;
     spec.r_rows = harness::ScaleTuples();
@@ -24,12 +23,10 @@ int main() {
     auto w = MustUpload(device, spec);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({std::to_string(cols), join::JoinAlgoName(algo),
-                 Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      rep.Add({std::to_string(cols)}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -11,8 +11,7 @@ int main() {
   harness::PrintBanner("Figure 13", "match ratio sweep");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"match ratio", "impl", "time(ms)", "Mtuples/s",
-                            "out rows"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"match ratio"});
   for (double ratio : {1.0, 0.75, 0.5, 0.25, 0.1, 0.03}) {
     workload::JoinWorkloadSpec spec;
     spec.r_rows = harness::ScaleTuples();
@@ -23,13 +22,10 @@ int main() {
     auto w = MustUpload(device, spec);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({harness::TablePrinter::Fmt(ratio, 2),
-                 join::JoinAlgoName(algo), Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0),
-                 std::to_string(res.output_rows)});
+      rep.Add({harness::TablePrinter::Fmt(ratio, 2)}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -15,8 +15,7 @@ int main() {
   harness::PrintBanner("Figure 14", "foreign-key skew sweep (Zipf factor)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"zipf", "impl", "transform(ms)", "match(ms)",
-                            "materialize(ms)", "total(ms)"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"zipf"});
   for (double theta : {0.0, 0.5, 0.75, 1.0, 1.25, 1.5}) {
     workload::JoinWorkloadSpec spec;
     spec.r_rows = harness::ScaleTuples();
@@ -27,13 +26,10 @@ int main() {
     auto w = MustUpload(device, spec);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({harness::TablePrinter::Fmt(theta, 2),
-                 join::JoinAlgoName(algo), Ms(res.phases.transform_s),
-                 Ms(res.phases.match_s), Ms(res.phases.materialize_s),
-                 Ms(res.phases.total_s())});
+      rep.Add({harness::TablePrinter::Fmt(theta, 2)}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -24,8 +24,7 @@ int main() {
       {"8B key + 8B payload", DataType::kInt64, DataType::kInt64},
   };
 
-  harness::TablePrinter tp({"types", "impl", "transform(ms)", "match(ms)",
-                            "materialize(ms)", "total(ms)"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"types"});
   for (const Mix& mix : mixes) {
     workload::JoinWorkloadSpec spec;
     spec.r_rows = harness::ScaleTuples();
@@ -38,12 +37,10 @@ int main() {
     auto w = MustUpload(device, spec);
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, w.r, w.s);
-      tp.AddRow({mix.label, join::JoinAlgoName(algo),
-                 Ms(res.phases.transform_s), Ms(res.phases.match_s),
-                 Ms(res.phases.materialize_s), Ms(res.phases.total_s())});
+      rep.Add({mix.label}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

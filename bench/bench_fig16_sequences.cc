@@ -26,7 +26,7 @@ int main() {
   auto fact = Table::FromHost(device, schema->fact);
   GPUJOIN_CHECK_OK(fact.status());
 
-  harness::TablePrinter tp({"joins", "impl", "time(ms)", "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kJoin, {"joins"});
   double um2 = 0, om2 = 0, um8 = 0, om8 = 0;
   for (int n : {1, 2, 4, 6, 8}) {
     std::vector<Table> dims;
@@ -39,19 +39,27 @@ int main() {
     }
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       device.FlushL2();
+      vgpu::KernelStats stats = device.total_stats();
       auto res = join::RunJoinPipeline(device, algo, *fact, dims);
       GPUJOIN_CHECK_OK(res.status());
-      tp.AddRow({std::to_string(n), join::JoinAlgoName(algo),
-                 Ms(res->total_seconds),
-                 harness::TablePrinter::Fmt(
-                     res->throughput_tuples_per_sec / 1e6, 0)});
+      vgpu::KernelStats after = device.total_stats();
+      after.Sub(stats);
+      join::PhaseBreakdown phases;
+      for (const join::PhaseBreakdown& p : res->per_join) {
+        phases.transform_s += p.transform_s;
+        phases.match_s += p.match_s;
+        phases.materialize_s += p.materialize_s;
+      }
+      rep.Add({std::to_string(n)}, join::JoinAlgoName(algo), phases,
+              res->throughput_tuples_per_sec / 1e6,
+              device.memory_stats().peak_bytes, res->final_rows, after);
       if (algo == join::JoinAlgo::kPhjUm && n == 2) um2 = res->total_seconds;
       if (algo == join::JoinAlgo::kPhjOm && n == 2) om2 = res->total_seconds;
       if (algo == join::JoinAlgo::kPhjUm && n == 8) um8 = res->total_seconds;
       if (algo == join::JoinAlgo::kPhjOm && n == 8) om8 = res->total_seconds;
     }
   }
-  tp.Print();
+  rep.Print();
   std::printf("PHJ-OM over PHJ-UM: %.2fx at N=2 (paper 1.49x), %.2fx at N=8 "
               "(paper 1.78x)\n",
               um2 / om2, um8 / om8);

@@ -15,10 +15,12 @@ using namespace gpujoin::bench;  // NOLINT(build/namespaces)
 
 namespace {
 
-void RunRegime(const char* label, DataType key_type, DataType nonkey_type) {
+void RunRegime(const char* label, const char* short_label, DataType key_type,
+               DataType nonkey_type) {
   std::printf("\n-- %s --\n", label);
-  harness::TablePrinter tp({"join", "impl", "transform(ms)", "match(ms)",
-                            "materialize(ms)", "total(ms)", "Mtuples/s"});
+  vgpu::Device reporter_device = harness::MakeBenchDevice();
+  RunReporter rep(reporter_device, RunReporter::Kind::kJoin,
+                  {"types", "join"});
   for (const workload::TpcJoinSpec& spec : workload::TpcJoinSpecs()) {
     vgpu::Device device = harness::MakeBenchDevice();
     workload::TpcGenOptions gen;
@@ -33,22 +35,19 @@ void RunRegime(const char* label, DataType key_type, DataType nonkey_type) {
     opts.pk_fk = spec.pk_fk;
     for (join::JoinAlgo algo : join::kAllJoinAlgos) {
       const auto res = MustJoin(device, algo, up->r, up->s, opts);
-      tp.AddRow({spec.id, join::JoinAlgoName(algo), Ms(res.phases.transform_s),
-                 Ms(res.phases.match_s), Ms(res.phases.materialize_s),
-                 Ms(res.phases.total_s()),
-                 harness::TablePrinter::Fmt(MTuples(res), 0)});
+      rep.Add({short_label, spec.id}, algo, res);
     }
   }
-  tp.Print();
+  rep.Print();
 }
 
 }  // namespace
 
 int main() {
   harness::PrintBanner("Figure 17 / Table 6", "TPC-H and TPC-DS joins");
-  RunRegime("4-byte keys, 8-byte non-key attributes", DataType::kInt32,
-            DataType::kInt64);
-  RunRegime("all attributes 8-byte", DataType::kInt64, DataType::kInt64);
+  RunRegime("4-byte keys, 8-byte non-key attributes", "4B+8B",
+            DataType::kInt32, DataType::kInt64);
+  RunRegime("all attributes 8-byte", "8B", DataType::kInt64, DataType::kInt64);
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

@@ -61,10 +61,20 @@ int main() {
 
     double best = 1e30, chosen = 0, smj_best = 1e30;
     join::JoinAlgo best_algo = choice, smj_best_algo = smj_choice;
+    const std::string types_param =
+        std::string(g.key_type == DataType::kInt64 ? "8B" : "4B") + "k/" +
+        (g.payload_type == DataType::kInt64 ? "8B" : "4B") + "p";
     for (join::JoinAlgo algo :
          {join::JoinAlgo::kSmjUm, join::JoinAlgo::kSmjOm, join::JoinAlgo::kPhjUm,
           join::JoinAlgo::kPhjOm}) {
       const auto res = MustJoin(device, algo, w.r, w.s);
+      RecordRun(device,
+                {{"payloads", std::to_string(g.payloads)},
+                 {"match", harness::TablePrinter::Fmt(g.match, 2)},
+                 {"zipf", harness::TablePrinter::Fmt(g.zipf, 2)},
+                 {"types", types_param}},
+                join::JoinAlgoName(algo), res.phases, MTuples(res),
+                res.peak_mem_bytes, res.output_rows, res.stats);
       const double t = res.phases.total_s();
       if (t < best) {
         best = t;
@@ -82,9 +92,7 @@ int main() {
     total_regret += regret;
     if (choice == best_algo) ++hits;
     if (smj_choice == smj_best_algo) ++smj_hits;
-    const std::string types =
-        std::string(g.key_type == DataType::kInt64 ? "8B" : "4B") + "k/" +
-        (g.payload_type == DataType::kInt64 ? "8B" : "4B") + "p";
+    const std::string& types = types_param;
     tp.AddRow({std::to_string(g.payloads),
                harness::TablePrinter::Fmt(g.match, 2),
                harness::TablePrinter::Fmt(g.zipf, 2), types,

@@ -14,8 +14,7 @@ int main() {
   harness::PrintBanner("GB1", "group-by cardinality sweep (SUM of one column)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"groups", "algo", "transform(ms)", "aggregate(ms)",
-                            "total(ms)", "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kGroupBy, {"groups"});
   const uint64_t n = harness::ScaleTuples();
   for (int g_log2 : {4, 8, 12, 16, 18, 20}) {
     const uint64_t groups = std::min(n, uint64_t{1} << g_log2);
@@ -32,14 +31,10 @@ int main() {
       device.FlushL2();
       auto res = RunGroupBy(device, algo, *input, gs);
       GPUJOIN_CHECK_OK(res.status());
-      tp.AddRow({std::to_string(groups), GroupByAlgoName(algo),
-                 Ms(res->phases.transform_s), Ms(res->phases.match_s),
-                 Ms(res->phases.total_s()),
-                 harness::TablePrinter::Fmt(
-                     res->throughput_tuples_per_sec / 1e6, 0)});
+      rep.Add({std::to_string(groups)}, algo, *res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

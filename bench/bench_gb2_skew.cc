@@ -14,7 +14,7 @@ int main() {
   harness::PrintBanner("GB2", "group-by skew sweep (Zipf factor)");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp({"zipf", "algo", "total(ms)", "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kGroupBy, {"zipf"});
   for (double theta : {0.0, 0.5, 0.75, 1.0, 1.25, 1.5}) {
     workload::GroupByWorkloadSpec spec;
     spec.rows = harness::ScaleTuples();
@@ -30,13 +30,10 @@ int main() {
       device.FlushL2();
       auto res = RunGroupBy(device, algo, *input, gs);
       GPUJOIN_CHECK_OK(res.status());
-      tp.AddRow({harness::TablePrinter::Fmt(theta, 2), GroupByAlgoName(algo),
-                 Ms(res->phases.total_s()),
-                 harness::TablePrinter::Fmt(
-                     res->throughput_tuples_per_sec / 1e6, 0)});
+      rep.Add({harness::TablePrinter::Fmt(theta, 2)}, algo, *res);
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

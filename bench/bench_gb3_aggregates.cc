@@ -15,8 +15,8 @@ int main() {
   harness::PrintBanner("GB3", "aggregate count x value width sweep");
   vgpu::Device device = harness::MakeBenchDevice();
 
-  harness::TablePrinter tp(
-      {"agg cols", "value type", "algo", "total(ms)", "Mtuples/s"});
+  RunReporter rep(device, RunReporter::Kind::kGroupBy,
+                  {"agg cols", "value type"});
   for (DataType vt : {DataType::kInt32, DataType::kInt64}) {
     for (int cols : {1, 2, 4, 8}) {
       workload::GroupByWorkloadSpec spec;
@@ -36,14 +36,11 @@ int main() {
         device.FlushL2();
         auto res = RunGroupBy(device, algo, *input, gs);
         GPUJOIN_CHECK_OK(res.status());
-        tp.AddRow({std::to_string(cols), DataTypeName(vt),
-                   GroupByAlgoName(algo), Ms(res->phases.total_s()),
-                   harness::TablePrinter::Fmt(
-                       res->throughput_tuples_per_sec / 1e6, 0)});
+        rep.Add({std::to_string(cols), DataTypeName(vt)}, algo, *res);
       }
     }
   }
-  tp.Print();
+  rep.Print();
   gpujoin::harness::PrintSimSummary();
   return 0;
 }

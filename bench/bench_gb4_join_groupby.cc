@@ -51,6 +51,25 @@ int main() {
       tp.AddRow({join::JoinAlgoName(ja), GroupByAlgoName(ga),
                  Ms(jr->phases.total_s()), Ms(gr->phases.total_s()),
                  Ms(jr->phases.total_s() + gr->phases.total_s())});
+      // JSON counterpart of the printed row: the pipeline's combined
+      // phases, counters, and throughput over the fact+dim input.
+      join::PhaseBreakdown combined;
+      combined.transform_s = jr->phases.transform_s + gr->phases.transform_s;
+      combined.match_s = jr->phases.match_s + gr->phases.match_s;
+      combined.materialize_s =
+          jr->phases.materialize_s + gr->phases.materialize_s;
+      vgpu::KernelStats stats = jr->stats;
+      stats.Add(gr->stats);
+      RecordRun(device,
+                {{"join algo", join::JoinAlgoName(ja)},
+                 {"groupby algo", groupby::GroupByAlgoName(ga)}},
+                std::string(join::JoinAlgoName(ja)) + "+" +
+                    groupby::GroupByAlgoName(ga),
+                combined,
+                static_cast<double>(spec.r_rows + spec.s_rows) /
+                    combined.total_s() / 1e6,
+                std::max(jr->peak_mem_bytes, gr->peak_mem_bytes),
+                gr->num_groups, stats);
     }
   }
   tp.Print();

@@ -48,6 +48,12 @@ int main() {
         device.FlushL2();
         auto res = RunGroupBy(device, algo, *input, gs);
         GPUJOIN_CHECK_OK(res.status());
+        RecordRun(device,
+                  {{"groups", std::to_string(spec.num_groups)},
+                   {"zipf", harness::TablePrinter::Fmt(zipf, 2)}},
+                  groupby::GroupByAlgoName(algo), res->phases,
+                  res->throughput_tuples_per_sec / 1e6, res->peak_mem_bytes,
+                  res->num_groups, res->stats);
         const double t = res->phases.total_s();
         if (t < best) {
           best = t;

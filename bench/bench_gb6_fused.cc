@@ -39,14 +39,27 @@ int main() {
 
     device.FlushL2();
     const double f0 = device.ElapsedSeconds();
+    vgpu::KernelStats fused_stats = device.total_stats();
     auto fused = RunJoinAggregate(device, join::JoinAlgo::kPhjOm,
                                   groupby::GroupByAlgo::kHashPartitioned,
                                   up->r, up->s, fspec);
     GPUJOIN_CHECK_OK(fused.status());
     const double fused_s = device.ElapsedSeconds() - f0;
+    {
+      vgpu::KernelStats delta = device.total_stats();
+      delta.Sub(fused_stats);
+      join::PhaseBreakdown phases;
+      phases.match_s = fused->join_seconds;
+      phases.materialize_s = fused->aggregate_seconds;
+      RecordRun(device, {{"payload cols/side", std::to_string(cols)}},
+                "fused PHJ-OM+GB-HASH-PART", phases,
+                static_cast<double>(spec.r_rows + spec.s_rows) / fused_s / 1e6,
+                device.memory_stats().peak_bytes, fused->num_groups, delta);
+    }
 
     device.FlushL2();
     const double u0 = device.ElapsedSeconds();
+    vgpu::KernelStats unfused_stats = device.total_stats();
     auto joined = RunJoin(device, join::JoinAlgo::kPhjOm, up->r, up->s);
     GPUJOIN_CHECK_OK(joined.status());
     Table gb_in = Table::FromColumns(
@@ -59,10 +72,23 @@ int main() {
         }());
     groupby::GroupBySpec gs;
     gs.aggregates = {{1, groupby::AggOp::kSum}};
-    GPUJOIN_CHECK_OK(
-        RunGroupBy(device, groupby::GroupByAlgo::kHashPartitioned, gb_in, gs)
-            .status());
+    auto unfused_gb =
+        RunGroupBy(device, groupby::GroupByAlgo::kHashPartitioned, gb_in, gs);
+    GPUJOIN_CHECK_OK(unfused_gb.status());
     const double unfused_s = device.ElapsedSeconds() - u0;
+    {
+      vgpu::KernelStats delta = device.total_stats();
+      delta.Sub(unfused_stats);
+      join::PhaseBreakdown phases;
+      phases.match_s = joined->phases.total_s();
+      phases.materialize_s = unfused_gb->phases.total_s();
+      RecordRun(device, {{"payload cols/side", std::to_string(cols)}},
+                "unfused PHJ-OM then GB-HASH-PART", phases,
+                static_cast<double>(spec.r_rows + spec.s_rows) / unfused_s /
+                    1e6,
+                device.memory_stats().peak_bytes, unfused_gb->num_groups,
+                delta);
+    }
 
     tp.AddRow({std::to_string(cols), Ms(fused_s), Ms(unfused_s),
                harness::TablePrinter::Fmt(unfused_s / fused_s, 2) + "x"});

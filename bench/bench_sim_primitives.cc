@@ -84,4 +84,17 @@ BENCHMARK(BM_SimRadixSortPairs)->Arg(1 << 16)->Arg(1 << 18);
 }  // namespace
 }  // namespace gpujoin
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the harness banner/summary around it, so
+// this binary participates in the GPUJOIN_JSON_DIR export like every other
+// bench (its BENCH_*.json simply has no rows: the measured quantity here is
+// host time, not simulated throughput).
+int main(int argc, char** argv) {
+  gpujoin::harness::PrintBanner("sim primitives",
+                                "simulator host-speed microbenchmarks");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  gpujoin::harness::PrintSimSummary();
+  return 0;
+}

@@ -24,6 +24,7 @@ struct GatherProfile {
   double cycles_per_instr;
   double gb_read;
   double sectors_per_request;
+  vgpu::KernelStats stats;
 };
 
 GatherProfile ProfileGather(vgpu::Device& device, bool clustered, uint64_t n) {
@@ -42,9 +43,9 @@ GatherProfile ProfileGather(vgpu::Device& device, bool clustered, uint64_t n) {
   device.ResetStats();
   GPUJOIN_CHECK_OK(prim::Gather(device, in, map, &out));
   const vgpu::KernelStats& st = device.total_stats();
-  return {st.cycles, st.warp_instructions, st.CyclesPerWarpInstruction(),
+  return {st.cycles,   st.warp_instructions,      st.CyclesPerWarpInstruction(),
           static_cast<double>(st.bytes_read + st.dram_sectors * 0) / 1e9,
-          st.AvgSectorsPerRequest()};
+          st.AvgSectorsPerRequest(), st};
 }
 
 }  // namespace
@@ -57,6 +58,16 @@ int main() {
 
   const GatherProfile un = ProfileGather(device, /*clustered=*/false, n);
   const GatherProfile cl = ProfileGather(device, /*clustered=*/true, n);
+
+  for (const auto* p : {&un, &cl}) {
+    join::PhaseBreakdown phases;
+    phases.materialize_s = device.config().CyclesToSeconds(p->cycles);
+    RecordRun(device, {{"items", std::to_string(n)}},
+              p == &un ? "unclustered gather (SMJ-UM)"
+                       : "clustered gather (SMJ-OM)",
+              phases, n / phases.materialize_s / 1e6,
+              device.memory_stats().peak_bytes, n, p->stats);
+  }
 
   harness::TablePrinter tp({"metric", "unclustered (SMJ-UM)",
                             "clustered (SMJ-OM)"});

@@ -39,6 +39,9 @@ int main() {
     for (size_t a = 0; a < join::kAllJoinAlgos.size(); ++a) {
       const auto res = MustJoin(device, join::kAllJoinAlgos[a], w.r, w.s);
       peaks[a].push_back(static_cast<double>(res.peak_mem_bytes) / 1e6);
+      RecordRun(device, {{"types", mix.label}},
+                join::JoinAlgoName(join::kAllJoinAlgos[a]), res.phases,
+                MTuples(res), res.peak_mem_bytes, res.output_rows, res.stats);
     }
   }
   for (size_t a = 0; a < join::kAllJoinAlgos.size(); ++a) {

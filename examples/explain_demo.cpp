@@ -1,0 +1,102 @@
+// EXPLAIN ANALYZE for the simulated GPU stack: runs a hash join and a
+// group-by with query tracing enabled, then prints the span tree with
+// per-phase percentages and the hottest kernels per phase — the same view
+// GPUJOIN_EXPLAIN=1 produces for any bench binary.
+//
+// The demo doubles as a smoke test of the tracer's accounting invariant:
+// for every query span, the simulated cycles of its phase children must sum
+// to the query total (kernels only run inside phases). It exits non-zero if
+// that property does not hold.
+//
+//   $ ./example_explain_demo
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "groupby/groupby.h"
+#include "join/join.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+#include "workload/generator.h"
+
+using namespace gpujoin;  // NOLINT(build/namespaces)
+
+namespace {
+
+// Checks that the phase children of every query span account for the span's
+// full simulated duration (relative tolerance only guards float summation).
+bool PhasesSumToQueryTotal(const obs::Tracer& tracer) {
+  bool ok = true;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.category != "query") continue;
+    double phase_cycles = 0;
+    for (const obs::SpanRecord& child : tracer.spans()) {
+      if (child.parent == span.id && child.category == "phase") {
+        phase_cycles += child.duration_cycles();
+      }
+    }
+    const double total = span.duration_cycles();
+    if (std::fabs(phase_cycles - total) > 1e-6 * total + 1e-6) {
+      std::fprintf(stderr,
+                   "FAIL: query span '%s': phases sum to %.1f cycles, "
+                   "query total is %.1f\n",
+                   span.name.c_str(), phase_cycles, total);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  obs::Tracer::Global().set_enabled(true);
+
+  const uint64_t kRows = 1 << 16;
+  vgpu::Device device(
+      vgpu::DeviceConfig::ScaledToWorkload(vgpu::DeviceConfig::A100(), kRows));
+
+  // Query 1: a wide PHJ-OM join (transform / match / materialize phases).
+  workload::JoinWorkloadSpec jspec;
+  jspec.r_rows = kRows / 2;
+  jspec.s_rows = kRows;
+  jspec.r_payload_cols = 2;
+  jspec.s_payload_cols = 2;
+  jspec.zipf_theta = 0.25;
+  auto jw = workload::GenerateJoinInput(jspec);
+  GPUJOIN_CHECK_OK(jw.status());
+  auto r = Table::FromHost(device, jw->r);
+  auto s = Table::FromHost(device, jw->s);
+  GPUJOIN_CHECK_OK(r.status());
+  GPUJOIN_CHECK_OK(s.status());
+  auto jres = join::RunJoin(device, join::JoinAlgo::kPhjOm, *r, *s);
+  GPUJOIN_CHECK_OK(jres.status());
+  std::printf("join produced %llu rows\n",
+              static_cast<unsigned long long>(jres->output_rows));
+
+  // Query 2: a partitioned hash aggregation over the probe side.
+  workload::GroupByWorkloadSpec gspec;
+  gspec.rows = kRows;
+  gspec.num_groups = 1 << 9;
+  gspec.zipf_theta = 0.5;
+  auto gw = workload::GenerateGroupByInput(gspec);
+  GPUJOIN_CHECK_OK(gw.status());
+  auto gin = Table::FromHost(device, *gw);
+  GPUJOIN_CHECK_OK(gin.status());
+  groupby::GroupBySpec gs;
+  gs.aggregates = {{1, groupby::AggOp::kSum}};
+  auto gres = groupby::RunGroupBy(device, groupby::GroupByAlgo::kHashPartitioned,
+                                  *gin, gs);
+  GPUJOIN_CHECK_OK(gres.status());
+  std::printf("group-by produced %llu groups\n\n",
+              static_cast<unsigned long long>(gres->num_groups));
+
+  std::fputs(obs::RenderExplain(obs::Tracer::Global()).c_str(), stdout);
+
+  if (!PhasesSumToQueryTotal(obs::Tracer::Global())) return 1;
+  std::printf("\nOK: per-phase cycles sum to each query's total\n");
+  return 0;
+}

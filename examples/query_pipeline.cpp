@@ -76,5 +76,6 @@ int main() {
 
   std::printf("\nper-kernel profile (top lines):\n%s",
               device.profiler().Report().substr(0, 1200).c_str());
+  std::printf("\nmemory: %s\n", device.memory_stats().ToString().c_str());
   return 0;
 }

@@ -14,6 +14,12 @@
 #   harness knobs: a bench under an injected allocation fault must exit
 #   non-zero with a clean ResourceExhausted diagnostic — never crash, hang,
 #   or trip the device's leak-abort.
+#
+#        scripts/reproduce.sh --json [outdir]
+#   Metrics-export mode: runs one bench at smoke scale with
+#   GPUJOIN_JSON_DIR set, then validates the resulting BENCH_smoke.json
+#   (metrics schema) and TRACE_smoke.json (Chrome trace events) with
+#   tools/bench_json_check, which fails on missing or non-finite fields.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,6 +52,20 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   fi
   echo "ok: injected fault produced a clean ResourceExhausted failure"
   echo "done: see test_output_asan.txt"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--json" ]]; then
+  cmake -B build -G Ninja
+  cmake --build build
+
+  outdir="${2:-bench_json}"
+  rm -rf "$outdir"
+  echo "===== JSON export smoke (GPUJOIN_JSON_DIR) ====="
+  GPUJOIN_SCALE=14 GPUJOIN_BENCH_NAME=smoke GPUJOIN_JSON_DIR="$outdir" \
+    build/bench/bench_fig10_wide
+  build/tools/bench_json_check "$outdir"/BENCH_smoke.json "$outdir"/TRACE_smoke.json
+  echo "ok: schema-valid artifacts in $outdir/ (load the trace at ui.perfetto.dev)"
   exit 0
 fi
 

@@ -10,6 +10,7 @@
 
 #include "common/bit_util.h"
 #include "join/transform.h"
+#include "obs/trace.h"
 #include "stats/estimator.h"
 #include "prim/hash.h"
 #include "prim/hash_join.h"
@@ -188,8 +189,15 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashGlobalAggregate(
   const int warp = device.config().warp_size;
   // Size the table from a HyperLogLog estimate (a real system's sizing
   // input), with 3x headroom against both estimation error and clustering.
-  GPUJOIN_ASSIGN_OR_RETURN(const uint64_t g_est,
-                           stats::EstimateDistinct(device, input.column(0)));
+  uint64_t g_est = 0;
+  {
+    obs::TraceSpan estimate_span(device, "phase", "estimate");
+    GPUJOIN_ASSIGN_OR_RETURN(g_est,
+                             stats::EstimateDistinct(device, input.column(0)));
+  }
+  // Everything from here to the compacted group list is the aggregate
+  // phase (the span closes when this function returns).
+  obs::TraceSpan aggregate_span(device, "phase", "aggregate");
   const uint64_t table_size =
       bit_util::NextPowerOfTwo(std::max<uint64_t>(g_est * 3, 64));
   const uint64_t mask = table_size - 1;
@@ -297,8 +305,11 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashPartitionedAggregate(
   const uint64_t slot_bytes = SlotBytes(key_col.type(), spec);
   const uint64_t capacity = std::max<uint64_t>(
       device.config().shared_mem_per_block_bytes / slot_bytes / 2, 16);
-  GPUJOIN_ASSIGN_OR_RETURN(const uint64_t g,
-                           stats::EstimateDistinct(device, key_col));
+  uint64_t g = 0;
+  {
+    obs::TraceSpan estimate_span(device, "phase", "estimate");
+    GPUJOIN_ASSIGN_OR_RETURN(g, stats::EstimateDistinct(device, key_col));
+  }
 
   int bits = opts.radix_bits_override > 0
                  ? opts.radix_bits_override
@@ -318,32 +329,35 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashPartitionedAggregate(
   }
   vgpu::DeviceBuffer<K> t_keys;
   std::vector<DeviceColumn> t_cols;  // Parallel to `needed`.
-  if (needed.empty()) {
-    GPUJOIN_ASSIGN_OR_RETURN(
-        auto ids, vgpu::DeviceBuffer<RowId>::Allocate(device, n));
-    vgpu::DeviceBuffer<RowId> t_ids;
-    GPUJOIN_RETURN_IF_ERROR(join::TransformPairOutOfPlace(
-        device, *key_buf, ids, &t_keys, &t_ids,
-        join::TransformKind::kPartition, bits));
-  } else {
-    for (size_t c = 0; c < needed.size(); ++c) {
-      vgpu::DeviceBuffer<K> t_keys_c;
+  std::vector<uint64_t> offsets;
+  {
+    obs::TraceSpan transform_span(device, "phase", "transform");
+    if (needed.empty()) {
       GPUJOIN_ASSIGN_OR_RETURN(
-          DeviceColumn t_col,
-          join::TransformKeyPayload(device, *key_buf, input.column(needed[c]),
-                                    &t_keys_c, join::TransformKind::kPartition,
-                                    bits));
-      t_cols.push_back(std::move(t_col));
-      if (c == 0) {
-        t_keys = std::move(t_keys_c);
-      } else {
-        t_keys_c.Release();
+          auto ids, vgpu::DeviceBuffer<RowId>::Allocate(device, n));
+      vgpu::DeviceBuffer<RowId> t_ids;
+      GPUJOIN_RETURN_IF_ERROR(join::TransformPairOutOfPlace(
+          device, *key_buf, ids, &t_keys, &t_ids,
+          join::TransformKind::kPartition, bits));
+    } else {
+      for (size_t c = 0; c < needed.size(); ++c) {
+        vgpu::DeviceBuffer<K> t_keys_c;
+        GPUJOIN_ASSIGN_OR_RETURN(
+            DeviceColumn t_col,
+            join::TransformKeyPayload(device, *key_buf, input.column(needed[c]),
+                                      &t_keys_c, join::TransformKind::kPartition,
+                                      bits));
+        t_cols.push_back(std::move(t_col));
+        if (c == 0) {
+          t_keys = std::move(t_keys_c);
+        } else {
+          t_keys_c.Release();
+        }
       }
     }
+    GPUJOIN_RETURN_IF_ERROR(
+        prim::ComputePartitionOffsets(device, t_keys, bits, &offsets));
   }
-  std::vector<uint64_t> offsets;
-  GPUJOIN_RETURN_IF_ERROR(
-      prim::ComputePartitionOffsets(device, t_keys, bits, &offsets));
   *transform_seconds = device.ElapsedSeconds() - t0;
 
   // Aggregate each partition in a shared-memory table. Partitions whose
@@ -352,6 +366,7 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashPartitionedAggregate(
   std::vector<std::pair<int64_t, GroupAcc>> groups;
   groups.reserve(g);
   std::vector<int64_t> agg_values(spec.aggregates.size(), 0);
+  obs::TraceSpan aggregate_span(device, "phase", "aggregate");
   {
     vgpu::KernelScope ks(device, "gb_hash_part_aggregate");
     const uint32_t fanout = 1u << bits;
@@ -422,24 +437,28 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> SortAggregate(
   const std::vector<int> needed = NeededColumns(spec);
   vgpu::DeviceBuffer<K> t_keys;
   std::vector<DeviceColumn> t_cols;
-  if (needed.empty()) {
-    GPUJOIN_ASSIGN_OR_RETURN(auto ids,
-                             vgpu::DeviceBuffer<RowId>::Allocate(device, n));
-    vgpu::DeviceBuffer<RowId> t_ids;
-    GPUJOIN_RETURN_IF_ERROR(join::TransformPairOutOfPlace(
-        device, *key_buf, ids, &t_keys, &t_ids, join::TransformKind::kSort, 0));
-  } else {
-    for (size_t c = 0; c < needed.size(); ++c) {
-      vgpu::DeviceBuffer<K> t_keys_c;
-      GPUJOIN_ASSIGN_OR_RETURN(
-          DeviceColumn t_col,
-          join::TransformKeyPayload(device, *key_buf, input.column(needed[c]),
-                                    &t_keys_c, join::TransformKind::kSort, 0));
-      t_cols.push_back(std::move(t_col));
-      if (c == 0) {
-        t_keys = std::move(t_keys_c);
-      } else {
-        t_keys_c.Release();
+  {
+    obs::TraceSpan transform_span(device, "phase", "transform");
+    if (needed.empty()) {
+      GPUJOIN_ASSIGN_OR_RETURN(auto ids,
+                               vgpu::DeviceBuffer<RowId>::Allocate(device, n));
+      vgpu::DeviceBuffer<RowId> t_ids;
+      GPUJOIN_RETURN_IF_ERROR(join::TransformPairOutOfPlace(
+          device, *key_buf, ids, &t_keys, &t_ids, join::TransformKind::kSort,
+          0));
+    } else {
+      for (size_t c = 0; c < needed.size(); ++c) {
+        vgpu::DeviceBuffer<K> t_keys_c;
+        GPUJOIN_ASSIGN_OR_RETURN(
+            DeviceColumn t_col,
+            join::TransformKeyPayload(device, *key_buf, input.column(needed[c]),
+                                      &t_keys_c, join::TransformKind::kSort, 0));
+        t_cols.push_back(std::move(t_col));
+        if (c == 0) {
+          t_keys = std::move(t_keys_c);
+        } else {
+          t_keys_c.Release();
+        }
       }
     }
   }
@@ -448,6 +467,7 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> SortAggregate(
   // Segmented reduction over equal-key runs (purely sequential).
   std::vector<std::pair<int64_t, GroupAcc>> groups;
   std::vector<int64_t> agg_values(spec.aggregates.size(), 0);
+  obs::TraceSpan aggregate_span(device, "phase", "aggregate");
   {
     vgpu::KernelScope ks(device, "gb_sort_reduce");
     device.LoadSeq(t_keys.addr(), n, sizeof(K));
@@ -486,6 +506,11 @@ Result<GroupByRunResult> GroupByDriver(vgpu::Device& device, GroupByAlgo algo,
                                        const GroupByOptions& opts) {
   device.ResetPeakMemory();
   GroupByRunResult res;
+  const vgpu::KernelStats stats_before = device.total_stats();
+  obs::TraceSpan query_span(device, "query",
+                            std::string("groupby:") + GroupByAlgoName(algo));
+  query_span.Annotate("algo", GroupByAlgoName(algo));
+  query_span.Annotate("rows", std::to_string(input.num_rows()));
   const double t0 = device.ElapsedSeconds();
   double transform_s = 0;
 
@@ -508,7 +533,11 @@ Result<GroupByRunResult> GroupByDriver(vgpu::Device& device, GroupByAlgo algo,
     }
   }
   const double t1 = device.ElapsedSeconds();
-  GPUJOIN_ASSIGN_OR_RETURN(res.output, EmitOutput(device, input, spec, groups));
+  {
+    obs::TraceSpan emit_span(device, "phase", "emit");
+    GPUJOIN_ASSIGN_OR_RETURN(res.output,
+                             EmitOutput(device, input, spec, groups));
+  }
   const double t2 = device.ElapsedSeconds();
 
   res.phases.transform_s = transform_s;
@@ -516,6 +545,8 @@ Result<GroupByRunResult> GroupByDriver(vgpu::Device& device, GroupByAlgo algo,
   res.phases.materialize_s = t2 - t1;
   res.num_groups = groups.size();
   res.peak_mem_bytes = device.memory_stats().peak_bytes;
+  res.stats = device.total_stats();
+  res.stats.Sub(stats_before);
   const double total = t2 - t0;
   res.throughput_tuples_per_sec =
       total > 0 ? static_cast<double>(input.num_rows()) / total : 0;

@@ -79,6 +79,8 @@ struct GroupByRunResult {
   uint64_t peak_mem_bytes = 0;
   /// Input tuples per simulated second.
   double throughput_tuples_per_sec = 0;
+  /// KernelStats delta accumulated by this run (Table 4 counters).
+  vgpu::KernelStats stats;
 };
 
 /// Runs a grouped aggregation of `input` grouped by column 0.

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace gpujoin::groupby {
 
 namespace {
@@ -35,6 +37,9 @@ Result<ResilientGroupByResult> RunGroupByResilient(
   }
 
   ResilientGroupByResult res;
+  obs::TraceSpan query_span(
+      device, "query",
+      std::string("resilient_groupby:") + GroupByAlgoName(algo));
   // The input table is resident and stays so: the watermark includes it.
   const uint64_t baseline_live = device.memory_stats().live_bytes;
   GroupByAlgo current = algo;
@@ -44,7 +49,13 @@ Result<ResilientGroupByResult> RunGroupByResilient(
 
   while (attempt < options.max_attempts) {
     ++attempt;
-    Result<GroupByRunResult> run = RunGroupBy(device, current, input, spec, gopts);
+    Result<GroupByRunResult> run = Status::Internal("unset");
+    {
+      obs::TraceSpan attempt_span(device, "attempt",
+                                  "attempt_" + std::to_string(attempt) + ":" +
+                                      GroupByAlgoName(current));
+      run = RunGroupBy(device, current, input, spec, gopts);
+    }
     if (run.ok()) {
       res.run = std::move(run).value();
       res.attempts = attempt;
@@ -52,6 +63,7 @@ Result<ResilientGroupByResult> RunGroupByResilient(
       return res;
     }
     if (!IsResourceFailure(run.status())) return run.status();
+    obs::TraceInstant(device, "resource_failure", run.status().message());
     GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
     last_error = run.status();
     if (attempt >= options.max_attempts) break;

@@ -6,6 +6,11 @@
 #include <cstring>
 
 #include "common/bit_util.h"
+#include "obs/chrome_trace.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "vgpu/profiler.h"
 
 namespace gpujoin::harness {
 
@@ -142,6 +147,18 @@ void PrintBanner(const std::string& experiment, const std::string& what) {
   std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
   std::printf("device=%s (scaled to 2^%d tuples; paper scale is 2^27)\n",
               cfg.name.c_str(), ScaleLog2());
+
+  std::string bench = experiment;
+  if (const char* override_name = std::getenv("GPUJOIN_BENCH_NAME")) {
+    bench = override_name;
+  }
+  obs::MetricsSink::Global().Configure(obs::SanitizeBenchName(bench), what,
+                                       cfg.name, ScaleLog2());
+  if (!obs::JsonDirFromEnv().empty() ||
+      std::getenv("GPUJOIN_TRACE") != nullptr ||
+      std::getenv("GPUJOIN_EXPLAIN") != nullptr) {
+    obs::Tracer::Global().set_enabled(true);
+  }
 }
 
 void PrintSimSummary() {
@@ -152,6 +169,30 @@ void PrintSimSummary() {
       "(%.3g cycles/s)\n",
       static_cast<unsigned long long>(p.kernels), p.sim_cycles, p.host_seconds,
       rate);
+
+  if (std::getenv("GPUJOIN_EXPLAIN") != nullptr) {
+    std::fputs(obs::RenderExplain(obs::Tracer::Global()).c_str(), stdout);
+  }
+  const std::string dir = obs::JsonDirFromEnv();
+  const obs::MetricsSink& sink = obs::MetricsSink::Global();
+  if (!dir.empty() && sink.configured()) {
+    Result<std::string> bench_path = sink.WriteJson(dir);
+    if (bench_path.ok()) {
+      std::printf("[json] wrote %s\n", bench_path->c_str());
+    } else {
+      std::fprintf(stderr, "[json] bench export failed: %s\n",
+                   bench_path.status().message().c_str());
+    }
+    const std::string trace_path = dir + "/TRACE_" + sink.bench() + ".json";
+    Status st = obs::WriteChromeTrace(obs::Tracer::Global(), trace_path);
+    if (st.ok()) {
+      std::printf("[json] wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[json] trace export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+  vgpu::ResetGlobalSimSelfProfile();
 }
 
 }  // namespace gpujoin::harness

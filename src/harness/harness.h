@@ -11,6 +11,15 @@
 //                       bytes exceed this budget.
 //   GPUJOIN_FAULT_PROB  fail each allocation with this probability [0,1).
 //   GPUJOIN_FAULT_SEED  RNG seed for GPUJOIN_FAULT_PROB (default 42).
+//   GPUJOIN_JSON_DIR    when set, enables tracing and writes
+//                       BENCH_<name>.json (structured metrics) and
+//                       TRACE_<name>.json (Chrome trace-event / Perfetto)
+//                       into this directory at PrintSimSummary().
+//   GPUJOIN_BENCH_NAME  overrides the bench name derived from the banner
+//                       (used by scripts/reproduce.sh --json smoke runs).
+//   GPUJOIN_TRACE       enable span tracing without JSON export.
+//   GPUJOIN_EXPLAIN     print an EXPLAIN ANALYZE span-tree rendering of
+//                       the traced queries at PrintSimSummary().
 // At most one of NTH/BYTES/PROB may be set; the bench device is built with
 // the resulting injector armed, so any bench binary doubles as a fault-
 // injection smoke test (it must fail with a clean ResourceExhausted, never
@@ -77,12 +86,19 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Prints the standard bench banner (experiment id, device, scale).
+/// Prints the standard bench banner (experiment id, device, scale), names
+/// the process-wide metrics sink after the experiment (first banner wins;
+/// GPUJOIN_BENCH_NAME overrides), and enables the global tracer when any
+/// of GPUJOIN_JSON_DIR / GPUJOIN_TRACE / GPUJOIN_EXPLAIN is set.
 void PrintBanner(const std::string& experiment, const std::string& what);
 
 /// Prints a one-line simulator self-profile: kernels simulated, simulated
 /// cycles, host wall-clock spent simulating, and sim throughput
-/// (cycles/second of host time). Call at the end of a bench main.
+/// (cycles/second of host time). Call at the end of a bench main. Also
+/// renders EXPLAIN ANALYZE when GPUJOIN_EXPLAIN is set, flushes
+/// BENCH_/TRACE_ JSON when GPUJOIN_JSON_DIR is set, and resets the
+/// process-wide sim self-profile so back-to-back experiments in one
+/// process report independent summaries.
 void PrintSimSummary();
 
 }  // namespace gpujoin::harness

@@ -7,6 +7,7 @@
 
 #include "common/bit_util.h"
 #include "join/transform.h"
+#include "obs/trace.h"
 #include "prim/bucket_chain.h"
 #include "prim/gather.h"
 #include "prim/hash_join.h"
@@ -131,6 +132,12 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
 
   device.ResetPeakMemory();
   JoinRunResult res;
+  const vgpu::KernelStats stats_before = device.total_stats();
+  obs::TraceSpan query_span(device, "query",
+                            std::string("join:") + JoinAlgoName(algo));
+  query_span.Annotate("algo", JoinAlgoName(algo));
+  query_span.Annotate("r_rows", std::to_string(r.num_rows()));
+  query_span.Annotate("s_rows", std::to_string(s.num_rows()));
   const double t0 = device.ElapsedSeconds();
 
   // =========================== Transformation ===========================
@@ -202,25 +209,34 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
     return Status::OK();
   };
 
-  switch (algo) {
-    case JoinAlgo::kSmjUm:
-    case JoinAlgo::kSmjOm:
-    case JoinAlgo::kPhjOm:
-      GPUJOIN_RETURN_IF_ERROR(transform_dense_side(rd, r_keys, &rs));
-      GPUJOIN_RETURN_IF_ERROR(transform_dense_side(sd, s_keys, &ss));
-      break;
-    case JoinAlgo::kPhjUm:
-      GPUJOIN_RETURN_IF_ERROR(transform_chain_side(rd, r_keys, &rs));
-      GPUJOIN_RETURN_IF_ERROR(transform_chain_side(sd, s_keys, &ss));
-      break;
-    case JoinAlgo::kNphj:
-      break;  // No transformation phase (keys are consumed in place).
+  {
+    // NPHJ has no transformation phase: no span, and 0 cycles elapse here.
+    std::optional<obs::TraceSpan> transform_span;
+    if (algo != JoinAlgo::kNphj) {
+      transform_span.emplace(device, "phase", "transform");
+    }
+    switch (algo) {
+      case JoinAlgo::kSmjUm:
+      case JoinAlgo::kSmjOm:
+      case JoinAlgo::kPhjOm:
+        GPUJOIN_RETURN_IF_ERROR(transform_dense_side(rd, r_keys, &rs));
+        GPUJOIN_RETURN_IF_ERROR(transform_dense_side(sd, s_keys, &ss));
+        break;
+      case JoinAlgo::kPhjUm:
+        GPUJOIN_RETURN_IF_ERROR(transform_chain_side(rd, r_keys, &rs));
+        GPUJOIN_RETURN_IF_ERROR(transform_chain_side(sd, s_keys, &ss));
+        break;
+      case JoinAlgo::kNphj:
+        break;  // No transformation phase (keys are consumed in place).
+    }
   }
   const double t1 = device.ElapsedSeconds();
   res.phases.transform_s = t1 - t0;
 
   // ============================ Match finding ============================
   prim::MatchResult<K> match;
+  std::optional<obs::TraceSpan> match_span;
+  match_span.emplace(device, "phase", "match");
   {
     vgpu::AllocTagScope tag(device, "join:match");
     switch (algo) {
@@ -315,6 +331,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
     ss.bc_pay1.Release();
   }
 
+  match_span.reset();
   const double t2 = device.ElapsedSeconds();
   res.phases.match_s = t2 - t1;
 
@@ -324,6 +341,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   // Output payload columns are allocated lazily, one per gather, matching
   // Algorithm 1's free-on-exit discipline.
   if (!narrow_join || algo == JoinAlgo::kNphj) {
+    obs::TraceSpan mat_span(device, "phase", "materialize");
     vgpu::AllocTagScope mat_tag(device, "join:materialize");
     // R side, then S side; first payload (if transformed) gathers from the
     // kept transformed column, the rest follow Algorithm 1 (re-transform
@@ -402,6 +420,8 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   res.output = Table::FromColumns("join_result", std::move(out_names),
                                   std::move(out_cols));
   res.peak_mem_bytes = device.memory_stats().peak_bytes;
+  res.stats = device.total_stats();
+  res.stats.Sub(stats_before);
   const double total = t3 - t0;
   res.throughput_tuples_per_sec =
       total > 0 ? static_cast<double>(r.num_rows() + s.num_rows()) / total : 0;

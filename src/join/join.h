@@ -79,6 +79,9 @@ struct JoinRunResult {
   uint64_t peak_mem_bytes = 0;
   /// (|R| + |S|) / total simulated time — the paper's throughput metric.
   double throughput_tuples_per_sec = 0;
+  /// KernelStats delta accumulated by this run (Table 4 counters for the
+  /// whole query: sector efficiency, L2 hit rate, DRAM traffic).
+  vgpu::KernelStats stats;
 };
 
 /// Runs an inner equi-join of r and s (on column 0 of each) end-to-end.

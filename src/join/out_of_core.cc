@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bit_util.h"
+#include "obs/trace.h"
 
 namespace gpujoin::join {
 
@@ -85,6 +86,9 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
 
   OutOfCoreRunResult res;
   res.fragments = 1 << bits;
+  obs::TraceSpan query_span(
+      device, "query", std::string("out_of_core:") + JoinAlgoName(algo));
+  query_span.Annotate("fragments", std::to_string(res.fragments));
   const double dev_t0 = device.ElapsedSeconds();
   const auto host_t0 = std::chrono::steady_clock::now();
 
@@ -103,6 +107,8 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
   double host_merge_s = 0;
   for (int f = 0; f < res.fragments; ++f) {
     if (r_frags[f].num_rows() == 0 || s_frags[f].num_rows() == 0) continue;
+    obs::TraceSpan frag_span(device, "fragment",
+                             "fragment_" + std::to_string(f));
     const uint64_t up_bytes =
         HostTableBytes(r_frags[f]) + HostTableBytes(s_frags[f]);
     device.ChargeHostTransfer(up_bytes);

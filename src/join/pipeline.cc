@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "join/transform.h"
+#include "obs/trace.h"
 #include "prim/gather.h"
 
 namespace gpujoin::join {
@@ -24,6 +25,9 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
   }
 
   PipelineRunResult res;
+  obs::TraceSpan pipeline_span(device, "query",
+                               std::string("pipeline:") + JoinAlgoName(algo));
+  pipeline_span.Annotate("joins", std::to_string(n_joins));
   const double t0 = device.ElapsedSeconds();
 
   // Current fact-side tuple identifiers (initially the identity) and the
@@ -37,6 +41,8 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
   std::string last_key_name;
 
   for (int i = 0; i < n_joins; ++i) {
+    obs::TraceSpan step_span(device, "step",
+                             "join_" + std::to_string(i) + ":" + dims[i].name());
     // Materialize FK_i through the current identifiers, right before use.
     GPUJOIN_ASSIGN_OR_RETURN(DeviceColumn fk,
                              GatherColumn(device, fact.column(i), ids));
@@ -96,6 +102,8 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
              "pipeline join " + std::to_string(i) + " failed (" +
                  run.status().message() + "); retrying with radix_bits=" +
                  std::to_string(jopts.radix_bits_override)});
+        obs::TraceInstant(device, "degradation:retry_more_partition_bits",
+                          res.degradation.back().detail);
       }
     }
     res.per_join.push_back(jr.phases);

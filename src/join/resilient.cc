@@ -6,6 +6,7 @@
 
 #include "join/out_of_core.h"
 #include "join/transform.h"
+#include "obs/trace.h"
 #include "prim/hash_join.h"
 
 namespace gpujoin::join {
@@ -76,6 +77,8 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
   }
 
   ResilientJoinResult res;
+  obs::TraceSpan query_span(
+      device, "query", std::string("resilient_join:") + JoinAlgoName(algo));
   const uint64_t baseline_live = device.memory_stats().live_bytes;
   const double t0 = device.ElapsedSeconds();
   int attempt = 0;
@@ -87,13 +90,19 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
   JoinOptions jopts = options.join;
   while (attempt < options.max_attempts) {
     ++attempt;
-    const Status st = AttemptInMemory(device, algo, r, s, jopts, &res);
+    Status st;
+    {
+      obs::TraceSpan attempt_span(device, "attempt",
+                                  "in_memory_" + std::to_string(attempt));
+      st = AttemptInMemory(device, algo, r, s, jopts, &res);
+    }
     if (st.ok()) {
       res.attempts = attempt;
       res.device_seconds = device.ElapsedSeconds() - t0;
       return res;
     }
     if (!IsResourceFailure(st)) return st;
+    obs::TraceInstant(device, "resource_failure", st.message());
     GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
     last_error = st;
 
@@ -107,6 +116,8 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
         {"retry_more_partition_bits",
          "attempt " + std::to_string(attempt) + " failed (" + st.message() +
              "); retrying in-memory with radix_bits=" + std::to_string(bits)});
+    obs::TraceInstant(device, "degradation:retry_more_partition_bits",
+                      res.degradation.back().detail);
   }
 
   // Rung 3: out-of-core fallback with escalating fragment counts.
@@ -120,12 +131,18 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
            "in-memory failed (" + last_error.message() +
                "); streaming fragment pairs with fragment_bits=" +
                std::to_string(frag_bits)});
+      obs::TraceInstant(device, "degradation:out_of_core_fallback",
+                        res.degradation.back().detail);
       OutOfCoreOptions oopts;
       oopts.join = options.join;
       oopts.fragment_bits = frag_bits;
       oopts.device_budget_fraction = options.device_budget_fraction;
-      Result<OutOfCoreRunResult> oc =
-          RunOutOfCoreJoin(device, algo, r, s, oopts);
+      Result<OutOfCoreRunResult> oc = Status::Internal("unset");
+      {
+        obs::TraceSpan attempt_span(device, "attempt",
+                                    "out_of_core_" + std::to_string(attempt));
+        oc = RunOutOfCoreJoin(device, algo, r, s, oopts);
+      }
       if (oc.ok()) {
         res.output = std::move(oc->output);
         res.output_rows = oc->output_rows;

@@ -1,0 +1,107 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+void CommonFields(JsonWriter& w, const std::string& name,
+                  const std::string& cat, double ts_us, int32_t tid) {
+  w.Key("name").String(name);
+  w.Key("cat").String(cat);
+  w.Key("ts").Number(ts_us);
+  w.Key("pid").Number(static_cast<int64_t>(kPid));
+  w.Key("tid").Number(static_cast<int64_t>(tid));
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!span.closed) continue;
+    w.BeginObject();
+    CommonFields(w, span.name, span.category, span.start_seconds * 1e6,
+                 span.device_id);
+    w.Key("ph").String("X");
+    w.Key("dur").Number(span.duration_seconds() * 1e6);
+    w.Key("args").BeginObject();
+    w.Key("cycles").Number(span.duration_cycles());
+    w.Key("warp_instructions").Number(span.stats.warp_instructions);
+    w.Key("sectors").Number(span.stats.sectors);
+    w.Key("l2_hit_rate").Number(span.stats.L2HitRate());
+    w.Key("dram_mb").Number(static_cast<double>(span.stats.dram_sectors) *
+                            32.0 / 1e6);
+    w.Key("live_bytes_start").Number(span.live_bytes_start);
+    w.Key("live_bytes_end").Number(span.live_bytes_end);
+    w.Key("peak_bytes").Number(span.peak_bytes_end);
+    w.Key("host_seconds").Number(span.host_end_s - span.host_start_s);
+    for (const auto& [key, value] : span.attrs) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (const EventRecord& ev : tracer.events()) {
+    w.BeginObject();
+    CommonFields(w, ev.name, "event", ev.at_seconds * 1e6, ev.device_id);
+    w.Key("ph").String("i");
+    w.Key("s").String("t");  // Thread-scoped instant.
+    w.Key("args").BeginObject();
+    w.Key("detail").String(ev.detail);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  // Name the per-device timelines.
+  std::vector<int32_t> device_ids;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (std::find(device_ids.begin(), device_ids.end(), span.device_id) ==
+        device_ids.end()) {
+      device_ids.push_back(span.device_id);
+    }
+  }
+  for (const int32_t tid : device_ids) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Number(static_cast<int64_t>(kPid));
+    w.Key("tid").Number(static_cast<int64_t>(tid));
+    w.Key("args").BeginObject();
+    w.Key("name").String("vgpu device " + std::to_string(tid));
+    w.EndObject();
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  const std::string json = ChromeTraceJson(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gpujoin::obs

@@ -1,0 +1,27 @@
+// Chrome trace-event exporter: renders a Tracer's spans and events as the
+// trace-event JSON format that chrome://tracing and Perfetto load
+// directly. The timeline is SIMULATED time (span cycles converted to
+// microseconds via the device clock), so the trace shows where the modeled
+// GPU spends its cycles, not where the simulator spends host time.
+
+#ifndef GPUJOIN_OBS_CHROME_TRACE_H_
+#define GPUJOIN_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace gpujoin::obs {
+
+/// The complete trace document: {"traceEvents": [...], ...}. Spans become
+/// duration ("ph":"X") events, EventRecords become instant ("ph":"i")
+/// events; each device timeline is a separate tid.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// Writes ChromeTraceJson to `path` (overwrites).
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_CHROME_TRACE_H_

@@ -1,0 +1,137 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace gpujoin::obs {
+
+namespace {
+
+struct Node {
+  const SpanRecord* span = nullptr;
+  std::vector<int32_t> children;  // Non-kernel children, in open order.
+  /// Kernel cycles/invocations aggregated by kernel name, direct children
+  /// only.
+  std::map<std::string, std::pair<double, uint64_t>> kernels;
+};
+
+void RenderNode(const std::vector<Node>& nodes, int32_t id, double root_cycles,
+                const std::string& indent, bool last,
+                const ExplainOptions& opts, std::string& out) {
+  const Node& node = nodes[id];
+  const SpanRecord& span = *node.span;
+  const double parent_base = root_cycles > 0 ? root_cycles : 1;
+  if (span.duration_cycles() / parent_base < opts.min_fraction &&
+      span.depth > 0) {
+    return;
+  }
+
+  char line[256];
+  const std::string branch =
+      span.parent < 0 ? "" : (last ? "└─ " : "├─ ");
+  std::snprintf(line, sizeof(line),
+                "%-48s %12.0f cycles %6.1f%%  %8.3f ms  peak %.1f MB\n",
+                (indent + branch + span.category + ":" + span.name).c_str(),
+                span.duration_cycles(),
+                100.0 * span.duration_cycles() / parent_base,
+                span.duration_seconds() * 1e3,
+                static_cast<double>(span.peak_bytes_end) / 1e6);
+  out += line;
+
+  const std::string child_indent =
+      indent + (span.parent < 0 ? "" : (last ? "   " : "│  "));
+
+  if (!node.kernels.empty() && opts.top_k_kernels > 0) {
+    std::vector<std::pair<std::string, std::pair<double, uint64_t>>> ks(
+        node.kernels.begin(), node.kernels.end());
+    std::sort(ks.begin(), ks.end(), [](const auto& a, const auto& b) {
+      return a.second.first > b.second.first;
+    });
+    std::string kline = child_indent + "   kernels: ";
+    const size_t k = std::min<size_t>(ks.size(),
+                                      static_cast<size_t>(opts.top_k_kernels));
+    const double self = span.duration_cycles() > 0 ? span.duration_cycles() : 1;
+    for (size_t i = 0; i < k; ++i) {
+      char kbuf[128];
+      std::snprintf(kbuf, sizeof(kbuf), "%s%s %.1f%% x%llu",
+                    i == 0 ? "" : ", ", ks[i].first.c_str(),
+                    100.0 * ks[i].second.first / self,
+                    static_cast<unsigned long long>(ks[i].second.second));
+      kline += kbuf;
+    }
+    if (ks.size() > k) {
+      kline += ", +" + std::to_string(ks.size() - k) + " more";
+    }
+    out += kline + "\n";
+  }
+
+  double child_cycles = 0;
+  for (const int32_t c : node.children) {
+    child_cycles += nodes[c].span->duration_cycles();
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    RenderNode(nodes, node.children[i], span.duration_cycles(), child_indent,
+               i + 1 == node.children.size(), opts, out);
+  }
+  // Cycles not covered by structured children (only worth a line when
+  // there ARE structured children and the gap is visible).
+  if (!node.children.empty() && span.duration_cycles() > 0) {
+    const double gap = span.duration_cycles() - child_cycles;
+    if (gap / span.duration_cycles() > 1e-9) {
+      std::snprintf(line, sizeof(line), "%-48s %12.0f cycles %6.1f%%\n",
+                    (child_indent + "(unattributed)").c_str(), gap,
+                    100.0 * gap / span.duration_cycles());
+      out += line;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderExplain(const Tracer& tracer, const ExplainOptions& options) {
+  const std::vector<SpanRecord>& spans = tracer.spans();
+  std::vector<Node> nodes(spans.size());
+  std::vector<int32_t> roots;
+  for (const SpanRecord& span : spans) {
+    if (!span.closed) continue;
+    nodes[span.id].span = &span;
+    if (span.category == "kernel") {
+      if (span.parent >= 0) {
+        auto& agg = nodes[span.parent].kernels[span.name];
+        agg.first += span.duration_cycles();
+        ++agg.second;
+      }
+      continue;
+    }
+    if (span.parent < 0) {
+      roots.push_back(span.id);
+    } else {
+      nodes[span.parent].children.push_back(span.id);
+    }
+  }
+
+  std::string out = "EXPLAIN ANALYZE (simulated device cycles)\n";
+  if (roots.empty()) {
+    out += "  (no spans recorded — is tracing enabled?)\n";
+    return out;
+  }
+  for (const int32_t root : roots) {
+    RenderNode(nodes, root, nodes[root].span->duration_cycles(), "", true,
+               options, out);
+  }
+
+  if (!tracer.events().empty()) {
+    out += "events:\n";
+    for (const EventRecord& ev : tracer.events()) {
+      char line[512];
+      std::snprintf(line, sizeof(line), "  @%.0f cycles  %s: %s\n",
+                    ev.at_cycles, ev.name.c_str(), ev.detail.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpujoin::obs

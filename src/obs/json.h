@@ -1,0 +1,79 @@
+// Dependency-free JSON writing and parsing for the observability layer.
+//
+// The writer backs the metrics sink and the Chrome trace exporter; the
+// parser backs the schema checker (tools/bench_json_check) and the
+// round-trip tests. Both cover exactly the JSON subset those producers
+// emit: objects, arrays, strings, finite doubles, bools, and null.
+// Non-finite doubles are written as null — they never silently become a
+// number the schema validator would accept.
+
+#ifndef GPUJOIN_OBS_JSON_H_
+#define GPUJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gpujoin::obs {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Streaming JSON writer. Commas between siblings are inserted
+/// automatically; the caller is responsible for well-formed nesting.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Writes an object key; the next value call is its value.
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& String(const std::string& v);
+  /// Finite doubles round-trip (up to 17 significant digits, trailing
+  /// zeros trimmed); NaN/Inf are written as null.
+  JsonWriter& Number(double v);
+  JsonWriter& Number(uint64_t v);
+  JsonWriter& Number(int64_t v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  // One frame per open container: whether a sibling was already written.
+  std::vector<bool> has_sibling_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (ordered object members).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_JSON_H_

@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace gpujoin::obs {
+
+MetricsSink& MetricsSink::Global() {
+  static MetricsSink sink;
+  return sink;
+}
+
+void MetricsSink::Configure(std::string bench, std::string title,
+                            std::string device, int scale_log2) {
+  if (configured()) return;
+  bench_ = std::move(bench);
+  title_ = std::move(title);
+  device_ = std::move(device);
+  scale_log2_ = scale_log2;
+}
+
+std::string MetricsSink::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Number(static_cast<int64_t>(1));
+  w.Key("bench").String(bench_);
+  w.Key("title").String(title_);
+  w.Key("device").String(device_);
+  w.Key("scale_log2").Number(static_cast<int64_t>(scale_log2_));
+  w.Key("rows").BeginArray();
+  for (const MetricRow& row : rows_) {
+    w.BeginObject();
+    w.Key("algo").String(row.algo);
+    w.Key("params").BeginObject();
+    for (const auto& [key, value] : row.params) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+    w.Key("mtuples_per_sec").Number(row.mtuples_per_sec);
+    w.Key("phases").BeginObject();
+    w.Key("transform_cycles").Number(row.transform_cycles);
+    w.Key("match_cycles").Number(row.match_cycles);
+    w.Key("materialize_cycles").Number(row.materialize_cycles);
+    w.Key("total_cycles").Number(row.total_cycles);
+    w.EndObject();
+    w.Key("l2_hit_rate").Number(row.l2_hit_rate);
+    w.Key("peak_mem_bytes").Number(row.peak_mem_bytes);
+    w.Key("output_rows").Number(row.output_rows);
+    w.Key("sim").BeginObject();
+    w.Key("warp_instructions").Number(row.stats.warp_instructions);
+    w.Key("sectors").Number(row.stats.sectors);
+    w.Key("dram_sectors").Number(row.stats.dram_sectors);
+    w.Key("bytes_read").Number(row.stats.bytes_read);
+    w.Key("bytes_written").Number(row.stats.bytes_written);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Result<std::string> MetricsSink::WriteJson(const std::string& dir) const {
+  if (!configured()) {
+    return Status::InvalidArgument("MetricsSink: not configured (no banner)");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  const std::string path = dir + "/BENCH_" + bench_ + ".json";
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return Status::Internal("short write to " + path);
+  return path;
+}
+
+void MetricsSink::Clear() {
+  bench_.clear();
+  title_.clear();
+  device_.clear();
+  scale_log2_ = 0;
+  rows_.clear();
+}
+
+std::string SanitizeBenchName(const std::string& name) {
+  std::string out;
+  bool pending_sep = false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out.empty() ? "bench" : out;
+}
+
+namespace {
+
+Status Missing(const std::string& where, const std::string& field) {
+  return Status::InvalidArgument(where + ": missing or invalid \"" + field +
+                                 "\"");
+}
+
+Status RequireFiniteNumber(const JsonValue& obj, const std::string& where,
+                           const std::string& field) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->is_number() || !std::isfinite(v->number)) {
+    return Missing(where, field);
+  }
+  return Status::OK();
+}
+
+Status RequireString(const JsonValue& obj, const std::string& where,
+                     const std::string& field, bool allow_empty = false) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->is_string() ||
+      (!allow_empty && v->string.empty())) {
+    return Missing(where, field);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateBenchReport(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench report: top level is not an object");
+  }
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1) {
+    return Missing("bench report", "schema_version");
+  }
+  GPUJOIN_RETURN_IF_ERROR(RequireString(root, "bench report", "bench"));
+  GPUJOIN_RETURN_IF_ERROR(
+      RequireString(root, "bench report", "title", /*allow_empty=*/true));
+  GPUJOIN_RETURN_IF_ERROR(RequireString(root, "bench report", "device"));
+  GPUJOIN_RETURN_IF_ERROR(
+      RequireFiniteNumber(root, "bench report", "scale_log2"));
+  const JsonValue* rows = root.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Missing("bench report", "rows");
+  }
+  for (size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    const std::string where = "rows[" + std::to_string(i) + "]";
+    if (!row.is_object()) {
+      return Status::InvalidArgument(where + ": not an object");
+    }
+    GPUJOIN_RETURN_IF_ERROR(RequireString(row, where, "algo"));
+    const JsonValue* params = row.Find("params");
+    if (params == nullptr || !params->is_object()) {
+      return Missing(where, "params");
+    }
+    GPUJOIN_RETURN_IF_ERROR(
+        RequireFiniteNumber(row, where, "mtuples_per_sec"));
+    const JsonValue* phases = row.Find("phases");
+    if (phases == nullptr || !phases->is_object()) {
+      return Missing(where, "phases");
+    }
+    for (const char* f : {"transform_cycles", "match_cycles",
+                          "materialize_cycles", "total_cycles"}) {
+      GPUJOIN_RETURN_IF_ERROR(
+          RequireFiniteNumber(*phases, where + ".phases", f));
+    }
+    GPUJOIN_RETURN_IF_ERROR(RequireFiniteNumber(row, where, "l2_hit_rate"));
+    const double l2 = row.Find("l2_hit_rate")->number;
+    if (l2 < 0 || l2 > 1) {
+      return Status::InvalidArgument(where + ": l2_hit_rate out of [0,1]");
+    }
+    GPUJOIN_RETURN_IF_ERROR(RequireFiniteNumber(row, where, "peak_mem_bytes"));
+    GPUJOIN_RETURN_IF_ERROR(RequireFiniteNumber(row, where, "output_rows"));
+  }
+  return Status::OK();
+}
+
+Status ValidateChromeTrace(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("trace: top level is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Missing("trace", "traceEvents");
+  }
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) {
+      return Status::InvalidArgument(where + ": not an object");
+    }
+    GPUJOIN_RETURN_IF_ERROR(
+        RequireString(ev, where, "name", /*allow_empty=*/true));
+    GPUJOIN_RETURN_IF_ERROR(RequireString(ev, where, "ph"));
+    if (ev.Find("ph")->string != "M") {
+      GPUJOIN_RETURN_IF_ERROR(RequireFiniteNumber(ev, where, "ts"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string JsonDirFromEnv() {
+  const char* dir = std::getenv("GPUJOIN_JSON_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace gpujoin::obs

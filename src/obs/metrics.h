@@ -1,0 +1,115 @@
+// Structured metrics sink: the machine-readable counterpart of the bench
+// harness's human tables. Each bench binary configures the process-wide
+// sink once (PrintBanner) and records one MetricRow per measured run
+// (bench::ReportRun/RecordRun); when GPUJOIN_JSON_DIR is set, the harness
+// flushes the sink to $GPUJOIN_JSON_DIR/BENCH_<name>.json alongside the
+// Chrome trace TRACE_<name>.json.
+//
+// BENCH_<name>.json schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<sanitized name>",        // e.g. "figure_9"
+//     "title": "<human title>",
+//     "device": "A100" | "RTX3090",
+//     "scale_log2": 20,
+//     "rows": [
+//       {
+//         "algo": "PHJ-OM",
+//         "params": {"zipf": "0.50", ...},   // Bench-specific dimensions.
+//         "mtuples_per_sec": 123.4,
+//         "phases": {"transform_cycles": ..., "match_cycles": ...,
+//                    "materialize_cycles": ..., "total_cycles": ...},
+//         "l2_hit_rate": 0.62,               // [0,1] over sectors.
+//         "peak_mem_bytes": 123456,
+//         "output_rows": 1048576,
+//         "sim": {"warp_instructions": ..., "sectors": ...,
+//                 "dram_sectors": ..., "bytes_read": ..., "bytes_written": ...}
+//       }, ...
+//     ]
+//   }
+// Every field above except "sim" is REQUIRED and must be a finite number /
+// non-empty string; ValidateBenchReport (and tools/bench_json_check)
+// enforce that, so a NaN phase time or a missing metric fails CI instead
+// of shipping silently.
+
+#ifndef GPUJOIN_OBS_METRICS_H_
+#define GPUJOIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "vgpu/stats.h"
+
+namespace gpujoin::obs {
+
+/// One measured run (a row of a bench's human table).
+struct MetricRow {
+  /// Bench-specific dimensions, in display order (value strings exactly as
+  /// printed in the human table).
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string algo;
+  double transform_cycles = 0;
+  double match_cycles = 0;
+  double materialize_cycles = 0;
+  double total_cycles = 0;
+  double mtuples_per_sec = 0;
+  double l2_hit_rate = 0;
+  uint64_t peak_mem_bytes = 0;
+  uint64_t output_rows = 0;
+  vgpu::KernelStats stats;
+};
+
+class MetricsSink {
+ public:
+  /// The process-wide sink the harness and bench helpers share.
+  static MetricsSink& Global();
+
+  /// Names the bench (called by harness::PrintBanner). The first Configure
+  /// wins; later banners in the same process keep recording into the same
+  /// document (multi-section benches).
+  void Configure(std::string bench, std::string title, std::string device,
+                 int scale_log2);
+  bool configured() const { return !bench_.empty(); }
+  const std::string& bench() const { return bench_; }
+
+  void AddRow(MetricRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<MetricRow>& rows() const { return rows_; }
+
+  /// Serializes the BENCH_<name>.json document.
+  std::string ToJson() const;
+  /// Writes ToJson() to `dir`/BENCH_<bench>.json, creating `dir` if
+  /// needed; returns the path written.
+  Result<std::string> WriteJson(const std::string& dir) const;
+
+  void Clear();
+
+ private:
+  std::string bench_, title_, device_;
+  int scale_log2_ = 0;
+  std::vector<MetricRow> rows_;
+};
+
+/// "Figure 17 / Table 6" -> "figure_17_table_6": lowercase, alphanumeric
+/// runs kept, everything else collapsed to single underscores.
+std::string SanitizeBenchName(const std::string& name);
+
+/// Validates a parsed BENCH_*.json against the schema above. Fails on a
+/// missing field, a wrong type, a non-finite number, or an out-of-range
+/// l2_hit_rate. Empty "rows" is legal (a bench may measure nothing at the
+/// smallest scale).
+Status ValidateBenchReport(const JsonValue& root);
+
+/// Validates a parsed TRACE_*.json: a traceEvents array whose entries all
+/// carry name/ph/ts (the fields Perfetto requires).
+Status ValidateChromeTrace(const JsonValue& root);
+
+/// The value of GPUJOIN_JSON_DIR, or "" when unset.
+std::string JsonDirFromEnv();
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_METRICS_H_

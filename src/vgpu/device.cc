@@ -139,6 +139,7 @@ void Device::BeginKernel(const char* name) {
   in_kernel_ = true;
   kernel_name_ = name;
   current_ = KernelStats{};
+  if (observer_ != nullptr) observer_->OnKernelBegin(*this, name);
   kernel_host_start_ = std::chrono::steady_clock::now();
 }
 
@@ -175,6 +176,9 @@ const KernelStats& Device::EndKernel() {
   g.host_seconds += host_seconds;
   g.sim_cycles += current_.cycles;
   ++g.kernels;
+  if (observer_ != nullptr) {
+    observer_->OnKernelEnd(*this, kernel_name_, last_kernel_, host_seconds);
+  }
   return last_kernel_;
 }
 

@@ -36,6 +36,7 @@
 #include "vgpu/device_config.h"
 #include "vgpu/fault.h"
 #include "vgpu/l2_cache.h"
+#include "vgpu/observer.h"
 #include "vgpu/profiler.h"
 #include "vgpu/stats.h"
 
@@ -144,6 +145,16 @@ class Device {
   /// device (simulator self-profiling; does not affect simulated results).
   double host_kernel_seconds() const { return host_kernel_seconds_; }
 
+  // --- Observability hook ---
+
+  /// Registers an observer notified on every BeginKernel/EndKernel (pass
+  /// nullptr to detach). Observers are read-only: they never charge cycles
+  /// or memory, so attaching one cannot perturb simulated results. The
+  /// observer must outlive the device (or be detached first); Reset() does
+  /// not detach it — the hook is harness wiring, not device state.
+  void set_kernel_observer(KernelObserver* observer) { observer_ = observer; }
+  KernelObserver* kernel_observer() const { return observer_; }
+
   // --- Memory-access hooks (call only between Begin/EndKernel) ---
 
   /// One warp-level load: up to warp_size lane addresses, each reading
@@ -244,6 +255,7 @@ class Device {
   KernelStats last_kernel_;
   KernelStats total_;
   Profiler profiler_;
+  KernelObserver* observer_ = nullptr;
   double elapsed_cycles_ = 0;
   std::chrono::steady_clock::time_point kernel_host_start_;
   double host_kernel_seconds_ = 0;

@@ -1,0 +1,36 @@
+// Kernel lifecycle observer — the hook the observability layer (src/obs)
+// attaches to a Device to see every BeginKernel/EndKernel without the
+// simulator depending on it.
+//
+// Contract: observers are READ-ONLY with respect to simulated state. They
+// may snapshot the device clock, counters, and memory stats, but must not
+// charge cycles, allocate device memory, or otherwise perturb the
+// simulation — tracing on/off must leave simulated results bit-identical
+// (enforced by obs_determinism_test.cc).
+
+#ifndef GPUJOIN_VGPU_OBSERVER_H_
+#define GPUJOIN_VGPU_OBSERVER_H_
+
+namespace gpujoin::vgpu {
+
+class Device;
+struct KernelStats;
+
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+
+  /// Called by Device::BeginKernel after the kernel bracket opens (the
+  /// simulated clock still reads the pre-kernel time).
+  virtual void OnKernelBegin(const Device& device, const char* name) = 0;
+
+  /// Called by Device::EndKernel after cycles are derived and the clock
+  /// advanced. `stats` are the finished kernel's counters; `host_seconds`
+  /// is the host wall-clock spent simulating it.
+  virtual void OnKernelEnd(const Device& device, const char* name,
+                           const KernelStats& stats, double host_seconds) = 0;
+};
+
+}  // namespace gpujoin::vgpu
+
+#endif  // GPUJOIN_VGPU_OBSERVER_H_

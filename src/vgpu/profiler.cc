@@ -14,6 +14,15 @@ const SimSelfProfile& GlobalSimSelfProfile() {
   return MutableGlobalSimSelfProfile();
 }
 
+void ResetGlobalSimSelfProfile() {
+  MutableGlobalSimSelfProfile() = SimSelfProfile{};
+}
+
+void Profiler::Clear() {
+  by_name_.clear();
+  ResetGlobalSimSelfProfile();
+}
+
 void Profiler::Record(const char* name, const KernelStats& stats,
                       double host_seconds) {
   KernelProfile& p = by_name_[name];
@@ -64,6 +73,10 @@ std::string Profiler::Report() const {
     out += line;
   }
   return out;
+}
+
+std::string Profiler::Report(const MemoryStats& memory) const {
+  return Report() + "memory: " + memory.ToString() + "\n";
 }
 
 }  // namespace gpujoin::vgpu

@@ -42,6 +42,10 @@ struct SimSelfProfile {
 };
 const SimSelfProfile& GlobalSimSelfProfile();
 SimSelfProfile& MutableGlobalSimSelfProfile();
+/// Zeroes the process-wide self-profile. The harness calls this after each
+/// bench section's summary so back-to-back sections in one process report
+/// per-section numbers, not inflated cumulative ones.
+void ResetGlobalSimSelfProfile();
 
 class Profiler {
  public:
@@ -59,7 +63,15 @@ class Profiler {
   /// Multi-line human-readable report (one row per kernel).
   std::string Report() const;
 
-  void Clear() { by_name_.clear(); }
+  /// Report() plus a trailing memory line (Table 5 counters: live/peak
+  /// bytes, allocation attempts, failed + injected allocations). Pass
+  /// device.memory_stats() — the profiler itself does not track memory.
+  std::string Report(const MemoryStats& memory) const;
+
+  /// Drops every per-kernel aggregate AND resets the process-wide
+  /// SimSelfProfile: a cleared profiler starts a fresh observation window,
+  /// and the global self-profile is part of that window.
+  void Clear();
   bool empty() const { return by_name_.empty(); }
 
  private:

@@ -21,4 +21,18 @@ std::string KernelStats::ToString() const {
   return buf;
 }
 
+std::string MemoryStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "live=%.2f MB peak=%.2f MB allocs=%llu/%llu attempts "
+                "failed=%llu (injected=%llu)",
+                static_cast<double>(live_bytes) / 1e6,
+                static_cast<double>(peak_bytes) / 1e6,
+                static_cast<unsigned long long>(total_allocations),
+                static_cast<unsigned long long>(alloc_attempts),
+                static_cast<unsigned long long>(failed_allocations),
+                static_cast<unsigned long long>(injected_failures));
+  return buf;
+}
+
 }  // namespace gpujoin::vgpu

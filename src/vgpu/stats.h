@@ -82,6 +82,27 @@ struct KernelStats {
                                   : cycles / static_cast<double>(warp_instructions);
   }
 
+  /// Counter-wise subtraction (the inverse of Add). Used to attribute a
+  /// bracketed region: delta = total_stats at exit minus a snapshot taken
+  /// at entry.
+  void Sub(const KernelStats& o) {
+    warp_instructions -= o.warp_instructions;
+    mem_instructions -= o.mem_instructions;
+    transactions -= o.transactions;
+    sectors -= o.sectors;
+    l2_hit_sectors -= o.l2_hit_sectors;
+    dram_sectors -= o.dram_sectors;
+    dram_row_misses -= o.dram_row_misses;
+    bytes_read -= o.bytes_read;
+    bytes_written -= o.bytes_written;
+    shared_accesses -= o.shared_accesses;
+    atomic_serializations -= o.atomic_serializations;
+    serial_cycles -= o.serial_cycles;
+    compute_cycles -= o.compute_cycles;
+    memory_cycles -= o.memory_cycles;
+    cycles -= o.cycles;
+  }
+
   /// Exact (bit-level) equality over every counter, including the derived
   /// cycle counts. Used by determinism and failure-sweep tests to assert two
   /// runs are indistinguishable to the simulator.
@@ -104,6 +125,8 @@ struct MemoryStats {
   /// Failures injected by the device's FaultInjector (subset of
   /// failed_allocations).
   uint64_t injected_failures = 0;
+
+  std::string ToString() const;
 };
 
 }  // namespace gpujoin::vgpu

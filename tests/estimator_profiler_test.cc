@@ -121,6 +121,20 @@ TEST(ProfilerTest, AggregatesPerKernelName) {
   EXPECT_TRUE(device.profiler().empty());
 }
 
+TEST(ProfilerTest, ReportWithMemoryAppendsMemoryLine) {
+  vgpu::Device device = MakeTestDevice();
+  auto buf = vgpu::DeviceBuffer<int32_t>::Allocate(device, 4096).ValueOrDie();
+  {
+    vgpu::KernelScope ks(device, "my_scan");
+    device.LoadSeq(buf.addr(), 4096, 4);
+  }
+  const std::string report = device.profiler().Report(device.memory_stats());
+  EXPECT_NE(report.find("my_scan"), std::string::npos);
+  EXPECT_NE(report.find("memory: "), std::string::npos);
+  // The memory line carries the MemoryStats counters verbatim.
+  EXPECT_NE(report.find(device.memory_stats().ToString()), std::string::npos);
+}
+
 TEST(ProfilerTest, JoinProducesExpectedKernels) {
   vgpu::Device device = MakeTestDevice();
   workload::JoinWorkloadSpec spec;

@@ -1,0 +1,129 @@
+// The tracer's determinism contract: enabling tracing must not perturb the
+// simulation. A traced run and an untraced run of the same workload on
+// identically configured devices must produce bit-identical simulated
+// cycles, kernel statistics, phase timings, and output tables. The tracer
+// only *observes* BeginKernel/EndKernel and device counters; any divergence
+// here means a span scope charged cycles or touched device state.
+
+#include <cstdint>
+#include <vector>
+
+#include "groupby/groupby.h"
+#include "join/join.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+struct JoinObservation {
+  vgpu::KernelStats stats;
+  join::PhaseBreakdown phases;
+  uint64_t output_rows = 0;
+  uint64_t peak_mem_bytes = 0;
+  double elapsed_seconds = 0;
+  HostTable output;
+};
+
+JoinObservation ObserveJoin(bool traced, join::JoinAlgo algo) {
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().set_enabled(traced);
+
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 12;
+  spec.s_rows = 1 << 13;
+  spec.r_payload_cols = 2;
+  spec.s_payload_cols = 2;
+  spec.zipf_theta = 0.5;
+  auto w = workload::GenerateJoinInput(spec);
+  GPUJOIN_CHECK_OK(w.status());
+
+  vgpu::Device device = testing::MakeTestDevice();
+  auto r = Table::FromHost(device, w->r).ValueOrDie();
+  auto s = Table::FromHost(device, w->s).ValueOrDie();
+  auto res = join::RunJoin(device, algo, r, s);
+  GPUJOIN_CHECK_OK(res.status());
+
+  JoinObservation seen;
+  seen.stats = device.total_stats();
+  seen.phases = res->phases;
+  seen.output_rows = res->output_rows;
+  seen.peak_mem_bytes = res->peak_mem_bytes;
+  seen.elapsed_seconds = device.ElapsedSeconds();
+  seen.output = res->output.ToHost();
+
+  obs::Tracer::Global().set_enabled(false);
+  obs::Tracer::Global().Clear();
+  return seen;
+}
+
+void ExpectHostTablesIdentical(const HostTable& a, const HostTable& b) {
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+    EXPECT_EQ(a.columns[c].values, b.columns[c].values) << "column " << c;
+    EXPECT_EQ(a.columns[c].strings, b.columns[c].strings) << "column " << c;
+  }
+}
+
+TEST(TraceDeterminismTest, JoinRunsAreBitIdenticalWithTracingOnAndOff) {
+  for (join::JoinAlgo algo : join::kAllJoinAlgos) {
+    const JoinObservation off = ObserveJoin(/*traced=*/false, algo);
+    const JoinObservation on = ObserveJoin(/*traced=*/true, algo);
+
+    // KernelStats::operator== is defaulted: every counter, including the
+    // double cycle count, must match exactly — no epsilon.
+    EXPECT_TRUE(off.stats == on.stats) << join::JoinAlgoName(algo);
+    EXPECT_EQ(off.elapsed_seconds, on.elapsed_seconds)
+        << join::JoinAlgoName(algo);
+    EXPECT_EQ(off.phases.transform_s, on.phases.transform_s);
+    EXPECT_EQ(off.phases.match_s, on.phases.match_s);
+    EXPECT_EQ(off.phases.materialize_s, on.phases.materialize_s);
+    EXPECT_EQ(off.output_rows, on.output_rows);
+    EXPECT_EQ(off.peak_mem_bytes, on.peak_mem_bytes);
+    ExpectHostTablesIdentical(off.output, on.output);
+  }
+}
+
+TEST(TraceDeterminismTest, GroupByRunsAreBitIdenticalWithTracingOnAndOff) {
+  for (groupby::GroupByAlgo algo : groupby::kAllGroupByAlgos) {
+    vgpu::KernelStats stats[2];
+    double elapsed[2] = {0, 0};
+    uint64_t groups[2] = {0, 0};
+    HostTable outputs[2];
+    for (int traced = 0; traced < 2; ++traced) {
+      obs::Tracer::Global().Clear();
+      obs::Tracer::Global().set_enabled(traced == 1);
+
+      workload::GroupByWorkloadSpec spec;
+      spec.rows = 1 << 12;
+      spec.num_groups = 1 << 7;
+      spec.zipf_theta = 0.75;
+      auto host = workload::GenerateGroupByInput(spec);
+      GPUJOIN_CHECK_OK(host.status());
+
+      vgpu::Device device = testing::MakeTestDevice();
+      auto input = Table::FromHost(device, *host).ValueOrDie();
+      groupby::GroupBySpec gs;
+      gs.aggregates = {{1, groupby::AggOp::kSum}, {1, groupby::AggOp::kMax}};
+      auto res = groupby::RunGroupBy(device, algo, input, gs);
+      GPUJOIN_CHECK_OK(res.status());
+
+      stats[traced] = device.total_stats();
+      elapsed[traced] = device.ElapsedSeconds();
+      groups[traced] = res->num_groups;
+      outputs[traced] = res->output.ToHost();
+
+      obs::Tracer::Global().set_enabled(false);
+      obs::Tracer::Global().Clear();
+    }
+    EXPECT_TRUE(stats[0] == stats[1]) << groupby::GroupByAlgoName(algo);
+    EXPECT_EQ(elapsed[0], elapsed[1]) << groupby::GroupByAlgoName(algo);
+    EXPECT_EQ(groups[0], groups[1]) << groupby::GroupByAlgoName(algo);
+    ExpectHostTablesIdentical(outputs[0], outputs[1]);
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,213 @@
+// Round-trip and schema tests for the dependency-free JSON layer under
+// src/obs/: JsonWriter output must parse back to the same values, and the
+// BENCH_/TRACE_ validators must accept what the exporters produce and
+// reject documents with missing or non-finite fields.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "vgpu/buffer.h"
+
+namespace gpujoin {
+namespace {
+
+using obs::JsonValue;
+using obs::ParseJson;
+
+TEST(JsonWriterTest, RoundTripsNestedDocument) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("quote \" backslash \\ newline \n tab \t");
+  w.Key("count");
+  w.Number(uint64_t{18446744073709551615ull});
+  w.Key("ratio");
+  w.Number(0.1);
+  w.Key("negative");
+  w.Number(int64_t{-42});
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("list");
+  w.BeginArray();
+  w.Number(1.5);
+  w.String("x");
+  w.BeginObject();
+  w.Key("inner");
+  w.Number(2.0);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(w.str()));
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* name = root.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "quote \" backslash \\ newline \n tab \t");
+  const JsonValue* count = root.Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 18446744073709551615.0);
+  const JsonValue* ratio = root.Find("ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->number, 0.1);
+  EXPECT_EQ(root.Find("negative")->number, -42.0);
+  EXPECT_EQ(root.Find("flag")->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(root.Find("flag")->boolean);
+  EXPECT_EQ(root.Find("nothing")->kind, JsonValue::Kind::kNull);
+  const JsonValue* list = root.Find("list");
+  ASSERT_EQ(list->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(list->array[0].number, 1.5);
+  EXPECT_EQ(list->array[1].string, "x");
+  EXPECT_DOUBLE_EQ(list->array[2].Find("inner")->number, 2.0);
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.Number(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(w.str()));
+  ASSERT_EQ(root.array.size(), 2u);
+  EXPECT_EQ(root.array[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(root.array[1].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_OK(ParseJson("{\"u\": \"\\u00e9\"}").status());
+}
+
+TEST(SanitizeBenchNameTest, CollapsesNonAlnumRuns) {
+  EXPECT_EQ(obs::SanitizeBenchName("Figure 17 / Table 6"), "figure_17_table_6");
+  EXPECT_EQ(obs::SanitizeBenchName("GB1"), "gb1");
+  EXPECT_EQ(obs::SanitizeBenchName("  weird--name!! "), "weird_name");
+}
+
+obs::MetricRow MakeRow() {
+  obs::MetricRow row;
+  row.params = {{"zipf", "0.50"}};
+  row.algo = "PHJ-OM";
+  row.transform_cycles = 100;
+  row.match_cycles = 50;
+  row.materialize_cycles = 25;
+  row.total_cycles = 175;
+  row.mtuples_per_sec = 1234.5;
+  row.l2_hit_rate = 0.5;
+  row.peak_mem_bytes = 4096;
+  row.output_rows = 17;
+  return row;
+}
+
+TEST(MetricsSinkTest, ExportValidatesAgainstSchema) {
+  obs::MetricsSink sink;
+  sink.Configure("test_bench", "a test", "A100", 16);
+  sink.AddRow(MakeRow());
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(sink.ToJson()));
+  EXPECT_OK(obs::ValidateBenchReport(root));
+  EXPECT_EQ(root.Find("schema_version")->number, 1.0);
+  EXPECT_EQ(root.Find("bench")->string, "test_bench");
+  ASSERT_EQ(root.Find("rows")->array.size(), 1u);
+  const JsonValue& r = root.Find("rows")->array[0];
+  EXPECT_EQ(r.Find("algo")->string, "PHJ-OM");
+  EXPECT_EQ(r.Find("params")->Find("zipf")->string, "0.50");
+  EXPECT_DOUBLE_EQ(r.Find("phases")->Find("total_cycles")->number, 175.0);
+}
+
+TEST(MetricsSinkTest, EmptyRowsIsValid) {
+  obs::MetricsSink sink;
+  sink.Configure("empty", "no rows", "A100", 10);
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(sink.ToJson()));
+  EXPECT_OK(obs::ValidateBenchReport(root));
+}
+
+TEST(MetricsSinkTest, ValidatorRejectsNonFiniteMetric) {
+  obs::MetricsSink sink;
+  sink.Configure("bad", "NaN throughput", "A100", 10);
+  obs::MetricRow row = MakeRow();
+  row.mtuples_per_sec = std::numeric_limits<double>::quiet_NaN();
+  sink.AddRow(row);
+  // The writer serializes NaN as null, so the validator must fail.
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(sink.ToJson()));
+  EXPECT_FALSE(obs::ValidateBenchReport(root).ok());
+}
+
+TEST(MetricsSinkTest, ValidatorRejectsMissingFields) {
+  EXPECT_FALSE(obs::ValidateBenchReport(
+                   ParseJson("{\"schema_version\": 1}").value())
+                   .ok());
+  EXPECT_FALSE(
+      obs::ValidateBenchReport(
+          ParseJson("{\"schema_version\": 2, \"bench\": \"x\", \"title\": "
+                    "\"t\", \"device\": \"A100\", \"scale_log2\": 10, "
+                    "\"rows\": []}")
+              .value())
+          .ok());
+  // Out-of-range l2_hit_rate in a row.
+  EXPECT_FALSE(
+      obs::ValidateBenchReport(
+          ParseJson(
+              "{\"schema_version\": 1, \"bench\": \"x\", \"title\": \"t\", "
+              "\"device\": \"A100\", \"scale_log2\": 10, \"rows\": ["
+              "{\"algo\": \"a\", \"params\": {}, \"mtuples_per_sec\": 1, "
+              "\"phases\": {\"transform_cycles\": 0, \"match_cycles\": 0, "
+              "\"materialize_cycles\": 0, \"total_cycles\": 0}, "
+              "\"l2_hit_rate\": 1.5, \"peak_mem_bytes\": 0, "
+              "\"output_rows\": 0}]}")
+              .value())
+          .ok());
+}
+
+TEST(ChromeTraceTest, ExportValidatesAndCarriesSpans) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  vgpu::Device device = testing::MakeTestDevice();
+  tracer.Attach(device);
+  {
+    const int32_t query = tracer.OpenSpan(device, "query", "join:TEST");
+    {
+      const int32_t phase = tracer.OpenSpan(device, "phase", "match");
+      auto buf = vgpu::DeviceBuffer<int32_t>::Allocate(device, 1024);
+      ASSERT_OK(buf.status());
+      {
+        vgpu::KernelScope ks(device, "probe_kernel");
+        device.LoadSeq(buf->addr(), 1024, 4);
+      }
+      tracer.CloseSpan(device, phase);
+    }
+    tracer.AddEvent(device, "degradation:test", "detail text");
+    tracer.CloseSpan(device, query);
+  }
+
+  const std::string json = obs::ChromeTraceJson(tracer);
+  ASSERT_OK_AND_ASSIGN(JsonValue root, ParseJson(json));
+  EXPECT_OK(obs::ValidateChromeTrace(root));
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int durations = 0, instants = 0, kernels = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.Find("ph")->string;
+    if (ph == "X") {
+      ++durations;
+      if (e.Find("name")->string == "probe_kernel") ++kernels;
+    }
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(durations, 3);  // query + phase + kernel.
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(kernels, 1);
+}
+
+}  // namespace
+}  // namespace gpujoin

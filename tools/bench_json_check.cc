@@ -1,0 +1,90 @@
+// Schema checker for the JSON artifacts the benches emit under
+// GPUJOIN_JSON_DIR: BENCH_*.json files are validated against the metrics
+// schema (ValidateBenchReport: required fields, finite numbers, ranged
+// rates), TRACE_*.json files against the Chrome trace-event shape
+// (ValidateChromeTrace). Used by scripts/reproduce.sh --json; exits
+// non-zero on the first invalid or unreadable file so CI fails loudly on
+// NaN throughputs or missing fields.
+//
+//   $ bench_json_check out/BENCH_smoke.json out/TRACE_smoke.json
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+gpujoin::Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return gpujoin::Status::InvalidArgument("cannot open " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return gpujoin::Status::Internal("read error on " + path);
+  }
+  return data;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Validates one file, choosing the schema from the BENCH_/TRACE_ filename
+// prefix. Returns OK only for a parseable, schema-valid document.
+gpujoin::Status CheckFile(const std::string& path) {
+  auto data = ReadFile(path);
+  if (!data.ok()) return data.status();
+
+  auto doc = gpujoin::obs::ParseJson(*data);
+  if (!doc.ok()) {
+    return gpujoin::Status::InvalidArgument(path + ": " +
+                                            doc.status().message());
+  }
+
+  const std::string base = Basename(path);
+  if (base.rfind("TRACE_", 0) == 0) {
+    return gpujoin::obs::ValidateChromeTrace(*doc);
+  }
+  if (base.rfind("BENCH_", 0) == 0) {
+    return gpujoin::obs::ValidateBenchReport(*doc);
+  }
+  return gpujoin::Status::InvalidArgument(
+      path + ": expected a BENCH_*.json or TRACE_*.json filename");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json|TRACE_*.json>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const gpujoin::Status st = CheckFile(argv[i]);
+    if (st.ok()) {
+      std::printf("OK      %s\n", argv[i]);
+    } else {
+      std::printf("INVALID %s: %s\n", argv[i], st.message().c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,
+                 argc - 1);
+    return 1;
+  }
+  return 0;
+}
