@@ -20,6 +20,16 @@
 #   GPUJOIN_JSON_DIR set, then validates the resulting BENCH_smoke.json
 #   (metrics schema) and TRACE_smoke.json (Chrome trace events) with
 #   tools/bench_json_check, which fails on missing or non-finite fields.
+#
+#        scripts/reproduce.sh --lifecycle [rounds]
+#   Query-lifecycle mode: runs the concurrent-admission soak
+#   (tools/lifecycle_soak, default 8 rounds) — mixed join/group-by
+#   submissions under a shrinking admission budget with deadlines and
+#   kernel-boundary cancellations salted in; every round must return the
+#   reserved budget to zero with no device leaks — then smoke-checks the
+#   GPUJOIN_DEADLINE_CYCLES / GPUJOIN_CANCEL_AT_KERNEL harness knobs: a
+#   bench under each knob must exit non-zero with a clean DeadlineExceeded /
+#   Cancelled diagnostic and no leak abort.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,6 +76,48 @@ if [[ "${1:-}" == "--json" ]]; then
     build/bench/bench_fig10_wide
   build/tools/bench_json_check "$outdir"/BENCH_smoke.json "$outdir"/TRACE_smoke.json
   echo "ok: schema-valid artifacts in $outdir/ (load the trace at ui.perfetto.dev)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--lifecycle" ]]; then
+  cmake -B build -G Ninja
+  cmake --build build
+
+  rounds="${2:-8}"
+  echo "===== concurrent-admission soak ($rounds rounds) ====="
+  build/tools/lifecycle_soak "$rounds"
+
+  check_knob() {
+    local label="$1" expect="$2"; shift 2
+    echo "===== $label ====="
+    set +e
+    local out rc
+    # fig08 runs full joins through RunJoin, so every lifecycle seam
+    # (kernel boundaries, phase checks, allocations) is on the path.
+    out="$(env "$@" GPUJOIN_SCALE=14 build/bench/bench_fig08_narrow 2>&1)"
+    rc=$?
+    set -e
+    echo "$out" | tail -n 2
+    if [[ "$rc" -eq 0 ]]; then
+      echo "FAIL: bench succeeded despite $label"
+      exit 1
+    fi
+    if ! grep -q "$expect" <<<"$out"; then
+      echo "FAIL: bench did not fail with a clean $expect status"
+      exit 1
+    fi
+    if grep -q "leaked simulated memory" <<<"$out"; then
+      echo "FAIL: $label leaked device memory"
+      exit 1
+    fi
+    echo "ok: $label produced a clean $expect failure"
+  }
+
+  check_knob "deadline smoke (GPUJOIN_DEADLINE_CYCLES)" "DeadlineExceeded" \
+    GPUJOIN_DEADLINE_CYCLES=50000
+  check_knob "cancellation smoke (GPUJOIN_CANCEL_AT_KERNEL)" "Cancelled" \
+    GPUJOIN_CANCEL_AT_KERNEL=3
+  echo "done: lifecycle soak + harness knob smoke passed"
   exit 0
 fi
 

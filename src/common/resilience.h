@@ -1,11 +1,15 @@
-// Degradation log shared by the resilient query-layer wrappers: every time a
-// wrapper catches a resource failure and moves down its policy ladder
-// (retry, re-plan, out-of-core fallback), it records one step so callers can
-// see exactly how a query was salvaged.
+// Degradation log and retry policy shared by the resilient query-layer
+// wrappers: every time a wrapper catches a resource failure and moves down
+// its policy ladder (retry, re-plan, out-of-core fallback), it records one
+// step so callers can see exactly how a query was salvaged, and consults one
+// BackoffPolicy for how long to wait (in simulated cycles) before the next
+// attempt.
 
 #ifndef GPUJOIN_COMMON_RESILIENCE_H_
 #define GPUJOIN_COMMON_RESILIENCE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +33,59 @@ inline std::string FormatDegradation(const std::vector<DegradationStep>& steps) 
   }
   return out;
 }
+
+/// Seeded exponential backoff with jitter, measured in SIMULATED cycles so
+/// retry schedules are deterministic and bit-identical on replay (no wall
+/// clock, no global RNG — same contract as vgpu::FaultInjector). One policy
+/// is shared by every retry loop in the query layer: the resilient join /
+/// group-by ladders, the pipeline per-join retry hook, and the service-level
+/// admission queue.
+struct BackoffPolicy {
+  /// Attempt cap for loops that have no cap of their own (first attempt
+  /// included). Ladders with an explicit budget (ResilienceOptions::
+  /// max_attempts) use the smaller of the two.
+  int max_attempts = 4;
+  /// Delay charged before retry #1 (i.e. attempt 2). 0 disables delays
+  /// while keeping the attempt cap.
+  double base_cycles = 50'000;
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Delay ceiling before jitter.
+  double max_cycles = 5e7;
+  /// Jitter fraction in [0, 1): the delay is scaled by a deterministic
+  /// draw from [1 - jitter, 1 + jitter) so synchronized retries de-correlate.
+  double jitter = 0.25;
+  /// Seed for the jitter stream (splitmix64 of seed ^ retry index).
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  /// True while `attempt` (1-based, first try included) is within budget.
+  bool AttemptAllowed(int attempt) const { return attempt <= max_attempts; }
+
+  /// Simulated-cycle delay to charge before retry `retry_index` (1-based:
+  /// 1 = the delay between attempts 1 and 2). Deterministic per (policy,
+  /// retry_index); never negative.
+  double DelayCycles(int retry_index) const {
+    if (retry_index < 1 || base_cycles <= 0) return 0;
+    double delay = base_cycles;
+    for (int i = 1; i < retry_index; ++i) {
+      delay = std::min(delay * std::max(multiplier, 1.0), max_cycles);
+    }
+    delay = std::min(delay, max_cycles);
+    if (jitter > 0) {
+      // splitmix64 of (seed ^ retry_index) -> uniform in [0, 1).
+      uint64_t z = seed ^ (static_cast<uint64_t>(retry_index) *
+                           0xbf58476d1ce4e5b9ull);
+      z += 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      const double u =
+          static_cast<double>(z >> 11) / static_cast<double>(1ull << 53);
+      delay *= 1.0 - jitter + 2.0 * jitter * u;
+    }
+    return delay;
+  }
+};
 
 }  // namespace gpujoin
 

@@ -25,6 +25,8 @@ enum class StatusCode {
   kNotImplemented = 3,
   kInternal = 4,
   kResourceExhausted = 5,
+  kCancelled = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Returns a short stable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -58,8 +60,26 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  /// True for the lifecycle-layer terminal statuses: the query was stopped
+  /// on purpose (cancel request or deadline), not by a fault.
+  bool IsLifecycleStop() const {
+    return IsCancelled() || IsDeadlineExceeded();
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

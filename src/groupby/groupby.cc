@@ -533,12 +533,14 @@ Result<GroupByRunResult> GroupByDriver(vgpu::Device& device, GroupByAlgo algo,
     }
   }
   const double t1 = device.ElapsedSeconds();
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   {
     obs::TraceSpan emit_span(device, "phase", "emit");
     GPUJOIN_ASSIGN_OR_RETURN(res.output,
                              EmitOutput(device, input, spec, groups));
   }
   const double t2 = device.ElapsedSeconds();
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
 
   res.phases.transform_s = transform_s;
   res.phases.match_s = (t1 - t0) - transform_s;
@@ -562,6 +564,7 @@ Result<GroupByRunResult> RunGroupBy(vgpu::Device& device, GroupByAlgo algo,
     return Status::InvalidArgument("RunGroupBy: empty input");
   }
   GPUJOIN_RETURN_IF_ERROR(ValidateSpec(input, spec));
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   if (input.column(0).type() == DataType::kInt32) {
     return GroupByDriver<int32_t>(device, algo, input, spec, options);
   }

@@ -67,6 +67,8 @@ Result<ResilientGroupByResult> RunGroupByResilient(
     GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
     last_error = run.status();
     if (attempt >= options.max_attempts) break;
+    device.AdvanceClock(options.backoff.DelayCycles(attempt));
+    GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
 
     // Pick the next rung.
     if (current == GroupByAlgo::kHashGlobal && options.allow_algo_fallback) {

@@ -34,6 +34,10 @@ struct GroupByResilienceOptions {
   /// Allow switching to a different aggregation strategy when the requested
   /// one keeps running out of memory.
   bool allow_algo_fallback = true;
+  /// Delay schedule between ladder attempts, charged to the simulated clock
+  /// (deterministic; see BackoffPolicy). max_attempts above remains the
+  /// attempt budget — the policy only paces the retries.
+  BackoffPolicy backoff;
 };
 
 struct ResilientGroupByResult {

@@ -84,10 +84,42 @@ vgpu::FaultInjector FaultInjectorFromEnv() {
   return {};
 }
 
+vgpu::LifecycleControl* LifecycleFromEnv() {
+  const char* deadline = std::getenv("GPUJOIN_DEADLINE_CYCLES");
+  const char* cancel_at = std::getenv("GPUJOIN_CANCEL_AT_KERNEL");
+  if (deadline == nullptr && cancel_at == nullptr) return nullptr;
+  static vgpu::LifecycleControl control;
+  static bool armed = false;
+  if (!armed) {
+    armed = true;
+    if (deadline != nullptr) {
+      const double v = std::atof(deadline);
+      if (v <= 0) {
+        std::fprintf(stderr, "GPUJOIN_DEADLINE_CYCLES=%s must be > 0\n",
+                     deadline);
+        std::abort();
+      }
+      // The bench device's clock starts at 0, so a relative budget is an
+      // absolute deadline.
+      control.set_deadline(vgpu::Deadline::AfterCycles(0, v));
+    }
+    if (cancel_at != nullptr) {
+      const long long v = std::atoll(cancel_at);
+      if (v < 1) {
+        std::fprintf(stderr, "GPUJOIN_CANCEL_AT_KERNEL=%s must be >= 1\n",
+                     cancel_at);
+        std::abort();
+      }
+      control.set_cancel_at_kernel(static_cast<uint64_t>(v));
+    }
+  }
+  return &control;
+}
+
 vgpu::Device MakeBenchDevice() {
   return vgpu::Device(
       vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()),
-      FaultInjectorFromEnv());
+      FaultInjectorFromEnv(), LifecycleFromEnv());
 }
 
 Result<DeviceWorkload> Upload(vgpu::Device& device,

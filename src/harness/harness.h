@@ -20,10 +20,21 @@
 //   GPUJOIN_TRACE       enable span tracing without JSON export.
 //   GPUJOIN_EXPLAIN     print an EXPLAIN ANALYZE span-tree rendering of
 //                       the traced queries at PrintSimSummary().
+//   GPUJOIN_DEADLINE_CYCLES
+//                       arm a simulated-cycle deadline on the bench device:
+//                       queries stop with kDeadlineExceeded once the clock
+//                       passes this budget (deterministic — the same run
+//                       trips at the same kernel every time).
+//   GPUJOIN_CANCEL_AT_KERNEL
+//                       trip the bench device's cancel token when the Nth
+//                       kernel launches (1-based), driving a clean
+//                       kCancelled stop at that boundary.
 // At most one of NTH/BYTES/PROB may be set; the bench device is built with
 // the resulting injector armed, so any bench binary doubles as a fault-
 // injection smoke test (it must fail with a clean ResourceExhausted, never
-// crash or leak).
+// crash or leak). The lifecycle knobs work the same way: a bench driven
+// with a deadline or cancel-at-kernel must stop with the structured status
+// and zero leaks, never crash.
 
 #ifndef GPUJOIN_HARNESS_HARNESS_H_
 #define GPUJOIN_HARNESS_HARNESS_H_
@@ -52,6 +63,12 @@ vgpu::DeviceConfig BaseDeviceConfig();
 /// The fault injector requested via GPUJOIN_FAULT_* (unarmed when none are
 /// set; invalid or conflicting settings abort with a diagnostic).
 vgpu::FaultInjector FaultInjectorFromEnv();
+
+/// The process-wide lifecycle control armed from GPUJOIN_DEADLINE_CYCLES /
+/// GPUJOIN_CANCEL_AT_KERNEL, or nullptr when neither knob is set. The
+/// control lives for the whole process, so MakeBenchDevice can install it
+/// at device construction (invalid settings abort with a diagnostic).
+vgpu::LifecycleControl* LifecycleFromEnv();
 
 /// A device whose caches are scaled to the canonical bench size, so the
 /// paper's cache-to-working-set ratios hold at GPUJOIN_SCALE (see DESIGN.md),

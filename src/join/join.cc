@@ -230,6 +230,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
         break;  // No transformation phase (keys are consumed in place).
     }
   }
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   const double t1 = device.ElapsedSeconds();
   res.phases.transform_s = t1 - t0;
 
@@ -332,6 +333,7 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   }
 
   match_span.reset();
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   const double t2 = device.ElapsedSeconds();
   res.phases.match_s = t2 - t1;
 
@@ -417,6 +419,10 @@ Result<JoinRunResult> JoinDriver(vgpu::Device& device, JoinAlgo algo,
   const double t3 = device.ElapsedSeconds();
   res.phases.materialize_s = t3 - t2;
 
+  // A query whose last kernel tripped the deadline (or whose token was
+  // cancelled after the final allocation) must still return the lifecycle
+  // stop, not a completed result.
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   res.output = Table::FromColumns("join_result", std::move(out_names),
                                   std::move(out_cols));
   res.peak_mem_bytes = device.memory_stats().peak_bytes;
@@ -441,6 +447,7 @@ Result<JoinRunResult> RunJoin(vgpu::Device& device, JoinAlgo algo, const Table& 
   if (r.num_rows() == 0 || s.num_rows() == 0) {
     return Status::InvalidArgument("RunJoin: empty input relation");
   }
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   if (r.column(0).type() == DataType::kInt32) {
     return JoinDriver<int32_t>(device, algo, r, s, options);
   }

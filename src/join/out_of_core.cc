@@ -107,6 +107,9 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
   double host_merge_s = 0;
   for (int f = 0; f < res.fragments; ++f) {
     if (r_frags[f].num_rows() == 0 || s_frags[f].num_rows() == 0) continue;
+    // Fragment boundary: a cancel request or deadline trip stops the stream
+    // before the next fragment's upload is charged.
+    GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
     obs::TraceSpan frag_span(device, "fragment",
                              "fragment_" + std::to_string(f));
     const uint64_t up_bytes =
@@ -143,6 +146,8 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
                         .count();
   }
 
+  // The final fragment's download may itself trip the deadline.
+  GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   res.output_rows = out.num_rows();
   res.output = std::move(out);
   res.device_seconds = device.ElapsedSeconds() - dev_t0;

@@ -41,6 +41,7 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
   std::string last_key_name;
 
   for (int i = 0; i < n_joins; ++i) {
+    GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
     obs::TraceSpan step_span(device, "step",
                              "join_" + std::to_string(i) + ":" + dims[i].name());
     // Materialize FK_i through the current identifiers, right before use.
@@ -73,10 +74,17 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
     {
       // Per-join resilience: a failed RunJoin releases its working state
       // while `s_cur` and `dims[i]` stay resident, so a retry with more
-      // partition bits sees the same inputs.
+      // partition bits sees the same inputs. Attempts are capped by both the
+      // per-join budget and the backoff policy, delays are charged to the
+      // simulated clock, and a retry that cannot change the plan (bits
+      // already at the ceiling) stops the loop instead of spinning.
+      const BackoffPolicy backoff =
+          resilience != nullptr ? resilience->backoff : BackoffPolicy{};
       const int max_attempts =
-          resilience != nullptr ? std::max(resilience->max_attempts_per_join, 1)
-                                : 1;
+          resilience != nullptr
+              ? std::min(std::max(resilience->max_attempts_per_join, 1),
+                         std::max(backoff.max_attempts, 1))
+              : 1;
       JoinOptions jopts = options;
       const bool partitioned =
           algo == JoinAlgo::kPhjUm || algo == JoinAlgo::kPhjOm;
@@ -92,18 +100,25 @@ Result<PipelineRunResult> RunJoinPipeline(vgpu::Device& device, JoinAlgo algo,
         if (!resource || !partitioned || attempt >= max_attempts) {
           return run.status();
         }
-        jopts.radix_bits_override =
-            std::min(jopts.radix_bits_override <= 0
-                         ? 8
-                         : jopts.radix_bits_override + 2,
-                     16);
+        const int next_bits = std::min(
+            jopts.radix_bits_override <= 0 ? 8 : jopts.radix_bits_override + 2,
+            16);
+        if (next_bits == jopts.radix_bits_override) {
+          // Bits already at the ceiling: an identical retry cannot succeed.
+          return run.status();
+        }
+        jopts.radix_bits_override = next_bits;
+        const double delay = backoff.DelayCycles(attempt);
+        device.AdvanceClock(delay);
         res.degradation.push_back(
             {"retry_more_partition_bits",
              "pipeline join " + std::to_string(i) + " failed (" +
                  run.status().message() + "); retrying with radix_bits=" +
-                 std::to_string(jopts.radix_bits_override)});
+                 std::to_string(jopts.radix_bits_override) +
+                 " after backoff of " + std::to_string(delay) + " cycles"});
         obs::TraceInstant(device, "degradation:retry_more_partition_bits",
                           res.degradation.back().detail);
+        GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
       }
     }
     res.per_join.push_back(jr.phases);

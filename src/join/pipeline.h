@@ -26,8 +26,13 @@ namespace gpujoin::join {
 /// releases its own working state on error — so a retry sees the exact
 /// inputs of the failed attempt.
 struct PipelineResilience {
-  /// Attempts per constituent join (1 = no retries).
+  /// Attempts per constituent join (1 = no retries). The effective cap is
+  /// min(max_attempts_per_join, backoff.max_attempts), and a retry that
+  /// cannot change anything (radix bits already at the ceiling) stops the
+  /// loop early regardless of remaining budget.
   int max_attempts_per_join = 3;
+  /// Delay schedule between attempts, charged to the simulated clock.
+  BackoffPolicy backoff;
 };
 
 struct PipelineRunResult {

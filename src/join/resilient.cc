@@ -112,12 +112,14 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
     }
     bits = std::min(bits + 2, 16);
     jopts.radix_bits_override = bits;
+    device.AdvanceClock(options.backoff.DelayCycles(attempt));
     res.degradation.push_back(
         {"retry_more_partition_bits",
          "attempt " + std::to_string(attempt) + " failed (" + st.message() +
              "); retrying in-memory with radix_bits=" + std::to_string(bits)});
     obs::TraceInstant(device, "degradation:retry_more_partition_bits",
                       res.degradation.back().detail);
+    GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   }
 
   // Rung 3: out-of-core fallback with escalating fragment counts.
@@ -125,6 +127,10 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
     int frag_bits =
         DeriveFragmentBits(device, r, s, options.device_budget_fraction);
     while (attempt < options.max_attempts) {
+      if (attempt > 0) {
+        device.AdvanceClock(options.backoff.DelayCycles(attempt));
+        GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
+      }
       ++attempt;
       res.degradation.push_back(
           {"out_of_core_fallback",

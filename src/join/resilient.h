@@ -38,6 +38,10 @@ struct ResilienceOptions {
   bool allow_out_of_core = true;
   /// Device-memory budget fraction for the out-of-core fallback.
   double device_budget_fraction = 0.2;
+  /// Delay schedule between ladder attempts, charged to the simulated clock
+  /// (deterministic; see BackoffPolicy). max_attempts above remains the
+  /// attempt budget — the policy only paces the retries.
+  BackoffPolicy backoff;
 };
 
 struct ResilientJoinResult {

@@ -165,6 +165,22 @@ inline void TraceInstant(vgpu::Device& device, std::string name,
   t.AddEvent(device, std::move(name), std::move(detail));
 }
 
+/// Cooperative lifecycle seam: returns the device's sticky lifecycle status
+/// (kCancelled / kDeadlineExceeded once a cancel request or simulated-cycle
+/// deadline tripped), recording a trace instant the moment a query layer
+/// observes the stop. Query drivers call this between kernels, phases,
+/// fragments, and pipeline steps, and before returning a completed result.
+inline Status CheckLifecycle(vgpu::Device& device) {
+  Status st = device.LifecycleStatus();
+  if (!st.ok()) {
+    TraceInstant(device,
+                 st.IsCancelled() ? "lifecycle:cancelled"
+                                  : "lifecycle:deadline_exceeded",
+                 st.message());
+  }
+  return st;
+}
+
 }  // namespace gpujoin::obs
 
 #endif  // GPUJOIN_OBS_TRACE_H_

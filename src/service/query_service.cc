@@ -1,0 +1,231 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace gpujoin::service {
+
+const char* AdmissionDecisionName(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmitted: return "admitted";
+    case AdmissionDecision::kQueued: return "queued";
+    case AdmissionDecision::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+size_t QueryService::QueuedCount() const {
+  size_t n = 0;
+  for (const Pending& p : pending_) {
+    if (!p.reserved) ++n;
+  }
+  return n;
+}
+
+QueryService::QueryService(vgpu::Device& device, ServiceOptions options)
+    : device_(device),
+      budget_bytes_(options.budget_bytes != 0
+                        ? options.budget_bytes
+                        : device.config().global_mem_bytes),
+      max_queue_(options.max_queue),
+      backoff_(options.backoff) {}
+
+stats::MemoryEstimate QueryService::Estimate(const QueryRequest& request) const {
+  if (request.kind == QueryKind::kJoin) {
+    return stats::EstimateJoinMemory(*request.r, *request.s);
+  }
+  return stats::EstimateGroupByMemory(
+      *request.r, static_cast<int>(request.groupby_spec.aggregates.size()));
+}
+
+Result<int> QueryService::Submit(QueryRequest request) {
+  if (request.r == nullptr ||
+      (request.kind == QueryKind::kJoin && request.s == nullptr)) {
+    return Status::InvalidArgument("QueryService::Submit: missing input table");
+  }
+
+  const int id = static_cast<int>(outcomes_.size());
+  QueryOutcome out;
+  out.name = request.name;
+  out.estimate = Estimate(request);
+  const uint64_t need = out.estimate.total_bytes();
+
+  if (need > budget_bytes_) {
+    // Could never fit even an idle device: structured rejection, no queueing.
+    out.admission = AdmissionDecision::kRejected;
+    out.status = Status::ResourceExhausted(
+        "admission rejected: query '" + request.name + "' estimates " +
+        std::to_string(need) + " B but the service budget is " +
+        std::to_string(budget_bytes_) + " B");
+    obs::TraceInstant(device_, "admission:rejected", out.status.message());
+    outcomes_.push_back(std::move(out));
+    return id;
+  }
+
+  Pending p;
+  p.id = id;
+  if (reserved_bytes_ + need <= budget_bytes_) {
+    reserved_bytes_ += need;
+    p.reserved = true;
+    out.admission = AdmissionDecision::kAdmitted;
+    obs::TraceInstant(device_, "admission:reserved",
+                      "query '" + request.name + "' reserved " +
+                          std::to_string(need) + " B (" +
+                          std::to_string(reserved_bytes_) + "/" +
+                          std::to_string(budget_bytes_) + " B reserved)");
+  } else if (QueuedCount() < max_queue_) {
+    // Budget oversubscribed but the query fits an idle device: queue it.
+    out.admission = AdmissionDecision::kQueued;
+    obs::TraceInstant(device_, "admission:queued",
+                      "query '" + request.name + "' queued behind " +
+                          std::to_string(pending_.size()) + " submission(s): " +
+                          std::to_string(need) + " B needed, " +
+                          std::to_string(budget_bytes_ - reserved_bytes_) +
+                          " B unreserved");
+  } else {
+    out.admission = AdmissionDecision::kRejected;
+    out.status = Status::ResourceExhausted(
+        "admission rejected: queue full (" + std::to_string(max_queue_) +
+        " queued submission(s)) for query '" + request.name + "'");
+    obs::TraceInstant(device_, "admission:rejected", out.status.message());
+    outcomes_.push_back(std::move(out));
+    return id;
+  }
+  p.request = std::move(request);
+  outcomes_.push_back(std::move(out));
+  pending_.push_back(std::move(p));
+  return id;
+}
+
+Status QueryService::RunOne(Pending& p) {
+  QueryOutcome& out = outcomes_[p.id];
+  const uint64_t need = out.estimate.total_bytes();
+
+  // Queued at Submit: take the reservation now, pacing retries with the
+  // backoff policy. With serial execution nothing frees budget while we
+  // wait, so exhausting the retry budget is a deterministic backpressure
+  // failure, not a hang.
+  if (!p.reserved) {
+    for (int attempt = 1; !p.reserved; ++attempt) {
+      if (reserved_bytes_ + need <= budget_bytes_) {
+        reserved_bytes_ += need;
+        p.reserved = true;
+        obs::TraceInstant(device_, "admission:reserved",
+                          "queued query '" + out.name + "' reserved " +
+                              std::to_string(need) + " B on attempt " +
+                              std::to_string(attempt));
+        break;
+      }
+      if (!backoff_.AttemptAllowed(attempt + 1)) {
+        out.status = Status::ResourceExhausted(
+            "admission retry budget exhausted for queued query '" + out.name +
+            "': " + std::to_string(need) + " B needed, " +
+            std::to_string(budget_bytes_ - reserved_bytes_) +
+            " B unreserved after " + std::to_string(attempt) + " attempt(s)");
+        obs::TraceInstant(device_, "admission:rejected", out.status.message());
+        return Status::OK();
+      }
+      device_.AdvanceClock(backoff_.DelayCycles(attempt));
+    }
+  }
+
+  // Reservation is held from here: the guard releases it on every exit
+  // path, so `p.reserved` flips off now (Drain's unwind must not release
+  // it a second time).
+  struct ReservationGuard {
+    uint64_t* reserved;
+    uint64_t bytes;
+    ~ReservationGuard() { *reserved -= bytes; }
+  } guard{&reserved_bytes_, need};
+  p.reserved = false;
+
+  const QueryRequest& req = p.request;
+  const uint64_t baseline_live = device_.memory_stats().live_bytes;
+
+  vgpu::LifecycleControl control(
+      req.lifecycle.token,
+      req.lifecycle.deadline_cycles > 0
+          ? vgpu::Deadline::AfterCycles(device_.elapsed_cycles(),
+                                        req.lifecycle.deadline_cycles)
+          : vgpu::Deadline::Never());
+  control.set_cancel_at_kernel(req.lifecycle.cancel_at_kernel);
+  out.started_at_cycles = device_.elapsed_cycles();
+  {
+    vgpu::LifecycleScope scope(device_, control);
+    if (req.kind == QueryKind::kJoin) {
+      Result<join::ResilientJoinResult> run = join::RunJoinResilient(
+          device_, req.join_algo, *req.r, *req.s, req.join_options);
+      if (run.ok()) {
+        out.output = std::move(run->output);
+        out.output_rows = run->output_rows;
+        out.attempts = run->attempts;
+        out.status = Status::OK();
+      } else {
+        out.status = run.status();
+      }
+    } else {
+      // Upload, aggregate, download. The device-resident tables must die
+      // inside this block so the post-query watermark check sees a clean
+      // device.
+      Result<Table> input = Table::FromHost(device_, *req.r);
+      if (!input.ok()) {
+        out.status = input.status();
+      } else {
+        Result<groupby::ResilientGroupByResult> run =
+            groupby::RunGroupByResilient(device_, req.groupby_algo,
+                                         input.value(), req.groupby_spec,
+                                         req.groupby_options);
+        if (run.ok()) {
+          out.output = run->run.output.ToHost();
+          out.output_rows = run->run.num_groups;
+          out.attempts = run->attempts;
+          out.status = Status::OK();
+        } else {
+          out.status = run.status();
+        }
+      }
+    }
+  }
+  out.finished_at_cycles = device_.elapsed_cycles();
+  out.kernels_launched = control.kernels_launched();
+  obs::TraceInstant(device_, "admission:released",
+                    "query '" + out.name + "' released " +
+                        std::to_string(need) + " B (" +
+                        StatusCodeToString(out.status.code()) + ")");
+
+  // The leak-audit contract: whatever the outcome — success, cancellation,
+  // deadline, OOM — the query must leave the device at its entry watermark.
+  const uint64_t live = device_.memory_stats().live_bytes;
+  if (live != baseline_live) {
+    return Status::Internal(
+        "QueryService: query '" + out.name + "' (" +
+        StatusCodeToString(out.status.code()) + ") left " +
+        std::to_string(live) + " live bytes (entry watermark " +
+        std::to_string(baseline_live) + ")\n" + device_.LeakReport());
+  }
+  return Status::OK();
+}
+
+Status QueryService::Drain() {
+  std::vector<Pending> batch = std::move(pending_);
+  pending_.clear();
+  for (Pending& p : batch) {
+    Status st = RunOne(p);
+    if (!st.ok()) {
+      // Broken invariant: unwind the remaining reservations so the budget
+      // is consistent, then surface the error.
+      for (Pending& rest : batch) {
+        if (&rest != &p && rest.reserved) {
+          reserved_bytes_ -= outcomes_[rest.id].estimate.total_bytes();
+          rest.reserved = false;
+        }
+      }
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gpujoin::service

@@ -1,0 +1,167 @@
+// Query lifecycle service: the admission-control front door over the
+// resilient join / group-by entry points (DESIGN.md §11).
+//
+// A QueryService owns one device's memory budget. Submitting a query
+// estimates its device-memory footprint host-side (stats::EstimateJoinMemory
+// / EstimateGroupByMemory — no simulated cycles are spent) and either
+//   * RESERVES the estimate against the budget and admits the query,
+//   * QUEUES it (structured backpressure) when the budget is currently
+//     oversubscribed but the query could fit an idle device, or
+//   * REJECTS it with a structured kResourceExhausted admission error when
+//     the estimate exceeds the total budget or the queue is full.
+// Drain() then executes admitted and queued queries in admission order,
+// installing a per-query vgpu::LifecycleControl (cancel token + simulated-
+// cycle deadline + the cancel-at-kernel test knob) for the duration of each
+// run. Reservations are released on EVERY exit path — success, cancellation,
+// deadline, resource exhaustion, internal error — so the budget always
+// returns to zero once the service drains (service_test.cc asserts this
+// together with Device::CheckNoLeaks()).
+//
+// Determinism: admission order is submission order, deadlines are simulated
+// cycles, queue retries are paced by the shared BackoffPolicy charged to the
+// simulated clock — a drained workload is bit-identical on replay.
+
+#ifndef GPUJOIN_SERVICE_QUERY_SERVICE_H_
+#define GPUJOIN_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/resilience.h"
+#include "common/status.h"
+#include "groupby/resilient.h"
+#include "join/resilient.h"
+#include "stats/estimator.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+#include "vgpu/lifecycle.h"
+
+namespace gpujoin::service {
+
+/// Per-query lifecycle knobs carried by a submission.
+struct QueryLifecycleOptions {
+  /// Cancellation handle; keep a copy and RequestCancel() to stop the query
+  /// at its next cooperative seam.
+  vgpu::CancelToken token;
+  /// Relative simulated-cycle budget measured from the query's start of
+  /// execution (not submission). <= 0 disables the deadline.
+  double deadline_cycles = 0;
+  /// Test knob: trip the cancel token when the Nth kernel of this query
+  /// launches (1-based; 0 = disarmed). Mirrors GPUJOIN_CANCEL_AT_KERNEL.
+  uint64_t cancel_at_kernel = 0;
+};
+
+enum class QueryKind { kJoin, kGroupBy };
+
+/// One query submission. Input tables are host staging state owned by the
+/// caller and must stay alive until Drain() returns.
+struct QueryRequest {
+  std::string name = "query";
+  QueryKind kind = QueryKind::kJoin;
+
+  // kJoin: r ⋈ s on column 0, via RunJoinResilient.
+  join::JoinAlgo join_algo = join::JoinAlgo::kPhjOm;
+  join::ResilienceOptions join_options;
+  const HostTable* r = nullptr;
+  const HostTable* s = nullptr;
+
+  // kGroupBy: group `r` by column 0, via RunGroupByResilient (`s` unused).
+  groupby::GroupByAlgo groupby_algo = groupby::GroupByAlgo::kHashPartitioned;
+  groupby::GroupBySpec groupby_spec;
+  groupby::GroupByResilienceOptions groupby_options;
+
+  QueryLifecycleOptions lifecycle;
+};
+
+/// How admission classified a submission.
+enum class AdmissionDecision { kAdmitted, kQueued, kRejected };
+
+const char* AdmissionDecisionName(AdmissionDecision d);
+
+/// Final record of one submitted query.
+struct QueryOutcome {
+  std::string name;
+  AdmissionDecision admission = AdmissionDecision::kAdmitted;
+  /// Execution status: OK, kCancelled, kDeadlineExceeded, kResourceExhausted
+  /// (post-ladder), or the admission rejection for kRejected queries.
+  Status status = Status::OK();
+  /// Result rows, downloaded to host (empty unless status is OK).
+  HostTable output;
+  uint64_t output_rows = 0;
+  /// Resilience-ladder attempts consumed (0 for rejected/unrun queries).
+  int attempts = 0;
+  /// The admission estimate reserved while the query ran.
+  stats::MemoryEstimate estimate;
+  /// Simulated cycles at execution start / end (0/0 when never run).
+  double started_at_cycles = 0;
+  double finished_at_cycles = 0;
+  /// Kernels launched while the query's lifecycle control was installed.
+  uint64_t kernels_launched = 0;
+};
+
+struct ServiceOptions {
+  /// Admission budget in bytes; 0 = the device's global memory capacity.
+  uint64_t budget_bytes = 0;
+  /// Queued submissions allowed beyond the reserved budget before Submit
+  /// rejects with backpressure.
+  size_t max_queue = 16;
+  /// Paces admission retries for queued queries during Drain (delays are
+  /// charged to the simulated clock).
+  BackoffPolicy backoff;
+};
+
+/// Single-device, run-to-completion query service. Submissions accumulate
+/// (reserving budget immediately when it is available); Drain() executes
+/// everything in admission order on the simulator's single thread.
+class QueryService {
+ public:
+  explicit QueryService(vgpu::Device& device, ServiceOptions options = {});
+
+  /// Admits, queues, or rejects the request. Returns the query id (index
+  /// into outcomes()) in all three cases; rejection is recorded in the
+  /// outcome's status rather than thrown, so a full workload's fate is
+  /// inspectable in one place. Returns InvalidArgument for malformed
+  /// requests (missing tables).
+  Result<int> Submit(QueryRequest request);
+
+  /// Executes every admitted/queued query in admission order. Always leaves
+  /// reserved_bytes() == 0 and the device lifecycle-free, whatever the mix
+  /// of outcomes. Returns the first Internal error encountered (a leak or a
+  /// broken invariant); per-query cancellations/deadlines/OOMs are recorded
+  /// in their outcomes, not returned.
+  Status Drain();
+
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+  const QueryOutcome& outcome(int id) const { return outcomes_[id]; }
+
+  /// Bytes currently reserved against the budget.
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  /// Submissions admitted-but-not-yet-run plus queued ones.
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    int id = 0;
+    QueryRequest request;
+    bool reserved = false;  // Budget held since Submit (admitted) or not
+                            // (queued; reserved during Drain).
+  };
+
+  Status RunOne(Pending& p);
+  stats::MemoryEstimate Estimate(const QueryRequest& request) const;
+  size_t QueuedCount() const;
+
+  vgpu::Device& device_;
+  uint64_t budget_bytes_ = 0;
+  size_t max_queue_ = 0;
+  BackoffPolicy backoff_;
+  uint64_t reserved_bytes_ = 0;
+  std::vector<Pending> pending_;
+  std::vector<QueryOutcome> outcomes_;
+};
+
+}  // namespace gpujoin::service
+
+#endif  // GPUJOIN_SERVICE_QUERY_SERVICE_H_

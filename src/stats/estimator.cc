@@ -10,6 +10,52 @@
 
 namespace gpujoin::stats {
 
+uint64_t EstimateDeviceBytes(const HostTable& t) {
+  uint64_t bytes = 0;
+  for (const HostColumn& c : t.columns) {
+    // String columns upload as fixed-width dictionary codes; everything else
+    // lands at its declared width.
+    bytes += c.size() * (c.is_string() ? sizeof(int64_t) : DataTypeSize(c.type));
+  }
+  return bytes;
+}
+
+MemoryEstimate EstimateJoinMemory(const HostTable& r, const HostTable& s) {
+  MemoryEstimate est;
+  const uint64_t r_bytes = EstimateDeviceBytes(r);
+  const uint64_t s_bytes = EstimateDeviceBytes(s);
+  est.input_bytes = r_bytes + s_bytes;
+  // Partitioned hash join peak: partitioned copies of both inputs coexist
+  // with the originals during scatter, plus per-partition hash tables (~2x
+  // the build keys for the open-addressing load factor) and the match list
+  // (two RowId arrays bounded by |S|).
+  const uint64_t match_list = 2 * s.num_rows() * sizeof(uint32_t);
+  est.working_bytes = r_bytes + s_bytes + 2 * r_bytes + match_list;
+  // Every probe row matches once: key + all payloads of both sides.
+  const uint64_t row_width =
+      (r.num_rows() > 0 ? r_bytes / std::max<uint64_t>(r.num_rows(), 1) : 0) +
+      (s.num_rows() > 0 ? s_bytes / std::max<uint64_t>(s.num_rows(), 1) : 0);
+  est.output_bytes = s.num_rows() * row_width;
+  return est;
+}
+
+MemoryEstimate EstimateGroupByMemory(const HostTable& input,
+                                     int num_aggregates) {
+  MemoryEstimate est;
+  const uint64_t in_bytes = EstimateDeviceBytes(input);
+  est.input_bytes = in_bytes;
+  // Hash-partitioned peak: a transformed/partitioned copy of the input plus
+  // the aggregation hash table (~2x keys+aggregates at worst-case group
+  // count). Sort-based fits under the same bound (one transformed copy).
+  const uint64_t n = input.num_rows();
+  const uint64_t table_row =
+      sizeof(int64_t) * (1 + static_cast<uint64_t>(std::max(num_aggregates, 1)));
+  est.working_bytes = in_bytes + 2 * n * table_row;
+  // Worst case: every row is its own group.
+  est.output_bytes = n * table_row;
+  return est;
+}
+
 Result<uint64_t> EstimateDistinct(vgpu::Device& device,
                                   const DeviceColumn& column,
                                   int precision_bits) {

@@ -11,9 +11,45 @@
 
 #include "common/status.h"
 #include "storage/column.h"
+#include "storage/table.h"
 #include "vgpu/device.h"
 
 namespace gpujoin::stats {
+
+/// Host-side device-memory estimate for admission control: computed from
+/// host staging tables BEFORE anything touches the device, so the service
+/// layer can reserve budget (or queue the query) without spending simulated
+/// cycles. Deliberately conservative — an admitted query that still hits a
+/// real OOM falls back to the resilience ladders.
+struct MemoryEstimate {
+  /// Bytes the uploaded base tables will occupy device-resident.
+  uint64_t input_bytes = 0;
+  /// Peak transient working state (hash tables, partition buffers, match
+  /// lists) over the query's lifetime.
+  uint64_t working_bytes = 0;
+  /// Upper bound on the materialized result.
+  uint64_t output_bytes = 0;
+
+  uint64_t total_bytes() const {
+    return input_bytes + working_bytes + output_bytes;
+  }
+};
+
+/// Device bytes a host table occupies after upload (string columns count as
+/// their dictionary codes, matching Table::FromHost).
+uint64_t EstimateDeviceBytes(const HostTable& t);
+
+/// Admission estimate for a two-table join (keys in column 0). Assumes the
+/// worst common case: every probe row matches once, working state sized as
+/// a partitioned hash join's peak (partitioned copies of both inputs plus
+/// the per-partition hash tables).
+MemoryEstimate EstimateJoinMemory(const HostTable& r, const HostTable& s);
+
+/// Admission estimate for a grouped aggregation over `input` producing
+/// `num_aggregates` aggregate columns. Group count is unknown host-side, so
+/// the output bound assumes every row is its own group.
+MemoryEstimate EstimateGroupByMemory(const HostTable& input,
+                                     int num_aggregates);
 
 /// HyperLogLog distinct-count estimate over a device column. One streaming
 /// kernel; typical error ~1.04/sqrt(2^precision_bits) (~1.6% at 12 bits).

@@ -10,8 +10,12 @@
 
 namespace gpujoin::vgpu {
 
-Device::Device(DeviceConfig config, FaultInjector fault)
-    : config_(std::move(config)), l2_(config_), fault_(std::move(fault)) {
+Device::Device(DeviceConfig config, FaultInjector fault,
+               LifecycleControl* lifecycle)
+    : config_(std::move(config)),
+      l2_(config_),
+      fault_(std::move(fault)),
+      lifecycle_(lifecycle) {
   const int buffers = std::max(config_.dram_row_assoc, config_.dram_row_buffers);
   dram_open_rows_.assign(buffers, ~uint64_t{0});
   dram_row_lru_.assign(buffers, 0);
@@ -38,6 +42,14 @@ std::string Device::EffectiveTag(const char* tag) const {
 
 Result<uint64_t> Device::AllocateRaw(uint64_t bytes, const char* tag) {
   if (bytes == 0) bytes = 1;
+  if (lifecycle_ != nullptr) {
+    // A tripped lifecycle (cancel/deadline) rejects further allocations so
+    // a doomed query stops at its next resource request. The attempt is not
+    // counted: lifecycle rejection must not shift the FaultInjector's
+    // deterministic allocation numbering.
+    lifecycle_->Evaluate(elapsed_cycles_);
+    if (lifecycle_->tripped()) return lifecycle_->status();
+  }
   ++memory_stats_.alloc_attempts;
   if (fault_.armed() && fault_.ShouldFail(bytes)) {
     ++memory_stats_.failed_allocations;
@@ -129,6 +141,7 @@ Status Device::Reset() {
   next_addr_ = 4096;
   elapsed_cycles_ = 0;
   fault_ = FaultInjector();
+  lifecycle_ = nullptr;
   alloc_tag_stack_.clear();
   ResetStats();
   return Status::OK();
@@ -139,6 +152,7 @@ void Device::BeginKernel(const char* name) {
   in_kernel_ = true;
   kernel_name_ = name;
   current_ = KernelStats{};
+  if (lifecycle_ != nullptr) lifecycle_->OnKernelLaunch(elapsed_cycles_);
   if (observer_ != nullptr) observer_->OnKernelBegin(*this, name);
   kernel_host_start_ = std::chrono::steady_clock::now();
 }
@@ -179,6 +193,7 @@ const KernelStats& Device::EndKernel() {
   if (observer_ != nullptr) {
     observer_->OnKernelEnd(*this, kernel_name_, last_kernel_, host_seconds);
   }
+  if (lifecycle_ != nullptr) lifecycle_->OnClockAdvance(elapsed_cycles_);
   return last_kernel_;
 }
 
@@ -442,6 +457,13 @@ void Device::ChargeHostTransfer(uint64_t bytes) {
   const double bytes_per_cycle = config_.pcie_gbps / config_.clock_ghz;
   elapsed_cycles_ +=
       static_cast<double>(bytes) / bytes_per_cycle + config_.pcie_latency_cycles;
+  if (lifecycle_ != nullptr) lifecycle_->OnClockAdvance(elapsed_cycles_);
+}
+
+void Device::AdvanceClock(double cycles) {
+  assert(!in_kernel_ && "AdvanceClock inside a kernel");
+  if (cycles > 0) elapsed_cycles_ += cycles;
+  if (lifecycle_ != nullptr) lifecycle_->OnClockAdvance(elapsed_cycles_);
 }
 
 void Device::SerialStall(double cycles) {

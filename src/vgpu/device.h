@@ -36,6 +36,7 @@
 #include "vgpu/device_config.h"
 #include "vgpu/fault.h"
 #include "vgpu/l2_cache.h"
+#include "vgpu/lifecycle.h"
 #include "vgpu/observer.h"
 #include "vgpu/profiler.h"
 #include "vgpu/stats.h"
@@ -57,7 +58,12 @@ struct AllocationRecord {
 
 class Device {
  public:
-  explicit Device(DeviceConfig config, FaultInjector fault = {});
+  /// `lifecycle` optionally installs a query lifecycle control from birth
+  /// (the harness wires GPUJOIN_DEADLINE_CYCLES / GPUJOIN_CANCEL_AT_KERNEL
+  /// through it, mirroring the fault-injector knobs); equivalent to calling
+  /// set_lifecycle() right after construction.
+  explicit Device(DeviceConfig config, FaultInjector fault = {},
+                  LifecycleControl* lifecycle = nullptr);
 
   /// Destroying a device that still holds live allocations is a hard
   /// failure (report + abort) unless set_leak_check_on_destroy(false):
@@ -154,6 +160,33 @@ class Device {
   /// not detach it — the hook is harness wiring, not device state.
   void set_kernel_observer(KernelObserver* observer) { observer_ = observer; }
   KernelObserver* kernel_observer() const { return observer_; }
+
+  // --- Query lifecycle (cooperative cancellation + deadlines) ---
+
+  /// Installs a per-query lifecycle control (pass nullptr to detach). The
+  /// control must outlive its installation. The device consults it at every
+  /// kernel boundary, after every clock advance, and on every allocation
+  /// attempt; once it trips, LifecycleStatus() and all further allocations
+  /// return its structured kCancelled / kDeadlineExceeded error. A control
+  /// with no deadline/token set never perturbs simulated results.
+  /// Device::Reset() detaches the control (a query's control is query
+  /// state, unlike the harness-owned KernelObserver).
+  void set_lifecycle(LifecycleControl* lifecycle) { lifecycle_ = lifecycle; }
+  LifecycleControl* lifecycle() const { return lifecycle_; }
+
+  /// OK when no control is installed or the control has not tripped;
+  /// otherwise the sticky kCancelled / kDeadlineExceeded status. Query
+  /// layers call this at cooperative seams (between kernels, fragments,
+  /// pipeline steps, and before returning a completed result).
+  Status LifecycleStatus() const {
+    if (lifecycle_ == nullptr) return Status::OK();
+    lifecycle_->Evaluate(elapsed_cycles_);
+    return lifecycle_->status();
+  }
+
+  /// Advances the simulated clock outside a kernel (retry backoff sleeps).
+  /// Deadline checks observe the new time immediately.
+  void AdvanceClock(double cycles);
 
   // --- Memory-access hooks (call only between Begin/EndKernel) ---
 
@@ -256,6 +289,7 @@ class Device {
   KernelStats total_;
   Profiler profiler_;
   KernelObserver* observer_ = nullptr;
+  LifecycleControl* lifecycle_ = nullptr;
   double elapsed_cycles_ = 0;
   std::chrono::steady_clock::time_point kernel_host_start_;
   double host_kernel_seconds_ = 0;
@@ -282,6 +316,26 @@ class AllocTagScope {
 
  private:
   Device& device_;
+};
+
+/// RAII lifecycle installation: installs `control` on the device for the
+/// scope's lifetime and restores the previously installed control (usually
+/// none) on exit, so an early return from a cancelled query never leaves a
+/// dangling control behind.
+class LifecycleScope {
+ public:
+  LifecycleScope(Device& device, LifecycleControl& control)
+      : device_(device), previous_(device.lifecycle()) {
+    device_.set_lifecycle(&control);
+  }
+  ~LifecycleScope() { device_.set_lifecycle(previous_); }
+
+  LifecycleScope(const LifecycleScope&) = delete;
+  LifecycleScope& operator=(const LifecycleScope&) = delete;
+
+ private:
+  Device& device_;
+  LifecycleControl* previous_;
 };
 
 /// RAII kernel bracket.

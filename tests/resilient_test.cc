@@ -264,5 +264,100 @@ TEST(PipelineResilienceTest, PerJoinRetryAbsorbsOneShotFaults) {
   ASSERT_OK(device.CheckNoLeaks());
 }
 
+/// A device just big enough to hold `star`'s uploaded tables plus
+/// `headroom_bytes`: a real, PERSISTENT out-of-memory inside the pipeline's
+/// constituent joins — retrying with more radix bits cannot help because the
+/// binding constraint is total capacity, not per-partition state.
+vgpu::Device MakeCrampedDevice(const workload::StarSchema& star,
+                               uint64_t headroom_bytes) {
+  uint64_t resident = 0;
+  {
+    vgpu::Device probe = gpujoin::testing::MakeTestDevice();
+    auto fact = Table::FromHost(probe, star.fact).ValueOrDie();
+    std::vector<Table> dims;
+    for (const HostTable& d : star.dims) {
+      dims.push_back(Table::FromHost(probe, d).ValueOrDie());
+    }
+    resident = probe.memory_stats().live_bytes;
+  }
+  vgpu::DeviceConfig cfg = vgpu::DeviceConfig::ScaledToWorkload(
+      vgpu::DeviceConfig::A100(), uint64_t{1} << 16);
+  cfg.global_mem_bytes = resident + headroom_bytes;
+  return vgpu::Device(cfg);
+}
+
+// Runaway-retry regression: under a persistent resource failure, the
+// per-join retry hook used to spin `max_attempts_per_join` identical
+// retries with no backoff. It must now (a) stop as soon as the radix-bit
+// escalation hits its ceiling (an identical retry cannot succeed),
+// regardless of a huge attempt budget, and (b) charge backoff delays to the
+// simulated clock between attempts.
+TEST(PipelineResilienceTest, PersistentFaultTerminatesWithoutRunawayRetries) {
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 1 << 10;
+  spec.num_dims = 1;
+  spec.dim_rows = 1 << 8;
+  const workload::StarSchema star =
+      workload::GenerateStarSchema(spec).ValueOrDie();
+
+  vgpu::Device device = MakeCrampedDevice(star, /*headroom_bytes=*/32 << 10);
+  {
+    ASSERT_OK_AND_ASSIGN(Table fact, Table::FromHost(device, star.fact));
+    std::vector<Table> dims;
+    ASSERT_OK_AND_ASSIGN(Table d0, Table::FromHost(device, star.dims[0]));
+    dims.push_back(std::move(d0));
+
+    join::PipelineResilience resilience;
+    resilience.max_attempts_per_join = 1'000'000;  // Absurd budget.
+    resilience.backoff.max_attempts = 1'000'000;
+    const double t0 = device.elapsed_cycles();
+    Result<join::PipelineRunResult> res = join::RunJoinPipeline(
+        device, join::JoinAlgo::kPhjOm, fact, dims, {}, &resilience);
+    ASSERT_FALSE(res.ok());
+    EXPECT_TRUE(res.status().code() == StatusCode::kResourceExhausted ||
+                res.status().code() == StatusCode::kOutOfMemory)
+        << res.status().ToString();
+    // The radix-bit ladder starts at 8 and steps by 2 to its ceiling of 16:
+    // at most 5 attempts ever run, so at most 4 backoff delays are charged.
+    const double elapsed = device.elapsed_cycles() - t0;
+    double max_delay = 0;
+    for (int i = 1; i <= 4; ++i) max_delay += resilience.backoff.DelayCycles(i);
+    EXPECT_LE(elapsed, max_delay + 1e6) << "retry loop ran away";
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+// Attempt caps compose: the effective per-join budget is the smaller of
+// max_attempts_per_join and the backoff policy's max_attempts.
+TEST(PipelineResilienceTest, BackoffPolicyCapsAttempts) {
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 1 << 10;
+  spec.num_dims = 1;
+  spec.dim_rows = 1 << 8;
+  const workload::StarSchema star =
+      workload::GenerateStarSchema(spec).ValueOrDie();
+
+  vgpu::Device device = MakeCrampedDevice(star, /*headroom_bytes=*/32 << 10);
+  {
+    ASSERT_OK_AND_ASSIGN(Table fact, Table::FromHost(device, star.fact));
+    std::vector<Table> dims;
+    ASSERT_OK_AND_ASSIGN(Table d0, Table::FromHost(device, star.dims[0]));
+    dims.push_back(std::move(d0));
+
+    join::PipelineResilience resilience;
+    resilience.max_attempts_per_join = 100;
+    resilience.backoff.max_attempts = 1;  // No retries at all.
+    const double t0 = device.elapsed_cycles();
+    Result<join::PipelineRunResult> res = join::RunJoinPipeline(
+        device, join::JoinAlgo::kPhjOm, fact, dims, {}, &resilience);
+    ASSERT_FALSE(res.ok());
+    // Attempt 1 fails and the loop exits without a retry, so no backoff
+    // delay was charged — only the (small) kernel cycles of the attempt.
+    const double elapsed = device.elapsed_cycles() - t0;
+    EXPECT_LT(elapsed, resilience.backoff.DelayCycles(1));
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
 }  // namespace
 }  // namespace gpujoin

@@ -1,0 +1,331 @@
+// QueryService admission control: budget reservation, queueing with
+// backpressure, structured rejection, and the invariant that reservations
+// are released on EVERY exit path — success, cancellation, deadline,
+// resource exhaustion — leaving reserved_bytes() == 0 and a leak-free,
+// replayable device after Drain().
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+#include "stats/estimator.h"
+#include "storage/table.h"
+#include "test_util.h"
+#include "vgpu/device.h"
+#include "workload/generator.h"
+
+namespace gpujoin::service {
+namespace {
+
+using ::gpujoin::testing::MakeTestDevice;
+
+workload::JoinWorkload SmallJoinWorkload(uint64_t seed = 7) {
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 9;
+  spec.s_rows = 1 << 10;
+  spec.r_payload_cols = 1;
+  spec.s_payload_cols = 1;
+  spec.seed = seed;
+  return workload::GenerateJoinInput(spec).ValueOrDie();
+}
+
+HostTable SmallGroupByWorkload(uint64_t seed = 11) {
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = 1 << 10;
+  spec.num_groups = 1 << 5;
+  spec.payload_cols = 1;
+  spec.seed = seed;
+  return workload::GenerateGroupByInput(spec).ValueOrDie();
+}
+
+QueryRequest JoinRequest(const workload::JoinWorkload& w,
+                         const std::string& name = "join") {
+  QueryRequest req;
+  req.name = name;
+  req.kind = QueryKind::kJoin;
+  req.join_algo = join::JoinAlgo::kPhjOm;
+  req.r = &w.r;
+  req.s = &w.s;
+  return req;
+}
+
+QueryRequest GroupByRequest(const HostTable& input,
+                            const std::string& name = "groupby") {
+  QueryRequest req;
+  req.name = name;
+  req.kind = QueryKind::kGroupBy;
+  req.groupby_algo = groupby::GroupByAlgo::kHashPartitioned;
+  req.groupby_spec.aggregates.push_back({1, groupby::AggOp::kSum});
+  req.r = &input;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Estimates
+// ---------------------------------------------------------------------------
+
+TEST(MemoryEstimateTest, JoinEstimateScalesWithInputs) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const stats::MemoryEstimate est = stats::EstimateJoinMemory(w.r, w.s);
+  EXPECT_GT(est.input_bytes, 0u);
+  EXPECT_GT(est.working_bytes, est.input_bytes);  // Working state dominates.
+  EXPECT_GT(est.output_bytes, 0u);
+  EXPECT_EQ(est.total_bytes(),
+            est.input_bytes + est.working_bytes + est.output_bytes);
+}
+
+TEST(MemoryEstimateTest, GroupByEstimateCoversWorstCaseGroups) {
+  const HostTable input = SmallGroupByWorkload();
+  const stats::MemoryEstimate est = stats::EstimateGroupByMemory(input, 2);
+  EXPECT_GT(est.input_bytes, 0u);
+  // Worst case: every row its own group — output at least one int64 key +
+  // 2 aggregates per row.
+  EXPECT_GE(est.output_bytes, input.num_rows() * 3 * sizeof(int64_t));
+}
+
+TEST(MemoryEstimateTest, EstimateIsSufficientForTheRealRun) {
+  // An admitted query must actually fit: the conservative estimate should
+  // dominate the device's true peak memory.
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const stats::MemoryEstimate est = stats::EstimateJoinMemory(w.r, w.s);
+  vgpu::Device device = MakeTestDevice();
+  ASSERT_OK_AND_ASSIGN(
+      join::ResilientJoinResult res,
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s, {}));
+  (void)res;
+  EXPECT_GE(est.total_bytes(), device.memory_stats().peak_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Admission decisions
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, AdmitsRunsAndReleases) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const HostTable g = SmallGroupByWorkload();
+
+  ASSERT_OK_AND_ASSIGN(int jid, service.Submit(JoinRequest(w)));
+  ASSERT_OK_AND_ASSIGN(int gid, service.Submit(GroupByRequest(g)));
+  EXPECT_GT(service.reserved_bytes(), 0u);
+  EXPECT_EQ(service.pending(), 2u);
+
+  ASSERT_OK(service.Drain());
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  EXPECT_EQ(service.pending(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+
+  const QueryOutcome& join_out = service.outcome(jid);
+  EXPECT_EQ(join_out.admission, AdmissionDecision::kAdmitted);
+  ASSERT_OK(join_out.status);
+  EXPECT_GT(join_out.output_rows, 0u);
+  EXPECT_EQ(join_out.output_rows, join_out.output.num_rows());
+  EXPECT_EQ(join_out.attempts, 1);
+  EXPECT_GT(join_out.kernels_launched, 0u);
+  EXPECT_GT(join_out.finished_at_cycles, join_out.started_at_cycles);
+
+  const QueryOutcome& gb_out = service.outcome(gid);
+  ASSERT_OK(gb_out.status);
+  EXPECT_GT(gb_out.output_rows, 0u);
+}
+
+TEST(QueryServiceTest, OversizedQueryIsRejectedStructurally) {
+  vgpu::Device device = MakeTestDevice();
+  ServiceOptions opts;
+  opts.budget_bytes = 1024;  // Nothing real fits.
+  QueryService service(device, opts);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+
+  ASSERT_OK_AND_ASSIGN(int id, service.Submit(JoinRequest(w, "too_big")));
+  const QueryOutcome& out = service.outcome(id);
+  EXPECT_EQ(out.admission, AdmissionDecision::kRejected);
+  EXPECT_TRUE(out.status.IsResourceExhausted()) << out.status.ToString();
+  EXPECT_NE(out.status.message().find("admission rejected"), std::string::npos);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  EXPECT_EQ(service.pending(), 0u);
+
+  // A rejected query never ran: drain is a no-op, the device untouched.
+  ASSERT_OK(service.Drain());
+  EXPECT_EQ(device.memory_stats().alloc_attempts, 0u);
+}
+
+TEST(QueryServiceTest, OversubscriptionQueuesThenRunsInOrder) {
+  vgpu::Device device = MakeTestDevice();
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const stats::MemoryEstimate est = stats::EstimateJoinMemory(w.r, w.s);
+  ServiceOptions opts;
+  // Budget fits exactly one query's reservation at a time.
+  opts.budget_bytes = est.total_bytes() + est.total_bytes() / 2;
+  QueryService service(device, opts);
+
+  ASSERT_OK_AND_ASSIGN(int first, service.Submit(JoinRequest(w, "first")));
+  ASSERT_OK_AND_ASSIGN(int second, service.Submit(JoinRequest(w, "second")));
+  EXPECT_EQ(service.outcome(first).admission, AdmissionDecision::kAdmitted);
+  EXPECT_EQ(service.outcome(second).admission, AdmissionDecision::kQueued);
+
+  ASSERT_OK(service.Drain());
+  ASSERT_OK(service.outcome(first).status);
+  ASSERT_OK(service.outcome(second).status);
+  // Admission order is execution order.
+  EXPECT_LE(service.outcome(first).finished_at_cycles,
+            service.outcome(second).started_at_cycles);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, FullQueueRejectsWithBackpressure) {
+  vgpu::Device device = MakeTestDevice();
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const stats::MemoryEstimate est = stats::EstimateJoinMemory(w.r, w.s);
+  ServiceOptions opts;
+  opts.budget_bytes = est.total_bytes();  // One at a time.
+  opts.max_queue = 1;
+  QueryService service(device, opts);
+
+  ASSERT_OK_AND_ASSIGN(int a, service.Submit(JoinRequest(w, "running")));
+  ASSERT_OK_AND_ASSIGN(int b, service.Submit(JoinRequest(w, "queued")));
+  ASSERT_OK_AND_ASSIGN(int c, service.Submit(JoinRequest(w, "rejected")));
+  EXPECT_EQ(service.outcome(a).admission, AdmissionDecision::kAdmitted);
+  EXPECT_EQ(service.outcome(b).admission, AdmissionDecision::kQueued);
+  EXPECT_EQ(service.outcome(c).admission, AdmissionDecision::kRejected);
+  EXPECT_TRUE(service.outcome(c).status.IsResourceExhausted());
+  EXPECT_NE(service.outcome(c).status.message().find("queue full"),
+            std::string::npos);
+
+  ASSERT_OK(service.Drain());
+  ASSERT_OK(service.outcome(a).status);
+  ASSERT_OK(service.outcome(b).status);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+}
+
+TEST(QueryServiceTest, MissingTablesAreInvalidArgument) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  QueryRequest req;
+  req.kind = QueryKind::kJoin;
+  EXPECT_FALSE(service.Submit(req).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Reservations released on every exit path
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, CancelledQueryReleasesReservation) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+
+  QueryRequest req = JoinRequest(w, "cancel_me");
+  req.lifecycle.cancel_at_kernel = 3;
+  ASSERT_OK_AND_ASSIGN(int id, service.Submit(std::move(req)));
+
+  ASSERT_OK(service.Drain());
+  const QueryOutcome& out = service.outcome(id);
+  EXPECT_TRUE(out.status.IsCancelled()) << out.status.ToString();
+  EXPECT_GE(out.kernels_launched, 3u);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+  ASSERT_OK(device.Reset());  // Device is reusable.
+}
+
+TEST(QueryServiceTest, ExternalCancelTokenStopsTheQuery) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+
+  QueryRequest req = JoinRequest(w, "pre_cancelled");
+  vgpu::CancelToken token = req.lifecycle.token;  // Caller keeps one end.
+  token.RequestCancel("client disconnected");
+  ASSERT_OK_AND_ASSIGN(int id, service.Submit(std::move(req)));
+
+  ASSERT_OK(service.Drain());
+  const QueryOutcome& out = service.outcome(id);
+  EXPECT_TRUE(out.status.IsCancelled()) << out.status.ToString();
+  EXPECT_NE(out.status.message().find("client disconnected"),
+            std::string::npos);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, DeadlineExceededReleasesReservation) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+
+  // Pin the full-query cost, then give the service half that budget.
+  double full_cycles = 0;
+  {
+    vgpu::Device probe = MakeTestDevice();
+    ASSERT_OK_AND_ASSIGN(
+        join::ResilientJoinResult r,
+        join::RunJoinResilient(probe, join::JoinAlgo::kPhjOm, w.r, w.s, {}));
+    (void)r;
+    full_cycles = probe.elapsed_cycles();
+  }
+  QueryRequest req = JoinRequest(w, "too_slow");
+  req.lifecycle.deadline_cycles = full_cycles / 2;
+  ASSERT_OK_AND_ASSIGN(int id, service.Submit(std::move(req)));
+
+  ASSERT_OK(service.Drain());
+  const QueryOutcome& out = service.outcome(id);
+  EXPECT_TRUE(out.status.IsDeadlineExceeded()) << out.status.ToString();
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, MixedWorkloadAlwaysReturnsBudgetToZero) {
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const HostTable g = SmallGroupByWorkload();
+
+  // A success, a cancellation, a deadline, and another success: whatever
+  // the mix, the budget drains to zero and the device stays clean.
+  ASSERT_OK(service.Submit(JoinRequest(w, "ok_1")).status());
+  QueryRequest cancel = JoinRequest(w, "cancelled");
+  cancel.lifecycle.cancel_at_kernel = 1;
+  ASSERT_OK(service.Submit(std::move(cancel)).status());
+  QueryRequest late = GroupByRequest(g, "late");
+  late.lifecycle.deadline_cycles = 1;  // Trips almost immediately.
+  ASSERT_OK(service.Submit(std::move(late)).status());
+  ASSERT_OK(service.Submit(GroupByRequest(g, "ok_2")).status());
+
+  ASSERT_OK(service.Drain());
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+  ASSERT_OK(service.outcomes()[0].status);
+  EXPECT_TRUE(service.outcomes()[1].status.IsCancelled());
+  EXPECT_TRUE(service.outcomes()[2].status.IsDeadlineExceeded());
+  ASSERT_OK(service.outcomes()[3].status);
+  // Lifecycle stops did not poison later queries: the device is reusable
+  // within one drain without a Reset.
+  EXPECT_GT(service.outcomes()[3].output_rows, 0u);
+}
+
+TEST(QueryServiceTest, ResultsMatchDirectExecution) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device direct_device = MakeTestDevice();
+  ASSERT_OK_AND_ASSIGN(join::ResilientJoinResult direct,
+                       join::RunJoinResilient(direct_device,
+                                              join::JoinAlgo::kPhjOm, w.r, w.s,
+                                              {}));
+
+  vgpu::Device device = MakeTestDevice();
+  QueryService service(device);
+  ASSERT_OK_AND_ASSIGN(int id, service.Submit(JoinRequest(w)));
+  ASSERT_OK(service.Drain());
+  const QueryOutcome& out = service.outcome(id);
+  ASSERT_OK(out.status);
+  EXPECT_EQ(out.output_rows, direct.output_rows);
+  // Bit-identical simulation: the service layer adds no device work of its
+  // own around a single admitted query.
+  EXPECT_EQ(device.elapsed_cycles(), direct_device.elapsed_cycles());
+  EXPECT_EQ(device.total_stats(), direct_device.total_stats());
+}
+
+}  // namespace
+}  // namespace gpujoin::service

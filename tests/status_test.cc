@@ -29,6 +29,31 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, LifecyclePredicates) {
+  const Status cancelled = Status::Cancelled("stop");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_TRUE(cancelled.IsLifecycleStop());
+
+  const Status deadline = Status::DeadlineExceeded("late");
+  EXPECT_FALSE(deadline.IsCancelled());
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_TRUE(deadline.IsLifecycleStop());
+
+  EXPECT_FALSE(Status::OK().IsLifecycleStop());
+  EXPECT_FALSE(Status::ResourceExhausted("oom").IsLifecycleStop());
+  EXPECT_TRUE(Status::ResourceExhausted("oom").IsResourceExhausted());
+}
+
+TEST(StatusTest, LifecycleToString) {
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -43,6 +68,9 @@ TEST(StatusCodeTest, NamesAreStable) {
                "InvalidArgument");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

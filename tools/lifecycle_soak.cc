@@ -1,0 +1,163 @@
+// Concurrent-admission soak for the query lifecycle layer (DESIGN.md §11).
+//
+// Drives a QueryService through rounds of mixed join / group-by submissions
+// under a progressively shrinking admission budget, salting in per-query
+// deadlines and cancel-at-kernel trips. After every round it asserts the
+// lifecycle invariants the service promises:
+//   * reserved_bytes() returns to 0 whatever the mix of outcomes,
+//   * the device has zero outstanding allocations (CheckNoLeaks),
+//   * every outcome carries a structured status (OK / Cancelled /
+//     DeadlineExceeded / ResourceExhausted / InvalidArgument) — never an
+//     Internal error, which would mean a broken invariant.
+// Exits 0 on success, 1 with a report on the first violated invariant.
+//
+// Run via `scripts/reproduce.sh --lifecycle` or directly:
+//   ./build/tools/lifecycle_soak [rounds]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+#include "groupby/groupby.h"
+#include "join/join.h"
+#include "service/query_service.h"
+#include "storage/table.h"
+#include "vgpu/device.h"
+#include "workload/generator.h"
+
+namespace gpujoin {
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "lifecycle_soak: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+bool IsStructuredOutcome(const Status& s) {
+  return s.ok() || s.IsLifecycleStop() || s.IsResourceExhausted() ||
+         s.code() == StatusCode::kOutOfMemory ||
+         s.code() == StatusCode::kInvalidArgument;
+}
+
+int Run(int rounds) {
+  using service::QueryKind;
+  using service::QueryRequest;
+  using service::QueryService;
+  using service::ServiceOptions;
+
+  // Shared inputs, generated once: a small join pair and a group-by table.
+  workload::JoinWorkloadSpec jspec;
+  jspec.r_rows = uint64_t{1} << 10;
+  jspec.s_rows = uint64_t{1} << 11;
+  jspec.seed = 17;
+  auto jw = workload::GenerateJoinInput(jspec);
+  GPUJOIN_CHECK_OK(jw.status());
+
+  workload::GroupByWorkloadSpec gspec;
+  gspec.rows = uint64_t{1} << 11;
+  gspec.num_groups = uint64_t{1} << 6;
+  gspec.seed = 23;
+  auto gin = workload::GenerateGroupByInput(gspec);
+  GPUJOIN_CHECK_OK(gin.status());
+
+  vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(
+      vgpu::DeviceConfig::A100(), uint64_t{1} << 16));
+
+  // Size one join estimate so the budget schedule below meaningfully
+  // oversubscribes: round 0 fits everything, later rounds force queueing
+  // and eventually rejections.
+  const uint64_t one_join =
+      stats::EstimateJoinMemory(jw->r, jw->s).total_bytes();
+
+  uint64_t total_ok = 0, total_cancelled = 0, total_deadline = 0;
+  uint64_t total_rejected = 0, total_queued = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    ServiceOptions opts;
+    // Shrinks 4x -> 2x -> 1.5x -> 1.2x of a single join's footprint.
+    const double scale[] = {4.0, 2.0, 1.5, 1.2};
+    opts.budget_bytes = static_cast<uint64_t>(
+        one_join * scale[round % 4]);
+    opts.max_queue = 4;
+    QueryService svc(device, opts);
+
+    const join::JoinAlgo algos[] = {
+        join::JoinAlgo::kNphj, join::JoinAlgo::kPhjOm,
+        join::JoinAlgo::kSmjUm};
+    for (int q = 0; q < 6; ++q) {
+      QueryRequest req;
+      req.name = "r" + std::to_string(round) + "q" + std::to_string(q);
+      if (q % 3 == 2) {
+        req.kind = QueryKind::kGroupBy;
+        req.r = &*gin;
+        req.groupby_spec.aggregates = {{1, groupby::AggOp::kSum}};
+      } else {
+        req.kind = QueryKind::kJoin;
+        req.join_algo = algos[(round + q) % 3];
+        req.r = &jw->r;
+        req.s = &jw->s;
+      }
+      // Salt in lifecycle trips: every 3rd query gets a kernel-boundary
+      // cancellation, every 4th a tight deadline (both deterministic).
+      if (q % 3 == 1) req.lifecycle.cancel_at_kernel = 1 + (round + q) % 5;
+      if (q % 4 == 3) req.lifecycle.deadline_cycles = 1'000;
+      auto id = svc.Submit(std::move(req));
+      GPUJOIN_CHECK_OK(id.status());
+    }
+
+    Status drained = svc.Drain();
+    if (!drained.ok()) return Fail("Drain: " + drained.ToString());
+
+    if (svc.reserved_bytes() != 0) {
+      return Fail("round " + std::to_string(round) + ": reserved_bytes = " +
+                  std::to_string(svc.reserved_bytes()) + " after Drain");
+    }
+    Status leaks = device.CheckNoLeaks();
+    if (!leaks.ok()) {
+      return Fail("round " + std::to_string(round) + ": " + leaks.ToString());
+    }
+    for (const auto& out : svc.outcomes()) {
+      if (!IsStructuredOutcome(out.status)) {
+        return Fail("query " + out.name + ": unstructured outcome " +
+                    out.status.ToString());
+      }
+      if (out.status.ok()) ++total_ok;
+      if (out.status.IsCancelled()) ++total_cancelled;
+      if (out.status.IsDeadlineExceeded()) ++total_deadline;
+      if (out.admission == service::AdmissionDecision::kRejected)
+        ++total_rejected;
+      if (out.admission == service::AdmissionDecision::kQueued)
+        ++total_queued;
+    }
+  }
+
+  std::printf(
+      "lifecycle_soak: OK (%d rounds: %llu ok, %llu cancelled, "
+      "%llu deadline-exceeded, %llu queued, %llu rejected; "
+      "budget returned to 0 and zero leaks every round)\n",
+      rounds, static_cast<unsigned long long>(total_ok),
+      static_cast<unsigned long long>(total_cancelled),
+      static_cast<unsigned long long>(total_deadline),
+      static_cast<unsigned long long>(total_queued),
+      static_cast<unsigned long long>(total_rejected));
+  // The soak is only meaningful if it exercised every outcome class.
+  if (total_ok == 0 || total_cancelled == 0 || total_deadline == 0) {
+    return Fail("soak never exercised some outcome class");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin
+
+int main(int argc, char** argv) {
+  int rounds = 8;
+  if (argc > 1) rounds = std::atoi(argv[1]);
+  if (rounds <= 0) {
+    std::fprintf(stderr, "usage: lifecycle_soak [rounds>0]\n");
+    return 2;
+  }
+  return gpujoin::Run(rounds);
+}
