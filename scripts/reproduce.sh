@@ -15,6 +15,14 @@
 #   non-zero with a clean ResourceExhausted diagnostic — never crash, hang,
 #   or trip the device's leak-abort.
 #
+#        scripts/reproduce.sh --sanitize tsan
+#   ThreadSanitizer mode: rebuilds under TSan (GPUJOIN_TSAN=ON) in
+#   build-tsan/ and runs the full test suite with GPUJOIN_SIM_THREADS=8 so
+#   the host-parallel simulation path (DESIGN.md §12) is race-checked:
+#   ParallelBlocks workers only ever touch their private shards and
+#   disjoint output ranges, so TSan must stay silent. Finishes with a
+#   threaded bench smoke run.
+#
 #        scripts/reproduce.sh --json [outdir]
 #   Metrics-export mode: runs one bench at smoke scale with
 #   GPUJOIN_JSON_DIR set, then validates the resulting BENCH_smoke.json
@@ -33,6 +41,23 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--sanitize" && "${2:-}" == "tsan" ]]; then
+  cmake -B build-tsan -G Ninja -DGPUJOIN_TSAN=ON
+  cmake --build build-tsan
+
+  echo "===== full suite under TSan with GPUJOIN_SIM_THREADS=8 ====="
+  # Every ParallelBlocks-ported kernel fans out across 8 workers here;
+  # TSAN_OPTIONS makes any report fail the run instead of just logging.
+  GPUJOIN_SIM_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure 2>&1 | tee test_output_tsan.txt
+
+  echo "===== threaded bench smoke under TSan ====="
+  GPUJOIN_SCALE=16 GPUJOIN_SIM_THREADS=8 GPUJOIN_JSON_DIR="" \
+    TSAN_OPTIONS="halt_on_error=1" build-tsan/bench/bench_fig07_gather
+  echo "done: see test_output_tsan.txt"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then
   cmake -B build-asan -G Ninja -DGPUJOIN_SANITIZE=ON

@@ -222,6 +222,10 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashGlobalAggregate(
     for (const auto& [k, c] : freq) max_group_freq = std::max(max_group_freq, c);
   }
   {
+    // This kernel stays on the sequential simulation path even under
+    // GPUJOIN_SIM_THREADS > 1: the global table's linear-probe layout (and
+    // therefore every probe's address trace) depends on insertion order, so
+    // tuples cannot be re-sharded without changing the simulated stats.
     vgpu::KernelScope ks(device, "gb_hash_global_update");
     // Warp-aggregated atomics (the compiler combines same-address atomicAdds
     // within a warp): the device-wide serialization chain on the hottest
@@ -365,50 +369,61 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> HashPartitionedAggregate(
   // (charged below); functionally a map per partition keeps it exact.
   std::vector<std::pair<int64_t, GroupAcc>> groups;
   groups.reserve(g);
-  std::vector<int64_t> agg_values(spec.aggregates.size(), 0);
   obs::TraceSpan aggregate_span(device, "phase", "aggregate");
   {
+    // One partition per thread block: each block owns its shared-memory
+    // table image and emits into its own slot of part_groups, so the blocks
+    // are independent and the concatenation (partition order, key order
+    // within a partition) is deterministic.
     vgpu::KernelScope ks(device, "gb_hash_part_aggregate");
     const uint32_t fanout = 1u << bits;
-    for (uint32_t p = 0; p < fanout; ++p) {
-      const uint64_t pb = offsets[p], pe = offsets[p + 1];
-      if (pb == pe) continue;
-      std::unordered_map<int64_t, GroupAcc> local;
-      device.LoadSeq(t_keys.addr(pb), pe - pb, sizeof(K));
-      for (const DeviceColumn& col : t_cols) {
-        device.LoadSeq(col.addr(pb), pe - pb,
-                       static_cast<uint32_t>(DataTypeSize(col.type())));
-      }
-      device.SharedAccess(bit_util::CeilDiv(pe - pb, warp) *
-                          (1 + spec.aggregates.size()));
-      for (uint64_t i = pb; i < pe; ++i) {
-        for (size_t a = 0; a < spec.aggregates.size(); ++a) {
-          const AggSpec& as = spec.aggregates[a];
-          if (as.op == AggOp::kCount) {
-            agg_values[a] = 0;
-            continue;
+    std::vector<std::vector<std::pair<int64_t, GroupAcc>>> part_groups(fanout);
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        fanout, [&](uint64_t p, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t pb = offsets[p], pe = offsets[p + 1];
+          if (pb == pe) return Status::OK();
+          std::unordered_map<int64_t, GroupAcc> local;
+          std::vector<int64_t> agg_values(spec.aggregates.size(), 0);
+          ctx.LoadSeq(t_keys.addr(pb), pe - pb, sizeof(K));
+          for (const DeviceColumn& col : t_cols) {
+            ctx.LoadSeq(col.addr(pb), pe - pb,
+                        static_cast<uint32_t>(DataTypeSize(col.type())));
           }
-          const auto it = std::find(needed.begin(), needed.end(), as.column);
-          agg_values[a] = t_cols[it - needed.begin()].Get(i);
-        }
-        UpdateAcc(&local[static_cast<int64_t>(t_keys[i])], spec, agg_values);
-      }
-      // Overflow passes: every extra capacity-chunk of distinct groups
-      // re-streams this partition (block-nested-loop analog).
-      const uint64_t passes = bit_util::CeilDiv(std::max<uint64_t>(local.size(), 1),
-                                                capacity);
-      for (uint64_t extra = 1; extra < passes; ++extra) {
-        device.LoadSeq(t_keys.addr(pb), pe - pb, sizeof(K));
-        for (const DeviceColumn& col : t_cols) {
-          device.LoadSeq(col.addr(pb), pe - pb,
-                         static_cast<uint32_t>(DataTypeSize(col.type())));
-        }
-      }
-      // Emit this partition's groups in key order (deterministic).
-      std::map<int64_t, GroupAcc> ordered(local.begin(), local.end());
-      for (auto& [key, acc] : ordered) {
-        groups.emplace_back(key, std::move(acc));
-      }
+          ctx.SharedAccess(bit_util::CeilDiv(pe - pb, warp) *
+                           (1 + spec.aggregates.size()));
+          for (uint64_t i = pb; i < pe; ++i) {
+            for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+              const AggSpec& as = spec.aggregates[a];
+              if (as.op == AggOp::kCount) {
+                agg_values[a] = 0;
+                continue;
+              }
+              const auto it = std::find(needed.begin(), needed.end(), as.column);
+              agg_values[a] = t_cols[it - needed.begin()].Get(i);
+            }
+            UpdateAcc(&local[static_cast<int64_t>(t_keys[i])], spec, agg_values);
+          }
+          // Overflow passes: every extra capacity-chunk of distinct groups
+          // re-streams this partition (block-nested-loop analog).
+          const uint64_t passes = bit_util::CeilDiv(
+              std::max<uint64_t>(local.size(), 1), capacity);
+          for (uint64_t extra = 1; extra < passes; ++extra) {
+            ctx.LoadSeq(t_keys.addr(pb), pe - pb, sizeof(K));
+            for (const DeviceColumn& col : t_cols) {
+              ctx.LoadSeq(col.addr(pb), pe - pb,
+                          static_cast<uint32_t>(DataTypeSize(col.type())));
+            }
+          }
+          // Emit this partition's groups in key order (deterministic).
+          std::map<int64_t, GroupAcc> ordered;
+          for (auto& [key, acc] : local) ordered.emplace(key, std::move(acc));
+          for (auto& [key, acc] : ordered) {
+            part_groups[p].emplace_back(key, std::move(acc));
+          }
+          return Status::OK();
+        }));
+    for (auto& pg : part_groups) {
+      for (auto& kv : pg) groups.emplace_back(kv.first, std::move(kv.second));
     }
   }
   return groups;
@@ -470,11 +485,24 @@ Result<std::vector<std::pair<int64_t, GroupAcc>>> SortAggregate(
   obs::TraceSpan aggregate_span(device, "phase", "aggregate");
   {
     vgpu::KernelScope ks(device, "gb_sort_reduce");
-    device.LoadSeq(t_keys.addr(), n, sizeof(K));
-    for (const DeviceColumn& col : t_cols) {
-      device.LoadSeq(col.addr(), n, static_cast<uint32_t>(DataTypeSize(col.type())));
-    }
-    device.Compute(bit_util::CeilDiv(n, warp) * (1 + spec.aggregates.size()));
+    // The streaming (loads + per-warp reduction work) is tile-parallel;
+    // the run detection below is functional only (carries across tiles),
+    // so it runs on the calling thread and charges nothing.
+    const uint64_t kTile = 4096;
+    const uint64_t n_tiles = bit_util::CeilDiv(n, kTile);
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kTile;
+          const uint64_t tile_n = std::min(kTile, n - begin);
+          ctx.LoadSeq(t_keys.addr(begin), tile_n, sizeof(K));
+          for (const DeviceColumn& col : t_cols) {
+            ctx.LoadSeq(col.addr(begin), tile_n,
+                        static_cast<uint32_t>(DataTypeSize(col.type())));
+          }
+          ctx.Compute(bit_util::CeilDiv(tile_n, warp) *
+                      (1 + spec.aggregates.size()));
+          return Status::OK();
+        }));
     uint64_t run_start = 0;
     for (uint64_t i = 0; i <= n; ++i) {
       if (i == n || (i > 0 && t_keys[i] != t_keys[run_start])) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/bit_util.h"
 #include "obs/chrome_trace.h"
@@ -116,10 +117,28 @@ vgpu::LifecycleControl* LifecycleFromEnv() {
   return &control;
 }
 
+int SimThreadsFromEnv() {
+  const char* env = std::getenv("GPUJOIN_SIM_THREADS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "0") == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  const long long v = std::atoll(env);
+  if (v < 1 || v > 1024) {
+    std::fprintf(stderr,
+                 "GPUJOIN_SIM_THREADS=%s must be 1..1024, 0, or \"auto\"; "
+                 "using 1\n",
+                 env);
+    return 1;
+  }
+  return static_cast<int>(v);
+}
+
 vgpu::Device MakeBenchDevice() {
   return vgpu::Device(
       vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()),
-      FaultInjectorFromEnv(), LifecycleFromEnv());
+      FaultInjectorFromEnv(), LifecycleFromEnv(), SimThreadsFromEnv());
 }
 
 Result<DeviceWorkload> Upload(vgpu::Device& device,
@@ -198,9 +217,9 @@ void PrintSimSummary() {
   const double rate = p.host_seconds > 0 ? p.sim_cycles / p.host_seconds : 0;
   std::printf(
       "[sim] %llu kernels, %.3g simulated cycles in %.2f s host wall-clock "
-      "(%.3g cycles/s)\n",
+      "(%.2f s CPU across %d sim threads, %.3g cycles/s)\n",
       static_cast<unsigned long long>(p.kernels), p.sim_cycles, p.host_seconds,
-      rate);
+      p.host_cpu_seconds, SimThreadsFromEnv(), rate);
 
   if (std::getenv("GPUJOIN_EXPLAIN") != nullptr) {
     std::fputs(obs::RenderExplain(obs::Tracer::Global()).c_str(), stdout);

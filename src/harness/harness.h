@@ -6,15 +6,20 @@
 //   GPUJOIN_SCALE       log2 of the canonical relation tuple count (default
 //                       20; the paper uses 27 — see DESIGN.md on scaling).
 //   GPUJOIN_DEVICE      "A100" (default) or "RTX3090".
+//   GPUJOIN_SIM_THREADS host threads for the parallel simulation path
+//                       (default 1 = sequential). Simulated results and
+//                       stats are bit-identical for every value; only host
+//                       wall-clock changes (see DESIGN.md §12).
 //   GPUJOIN_FAULT_NTH   fail the Nth device allocation (one-shot).
 //   GPUJOIN_FAULT_BYTES fail every allocation once cumulative allocated
 //                       bytes exceed this budget.
 //   GPUJOIN_FAULT_PROB  fail each allocation with this probability [0,1).
 //   GPUJOIN_FAULT_SEED  RNG seed for GPUJOIN_FAULT_PROB (default 42).
-//   GPUJOIN_JSON_DIR    when set, enables tracing and writes
-//                       BENCH_<name>.json (structured metrics) and
-//                       TRACE_<name>.json (Chrome trace-event / Perfetto)
-//                       into this directory at PrintSimSummary().
+//   GPUJOIN_JSON_DIR    directory for BENCH_<name>.json (structured
+//                       metrics) and TRACE_<name>.json (Chrome trace-event
+//                       / Perfetto), written at PrintSimSummary() with
+//                       tracing enabled. Defaults to bench/results when
+//                       unset; set GPUJOIN_JSON_DIR="" to disable export.
 //   GPUJOIN_BENCH_NAME  overrides the bench name derived from the banner
 //                       (used by scripts/reproduce.sh --json smoke runs).
 //   GPUJOIN_TRACE       enable span tracing without JSON export.
@@ -64,6 +69,10 @@ vgpu::DeviceConfig BaseDeviceConfig();
 /// set; invalid or conflicting settings abort with a diagnostic).
 vgpu::FaultInjector FaultInjectorFromEnv();
 
+/// Host threads for the parallel simulation path (GPUJOIN_SIM_THREADS,
+/// default 1; 0 or "auto" selects the hardware concurrency).
+int SimThreadsFromEnv();
+
 /// The process-wide lifecycle control armed from GPUJOIN_DEADLINE_CYCLES /
 /// GPUJOIN_CANCEL_AT_KERNEL, or nullptr when neither knob is set. The
 /// control lives for the whole process, so MakeBenchDevice can install it
@@ -72,7 +81,8 @@ vgpu::LifecycleControl* LifecycleFromEnv();
 
 /// A device whose caches are scaled to the canonical bench size, so the
 /// paper's cache-to-working-set ratios hold at GPUJOIN_SCALE (see DESIGN.md),
-/// with any GPUJOIN_FAULT_* injector armed.
+/// with any GPUJOIN_FAULT_* injector armed and the parallel simulation path
+/// fanned out to GPUJOIN_SIM_THREADS host threads.
 vgpu::Device MakeBenchDevice();
 
 /// Uploads both sides of a generated workload.

@@ -210,7 +210,9 @@ Status ValidateChromeTrace(const JsonValue& root) {
 
 std::string JsonDirFromEnv() {
   const char* dir = std::getenv("GPUJOIN_JSON_DIR");
-  return dir == nullptr ? std::string() : std::string(dir);
+  // Unset means the default export directory (benches emit structured
+  // results out of the box); an explicitly empty value opts out.
+  return dir == nullptr ? std::string("bench/results") : std::string(dir);
 }
 
 }  // namespace gpujoin::obs

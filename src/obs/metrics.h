@@ -1,9 +1,10 @@
 // Structured metrics sink: the machine-readable counterpart of the bench
 // harness's human tables. Each bench binary configures the process-wide
 // sink once (PrintBanner) and records one MetricRow per measured run
-// (bench::ReportRun/RecordRun); when GPUJOIN_JSON_DIR is set, the harness
-// flushes the sink to $GPUJOIN_JSON_DIR/BENCH_<name>.json alongside the
-// Chrome trace TRACE_<name>.json.
+// (bench::ReportRun/RecordRun); the harness flushes the sink to
+// $GPUJOIN_JSON_DIR/BENCH_<name>.json alongside the Chrome trace
+// TRACE_<name>.json. GPUJOIN_JSON_DIR defaults to bench/results, so every
+// bench run emits structured results; set GPUJOIN_JSON_DIR="" to opt out.
 //
 // BENCH_<name>.json schema (schema_version 1):
 //   {
@@ -107,7 +108,9 @@ Status ValidateBenchReport(const JsonValue& root);
 /// carry name/ph/ts (the fields Perfetto requires).
 Status ValidateChromeTrace(const JsonValue& root);
 
-/// The value of GPUJOIN_JSON_DIR, or "" when unset.
+/// The JSON export directory: $GPUJOIN_JSON_DIR, defaulting to
+/// "bench/results" when the variable is unset. An explicitly empty value
+/// ("") disables export.
 std::string JsonDirFromEnv();
 
 }  // namespace gpujoin::obs

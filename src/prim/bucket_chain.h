@@ -21,6 +21,16 @@
 // BuildBucketChainLayout; ApplyBucketChainToValues replays the identical
 // movement for a value column (physical IDs, or the payload of a narrow
 // relation).
+//
+// Parallel simulation: the routing itself is order-dependent (cursors are
+// shared across tiles because partitions span tiles), so it is computed
+// functionally on the calling thread in the seeded arrival order. The cost
+// accounting, by contrast, is per-tile independent once the routing is
+// fixed: each arrival-order tile becomes a thread block that re-derives its
+// lane digits from the key column and charges its loads, shared atomics and
+// staged run flushes through Device::ParallelBlocks. The per-block source
+// ranges and run ranges are recorded in the layout so the value replay can
+// use the same decomposition.
 
 #ifndef GPUJOIN_PRIM_BUCKET_CHAIN_H_
 #define GPUJOIN_PRIM_BUCKET_CHAIN_H_
@@ -56,6 +66,16 @@ struct StoreRun {
   uint32_t len;
 };
 
+/// One thread block of a bucket-chain pass: the source element range it
+/// streamed and its slice of the pass's store runs. Recorded so the value
+/// replay charges the identical block decomposition.
+struct ChainBlock {
+  uint64_t src;        // First source element (into the pass's input pool).
+  uint64_t len;        // Source elements streamed by this block.
+  uint64_t run_begin;  // First run index owned by this block.
+  uint64_t run_end;    // One past the last run index.
+};
+
 /// The result of bucket-chain partitioning a key column, plus everything
 /// needed to (a) hash-join over the chains and (b) replay the permutation
 /// onto value columns with faithful cost charging.
@@ -80,6 +100,10 @@ struct BucketChainLayout {
   /// arrival order — the staged bucket flushes of each pass.
   std::vector<StoreRun> runs1;
   std::vector<StoreRun> runs2;
+
+  /// Thread-block decomposition of each pass (arrival order), for replay.
+  std::vector<ChainBlock> blocks1;
+  std::vector<ChainBlock> blocks2;
 
   uint32_t num_partitions() const { return static_cast<uint32_t>(starts.size()); }
 };
@@ -140,43 +164,58 @@ Result<BucketChainLayout<K>> BuildBucketChainLayout(
   GPUJOIN_ASSIGN_OR_RETURN(auto keys_pool1,
                            vgpu::DeviceBuffer<K>::Allocate(device, pool1));
 
-  // --- Pass 1: shuffled tiles, atomics per warp, staged run stores.
+  // --- Pass 1: shuffled tiles, atomics per warp, staged run stores. The
+  // routing (cursor walk in arrival order) happens functionally up front;
+  // each arrival-order tile then charges its traffic as one thread block.
   {
     vgpu::KernelScope ks(device, "bucket_chain_pass1");
-    std::vector<uint64_t> cursor = coarse_starts;
-    std::vector<uint64_t> tile_start(coarse_parts);
     const uint64_t n_tiles = bit_util::CeilDiv(n, kPartitionTileElems);
-    uint32_t lane_slots[32];
-    for (uint64_t t :
-         bc_internal::ShuffledTiles(n_tiles, device.interleave_seed(), 1)) {
-      const uint64_t tb = t * kPartitionTileElems;
-      const uint64_t te = std::min(n, tb + kPartitionTileElems);
-      device.LoadSeq(keys_in.addr(tb), te - tb, sizeof(K));
-      tile_start = cursor;
-      for (uint64_t i = tb; i < te; i += warp) {
-        const uint32_t lanes =
-            static_cast<uint32_t>(std::min<uint64_t>(warp, te - i));
-        for (uint32_t l = 0; l < lanes; ++l) {
-          const uint32_t d = bit_util::RadixDigit(keys_in[i + l], bits2, bits1);
-          lane_slots[l] = d;
+    const auto order =
+        bc_internal::ShuffledTiles(n_tiles, device.interleave_seed(), 1);
+    {
+      std::vector<uint64_t> cursor = coarse_starts;
+      std::vector<uint64_t> tile_start(coarse_parts);
+      for (uint64_t b = 0; b < n_tiles; ++b) {
+        const uint64_t tb = order[b] * kPartitionTileElems;
+        const uint64_t te = std::min(n, tb + kPartitionTileElems);
+        const uint64_t first_run = out.runs1.size();
+        tile_start = cursor;
+        for (uint64_t i = tb; i < te; ++i) {
+          const uint32_t d = bit_util::RadixDigit(keys_in[i], bits2, bits1);
           const uint64_t pos = cursor[d]++;
-          keys_pool1[pos] = keys_in[i + l];
-          out.perm1[pos] = static_cast<RowId>(i + l);
+          keys_pool1[pos] = keys_in[i];
+          out.perm1[pos] = static_cast<RowId>(i);
         }
-        device.SharedAtomic({lane_slots, lanes});
-      }
-      // Block-staged flush: one contiguous run per coarse partition per tile.
-      for (uint32_t d = 0; d < coarse_parts; ++d) {
-        const uint64_t len = cursor[d] - tile_start[d];
-        if (len > 0) {
-          out.runs1.push_back(
-              {tile_start[d], static_cast<uint32_t>(len)});
+        // Block-staged flush: one contiguous run per coarse partition per tile.
+        for (uint32_t d = 0; d < coarse_parts; ++d) {
+          const uint64_t len = cursor[d] - tile_start[d];
+          if (len > 0) {
+            out.runs1.push_back({tile_start[d], static_cast<uint32_t>(len)});
+          }
         }
+        out.blocks1.push_back({tb, te - tb, first_run, out.runs1.size()});
       }
     }
-    for (const auto& run : out.runs1) {
-      device.StoreSeq(keys_pool1.addr(run.dst), run.len, sizeof(K));
-    }
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        out.blocks1.size(), [&](uint64_t b, vgpu::BlockContext& ctx) -> Status {
+          const ChainBlock& blk = out.blocks1[b];
+          ctx.LoadSeq(keys_in.addr(blk.src), blk.len, sizeof(K));
+          uint32_t lane_slots[32];
+          for (uint64_t i = 0; i < blk.len; i += warp) {
+            const uint32_t lanes =
+                static_cast<uint32_t>(std::min<uint64_t>(warp, blk.len - i));
+            for (uint32_t l = 0; l < lanes; ++l) {
+              lane_slots[l] =
+                  bit_util::RadixDigit(keys_in[blk.src + i + l], bits2, bits1);
+            }
+            ctx.SharedAtomic({lane_slots, lanes});
+          }
+          for (uint64_t r = blk.run_begin; r < blk.run_end; ++r) {
+            ctx.StoreSeq(keys_pool1.addr(out.runs1[r].dst), out.runs1[r].len,
+                         sizeof(K));
+          }
+          return Status::OK();
+        }));
     // Bucket allocation bookkeeping: a global atomic + next-pointer write
     // per allocated bucket. Allocations for the SAME partition serialize
     // across thread blocks on its chain tail — under a skewed distribution
@@ -214,53 +253,68 @@ Result<BucketChainLayout<K>> BuildBucketChainLayout(
   out.perm2.assign(pool2, kInvalidRow);
   GPUJOIN_ASSIGN_OR_RETURN(out.keys, vgpu::DeviceBuffer<K>::Allocate(device, pool2));
 
-  // --- Pass 2: per coarse partition, refine by the low bits2 bits.
+  // --- Pass 2: per coarse partition, refine by the low bits2 bits. Routing
+  // runs functionally first (same arrival-order rule as pass 1), then the
+  // recorded blocks charge in parallel.
   {
     vgpu::KernelScope ks(device, "bucket_chain_pass2");
-    std::vector<uint64_t> cursor = out.starts;
     const uint32_t fine_parts = 1u << bits2;
-    std::vector<uint64_t> tile_start(fine_parts);
-    uint32_t lane_slots[32];
-    for (uint32_t c = 0; c < coarse_parts; ++c) {
-      const uint64_t cb = coarse_starts[c];
-      const uint64_t cn = coarse_sizes[c];
-      // Final digits of coarse partition c occupy the contiguous id range
-      // [c << bits2, (c + 1) << bits2).
-      const uint32_t d_base = c << bits2;
-      const uint64_t n_tiles = bit_util::CeilDiv(cn, kPartitionTileElems);
-      for (uint64_t t : bc_internal::ShuffledTiles(
-               n_tiles, device.interleave_seed(), 1000 + c)) {
-        const uint64_t tb = t * kPartitionTileElems;
-        const uint64_t te = std::min(cn, tb + kPartitionTileElems);
-        device.LoadSeq(keys_pool1.addr(cb + tb), te - tb, sizeof(K));
-        for (uint32_t f = 0; f < fine_parts; ++f) {
-          tile_start[f] = cursor[d_base + f];
-        }
-        for (uint64_t i = tb; i < te; i += warp) {
-          const uint32_t lanes =
-              static_cast<uint32_t>(std::min<uint64_t>(warp, te - i));
-          for (uint32_t l = 0; l < lanes; ++l) {
-            const uint64_t p1pos = cb + i + l;
+    {
+      std::vector<uint64_t> cursor = out.starts;
+      std::vector<uint64_t> tile_start(fine_parts);
+      for (uint32_t c = 0; c < coarse_parts; ++c) {
+        const uint64_t cb = coarse_starts[c];
+        const uint64_t cn = coarse_sizes[c];
+        // Final digits of coarse partition c occupy the contiguous id range
+        // [c << bits2, (c + 1) << bits2).
+        const uint32_t d_base = c << bits2;
+        const uint64_t n_tiles = bit_util::CeilDiv(cn, kPartitionTileElems);
+        for (uint64_t t : bc_internal::ShuffledTiles(
+                 n_tiles, device.interleave_seed(), 1000 + c)) {
+          const uint64_t tb = t * kPartitionTileElems;
+          const uint64_t te = std::min(cn, tb + kPartitionTileElems);
+          const uint64_t first_run = out.runs2.size();
+          for (uint32_t f = 0; f < fine_parts; ++f) {
+            tile_start[f] = cursor[d_base + f];
+          }
+          for (uint64_t i = tb; i < te; ++i) {
+            const uint64_t p1pos = cb + i;
             const K key = keys_pool1[p1pos];
             const uint32_t d = bit_util::RadixDigit(key, 0, total_bits);
-            lane_slots[l] = bit_util::RadixDigit(key, 0, bits2);
             const uint64_t pos = cursor[d]++;
             out.keys[pos] = key;
             out.perm2[pos] = static_cast<RowId>(p1pos);
           }
-          device.SharedAtomic({lane_slots, lanes});
-        }
-        for (uint32_t f = 0; f < fine_parts; ++f) {
-          const uint64_t len = cursor[d_base + f] - tile_start[f];
-          if (len > 0) {
-            out.runs2.push_back({tile_start[f], static_cast<uint32_t>(len)});
+          for (uint32_t f = 0; f < fine_parts; ++f) {
+            const uint64_t len = cursor[d_base + f] - tile_start[f];
+            if (len > 0) {
+              out.runs2.push_back({tile_start[f], static_cast<uint32_t>(len)});
+            }
           }
+          out.blocks2.push_back({cb + tb, te - tb, first_run, out.runs2.size()});
         }
       }
     }
-    for (const auto& run : out.runs2) {
-      device.StoreSeq(out.keys.addr(run.dst), run.len, sizeof(K));
-    }
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        out.blocks2.size(), [&](uint64_t b, vgpu::BlockContext& ctx) -> Status {
+          const ChainBlock& blk = out.blocks2[b];
+          ctx.LoadSeq(keys_pool1.addr(blk.src), blk.len, sizeof(K));
+          uint32_t lane_slots[32];
+          for (uint64_t i = 0; i < blk.len; i += warp) {
+            const uint32_t lanes =
+                static_cast<uint32_t>(std::min<uint64_t>(warp, blk.len - i));
+            for (uint32_t l = 0; l < lanes; ++l) {
+              lane_slots[l] =
+                  bit_util::RadixDigit(keys_pool1[blk.src + i + l], 0, bits2);
+            }
+            ctx.SharedAtomic({lane_slots, lanes});
+          }
+          for (uint64_t r = blk.run_begin; r < blk.run_end; ++r) {
+            ctx.StoreSeq(out.keys.addr(out.runs2[r].dst), out.runs2[r].len,
+                         sizeof(K));
+          }
+          return Status::OK();
+        }));
     device.Compute((pool2 / bucket_elems) * 3);
     uint64_t max_chain = 0;
     for (uint32_t p = 0; p < num_parts; ++p) {
@@ -279,7 +333,8 @@ Result<BucketChainLayout<K>> BuildBucketChainLayout(
 /// Replays the layout's two-pass movement onto a value column (the physical
 /// IDs, or a narrow relation's payload). Returns the final-pass value pool
 /// (same positions as layout.keys). Charges the same traffic pattern the
-/// key column paid (minus the atomics, which were already charged).
+/// key column paid (minus the atomics, which were already charged), block
+/// for block via the layout's recorded pass decomposition.
 template <typename K, typename V>
 Result<vgpu::DeviceBuffer<V>> ApplyBucketChainToValues(
     vgpu::Device& device, const BucketChainLayout<K>& layout,
@@ -290,23 +345,35 @@ Result<vgpu::DeviceBuffer<V>> ApplyBucketChainToValues(
       auto pool2, vgpu::DeviceBuffer<V>::Allocate(device, layout.pool2_elems));
   {
     vgpu::KernelScope ks(device, "bucket_chain_vals_pass1");
-    device.LoadSeq(vals_in.addr(), vals_in.size(), sizeof(V));
     for (uint64_t pos = 0; pos < layout.pool1_elems; ++pos) {
       if (layout.perm1[pos] != kInvalidRow) pool1[pos] = vals_in[layout.perm1[pos]];
     }
-    for (const auto& run : layout.runs1) {
-      device.StoreSeq(pool1.addr(run.dst), run.len, sizeof(V));
-    }
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        layout.blocks1.size(), [&](uint64_t b, vgpu::BlockContext& ctx) -> Status {
+          const ChainBlock& blk = layout.blocks1[b];
+          ctx.LoadSeq(vals_in.addr(blk.src), blk.len, sizeof(V));
+          for (uint64_t r = blk.run_begin; r < blk.run_end; ++r) {
+            ctx.StoreSeq(pool1.addr(layout.runs1[r].dst), layout.runs1[r].len,
+                         sizeof(V));
+          }
+          return Status::OK();
+        }));
   }
   {
     vgpu::KernelScope ks(device, "bucket_chain_vals_pass2");
-    device.LoadSeq(pool1.addr(), layout.pool1_elems, sizeof(V));
     for (uint64_t pos = 0; pos < layout.pool2_elems; ++pos) {
       if (layout.perm2[pos] != kInvalidRow) pool2[pos] = pool1[layout.perm2[pos]];
     }
-    for (const auto& run : layout.runs2) {
-      device.StoreSeq(pool2.addr(run.dst), run.len, sizeof(V));
-    }
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        layout.blocks2.size(), [&](uint64_t b, vgpu::BlockContext& ctx) -> Status {
+          const ChainBlock& blk = layout.blocks2[b];
+          ctx.LoadSeq(pool1.addr(blk.src), blk.len, sizeof(V));
+          for (uint64_t r = blk.run_begin; r < blk.run_end; ++r) {
+            ctx.StoreSeq(pool2.addr(layout.runs2[r].dst), layout.runs2[r].len,
+                         sizeof(V));
+          }
+          return Status::OK();
+        }));
   }
   return pool2;
 }
@@ -315,7 +382,8 @@ Result<vgpu::DeviceBuffer<V>> ApplyBucketChainToValues(
 /// iterate the build side's chain bucket by bucket, build a shared-memory
 /// table from the bucket, and probe with the probe side's chain (§3.2's
 /// block-nested-loop over build buckets). Positions refer to the final key
-/// pools of the respective layouts.
+/// pools of the respective layouts. One partition per thread block; count
+/// sweep, then a write sweep into precomputed per-partition output ranges.
 template <typename K>
 Result<MatchResult<K>> HashJoinBucketChains(vgpu::Device& device,
                                             const BucketChainLayout<K>& r,
@@ -329,69 +397,113 @@ Result<MatchResult<K>> HashJoinBucketChains(vgpu::Device& device,
   const uint64_t chunk_elems = std::min<uint64_t>(capacity, r.bucket_elems);
   const uint64_t table_size = bit_util::NextPowerOfTwo(chunk_elems * 2);
   const uint64_t mask = table_size - 1;
-  std::vector<int64_t> slot_keys(table_size, kEmptySlot);
-  std::vector<RowId> slot_pos(table_size, 0);
 
-  MatchResult<K> out;
-  uint64_t n_matches = 0;
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    const bool emit = (sweep == 1);
-    vgpu::KernelScope ks(device,
-                         emit ? "phj_um_probe_write" : "phj_um_probe_count");
-    uint64_t o = 0;
-    for (size_t p = 0; p < num_parts; ++p) {
-      const uint64_t rb = r.starts[p], rn = r.sizes[p];
-      const uint64_t sb = s.starts[p], sn = s.sizes[p];
-      if (rn == 0 || sn == 0) continue;
-      for (uint64_t chunk = 0; chunk < rn; chunk += chunk_elems) {
-        const uint64_t cn = std::min(chunk_elems, rn - chunk);
-        device.Compute(4);  // Chain header / next-pointer bookkeeping.
-        device.LoadSeq(r.keys.addr(rb + chunk), cn, sizeof(K));
-        device.SharedAccess(bit_util::CeilDiv(cn, warp) * 2);
-        std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
-        for (uint64_t i = 0; i < cn; ++i) {
-          const uint64_t pos = rb + chunk + i;
-          uint64_t h = HashToSlot(static_cast<int64_t>(r.keys[pos]), mask);
-          while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
-          slot_keys[h] = static_cast<int64_t>(r.keys[pos]);
-          slot_pos[h] = static_cast<RowId>(pos);
-        }
-        for (uint64_t sc = 0; sc < sn; sc += s.bucket_elems) {
-          const uint64_t scn = std::min<uint64_t>(s.bucket_elems, sn - sc);
-          device.Compute(4);
-          device.LoadSeq(s.keys.addr(sb + sc), scn, sizeof(K));
-          device.SharedAccess(bit_util::CeilDiv(scn, warp) * 2);
-          for (uint64_t j = 0; j < scn; ++j) {
-            const uint64_t spos = sb + sc + j;
-            uint64_t h = HashToSlot(static_cast<int64_t>(s.keys[spos]), mask);
-            while (slot_keys[h] != kEmptySlot) {
-              if (slot_keys[h] == static_cast<int64_t>(s.keys[spos])) {
-                if (emit) {
-                  out.keys[o] = s.keys[spos];
-                  out.r_pos[o] = slot_pos[h];
-                  out.s_pos[o] = static_cast<RowId>(spos);
+  std::vector<uint64_t> part_matches(num_parts, 0);
+  {
+    vgpu::KernelScope ks(device, "phj_um_probe_count");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        num_parts, [&](uint64_t p, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t rb = r.starts[p], rn = r.sizes[p];
+          const uint64_t sb = s.starts[p], sn = s.sizes[p];
+          if (rn == 0 || sn == 0) return Status::OK();
+          std::vector<int64_t> slot_keys(table_size, kEmptySlot);
+          uint64_t o = 0;
+          for (uint64_t chunk = 0; chunk < rn; chunk += chunk_elems) {
+            const uint64_t cn = std::min(chunk_elems, rn - chunk);
+            ctx.Compute(4);  // Chain header / next-pointer bookkeeping.
+            ctx.LoadSeq(r.keys.addr(rb + chunk), cn, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(cn, warp) * 2);
+            std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
+            for (uint64_t i = 0; i < cn; ++i) {
+              const uint64_t pos = rb + chunk + i;
+              uint64_t h = HashToSlot(static_cast<int64_t>(r.keys[pos]), mask);
+              while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
+              slot_keys[h] = static_cast<int64_t>(r.keys[pos]);
+            }
+            for (uint64_t sc = 0; sc < sn; sc += s.bucket_elems) {
+              const uint64_t scn = std::min<uint64_t>(s.bucket_elems, sn - sc);
+              ctx.Compute(4);
+              ctx.LoadSeq(s.keys.addr(sb + sc), scn, sizeof(K));
+              ctx.SharedAccess(bit_util::CeilDiv(scn, warp) * 2);
+              for (uint64_t j = 0; j < scn; ++j) {
+                const uint64_t spos = sb + sc + j;
+                uint64_t h = HashToSlot(static_cast<int64_t>(s.keys[spos]), mask);
+                while (slot_keys[h] != kEmptySlot) {
+                  if (slot_keys[h] == static_cast<int64_t>(s.keys[spos])) ++o;
+                  h = (h + 1) & mask;
                 }
-                ++o;
               }
-              h = (h + 1) & mask;
             }
           }
-        }
-      }
-    }
-    if (!emit) {
-      n_matches = o;
-      GPUJOIN_ASSIGN_OR_RETURN(out.keys,
-                               vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-    } else {
-      device.StoreSeq(out.keys.addr(), n_matches, sizeof(K));
-      device.StoreSeq(out.r_pos.addr(), n_matches, sizeof(RowId));
-      device.StoreSeq(out.s_pos.addr(), n_matches, sizeof(RowId));
-    }
+          part_matches[p] = o;
+          return Status::OK();
+        }));
+  }
+
+  std::vector<uint64_t> out_base(num_parts + 1, 0);
+  for (size_t p = 0; p < num_parts; ++p) {
+    out_base[p + 1] = out_base[p] + part_matches[p];
+  }
+  const uint64_t n_matches = out_base[num_parts];
+  MatchResult<K> out;
+  GPUJOIN_ASSIGN_OR_RETURN(out.keys,
+                           vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+
+  {
+    vgpu::KernelScope ks(device, "phj_um_probe_write");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        num_parts, [&](uint64_t p, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t rb = r.starts[p], rn = r.sizes[p];
+          const uint64_t sb = s.starts[p], sn = s.sizes[p];
+          if (rn == 0 || sn == 0) return Status::OK();
+          std::vector<int64_t> slot_keys(table_size, kEmptySlot);
+          std::vector<RowId> slot_pos(table_size, 0);
+          uint64_t o = out_base[p];
+          for (uint64_t chunk = 0; chunk < rn; chunk += chunk_elems) {
+            const uint64_t cn = std::min(chunk_elems, rn - chunk);
+            ctx.Compute(4);
+            ctx.LoadSeq(r.keys.addr(rb + chunk), cn, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(cn, warp) * 2);
+            std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
+            for (uint64_t i = 0; i < cn; ++i) {
+              const uint64_t pos = rb + chunk + i;
+              uint64_t h = HashToSlot(static_cast<int64_t>(r.keys[pos]), mask);
+              while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
+              slot_keys[h] = static_cast<int64_t>(r.keys[pos]);
+              slot_pos[h] = static_cast<RowId>(pos);
+            }
+            for (uint64_t sc = 0; sc < sn; sc += s.bucket_elems) {
+              const uint64_t scn = std::min<uint64_t>(s.bucket_elems, sn - sc);
+              ctx.Compute(4);
+              ctx.LoadSeq(s.keys.addr(sb + sc), scn, sizeof(K));
+              ctx.SharedAccess(bit_util::CeilDiv(scn, warp) * 2);
+              for (uint64_t j = 0; j < scn; ++j) {
+                const uint64_t spos = sb + sc + j;
+                uint64_t h = HashToSlot(static_cast<int64_t>(s.keys[spos]), mask);
+                while (slot_keys[h] != kEmptySlot) {
+                  if (slot_keys[h] == static_cast<int64_t>(s.keys[spos])) {
+                    out.keys[o] = s.keys[spos];
+                    out.r_pos[o] = slot_pos[h];
+                    out.s_pos[o] = static_cast<RowId>(spos);
+                    ++o;
+                  }
+                  h = (h + 1) & mask;
+                }
+              }
+            }
+          }
+          const uint64_t len = out_base[p + 1] - out_base[p];
+          if (len > 0) {
+            ctx.StoreSeq(out.keys.addr(out_base[p]), len, sizeof(K));
+            ctx.StoreSeq(out.r_pos.addr(out_base[p]), len, sizeof(RowId));
+            ctx.StoreSeq(out.s_pos.addr(out_base[p]), len, sizeof(RowId));
+          }
+          return Status::OK();
+        }));
   }
   return out;
 }

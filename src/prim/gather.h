@@ -6,6 +6,13 @@
 // ordering of `map` — which is precisely the effect the GFTR pattern exploits
 // (§4.1, Table 4, Figure 7). The simulated cost model sees the actual lane
 // addresses, so clustering emerges from the data, not from a flag.
+//
+// All three kernels run one 4096-element tile per thread block through
+// Device::ParallelBlocks: tiles read/write disjoint index ranges of the
+// streams, so the blocks are independent. SCATTER additionally requires a
+// duplicate-free map (a permutation prefix) for that independence — every
+// call site scatters by a permutation, and duplicate destinations would be
+// a data race on a real GPU too.
 
 #ifndef GPUJOIN_PRIM_GATHER_H_
 #define GPUJOIN_PRIM_GATHER_H_
@@ -13,12 +20,16 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/bit_util.h"
 #include "common/status.h"
 #include "storage/types.h"
 #include "vgpu/buffer.h"
 #include "vgpu/device.h"
 
 namespace gpujoin::prim {
+
+/// Elements per thread-block tile of the gather/scatter kernels.
+inline constexpr uint64_t kGatherTileElems = 4096;
 
 /// out[i] = in[map[i]] for i in [0, map.size()).
 template <typename T>
@@ -30,29 +41,36 @@ Status Gather(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
   const uint64_t n = map.size();
   const int warp = device.config().warp_size;
   vgpu::KernelScope ks(device, "gather");
-  // The map read and output write are fully coalesced streams: charge them
-  // as bulk runs. Only the data read depends on the map contents and needs
-  // per-warp lane addresses.
-  device.LoadSeq(map.addr(), n, sizeof(RowId));
-  uint64_t addrs[32];
-  for (uint64_t i = 0; i < n; i += warp) {
-    const uint32_t lanes = static_cast<uint32_t>(
-        std::min<uint64_t>(warp, n - i));
-    for (uint32_t l = 0; l < lanes; ++l) {
-      const RowId src = map[i + l];
-      if (src >= in.size()) {
-        return Status::InvalidArgument("Gather: map index out of range");
-      }
-      addrs[l] = in.addr(src);
-      (*out)[i + l] = in[src];
-    }
-    device.Load({addrs, lanes}, sizeof(T));
-  }
-  device.StoreSeq(out->addr(), n, sizeof(T));
-  return Status::OK();
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kGatherTileElems);
+  return device.ParallelBlocks(
+      n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+        const uint64_t begin = tile * kGatherTileElems;
+        const uint64_t tile_n = std::min(kGatherTileElems, n - begin);
+        // The map read and output write are fully coalesced streams: charge
+        // them as bulk runs. Only the data read depends on the map contents
+        // and needs per-warp lane addresses.
+        ctx.LoadSeq(map.addr(begin), tile_n, sizeof(RowId));
+        uint64_t addrs[32];
+        for (uint64_t i = begin; i < begin + tile_n; i += warp) {
+          const uint32_t lanes = static_cast<uint32_t>(
+              std::min<uint64_t>(warp, begin + tile_n - i));
+          for (uint32_t l = 0; l < lanes; ++l) {
+            const RowId src = map[i + l];
+            if (src >= in.size()) {
+              return Status::InvalidArgument("Gather: map index out of range");
+            }
+            addrs[l] = in.addr(src);
+            (*out)[i + l] = in[src];
+          }
+          ctx.Load({addrs, lanes}, sizeof(T));
+        }
+        ctx.StoreSeq(out->addr(begin), tile_n, sizeof(T));
+        return Status::OK();
+      });
 }
 
-/// out[map[i]] = in[i] for i in [0, map.size()).
+/// out[map[i]] = in[i] for i in [0, map.size()). The map must be
+/// duplicate-free (concurrent blocks would otherwise race on a real GPU).
 template <typename T>
 Status Scatter(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
                const vgpu::DeviceBuffer<RowId>& map, vgpu::DeviceBuffer<T>* out) {
@@ -62,32 +80,47 @@ Status Scatter(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
   const uint64_t n = map.size();
   const int warp = device.config().warp_size;
   vgpu::KernelScope ks(device, "scatter");
-  // Map and input are fully coalesced streams: charge them as bulk runs.
-  device.LoadSeq(map.addr(), n, sizeof(RowId));
-  device.LoadSeq(in.addr(), n, sizeof(T));
-  uint64_t addrs[32];
-  for (uint64_t i = 0; i < n; i += warp) {
-    const uint32_t lanes = static_cast<uint32_t>(
-        std::min<uint64_t>(warp, n - i));
-    for (uint32_t l = 0; l < lanes; ++l) {
-      const RowId dst = map[i + l];
-      if (dst >= out->size()) {
-        return Status::InvalidArgument("Scatter: map index out of range");
-      }
-      addrs[l] = out->addr(dst);
-      (*out)[dst] = in[i + l];
-    }
-    device.Store({addrs, lanes}, sizeof(T));
-  }
-  return Status::OK();
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kGatherTileElems);
+  return device.ParallelBlocks(
+      n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+        const uint64_t begin = tile * kGatherTileElems;
+        const uint64_t tile_n = std::min(kGatherTileElems, n - begin);
+        // Map and input are fully coalesced streams: charge them as runs.
+        ctx.LoadSeq(map.addr(begin), tile_n, sizeof(RowId));
+        ctx.LoadSeq(in.addr(begin), tile_n, sizeof(T));
+        uint64_t addrs[32];
+        for (uint64_t i = begin; i < begin + tile_n; i += warp) {
+          const uint32_t lanes = static_cast<uint32_t>(
+              std::min<uint64_t>(warp, begin + tile_n - i));
+          for (uint32_t l = 0; l < lanes; ++l) {
+            const RowId dst = map[i + l];
+            if (dst >= out->size()) {
+              return Status::InvalidArgument("Scatter: map index out of range");
+            }
+            addrs[l] = out->addr(dst);
+            (*out)[dst] = in[i + l];
+          }
+          ctx.Store({addrs, lanes}, sizeof(T));
+        }
+        return Status::OK();
+      });
 }
 
 /// Fills ids with 0, 1, ..., n-1 (physical tuple-identifier initialization).
 inline Status Iota(vgpu::Device& device, vgpu::DeviceBuffer<RowId>* ids) {
+  const uint64_t n = ids->size();
   vgpu::KernelScope ks(device, "iota");
-  for (uint64_t i = 0; i < ids->size(); ++i) (*ids)[i] = static_cast<RowId>(i);
-  device.StoreSeq(ids->addr(), ids->size(), sizeof(RowId));
-  return Status::OK();
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kGatherTileElems);
+  return device.ParallelBlocks(
+      n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+        const uint64_t begin = tile * kGatherTileElems;
+        const uint64_t tile_n = std::min(kGatherTileElems, n - begin);
+        for (uint64_t i = begin; i < begin + tile_n; ++i) {
+          (*ids)[i] = static_cast<RowId>(i);
+        }
+        ctx.StoreSeq(ids->addr(begin), tile_n, sizeof(RowId));
+        return Status::OK();
+      });
 }
 
 }  // namespace gpujoin::prim

@@ -6,12 +6,17 @@
 // probe-side partition streaming from global memory. Build partitions larger
 // than the shared-memory capacity are processed in capacity-sized chunks,
 // re-streaming the probe partition per chunk (the block-nested-loop scheme
-// the paper describes).
+// the paper describes). The simulation runs one partition per thread block
+// via Device::ParallelBlocks — the blocks are independent by construction
+// (each owns its shared-table image and a precomputed output range).
 //
 // HashJoinGlobal — the non-partitioned hash join baseline (cuDF-style,
 // Figure 8): one global-memory open-addressing table built from R and probed
 // by S; every table access is a random global access, which is exactly why
 // the paper's Figure 9 shows it losing to the partitioned implementations.
+// The build inserts in tuple order (insertion order defines the table
+// layout, so it stays sequential); the probe sweeps run one S tile per
+// block against the read-only table.
 //
 // Both run a count sweep + write sweep (deterministic, clustered output).
 
@@ -34,6 +39,9 @@ namespace gpujoin::prim {
 
 /// Sentinel for empty hash-table slots; all workload keys are non-negative.
 inline constexpr int64_t kEmptySlot = -1;
+
+/// S elements per thread-block tile of the non-partitioned probe sweeps.
+inline constexpr uint64_t kProbeTileElems = 4096;
 
 /// Shared-memory hash-table capacity (entries) for a build chunk, derived
 /// from the device's shared memory budget at load factor 1/2.
@@ -60,65 +68,108 @@ Result<MatchResult<K>> HashJoinCoPartitioned(
   const int warp = device.config().warp_size;
   const uint64_t table_size = bit_util::NextPowerOfTwo(capacity * 2);
   const uint64_t mask = table_size - 1;
-  std::vector<int64_t> slot_keys(table_size, kEmptySlot);
-  std::vector<RowId> slot_pos(table_size, 0);
 
-  // The sweep runs twice: emit=false counts, emit=true writes.
-  MatchResult<K> out;
-  uint64_t n_matches = 0;
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    const bool emit = (sweep == 1);
-    uint64_t o = 0;
-    vgpu::KernelScope ks(device,
-                         emit ? "phj_probe_write" : "phj_probe_count");
-    for (size_t p = 0; p < num_parts; ++p) {
-      const uint64_t rb = r_offsets[p], re = r_offsets[p + 1];
-      const uint64_t sb = s_offsets[p], se = s_offsets[p + 1];
-      if (rb == re || sb == se) continue;
-      for (uint64_t chunk = rb; chunk < re; chunk += capacity) {
-        const uint64_t ce = std::min(re, chunk + capacity);
-        // Build: stream the chunk, insert into the shared table.
-        device.LoadSeq(r_keys.addr(chunk), ce - chunk, sizeof(K));
-        device.SharedAccess(bit_util::CeilDiv(ce - chunk, warp) * 2);
-        std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
-        for (uint64_t i = chunk; i < ce; ++i) {
-          uint64_t h = HashToSlot(static_cast<int64_t>(r_keys[i]), mask);
-          while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
-          slot_keys[h] = static_cast<int64_t>(r_keys[i]);
-          slot_pos[h] = static_cast<RowId>(i);
-        }
-        // Probe: stream the S partition.
-        device.LoadSeq(s_keys.addr(sb), se - sb, sizeof(K));
-        device.SharedAccess(bit_util::CeilDiv(se - sb, warp) * 2);
-        for (uint64_t j = sb; j < se; ++j) {
-          uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[j]), mask);
-          while (slot_keys[h] != kEmptySlot) {
-            if (slot_keys[h] == static_cast<int64_t>(s_keys[j])) {
-              if (emit) {
-                out.keys[o] = s_keys[j];
-                out.r_pos[o] = slot_pos[h];
-                out.s_pos[o] = static_cast<RowId>(j);
-              }
-              ++o;
+  // --- Count sweep: one partition per block, each with a private
+  // shared-table image; per-partition match counts land in disjoint slots.
+  std::vector<uint64_t> part_matches(num_parts, 0);
+  {
+    vgpu::KernelScope ks(device, "phj_probe_count");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        num_parts, [&](uint64_t p, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t rb = r_offsets[p], re = r_offsets[p + 1];
+          const uint64_t sb = s_offsets[p], se = s_offsets[p + 1];
+          if (rb == re || sb == se) return Status::OK();
+          std::vector<int64_t> slot_keys(table_size, kEmptySlot);
+          uint64_t o = 0;
+          for (uint64_t chunk = rb; chunk < re; chunk += capacity) {
+            const uint64_t ce = std::min(re, chunk + capacity);
+            // Build: stream the chunk, insert into the shared table.
+            ctx.LoadSeq(r_keys.addr(chunk), ce - chunk, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(ce - chunk, warp) * 2);
+            std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
+            for (uint64_t i = chunk; i < ce; ++i) {
+              uint64_t h = HashToSlot(static_cast<int64_t>(r_keys[i]), mask);
+              while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
+              slot_keys[h] = static_cast<int64_t>(r_keys[i]);
             }
-            h = (h + 1) & mask;
+            // Probe: stream the S partition.
+            ctx.LoadSeq(s_keys.addr(sb), se - sb, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(se - sb, warp) * 2);
+            for (uint64_t j = sb; j < se; ++j) {
+              uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[j]), mask);
+              while (slot_keys[h] != kEmptySlot) {
+                if (slot_keys[h] == static_cast<int64_t>(s_keys[j])) ++o;
+                h = (h + 1) & mask;
+              }
+            }
           }
-        }
-      }
-    }
-    if (!emit) {
-      n_matches = o;
-      GPUJOIN_ASSIGN_OR_RETURN(out.keys,
-                               vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-    } else {
-      device.StoreSeq(out.keys.addr(), n_matches, sizeof(K));
-      device.StoreSeq(out.r_pos.addr(), n_matches, sizeof(RowId));
-      device.StoreSeq(out.s_pos.addr(), n_matches, sizeof(RowId));
-    }
+          part_matches[p] = o;
+          return Status::OK();
+        }));
+  }
+
+  // Per-partition output bases (probe-major per partition, so positions are
+  // clustered) and the output allocation, on the calling thread.
+  std::vector<uint64_t> out_base(num_parts + 1, 0);
+  for (size_t p = 0; p < num_parts; ++p) {
+    out_base[p + 1] = out_base[p] + part_matches[p];
+  }
+  const uint64_t n_matches = out_base[num_parts];
+  MatchResult<K> out;
+  GPUJOIN_ASSIGN_OR_RETURN(out.keys,
+                           vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+
+  // --- Write sweep: same block decomposition; each block emits into its
+  // precomputed contiguous output range.
+  {
+    vgpu::KernelScope ks(device, "phj_probe_write");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        num_parts, [&](uint64_t p, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t rb = r_offsets[p], re = r_offsets[p + 1];
+          const uint64_t sb = s_offsets[p], se = s_offsets[p + 1];
+          if (rb == re || sb == se) return Status::OK();
+          std::vector<int64_t> slot_keys(table_size, kEmptySlot);
+          std::vector<RowId> slot_pos(table_size, 0);
+          uint64_t o = out_base[p];
+          for (uint64_t chunk = rb; chunk < re; chunk += capacity) {
+            const uint64_t ce = std::min(re, chunk + capacity);
+            ctx.LoadSeq(r_keys.addr(chunk), ce - chunk, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(ce - chunk, warp) * 2);
+            std::fill(slot_keys.begin(), slot_keys.end(), kEmptySlot);
+            for (uint64_t i = chunk; i < ce; ++i) {
+              uint64_t h = HashToSlot(static_cast<int64_t>(r_keys[i]), mask);
+              while (slot_keys[h] != kEmptySlot) h = (h + 1) & mask;
+              slot_keys[h] = static_cast<int64_t>(r_keys[i]);
+              slot_pos[h] = static_cast<RowId>(i);
+            }
+            ctx.LoadSeq(s_keys.addr(sb), se - sb, sizeof(K));
+            ctx.SharedAccess(bit_util::CeilDiv(se - sb, warp) * 2);
+            for (uint64_t j = sb; j < se; ++j) {
+              uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[j]), mask);
+              while (slot_keys[h] != kEmptySlot) {
+                if (slot_keys[h] == static_cast<int64_t>(s_keys[j])) {
+                  out.keys[o] = s_keys[j];
+                  out.r_pos[o] = slot_pos[h];
+                  out.s_pos[o] = static_cast<RowId>(j);
+                  ++o;
+                }
+                h = (h + 1) & mask;
+              }
+            }
+          }
+          // The partition's matches flush as one contiguous run per array.
+          const uint64_t len = out_base[p + 1] - out_base[p];
+          if (len > 0) {
+            ctx.StoreSeq(out.keys.addr(out_base[p]), len, sizeof(K));
+            ctx.StoreSeq(out.r_pos.addr(out_base[p]), len, sizeof(RowId));
+            ctx.StoreSeq(out.s_pos.addr(out_base[p]), len, sizeof(RowId));
+          }
+          return Status::OK();
+        }));
   }
   return out;
 }
@@ -142,7 +193,8 @@ Result<MatchResult<K>> HashJoinGlobal(vgpu::Device& device,
                            vgpu::DeviceBuffer<RowId>::Allocate(device, table_size));
   std::fill(table_keys.data(), table_keys.data() + table_size, kEmptySlot);
 
-  // --- Build kernel: one random load+store chain per R tuple.
+  // --- Build kernel: one random load+store chain per R tuple. Insertion
+  // order defines the linear-probe layout, so the build stays sequential.
   {
     vgpu::KernelScope ks(device, "nphj_build");
     device.LoadSeq(r_keys.addr(), nr, sizeof(K));
@@ -171,51 +223,93 @@ Result<MatchResult<K>> HashJoinGlobal(vgpu::Device& device,
     }
   }
 
-  // --- Probe kernels: count sweep then write sweep.
-  MatchResult<K> out;
-  uint64_t n_matches = 0;
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    const bool emit = (sweep == 1);
-    vgpu::KernelScope ks(device, emit ? "nphj_probe_write" : "nphj_probe_count");
-    device.LoadSeq(s_keys.addr(), ns, sizeof(K));
-    uint64_t o = 0;
-    uint64_t addrs[32];
-    for (uint64_t j = 0; j < ns; j += warp) {
-      const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, ns - j));
-      for (uint32_t l = 0; l < lanes; ++l) {
-        const uint64_t idx = j + l;
-        uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[idx]), mask);
-        addrs[l] = table_keys.addr(h);
-        uint64_t steps = 1;
-        while (table_keys[h] != kEmptySlot) {
-          if (table_keys[h] == static_cast<int64_t>(s_keys[idx])) {
-            if (emit) {
-              out.keys[o] = s_keys[idx];
-              out.r_pos[o] = table_pos[h];
-              out.s_pos[o] = static_cast<RowId>(idx);
+  // --- Probe kernels: count sweep then write sweep, one S tile per block
+  // against the read-only table.
+  const uint64_t n_tiles = bit_util::CeilDiv(ns, kProbeTileElems);
+  std::vector<uint64_t> tile_matches(n_tiles, 0);
+  {
+    vgpu::KernelScope ks(device, "nphj_probe_count");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kProbeTileElems;
+          const uint64_t tile_n = std::min(kProbeTileElems, ns - begin);
+          ctx.LoadSeq(s_keys.addr(begin), tile_n, sizeof(K));
+          uint64_t o = 0;
+          uint64_t addrs[32];
+          for (uint64_t j = begin; j < begin + tile_n; j += warp) {
+            const uint32_t lanes = static_cast<uint32_t>(
+                std::min<uint64_t>(warp, begin + tile_n - j));
+            for (uint32_t l = 0; l < lanes; ++l) {
+              const uint64_t idx = j + l;
+              uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[idx]), mask);
+              addrs[l] = table_keys.addr(h);
+              uint64_t steps = 1;
+              while (table_keys[h] != kEmptySlot) {
+                if (table_keys[h] == static_cast<int64_t>(s_keys[idx])) ++o;
+                h = (h + 1) & mask;
+                ++steps;
+              }
+              if (steps > 1) ctx.Compute(steps - 1);
             }
-            ++o;
+            ctx.Load({addrs, lanes}, sizeof(int64_t) + sizeof(RowId));
           }
-          h = (h + 1) & mask;
-          ++steps;
-        }
-        if (steps > 1) device.Compute(steps - 1);
-      }
-      device.Load({addrs, lanes}, sizeof(int64_t) + sizeof(RowId));
-    }
-    if (!emit) {
-      n_matches = o;
-      GPUJOIN_ASSIGN_OR_RETURN(out.keys,
-                               vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-      GPUJOIN_ASSIGN_OR_RETURN(
-          out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
-    } else {
-      device.StoreSeq(out.keys.addr(), n_matches, sizeof(K));
-      device.StoreSeq(out.r_pos.addr(), n_matches, sizeof(RowId));
-      device.StoreSeq(out.s_pos.addr(), n_matches, sizeof(RowId));
-    }
+          tile_matches[tile] = o;
+          return Status::OK();
+        }));
+  }
+
+  std::vector<uint64_t> tile_base(n_tiles + 1, 0);
+  for (uint64_t t = 0; t < n_tiles; ++t) {
+    tile_base[t + 1] = tile_base[t] + tile_matches[t];
+  }
+  const uint64_t n_matches = tile_base[n_tiles];
+  MatchResult<K> out;
+  GPUJOIN_ASSIGN_OR_RETURN(out.keys,
+                           vgpu::DeviceBuffer<K>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_pos, vgpu::DeviceBuffer<RowId>::Allocate(device, n_matches));
+
+  {
+    vgpu::KernelScope ks(device, "nphj_probe_write");
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kProbeTileElems;
+          const uint64_t tile_n = std::min(kProbeTileElems, ns - begin);
+          ctx.LoadSeq(s_keys.addr(begin), tile_n, sizeof(K));
+          uint64_t o = tile_base[tile];
+          uint64_t addrs[32];
+          for (uint64_t j = begin; j < begin + tile_n; j += warp) {
+            const uint32_t lanes = static_cast<uint32_t>(
+                std::min<uint64_t>(warp, begin + tile_n - j));
+            for (uint32_t l = 0; l < lanes; ++l) {
+              const uint64_t idx = j + l;
+              uint64_t h = HashToSlot(static_cast<int64_t>(s_keys[idx]), mask);
+              addrs[l] = table_keys.addr(h);
+              uint64_t steps = 1;
+              while (table_keys[h] != kEmptySlot) {
+                if (table_keys[h] == static_cast<int64_t>(s_keys[idx])) {
+                  out.keys[o] = s_keys[idx];
+                  out.r_pos[o] = table_pos[h];
+                  out.s_pos[o] = static_cast<RowId>(idx);
+                  ++o;
+                }
+                h = (h + 1) & mask;
+                ++steps;
+              }
+              if (steps > 1) ctx.Compute(steps - 1);
+            }
+            ctx.Load({addrs, lanes}, sizeof(int64_t) + sizeof(RowId));
+          }
+          const uint64_t len = tile_base[tile + 1] - tile_base[tile];
+          if (len > 0) {
+            ctx.StoreSeq(out.keys.addr(tile_base[tile]), len, sizeof(K));
+            ctx.StoreSeq(out.r_pos.addr(tile_base[tile]), len, sizeof(RowId));
+            ctx.StoreSeq(out.s_pos.addr(tile_base[tile]), len, sizeof(RowId));
+          }
+          return Status::OK();
+        }));
   }
   return out;
 }

@@ -4,11 +4,19 @@
 // 8 radix bits (the paper's Ampere limit of 256 partitions per invocation).
 // The simulated implementation mirrors the CUB/OneSweep structure the paper
 // relies on:
-//   1. histogram kernel: one sequential read of the keys, warp-aggregated
+//   1. histogram kernel: one tile of keys per thread block, warp-aggregated
 //      shared-memory histogram (skew-robust: no per-tuple atomic contention),
 //   2. an exclusive prefix sum over the 2^bits counters,
 //   3. scatter kernel: tiles are staged in shared memory and flushed
 //      per-partition in contiguous runs, so writes are mostly coalesced.
+//
+// Both data-parallel kernels run block-tile by block-tile through
+// Device::ParallelBlocks: each 4096-element tile is an independent thread
+// block whose write destinations are precomputed from the per-tile
+// histograms (the OneSweep decoupled-lookback analog, resolved exactly
+// because the simulator already knows every tile's counts), so the blocks
+// are simulation-parallel and the output is bit-identical to a sequential
+// stable partition.
 //
 // Multi-pass composition (LSD order, stability makes the composition group
 // by the full digit) and SORT-PAIRS are built on top of this pass.
@@ -31,7 +39,7 @@ namespace gpujoin::prim {
 /// matching the paper's description of the Ampere-generation primitive.
 inline constexpr int kMaxRadixBitsPerPass = 8;
 
-/// Elements staged per thread-block tile in the scatter phase.
+/// Elements staged per thread-block tile in the histogram/scatter phases.
 inline constexpr uint64_t kPartitionTileElems = 4096;
 
 /// Stable partition of (keys, vals) by key bits [bit_lo, bit_lo + bits).
@@ -59,18 +67,34 @@ Status RadixPartitionPass(vgpu::Device& device, const vgpu::DeviceBuffer<K>& key
   }
   const uint32_t fanout = 1u << bits;
   const int warp = device.config().warp_size;
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kPartitionTileElems);
 
-  // --- Kernel 1: histogram (sequential key read + shared-memory counters).
-  std::vector<uint64_t> counts(fanout, 0);
+  // --- Kernel 1: histogram. One tile per block: sequential tile read +
+  // warp-aggregated shared-memory counters. Each block owns its slice of
+  // tile_counts, so blocks write disjoint host ranges.
+  std::vector<uint64_t> tile_counts(n_tiles * fanout, 0);
   {
     vgpu::KernelScope ks(device, "radix_histogram");
-    device.LoadSeq(keys_in.addr(), n, sizeof(K));
-    for (uint64_t i = 0; i < n; ++i) {
-      ++counts[bit_util::RadixDigit(keys_in[i], bit_lo, bits)];
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kPartitionTileElems;
+          const uint64_t tile_n = std::min(kPartitionTileElems, n - begin);
+          ctx.LoadSeq(keys_in.addr(begin), tile_n, sizeof(K));
+          uint64_t* mine = tile_counts.data() + tile * fanout;
+          for (uint64_t i = begin; i < begin + tile_n; ++i) {
+            ++mine[bit_util::RadixDigit(keys_in[i], bit_lo, bits)];
+          }
+          // Warp-aggregated histogram update: one shared access per warp.
+          ctx.SharedAccess(bit_util::CeilDiv(tile_n, warp));
+          ctx.Compute(bit_util::CeilDiv(tile_n, warp));
+          return Status::OK();
+        }));
+  }
+  std::vector<uint64_t> counts(fanout, 0);
+  for (uint64_t tile = 0; tile < n_tiles; ++tile) {
+    for (uint32_t d = 0; d < fanout; ++d) {
+      counts[d] += tile_counts[tile * fanout + d];
     }
-    // Warp-aggregated histogram update: one shared access per warp.
-    device.SharedAccess(bit_util::CeilDiv(n, warp));
-    device.Compute(bit_util::CeilDiv(n, warp));
   }
 
   // --- Kernel 2: exclusive prefix sum over the counters (tiny).
@@ -82,39 +106,56 @@ Status RadixPartitionPass(vgpu::Device& device, const vgpu::DeviceBuffer<K>& key
   }
 
   // --- Kernel 3: scatter. Tiles are staged in shared memory and flushed in
-  // per-partition contiguous runs at the partitions' running cursors.
+  // per-partition contiguous runs. Each tile's run start per digit is fully
+  // determined by the partition offsets plus the preceding tiles' counts
+  // (decoupled lookback, resolved exactly), so every block writes disjoint
+  // output ranges and the result is the same stable order the sequential
+  // cursor walk produces.
   {
     vgpu::KernelScope ks(device, "radix_scatter");
-    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    std::vector<uint64_t> tile_start(fanout);
-    for (uint64_t tile = 0; tile < n; tile += kPartitionTileElems) {
-      const uint64_t tile_n = std::min(kPartitionTileElems, n - tile);
-      device.LoadSeq(keys_in.addr(tile), tile_n, sizeof(K));
-      device.LoadSeq(vals_in.addr(tile), tile_n, sizeof(V));
-      // Stage + rank within the tile: ~2 shared accesses per warp.
-      device.SharedAccess(bit_util::CeilDiv(tile_n, warp) * 2);
-      device.Compute(bit_util::CeilDiv(tile_n, warp));
-
-      // Functionally place the tile's elements (stable within the tile and
-      // across tiles because cursors advance in input order).
-      tile_start = cursor;
-      for (uint64_t i = tile; i < tile + tile_n; ++i) {
-        const uint32_t d = bit_util::RadixDigit(keys_in[i], bit_lo, bits);
-        const uint64_t pos = cursor[d]++;
-        if (keys_out != nullptr) (*keys_out)[pos] = keys_in[i];
-        (*vals_out)[pos] = vals_in[i];
-      }
-      // The tile is staged in shared memory, so elements headed to the same
-      // partition flush together: one contiguous run per present digit.
-      for (uint32_t d = 0; d < fanout; ++d) {
-        const uint64_t len = cursor[d] - tile_start[d];
-        if (len == 0) continue;
-        if (keys_out != nullptr) {
-          device.StoreSeq(keys_out->addr(tile_start[d]), len, sizeof(K));
+    std::vector<uint64_t> tile_cursor(n_tiles * fanout);
+    {
+      std::vector<uint64_t> run(offsets.begin(), offsets.end() - 1);
+      for (uint64_t tile = 0; tile < n_tiles; ++tile) {
+        for (uint32_t d = 0; d < fanout; ++d) {
+          tile_cursor[tile * fanout + d] = run[d];
+          run[d] += tile_counts[tile * fanout + d];
         }
-        device.StoreSeq(vals_out->addr(tile_start[d]), len, sizeof(V));
       }
     }
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kPartitionTileElems;
+          const uint64_t tile_n = std::min(kPartitionTileElems, n - begin);
+          ctx.LoadSeq(keys_in.addr(begin), tile_n, sizeof(K));
+          ctx.LoadSeq(vals_in.addr(begin), tile_n, sizeof(V));
+          // Stage + rank within the tile: ~2 shared accesses per warp.
+          ctx.SharedAccess(bit_util::CeilDiv(tile_n, warp) * 2);
+          ctx.Compute(bit_util::CeilDiv(tile_n, warp));
+
+          // Functionally place the tile's elements at its precomputed
+          // per-digit cursors (stable within the tile and across tiles).
+          std::vector<uint64_t> cursor(tile_cursor.begin() + tile * fanout,
+                                       tile_cursor.begin() + (tile + 1) * fanout);
+          for (uint64_t i = begin; i < begin + tile_n; ++i) {
+            const uint32_t d = bit_util::RadixDigit(keys_in[i], bit_lo, bits);
+            const uint64_t pos = cursor[d]++;
+            if (keys_out != nullptr) (*keys_out)[pos] = keys_in[i];
+            (*vals_out)[pos] = vals_in[i];
+          }
+          // The tile is staged in shared memory, so elements headed to the
+          // same partition flush together: one contiguous run per digit.
+          for (uint32_t d = 0; d < fanout; ++d) {
+            const uint64_t start = tile_cursor[tile * fanout + d];
+            const uint64_t len = cursor[d] - start;
+            if (len == 0) continue;
+            if (keys_out != nullptr) {
+              ctx.StoreSeq(keys_out->addr(start), len, sizeof(K));
+            }
+            ctx.StoreSeq(vals_out->addr(start), len, sizeof(V));
+          }
+          return Status::OK();
+        }));
   }
 
   if (histogram_out != nullptr) *histogram_out = std::move(counts);
@@ -170,18 +211,34 @@ Status ComputePartitionOffsets(vgpu::Device& device,
                                const vgpu::DeviceBuffer<K>& keys, int bits,
                                std::vector<uint64_t>* offsets) {
   const uint32_t fanout = 1u << bits;
-  std::vector<uint64_t> counts(fanout, 0);
+  const uint64_t n = keys.size();
+  const int warp = device.config().warp_size;
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kPartitionTileElems);
+  std::vector<uint64_t> tile_counts(n_tiles * fanout, 0);
   {
     vgpu::KernelScope ks(device, "partition_offsets");
-    device.LoadSeq(keys.addr(), keys.size(), sizeof(K));
-    for (uint64_t i = 0; i < keys.size(); ++i) {
-      ++counts[bit_util::RadixDigit(keys[i], 0, bits)];
-    }
-    device.SharedAccess(bit_util::CeilDiv(keys.size(), device.config().warp_size));
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kPartitionTileElems;
+          const uint64_t tile_n = std::min(kPartitionTileElems, n - begin);
+          ctx.LoadSeq(keys.addr(begin), tile_n, sizeof(K));
+          uint64_t* mine = tile_counts.data() + tile * fanout;
+          for (uint64_t i = begin; i < begin + tile_n; ++i) {
+            ++mine[bit_util::RadixDigit(keys[i], 0, bits)];
+          }
+          ctx.SharedAccess(bit_util::CeilDiv(tile_n, warp));
+          return Status::OK();
+        }));
     device.Compute(bit_util::CeilDiv(fanout, 32) * 2);
   }
   offsets->assign(fanout + 1, 0);
-  for (uint32_t p = 0; p < fanout; ++p) (*offsets)[p + 1] = (*offsets)[p] + counts[p];
+  for (uint32_t p = 0; p < fanout; ++p) {
+    uint64_t count = 0;
+    for (uint64_t tile = 0; tile < n_tiles; ++tile) {
+      count += tile_counts[tile * fanout + p];
+    }
+    (*offsets)[p + 1] = (*offsets)[p] + count;
+  }
   return Status::OK();
 }
 

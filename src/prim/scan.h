@@ -1,10 +1,17 @@
 // Scan (prefix sum) and histogram primitives. The radix machinery inlines
 // its own fused versions for the hot paths; these standalone forms are the
 // public building blocks (and are used for partition-offset computation).
+//
+// Both kernels stream one 4096-element tile per thread block through
+// Device::ParallelBlocks. The scan's running sum itself is computed
+// functionally on the calling thread (the simulated cost already charges
+// the two tree sweeps a real device scan performs); the histogram's
+// per-tile counts land in disjoint slices and are reduced after the kernel.
 
 #ifndef GPUJOIN_PRIM_SCAN_H_
 #define GPUJOIN_PRIM_SCAN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +22,9 @@
 
 namespace gpujoin::prim {
 
+/// Elements per thread-block tile of the scan/histogram kernels.
+inline constexpr uint64_t kScanTileElems = 4096;
+
 /// Exclusive prefix sum over a device buffer: out[i] = sum(in[0..i)).
 /// Charged as the standard two-sweep (reduce + downsweep) device scan.
 template <typename T>
@@ -24,17 +34,26 @@ Status ExclusiveScan(vgpu::Device& device, const vgpu::DeviceBuffer<T>& in,
     return Status::InvalidArgument("ExclusiveScan: size mismatch");
   }
   const uint64_t n = in.size();
+  const int warp = device.config().warp_size;
   vgpu::KernelScope ks(device, "exclusive_scan");
-  device.LoadSeq(in.addr(), n, sizeof(T));
+  // The carry across tiles makes the values sequential; compute them up
+  // front on the calling thread, then charge the streams tile-parallel.
   T running{};
   for (uint64_t i = 0; i < n; ++i) {
     (*out)[i] = running;
     running = static_cast<T>(running + in[i]);
   }
-  device.StoreSeq(out->addr(), n, sizeof(T));
-  // Tree sweeps: ~2 extra passes of block partials at warp granularity.
-  device.Compute(bit_util::CeilDiv(n, device.config().warp_size) * 2);
-  return Status::OK();
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kScanTileElems);
+  return device.ParallelBlocks(
+      n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+        const uint64_t begin = tile * kScanTileElems;
+        const uint64_t tile_n = std::min(kScanTileElems, n - begin);
+        ctx.LoadSeq(in.addr(begin), tile_n, sizeof(T));
+        ctx.StoreSeq(out->addr(begin), tile_n, sizeof(T));
+        // Tree sweeps: ~2 extra passes of block partials at warp granularity.
+        ctx.Compute(bit_util::CeilDiv(tile_n, warp) * 2);
+        return Status::OK();
+      });
 }
 
 /// Histogram of the `bits`-wide digit at bit_lo of every key. Charged like
@@ -46,15 +65,49 @@ Status Histogram(vgpu::Device& device, const vgpu::DeviceBuffer<K>& keys,
   if (bits < 1 || bits > 24) {
     return Status::InvalidArgument("Histogram: bits out of [1,24]");
   }
-  counts->assign(uint64_t{1} << bits, 0);
+  const uint64_t fanout = uint64_t{1} << bits;
+  const uint64_t n = keys.size();
+  const int warp = device.config().warp_size;
+  counts->assign(fanout, 0);
   vgpu::KernelScope ks(device, "histogram");
-  device.LoadSeq(keys.addr(), keys.size(), sizeof(K));
-  for (uint64_t i = 0; i < keys.size(); ++i) {
+  const uint64_t n_tiles = bit_util::CeilDiv(n, kScanTileElems);
+  // Per-tile counter slices stay affordable up to 12 bits; wider digits
+  // fall back to per-tile accounting with a single shared counts array
+  // (still deterministic: blocks only charge, the counting runs after).
+  if (bits <= 12) {
+    std::vector<uint64_t> tile_counts(n_tiles * fanout, 0);
+    GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+        n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+          const uint64_t begin = tile * kScanTileElems;
+          const uint64_t tile_n = std::min(kScanTileElems, n - begin);
+          ctx.LoadSeq(keys.addr(begin), tile_n, sizeof(K));
+          uint64_t* mine = tile_counts.data() + tile * fanout;
+          for (uint64_t i = begin; i < begin + tile_n; ++i) {
+            ++mine[bit_util::RadixDigit(keys[i], bit_lo, bits)];
+          }
+          ctx.SharedAccess(bit_util::CeilDiv(tile_n, warp));
+          ctx.Compute(bit_util::CeilDiv(tile_n, warp));
+          return Status::OK();
+        }));
+    for (uint64_t tile = 0; tile < n_tiles; ++tile) {
+      for (uint64_t d = 0; d < fanout; ++d) {
+        (*counts)[d] += tile_counts[tile * fanout + d];
+      }
+    }
+    return Status::OK();
+  }
+  GPUJOIN_RETURN_IF_ERROR(device.ParallelBlocks(
+      n_tiles, [&](uint64_t tile, vgpu::BlockContext& ctx) -> Status {
+        const uint64_t begin = tile * kScanTileElems;
+        const uint64_t tile_n = std::min(kScanTileElems, n - begin);
+        ctx.LoadSeq(keys.addr(begin), tile_n, sizeof(K));
+        ctx.SharedAccess(bit_util::CeilDiv(tile_n, warp));
+        ctx.Compute(bit_util::CeilDiv(tile_n, warp));
+        return Status::OK();
+      }));
+  for (uint64_t i = 0; i < n; ++i) {
     ++(*counts)[bit_util::RadixDigit(keys[i], bit_lo, bits)];
   }
-  const int warp = device.config().warp_size;
-  device.SharedAccess(bit_util::CeilDiv(keys.size(), warp));
-  device.Compute(bit_util::CeilDiv(keys.size(), warp));
   return Status::OK();
 }
 

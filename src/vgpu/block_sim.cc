@@ -1,0 +1,312 @@
+#include "vgpu/block_sim.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+#include "common/bit_util.h"
+
+namespace gpujoin::vgpu {
+
+uint64_t ShardL2Bytes(const DeviceConfig& config) {
+  const uint64_t per_sm =
+      config.l2_bytes / static_cast<uint64_t>(std::max(1, config.num_sms));
+  return std::max<uint64_t>(per_sm, 4096);
+}
+
+int ShardDramRowBuffers(const DeviceConfig& config) {
+  const int assoc = std::max(1, config.dram_row_assoc);
+  const int total = std::max(config.dram_row_buffers, assoc);
+  const int sms = std::max(1, config.num_sms);
+  const int per_sm = (total + sms - 1) / sms;
+  const int groups = std::max(1, (per_sm + assoc - 1) / assoc);
+  return groups * assoc;
+}
+
+MemEngine::MemEngine(const DeviceConfig& config, uint64_t l2_bytes_override,
+                     int dram_row_buffers_override)
+    : config_(&config), l2_(config, l2_bytes_override) {
+  const int buffers =
+      dram_row_buffers_override > 0
+          ? dram_row_buffers_override
+          : std::max(config.dram_row_assoc, config.dram_row_buffers);
+  dram_open_rows_.assign(buffers, ~uint64_t{0});
+  dram_row_lru_.assign(buffers, 0);
+}
+
+void MemEngine::ResetMemoryState() {
+  l2_.Clear();
+  dram_open_rows_.assign(dram_open_rows_.size(), ~uint64_t{0});
+  dram_row_lru_.assign(dram_row_lru_.size(), 0);
+  dram_row_clock_ = 0;
+}
+
+std::vector<uint64_t> MemEngine::OpenDramRowsByLru() const {
+  std::vector<std::pair<uint32_t, uint64_t>> stamped;
+  for (size_t i = 0; i < dram_open_rows_.size(); ++i) {
+    if (dram_open_rows_[i] != ~uint64_t{0}) {
+      stamped.emplace_back(dram_row_lru_[i], dram_open_rows_[i]);
+    }
+  }
+  // Stamps are distinct values of the monotone row clock, so this order is
+  // total and deterministic.
+  std::sort(stamped.begin(), stamped.end());
+  std::vector<uint64_t> out;
+  out.reserve(stamped.size());
+  for (const auto& [stamp, row] : stamped) out.push_back(row);
+  return out;
+}
+
+void MemEngine::TouchDramRow(uint64_t row, uint64_t multiplicity,
+                             bool count_miss) {
+  if (multiplicity == 0) return;
+  // Hash the row to a tracker group: real DRAM interleaves banks on low
+  // address bits, so large power-of-two strides must not alias. Full
+  // murmur fmix64 — a single multiply is not avalanche-complete for
+  // strided row numbers and produces persistent group collisions.
+  uint64_t mix = row;
+  mix ^= mix >> 33;
+  mix *= 0xff51afd7ed558ccdull;
+  mix ^= mix >> 33;
+  mix *= 0xc4ceb9fe1a85ec53ull;
+  mix ^= mix >> 33;
+  const int assoc = config_->dram_row_assoc;
+  const uint64_t n_rows = dram_open_rows_.size();
+  const uint64_t group = (mix % (n_rows / assoc)) * assoc;
+  // `multiplicity` consecutive miss sectors in the same row: the first
+  // access decides hit/miss, the rest only refresh the LRU stamp — so the
+  // batched form advances the clock once by the full multiplicity and
+  // stamps the final value (identical end state to per-sector operations).
+  dram_row_clock_ += static_cast<uint32_t>(multiplicity);
+  for (int w = 0; w < assoc; ++w) {
+    if (dram_open_rows_[group + w] == row) {
+      dram_row_lru_[group + w] = dram_row_clock_;
+      return;
+    }
+  }
+  int victim = 0;
+  uint32_t victim_lru = ~uint32_t{0};
+  for (int w = 0; w < assoc; ++w) {
+    if (dram_row_lru_[group + w] < victim_lru) {
+      victim_lru = dram_row_lru_[group + w];
+      victim = w;
+    }
+  }
+  dram_open_rows_[group + victim] = row;
+  dram_row_lru_[group + victim] = dram_row_clock_;
+  if (count_miss) ++stats.dram_row_misses;
+}
+
+void MemEngine::AccessWarp(std::span<const uint64_t> lane_addrs,
+                           uint32_t bytes_per_lane, bool is_store) {
+  if (lane_addrs.empty()) return;
+  ++stats.warp_instructions;
+  ++stats.mem_instructions;
+  const uint64_t bytes =
+      static_cast<uint64_t>(lane_addrs.size()) * bytes_per_lane;
+  if (is_store) {
+    stats.bytes_written += bytes;
+  } else {
+    stats.bytes_read += bytes;
+  }
+
+  // Collect the distinct sectors and 128B lines this warp touches. A lane
+  // spanning [a, a + bytes_per_lane) touches at most bytes_per_lane/32 + 2
+  // sectors, so the scratch capacity below is a true upper bound — wide
+  // lanes (or wide warps) are never silently dropped.
+  const size_t cap =
+      lane_addrs.size() *
+      (static_cast<size_t>(bytes_per_lane) / config_->sector_bytes + 2);
+  if (scratch_sectors_.size() < cap) {
+    scratch_sectors_.resize(cap);
+    scratch_lines_.resize(cap);
+  }
+  uint64_t* sectors = scratch_sectors_.data();
+  size_t n_sectors = 0;
+  uint64_t* lines = scratch_lines_.data();
+  size_t n_lines = 0;
+  const int sector_shift = bit_util::Log2Floor(config_->sector_bytes);
+  const int line_shift = bit_util::Log2Floor(config_->cacheline_bytes);
+  for (uint64_t addr : lane_addrs) {
+    const uint64_t first_sector = addr >> sector_shift;
+    const uint64_t last_sector = (addr + bytes_per_lane - 1) >> sector_shift;
+    for (uint64_t s = first_sector; s <= last_sector; ++s) {
+      bool seen = false;
+      for (size_t i = n_sectors; i-- > 0;) {
+        if (sectors[i] == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) sectors[n_sectors++] = s;
+    }
+    const uint64_t first_line = addr >> line_shift;
+    const uint64_t last_line = (addr + bytes_per_lane - 1) >> line_shift;
+    for (uint64_t l = first_line; l <= last_line; ++l) {
+      bool seen = false;
+      for (size_t i = n_lines; i-- > 0;) {
+        if (lines[i] == l) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) lines[n_lines++] = l;
+    }
+  }
+  stats.transactions += static_cast<uint64_t>(n_lines);
+  stats.sectors += static_cast<uint64_t>(n_sectors);
+  const int row_shift =
+      bit_util::Log2Floor(static_cast<uint64_t>(config_->dram_row_bytes));
+  for (size_t i = 0; i < n_sectors; ++i) {
+    if (l2_.Access(sectors[i])) {
+      ++stats.l2_hit_sectors;
+    } else {
+      ++stats.dram_sectors;
+      // DRAM row-buffer model: an L2 miss to a row that is not open pays an
+      // activation penalty (this is what makes random access slower than
+      // streaming even at equal sector counts).
+      const uint64_t byte_addr = sectors[i] << sector_shift;
+      TouchDramRow(byte_addr >> row_shift, 1);
+    }
+  }
+}
+
+void MemEngine::AccessRunGeneric(uint64_t base_addr, uint64_t count,
+                                 uint32_t elem_bytes, bool is_store) {
+  const uint32_t warp = static_cast<uint32_t>(config_->warp_size);
+  if (scratch_addrs_.size() < warp) scratch_addrs_.resize(warp);
+  uint64_t* addrs = scratch_addrs_.data();
+  for (uint64_t i = 0; i < count; i += warp) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
+    for (uint32_t l = 0; l < lanes; ++l) {
+      addrs[l] = base_addr + (i + l) * elem_bytes;
+    }
+    AccessWarp({addrs, lanes}, elem_bytes, is_store);
+  }
+}
+
+void MemEngine::AccessRun(uint64_t base_addr, uint64_t count,
+                          uint32_t elem_bytes, bool is_store) {
+  assert(elem_bytes > 0);
+  if (count == 0) return;
+  if (!fast_path_enabled) {
+    AccessRunGeneric(base_addr, count, elem_bytes, is_store);
+    return;
+  }
+
+  const uint32_t warp = static_cast<uint32_t>(config_->warp_size);
+  const int sector_shift = bit_util::Log2Floor(config_->sector_bytes);
+  const int line_shift = bit_util::Log2Floor(config_->cacheline_bytes);
+  const int row_shift =
+      bit_util::Log2Floor(static_cast<uint64_t>(config_->dram_row_bytes)) -
+      sector_shift;  // Row of a sector id.
+
+  // Closed-form per-warp instruction/byte accounting: the stream is one
+  // warp-level memory instruction per warp_size elements.
+  const uint64_t n_warps = bit_util::CeilDiv(count, warp);
+  stats.warp_instructions += n_warps;
+  stats.mem_instructions += n_warps;
+  const uint64_t total_bytes = count * elem_bytes;
+  if (is_store) {
+    stats.bytes_written += total_bytes;
+  } else {
+    stats.bytes_read += total_bytes;
+  }
+
+  // Walk the stream warp by warp. A warp covers the contiguous byte range
+  // [addr, addr + lanes*elem_bytes): its distinct sectors/lines are exactly
+  // the ranges [first..last], no dedup needed. When a warp boundary falls
+  // mid-sector, the boundary sector is accessed again by the next warp
+  // (the generic path does the same) — the L2's MRU shortcut makes that
+  // re-access cheap, and it is always a hit.
+  uint64_t pending_row = ~uint64_t{0};
+  uint64_t pending_misses = 0;
+  uint64_t addr = base_addr;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t lanes = std::min<uint64_t>(warp, remaining);
+    const uint64_t warp_bytes = lanes * elem_bytes;
+    const uint64_t last_byte = addr + warp_bytes - 1;
+    stats.transactions += (last_byte >> line_shift) - (addr >> line_shift) + 1;
+    uint64_t sector = addr >> sector_shift;
+    const uint64_t sector_end = last_byte >> sector_shift;
+    stats.sectors += sector_end - sector + 1;
+    while (sector <= sector_end) {
+      const uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(sector_end - sector + 1, 64));
+      uint64_t miss_mask = 0;
+      stats.l2_hit_sectors += l2_.AccessRun(sector, chunk, &miss_mask);
+      stats.dram_sectors += static_cast<uint64_t>(std::popcount(miss_mask));
+      while (miss_mask != 0) {
+        const int bit = std::countr_zero(miss_mask);
+        miss_mask &= miss_mask - 1;
+        const uint64_t row = (sector + static_cast<uint64_t>(bit)) >> row_shift;
+        if (row == pending_row) {
+          ++pending_misses;
+        } else {
+          TouchDramRow(pending_row, pending_misses);
+          pending_row = row;
+          pending_misses = 1;
+        }
+      }
+      sector += chunk;
+    }
+    addr += warp_bytes;
+    remaining -= lanes;
+  }
+  TouchDramRow(pending_row, pending_misses);
+}
+
+void MemEngine::SharedAccess(uint64_t count) {
+  stats.shared_accesses += count;
+  stats.warp_instructions += count;
+}
+
+void MemEngine::SharedAtomic(std::span<const uint32_t> lane_slots) {
+  if (lane_slots.empty()) return;
+  ++stats.warp_instructions;
+  ++stats.shared_accesses;
+  // Lanes targeting the same slot serialize; the warp pays for the most
+  // contended slot, and each serialized retry is a multi-cycle shared-memory
+  // round trip (this is the §5.2.4 bucket-chain skew collapse). Count
+  // multiplicities with a small quadratic scan (<= 32 lanes).
+  constexpr uint64_t kSharedAtomicSerializeCost = 4;
+  uint32_t max_mult = 1;
+  for (size_t i = 0; i < lane_slots.size(); ++i) {
+    uint32_t mult = 1;
+    for (size_t j = i + 1; j < lane_slots.size(); ++j) {
+      if (lane_slots[j] == lane_slots[i]) ++mult;
+    }
+    max_mult = std::max(max_mult, mult);
+  }
+  stats.atomic_serializations +=
+      static_cast<uint64_t>(max_mult - 1) * kSharedAtomicSerializeCost;
+}
+
+void MemEngine::GlobalAtomic(std::span<const uint64_t> lane_addrs,
+                             uint32_t bytes_per_lane) {
+  if (lane_addrs.empty()) return;
+  // The read-modify-write memory traffic.
+  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
+  // Serialization: lanes hitting the same address queue at the L2 atomic
+  // unit; a DRAM-latency-scale round trip per conflicting lane.
+  constexpr uint64_t kGlobalAtomicSerializeCost = 8;
+  uint32_t max_mult = 1;
+  for (size_t i = 0; i < lane_addrs.size(); ++i) {
+    uint32_t mult = 1;
+    for (size_t j = i + 1; j < lane_addrs.size(); ++j) {
+      if (lane_addrs[j] == lane_addrs[i]) ++mult;
+    }
+    max_mult = std::max(max_mult, mult);
+  }
+  stats.atomic_serializations +=
+      static_cast<uint64_t>(max_mult - 1) * kGlobalAtomicSerializeCost;
+}
+
+void MemEngine::Compute(uint64_t count) { stats.warp_instructions += count; }
+
+void MemEngine::SerialStall(double cycles) { stats.serial_cycles += cycles; }
+
+}  // namespace gpujoin::vgpu

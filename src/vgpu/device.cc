@@ -1,24 +1,159 @@
 #include "vgpu/device.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <thread>
 
 #include "common/bit_util.h"
 
 namespace gpujoin::vgpu {
 
+namespace {
+
+// CPU time of the calling thread (simulator self-profiling only; never
+// feeds back into simulated results).
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+// Worker pool of the host-parallel simulation path. Workers own a private
+// BlockContext each and dynamically claim block ids in ascending order; the
+// calling thread merges finished blocks strictly in block order. Claiming
+// is window-bounded (a worker may run at most `window_` blocks ahead of the
+// merge frontier) so the buffered per-block outcomes stay O(threads), not
+// O(num_blocks).
+class Device::ParallelPool {
+ public:
+  struct BlockOutcome {
+    KernelStats stats;
+    std::vector<uint64_t> l2_sectors;  // Resident shard sectors, LRU first.
+    std::vector<uint64_t> dram_rows;   // Open shard rows, LRU first.
+    Status status;
+    double cpu_seconds = 0;
+  };
+
+  ParallelPool(const DeviceConfig& config, int threads) : config_(config) {
+    workers_.reserve(threads);
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ParallelPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ParallelPool(const ParallelPool&) = delete;
+  ParallelPool& operator=(const ParallelPool&) = delete;
+
+  /// Runs `fn` over all blocks and hands each outcome to `merge` strictly
+  /// in block order. Returns the first error in block order (all blocks run
+  /// regardless). `*cpu_seconds_out` is the summed worker CPU time.
+  Status Run(uint64_t num_blocks, const Device::BlockFn& fn, bool fast_path,
+             const std::function<void(const BlockOutcome&)>& merge,
+             double* cpu_seconds_out) {
+    Status first_error = Status::OK();
+    double cpu_total = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    fn_ = &fn;
+    fast_path_ = fast_path;
+    num_blocks_ = num_blocks;
+    next_ = 0;
+    merged_ = 0;
+    window_ = 4 * workers_.size() + 4;
+    job_active_ = true;
+    cv_work_.notify_all();
+    while (merged_ < num_blocks_) {
+      cv_ready_.wait(lk, [&] { return ready_.count(merged_) > 0; });
+      auto node = ready_.extract(merged_);
+      ++merged_;
+      cv_work_.notify_all();  // The claim window advanced.
+      lk.unlock();
+      const BlockOutcome& out = node.mapped();
+      merge(out);
+      cpu_total += out.cpu_seconds;
+      if (first_error.ok() && !out.status.ok()) first_error = out.status;
+      lk.lock();
+    }
+    job_active_ = false;
+    fn_ = nullptr;
+    *cpu_seconds_out = cpu_total;
+    return first_error;
+  }
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    BlockContext ctx(config_);
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_work_.wait(lk, [&] {
+        return shutdown_ || (job_active_ && next_ < num_blocks_ &&
+                             next_ < merged_ + window_);
+      });
+      if (shutdown_) return;
+      const uint64_t block = next_++;
+      const Device::BlockFn* fn = fn_;
+      const bool fast_path = fast_path_;
+      lk.unlock();
+      BlockOutcome out;
+      const double cpu0 = ThreadCpuSeconds();
+      ctx.BeginBlock(block, fast_path);
+      out.status = (*fn)(block, ctx);
+      out.stats = ctx.engine().stats;
+      out.l2_sectors = ctx.engine().ResidentL2SectorsByLru();
+      out.dram_rows = ctx.engine().OpenDramRowsByLru();
+      out.cpu_seconds = ThreadCpuSeconds() - cpu0;
+      lk.lock();
+      ready_.emplace(block, std::move(out));
+      cv_ready_.notify_one();
+    }
+  }
+
+  const DeviceConfig& config_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // Workers wait for claimable blocks.
+  std::condition_variable cv_ready_;  // The merger waits for block `merged_`.
+  bool shutdown_ = false;
+  bool job_active_ = false;
+  const Device::BlockFn* fn_ = nullptr;
+  bool fast_path_ = true;
+  uint64_t num_blocks_ = 0;
+  uint64_t next_ = 0;    // Next unclaimed block id.
+  uint64_t merged_ = 0;  // Merge frontier: blocks < merged_ are folded in.
+  uint64_t window_ = 0;  // Claim bound: next_ < merged_ + window_.
+  std::map<uint64_t, BlockOutcome> ready_;  // Finished, not yet merged.
+  std::vector<std::thread> workers_;
+};
+
 Device::Device(DeviceConfig config, FaultInjector fault,
-               LifecycleControl* lifecycle)
+               LifecycleControl* lifecycle, int sim_threads)
     : config_(std::move(config)),
-      l2_(config_),
+      engine_(config_),
       fault_(std::move(fault)),
       lifecycle_(lifecycle) {
-  const int buffers = std::max(config_.dram_row_assoc, config_.dram_row_buffers);
-  dram_open_rows_.assign(buffers, ~uint64_t{0});
-  dram_row_lru_.assign(buffers, 0);
+  if (sim_threads > 1) set_parallel_sim(sim_threads);
 }
 
 Device::~Device() {
@@ -133,10 +268,7 @@ Status Device::Reset() {
                             LeakReport());
   }
   assert(!in_kernel_ && "Device::Reset inside a kernel");
-  l2_.Clear();
-  dram_open_rows_.assign(dram_open_rows_.size(), ~uint64_t{0});
-  dram_row_lru_.assign(dram_row_lru_.size(), 0);
-  dram_row_clock_ = 0;
+  engine_.ResetMemoryState();
   memory_stats_ = MemoryStats{};
   next_addr_ = 4096;
   elapsed_cycles_ = 0;
@@ -151,7 +283,9 @@ void Device::BeginKernel(const char* name) {
   assert(!in_kernel_ && "kernels do not nest");
   in_kernel_ = true;
   kernel_name_ = name;
-  current_ = KernelStats{};
+  engine_.stats = KernelStats{};
+  kernel_parallel_wall_ = 0;
+  kernel_parallel_cpu_ = 0;
   if (lifecycle_ != nullptr) lifecycle_->OnKernelLaunch(elapsed_cycles_);
   if (observer_ != nullptr) observer_->OnKernelBegin(*this, name);
   kernel_host_start_ = std::chrono::steady_clock::now();
@@ -160,35 +294,44 @@ void Device::BeginKernel(const char* name) {
 const KernelStats& Device::EndKernel() {
   assert(in_kernel_);
   in_kernel_ = false;
+  KernelStats& current = engine_.stats;
   // Cost model (see DeviceConfig docs): compute and memory pipes overlap.
   const double issue_work =
-      static_cast<double>(current_.warp_instructions) +
-      static_cast<double>(current_.transactions) +
-      static_cast<double>(current_.shared_accesses) +
-      static_cast<double>(current_.atomic_serializations);
-  current_.compute_cycles = issue_work / static_cast<double>(config_.num_sms) +
-                            current_.serial_cycles;
+      static_cast<double>(current.warp_instructions) +
+      static_cast<double>(current.transactions) +
+      static_cast<double>(current.shared_accesses) +
+      static_cast<double>(current.atomic_serializations);
+  current.compute_cycles = issue_work / static_cast<double>(config_.num_sms) +
+                           current.serial_cycles;
   const double dram_bytes =
-      static_cast<double>(current_.dram_sectors) * config_.sector_bytes +
-      static_cast<double>(current_.dram_row_misses) * config_.dram_row_penalty_bytes;
+      static_cast<double>(current.dram_sectors) * config_.sector_bytes +
+      static_cast<double>(current.dram_row_misses) * config_.dram_row_penalty_bytes;
   const double l2_bytes =
-      static_cast<double>(current_.l2_hit_sectors) * config_.sector_bytes;
-  current_.memory_cycles = dram_bytes / config_.dram_bytes_per_cycle() +
-                           l2_bytes / config_.l2_bytes_per_cycle();
-  current_.cycles = std::max(current_.compute_cycles, current_.memory_cycles) +
-                    config_.launch_overhead_cycles;
-  elapsed_cycles_ += current_.cycles;
-  last_kernel_ = current_;
-  total_.Add(current_);
+      static_cast<double>(current.l2_hit_sectors) * config_.sector_bytes;
+  current.memory_cycles = dram_bytes / config_.dram_bytes_per_cycle() +
+                          l2_bytes / config_.l2_bytes_per_cycle();
+  current.cycles = std::max(current.compute_cycles, current.memory_cycles) +
+                   config_.launch_overhead_cycles;
+  elapsed_cycles_ += current.cycles;
+  last_kernel_ = current;
+  total_.Add(current);
   const double host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     kernel_host_start_)
           .count();
+  // CPU-summed time: the bracket's wall time with each ParallelBlocks
+  // window replaced by the CPU its workers actually burned. Equal to wall
+  // under the inline path; under the parallel path, wall < cpu shows the
+  // realized fan-out.
+  const double cpu_seconds = std::max(
+      0.0, host_seconds - kernel_parallel_wall_ + kernel_parallel_cpu_);
   host_kernel_seconds_ += host_seconds;
-  profiler_.Record(kernel_name_, current_, host_seconds);
+  host_kernel_cpu_seconds_ += cpu_seconds;
+  profiler_.Record(kernel_name_, current, host_seconds);
   SimSelfProfile& g = MutableGlobalSimSelfProfile();
   g.host_seconds += host_seconds;
-  g.sim_cycles += current_.cycles;
+  g.host_cpu_seconds += cpu_seconds;
+  g.sim_cycles += current.cycles;
   ++g.kernels;
   if (observer_ != nullptr) {
     observer_->OnKernelEnd(*this, kernel_name_, last_kernel_, host_seconds);
@@ -202,214 +345,23 @@ void Device::ResetStats() {
   last_kernel_ = KernelStats{};
   profiler_.Clear();
   host_kernel_seconds_ = 0;
-}
-
-void Device::TouchDramRow(uint64_t row, uint64_t multiplicity) {
-  if (multiplicity == 0) return;
-  // Hash the row to a tracker group: real DRAM interleaves banks on low
-  // address bits, so large power-of-two strides must not alias. Full
-  // murmur fmix64 — a single multiply is not avalanche-complete for
-  // strided row numbers and produces persistent group collisions.
-  uint64_t mix = row;
-  mix ^= mix >> 33;
-  mix *= 0xff51afd7ed558ccdull;
-  mix ^= mix >> 33;
-  mix *= 0xc4ceb9fe1a85ec53ull;
-  mix ^= mix >> 33;
-  const int assoc = config_.dram_row_assoc;
-  const uint64_t n_rows = dram_open_rows_.size();
-  const uint64_t group = (mix % (n_rows / assoc)) * assoc;
-  // `multiplicity` consecutive miss sectors in the same row: the first
-  // access decides hit/miss, the rest only refresh the LRU stamp — so the
-  // batched form advances the clock once by the full multiplicity and
-  // stamps the final value (identical end state to per-sector operations).
-  dram_row_clock_ += static_cast<uint32_t>(multiplicity);
-  for (int w = 0; w < assoc; ++w) {
-    if (dram_open_rows_[group + w] == row) {
-      dram_row_lru_[group + w] = dram_row_clock_;
-      return;
-    }
-  }
-  int victim = 0;
-  uint32_t victim_lru = ~uint32_t{0};
-  for (int w = 0; w < assoc; ++w) {
-    if (dram_row_lru_[group + w] < victim_lru) {
-      victim_lru = dram_row_lru_[group + w];
-      victim = w;
-    }
-  }
-  dram_open_rows_[group + victim] = row;
-  dram_row_lru_[group + victim] = dram_row_clock_;
-  ++current_.dram_row_misses;
-}
-
-void Device::AccessWarp(std::span<const uint64_t> lane_addrs,
-                        uint32_t bytes_per_lane, bool is_store) {
-  assert(in_kernel_ && "memory access outside of a kernel");
-  if (lane_addrs.empty()) return;
-  ++current_.warp_instructions;
-  ++current_.mem_instructions;
-  const uint64_t bytes = static_cast<uint64_t>(lane_addrs.size()) * bytes_per_lane;
-  if (is_store) {
-    current_.bytes_written += bytes;
-  } else {
-    current_.bytes_read += bytes;
-  }
-
-  // Collect the distinct sectors and 128B lines this warp touches. A lane
-  // spanning [a, a + bytes_per_lane) touches at most bytes_per_lane/32 + 2
-  // sectors, so the scratch capacity below is a true upper bound — wide
-  // lanes (or wide warps) are never silently dropped.
-  const size_t cap =
-      lane_addrs.size() *
-      (static_cast<size_t>(bytes_per_lane) / config_.sector_bytes + 2);
-  if (scratch_sectors_.size() < cap) {
-    scratch_sectors_.resize(cap);
-    scratch_lines_.resize(cap);
-  }
-  uint64_t* sectors = scratch_sectors_.data();
-  size_t n_sectors = 0;
-  uint64_t* lines = scratch_lines_.data();
-  size_t n_lines = 0;
-  const int sector_shift = bit_util::Log2Floor(config_.sector_bytes);
-  const int line_shift = bit_util::Log2Floor(config_.cacheline_bytes);
-  for (uint64_t addr : lane_addrs) {
-    const uint64_t first_sector = addr >> sector_shift;
-    const uint64_t last_sector = (addr + bytes_per_lane - 1) >> sector_shift;
-    for (uint64_t s = first_sector; s <= last_sector; ++s) {
-      bool seen = false;
-      for (size_t i = n_sectors; i-- > 0;) {
-        if (sectors[i] == s) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) sectors[n_sectors++] = s;
-    }
-    const uint64_t first_line = addr >> line_shift;
-    const uint64_t last_line = (addr + bytes_per_lane - 1) >> line_shift;
-    for (uint64_t l = first_line; l <= last_line; ++l) {
-      bool seen = false;
-      for (size_t i = n_lines; i-- > 0;) {
-        if (lines[i] == l) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) lines[n_lines++] = l;
-    }
-  }
-  current_.transactions += static_cast<uint64_t>(n_lines);
-  current_.sectors += static_cast<uint64_t>(n_sectors);
-  const int row_shift =
-      bit_util::Log2Floor(static_cast<uint64_t>(config_.dram_row_bytes));
-  for (size_t i = 0; i < n_sectors; ++i) {
-    if (l2_.Access(sectors[i])) {
-      ++current_.l2_hit_sectors;
-    } else {
-      ++current_.dram_sectors;
-      // DRAM row-buffer model: an L2 miss to a row that is not open pays an
-      // activation penalty (this is what makes random access slower than
-      // streaming even at equal sector counts).
-      const uint64_t byte_addr = sectors[i] << sector_shift;
-      TouchDramRow(byte_addr >> row_shift, 1);
-    }
-  }
+  host_kernel_cpu_seconds_ = 0;
 }
 
 void Device::Load(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane) {
-  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/false);
+  assert(in_kernel_ && "memory access outside of a kernel");
+  engine_.AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/false);
 }
 
 void Device::Store(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane) {
-  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
-}
-
-void Device::AccessRunGeneric(uint64_t base_addr, uint64_t count,
-                              uint32_t elem_bytes, bool is_store) {
-  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
-  if (scratch_addrs_.size() < warp) scratch_addrs_.resize(warp);
-  uint64_t* addrs = scratch_addrs_.data();
-  for (uint64_t i = 0; i < count; i += warp) {
-    const uint32_t lanes = static_cast<uint32_t>(std::min<uint64_t>(warp, count - i));
-    for (uint32_t l = 0; l < lanes; ++l) {
-      addrs[l] = base_addr + (i + l) * elem_bytes;
-    }
-    AccessWarp({addrs, lanes}, elem_bytes, is_store);
-  }
+  assert(in_kernel_ && "memory access outside of a kernel");
+  engine_.AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
 }
 
 void Device::AccessRun(uint64_t base_addr, uint64_t count, uint32_t elem_bytes,
                        bool is_store) {
   assert(in_kernel_ && "memory access outside of a kernel");
-  assert(elem_bytes > 0);
-  if (count == 0) return;
-  if (!fast_path_enabled_) {
-    AccessRunGeneric(base_addr, count, elem_bytes, is_store);
-    return;
-  }
-
-  const uint32_t warp = static_cast<uint32_t>(config_.warp_size);
-  const int sector_shift = bit_util::Log2Floor(config_.sector_bytes);
-  const int line_shift = bit_util::Log2Floor(config_.cacheline_bytes);
-  const int row_shift =
-      bit_util::Log2Floor(static_cast<uint64_t>(config_.dram_row_bytes)) -
-      sector_shift;  // Row of a sector id.
-
-  // Closed-form per-warp instruction/byte accounting: the stream is one
-  // warp-level memory instruction per warp_size elements.
-  const uint64_t n_warps = bit_util::CeilDiv(count, warp);
-  current_.warp_instructions += n_warps;
-  current_.mem_instructions += n_warps;
-  const uint64_t total_bytes = count * elem_bytes;
-  if (is_store) {
-    current_.bytes_written += total_bytes;
-  } else {
-    current_.bytes_read += total_bytes;
-  }
-
-  // Walk the stream warp by warp. A warp covers the contiguous byte range
-  // [addr, addr + lanes*elem_bytes): its distinct sectors/lines are exactly
-  // the ranges [first..last], no dedup needed. When a warp boundary falls
-  // mid-sector, the boundary sector is accessed again by the next warp
-  // (the generic path does the same) — the L2's MRU shortcut makes that
-  // re-access cheap, and it is always a hit.
-  uint64_t pending_row = ~uint64_t{0};
-  uint64_t pending_misses = 0;
-  uint64_t addr = base_addr;
-  uint64_t remaining = count;
-  while (remaining > 0) {
-    const uint64_t lanes = std::min<uint64_t>(warp, remaining);
-    const uint64_t warp_bytes = lanes * elem_bytes;
-    const uint64_t last_byte = addr + warp_bytes - 1;
-    current_.transactions += (last_byte >> line_shift) - (addr >> line_shift) + 1;
-    uint64_t sector = addr >> sector_shift;
-    const uint64_t sector_end = last_byte >> sector_shift;
-    current_.sectors += sector_end - sector + 1;
-    while (sector <= sector_end) {
-      const uint32_t chunk =
-          static_cast<uint32_t>(std::min<uint64_t>(sector_end - sector + 1, 64));
-      uint64_t miss_mask = 0;
-      current_.l2_hit_sectors += l2_.AccessRun(sector, chunk, &miss_mask);
-      current_.dram_sectors += static_cast<uint64_t>(std::popcount(miss_mask));
-      while (miss_mask != 0) {
-        const int bit = std::countr_zero(miss_mask);
-        miss_mask &= miss_mask - 1;
-        const uint64_t row = (sector + static_cast<uint64_t>(bit)) >> row_shift;
-        if (row == pending_row) {
-          ++pending_misses;
-        } else {
-          TouchDramRow(pending_row, pending_misses);
-          pending_row = row;
-          pending_misses = 1;
-        }
-      }
-      sector += chunk;
-    }
-    addr += warp_bytes;
-    remaining -= lanes;
-  }
-  TouchDramRow(pending_row, pending_misses);
+  engine_.AccessRun(base_addr, count, elem_bytes, is_store);
 }
 
 void Device::LoadSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
@@ -422,35 +374,89 @@ void Device::StoreSeq(uint64_t base_addr, uint64_t count, uint32_t elem_bytes) {
 
 void Device::SharedAccess(uint64_t count) {
   assert(in_kernel_);
-  current_.shared_accesses += count;
-  current_.warp_instructions += count;
+  engine_.SharedAccess(count);
 }
 
 void Device::SharedAtomic(std::span<const uint32_t> lane_slots) {
   assert(in_kernel_);
-  if (lane_slots.empty()) return;
-  ++current_.warp_instructions;
-  ++current_.shared_accesses;
-  // Lanes targeting the same slot serialize; the warp pays for the most
-  // contended slot, and each serialized retry is a multi-cycle shared-memory
-  // round trip (this is the §5.2.4 bucket-chain skew collapse). Count
-  // multiplicities with a small quadratic scan (<= 32 lanes).
-  constexpr uint64_t kSharedAtomicSerializeCost = 4;
-  uint32_t max_mult = 1;
-  for (size_t i = 0; i < lane_slots.size(); ++i) {
-    uint32_t mult = 1;
-    for (size_t j = i + 1; j < lane_slots.size(); ++j) {
-      if (lane_slots[j] == lane_slots[i]) ++mult;
-    }
-    max_mult = std::max(max_mult, mult);
-  }
-  current_.atomic_serializations +=
-      static_cast<uint64_t>(max_mult - 1) * kSharedAtomicSerializeCost;
+  engine_.SharedAtomic(lane_slots);
+}
+
+void Device::GlobalAtomic(std::span<const uint64_t> lane_addrs,
+                          uint32_t bytes_per_lane) {
+  assert(in_kernel_);
+  engine_.GlobalAtomic(lane_addrs, bytes_per_lane);
 }
 
 void Device::Compute(uint64_t count) {
   assert(in_kernel_);
-  current_.warp_instructions += count;
+  engine_.Compute(count);
+}
+
+void Device::SerialStall(double cycles) {
+  assert(in_kernel_);
+  engine_.SerialStall(cycles);
+}
+
+void Device::MergeBlockOutcome(const KernelStats& block_stats,
+                               const std::vector<uint64_t>& l2_sectors,
+                               const std::vector<uint64_t>& dram_rows,
+                               const Status& block_status,
+                               Status* first_error) {
+  engine_.stats.Add(block_stats);
+  // Replay the shard's resident state into the device models, LRU first, so
+  // the post-kernel device state is a deterministic function of the block
+  // outcomes alone. Installs are silent: the block already paid for these.
+  for (uint64_t sector : l2_sectors) engine_.InstallL2Sector(sector);
+  for (uint64_t row : dram_rows) engine_.InstallDramRow(row);
+  if (first_error->ok() && !block_status.ok()) *first_error = block_status;
+}
+
+Status Device::ParallelBlocks(uint64_t num_blocks, const BlockFn& fn) {
+  assert(in_kernel_ && "ParallelBlocks outside of a kernel");
+  if (num_blocks == 0) return Status::OK();
+  Status first_error = Status::OK();
+  if (sim_threads_ <= 1) {
+    // Inline path: identical per-block loop and merge, on this thread.
+    if (seq_ctx_ == nullptr) {
+      seq_ctx_ = std::make_unique<BlockContext>(config_);
+    }
+    for (uint64_t block = 0; block < num_blocks; ++block) {
+      seq_ctx_->BeginBlock(block, engine_.fast_path_enabled);
+      const Status st = fn(block, *seq_ctx_);
+      MergeBlockOutcome(seq_ctx_->engine().stats,
+                        seq_ctx_->engine().ResidentL2SectorsByLru(),
+                        seq_ctx_->engine().OpenDramRowsByLru(), st,
+                        &first_error);
+    }
+    return first_error;
+  }
+  if (pool_ == nullptr || pool_->threads() != sim_threads_) {
+    pool_ = std::make_unique<ParallelPool>(config_, sim_threads_);
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  double cpu_seconds = 0;
+  first_error = pool_->Run(
+      num_blocks, fn, engine_.fast_path_enabled,
+      [&](const ParallelPool::BlockOutcome& out) {
+        Status sink = Status::OK();  // Run() tracks the first error itself.
+        MergeBlockOutcome(out.stats, out.l2_sectors, out.dram_rows, out.status,
+                          &sink);
+      },
+      &cpu_seconds);
+  kernel_parallel_wall_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  kernel_parallel_cpu_ += cpu_seconds;
+  return first_error;
+}
+
+void Device::set_parallel_sim(int threads) {
+  threads = std::max(1, threads);
+  if (threads == sim_threads_) return;
+  assert(!in_kernel_ && "set_parallel_sim inside a kernel");
+  sim_threads_ = threads;
+  pool_.reset();  // Lazily recreated at the new size on first use.
 }
 
 void Device::ChargeHostTransfer(uint64_t bytes) {
@@ -464,32 +470,6 @@ void Device::AdvanceClock(double cycles) {
   assert(!in_kernel_ && "AdvanceClock inside a kernel");
   if (cycles > 0) elapsed_cycles_ += cycles;
   if (lifecycle_ != nullptr) lifecycle_->OnClockAdvance(elapsed_cycles_);
-}
-
-void Device::SerialStall(double cycles) {
-  assert(in_kernel_);
-  current_.serial_cycles += cycles;
-}
-
-void Device::GlobalAtomic(std::span<const uint64_t> lane_addrs,
-                          uint32_t bytes_per_lane) {
-  assert(in_kernel_);
-  if (lane_addrs.empty()) return;
-  // The read-modify-write memory traffic.
-  AccessWarp(lane_addrs, bytes_per_lane, /*is_store=*/true);
-  // Serialization: lanes hitting the same address queue at the L2 atomic
-  // unit; a DRAM-latency-scale round trip per conflicting lane.
-  constexpr uint64_t kGlobalAtomicSerializeCost = 8;
-  uint32_t max_mult = 1;
-  for (size_t i = 0; i < lane_addrs.size(); ++i) {
-    uint32_t mult = 1;
-    for (size_t j = i + 1; j < lane_addrs.size(); ++j) {
-      if (lane_addrs[j] == lane_addrs[i]) ++mult;
-    }
-    max_mult = std::max(max_mult, mult);
-  }
-  current_.atomic_serializations +=
-      static_cast<uint64_t>(max_mult - 1) * kGlobalAtomicSerializeCost;
 }
 
 }  // namespace gpujoin::vgpu

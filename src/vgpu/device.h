@@ -19,20 +19,35 @@
 // the L2/row-tracker state exactly equal (enforced by
 // sim_fastpath_test.cc). The run path is purely a host-speed optimization.
 //
-// Thread-safety: a Device is single-threaded by design (the simulator is
-// deterministic and sequential).
+// Host-parallel block simulation: kernels whose thread blocks are
+// independent are ported to ParallelBlocks(), which simulates each block
+// against a cold private shard (see block_sim.h) and merges the per-block
+// outcomes in fixed block order. set_parallel_sim(threads) fans the blocks
+// out across a pool of host worker threads; because each block's outcome is
+// a pure function of its block id and the merge order is fixed, simulated
+// results are bit-identical for every thread count (enforced by
+// sim_parallel_test.cc). The default of 1 runs the same per-block loop
+// inline on the calling thread.
+//
+// Thread-safety: the Device's public API is single-threaded (calls come
+// from the query thread). Worker threads spawned by ParallelBlocks only
+// touch their own BlockContext shards; all merging happens on the calling
+// thread.
 
 #ifndef GPUJOIN_VGPU_DEVICE_H_
 #define GPUJOIN_VGPU_DEVICE_H_
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "vgpu/block_sim.h"
 #include "vgpu/device_config.h"
 #include "vgpu/fault.h"
 #include "vgpu/l2_cache.h"
@@ -62,8 +77,11 @@ class Device {
   /// (the harness wires GPUJOIN_DEADLINE_CYCLES / GPUJOIN_CANCEL_AT_KERNEL
   /// through it, mirroring the fault-injector knobs); equivalent to calling
   /// set_lifecycle() right after construction.
+  /// `sim_threads` seeds the host-parallel simulation fan-out (same effect
+  /// as calling set_parallel_sim() right after construction; results are
+  /// bit-identical for every value).
   explicit Device(DeviceConfig config, FaultInjector fault = {},
-                  LifecycleControl* lifecycle = nullptr);
+                  LifecycleControl* lifecycle = nullptr, int sim_threads = 1);
 
   /// Destroying a device that still holds live allocations is a hard
   /// failure (report + abort) unless set_leak_check_on_destroy(false):
@@ -117,7 +135,8 @@ class Device {
   /// injector. Fails with Internal (and changes nothing) while allocations
   /// are outstanding — free everything first. After a successful Reset the
   /// device replays any workload bit-identically to a freshly constructed
-  /// device of the same config.
+  /// device of the same config. Host-execution knobs (fast path, parallel
+  /// sim threads) are not simulated state and survive a Reset.
   Status Reset();
 
   // --- Kernel bracketing ---
@@ -145,11 +164,16 @@ class Device {
   /// kernels from a prior phase.
   void ResetStats();
   /// Drops all cached state in the L2 model (does not touch the clock).
-  void FlushL2() { l2_.Clear(); }
+  void FlushL2() { engine_.FlushL2(); }
 
   /// Host wall-clock seconds spent inside Begin/EndKernel brackets on this
   /// device (simulator self-profiling; does not affect simulated results).
   double host_kernel_seconds() const { return host_kernel_seconds_; }
+  /// Host CPU seconds spent inside kernel brackets, summed across the
+  /// worker threads of the parallel simulation path. Equal to
+  /// host_kernel_seconds() when parallel_sim_threads() == 1; under the
+  /// parallel path, wall divided into CPU shows the realized speedup.
+  double host_kernel_cpu_seconds() const { return host_kernel_cpu_seconds_; }
 
   // --- Observability hook ---
 
@@ -227,6 +251,29 @@ class Device {
   /// same-address global atomics) — they are NOT divided by the SM count.
   void SerialStall(double cycles);
 
+  // --- Host-parallel block simulation (call only between Begin/EndKernel) ---
+
+  /// Simulates one thread block: issue the block's accesses against `ctx`
+  /// and return OK (or the block's error). Must be a pure function of
+  /// (block_id, data readable at launch): blocks may run on any worker
+  /// thread in any order, so a BlockFn must not write host data another
+  /// block reads, and concurrent blocks must write disjoint host ranges.
+  using BlockFn = std::function<Status(uint64_t block_id, BlockContext& ctx)>;
+
+  /// Runs `fn` for block ids [0, num_blocks), each against a cold private
+  /// shard, and merges the per-block stats and shard state into the device
+  /// in fixed block order — simulated results are bit-identical for every
+  /// parallel_sim_threads() setting. All blocks run even if one fails; the
+  /// first error in block order is returned.
+  Status ParallelBlocks(uint64_t num_blocks, const BlockFn& fn);
+
+  /// Sets the number of host threads ParallelBlocks fans blocks across
+  /// (clamped to >= 1; 1 = inline sequential execution, the default). A
+  /// host-speed knob only: simulated results do not depend on it. The
+  /// harness wires GPUJOIN_SIM_THREADS through this.
+  void set_parallel_sim(int threads);
+  int parallel_sim_threads() const { return sim_threads_; }
+
   /// Advances the simulated clock by a host <-> device transfer of `bytes`
   /// over the PCIe model (bandwidth + fixed latency). Not a kernel; used by
   /// the out-of-core join to charge fragment staging.
@@ -244,20 +291,30 @@ class Device {
   /// When disabled, AccessRun/LoadSeq/StoreSeq fall back to the generic
   /// per-warp path. The two paths are bit-identical in simulated stats;
   /// the flag exists so equivalence tests can drive both.
-  bool fast_path_enabled() const { return fast_path_enabled_; }
-  void set_fast_path_enabled(bool enabled) { fast_path_enabled_ = enabled; }
+  bool fast_path_enabled() const { return engine_.fast_path_enabled; }
+  void set_fast_path_enabled(bool enabled) { engine_.fast_path_enabled = enabled; }
+
+  // --- Memory-model state snapshots (testing hooks) ---
+
+  /// Resident L2 sectors, least recently used first (deterministic).
+  std::vector<uint64_t> DebugResidentL2Sectors() const {
+    return engine_.ResidentL2SectorsByLru();
+  }
+  /// Open DRAM rows, least recently used first (deterministic).
+  std::vector<uint64_t> DebugOpenDramRows() const {
+    return engine_.OpenDramRowsByLru();
+  }
 
  private:
-  void AccessWarp(std::span<const uint64_t> lane_addrs, uint32_t bytes_per_lane,
-                  bool is_store);
-  /// Reference implementation of AccessRun: materializes lane addresses
-  /// warp by warp and feeds them through AccessWarp.
-  void AccessRunGeneric(uint64_t base_addr, uint64_t count, uint32_t elem_bytes,
-                        bool is_store);
-  /// One open-row-tracker operation for `multiplicity` consecutive L2-miss
-  /// sectors that map to the same DRAM row (multiplicity 1 == the classic
-  /// per-sector operation).
-  void TouchDramRow(uint64_t row, uint64_t multiplicity);
+  class ParallelPool;
+
+  /// Folds one finished block into the device engine: stats added, shard
+  /// residents replayed LRU-first (silent installs — no stats). Called in
+  /// strictly ascending block order by both execution paths.
+  void MergeBlockOutcome(const KernelStats& block_stats,
+                         const std::vector<uint64_t>& l2_sectors,
+                         const std::vector<uint64_t>& dram_rows,
+                         const Status& block_status, Status* first_error);
 
   /// The tag AllocateRaw records: active AllocTagScope frames joined with
   /// '/', then the explicit site tag (or "untagged").
@@ -270,10 +327,7 @@ class Device {
   };
 
   DeviceConfig config_;
-  L2Cache l2_;
-  std::vector<uint64_t> dram_open_rows_;  // Row tracker tags (set-assoc LRU).
-  std::vector<uint32_t> dram_row_lru_;
-  uint32_t dram_row_clock_ = 0;
+  MemEngine engine_;  // Full-sized L2/row models + the current kernel's stats.
   MemoryStats memory_stats_;
   std::unordered_map<uint64_t, AllocationInfo> allocations_;  // By address.
   uint64_t next_addr_ = 4096;  // Leave page 0 unmapped for easier debugging.
@@ -282,9 +336,7 @@ class Device {
   bool leak_check_on_destroy_ = true;
 
   bool in_kernel_ = false;
-  bool fast_path_enabled_ = true;
   const char* kernel_name_ = "";
-  KernelStats current_;
   KernelStats last_kernel_;
   KernelStats total_;
   Profiler profiler_;
@@ -293,12 +345,16 @@ class Device {
   double elapsed_cycles_ = 0;
   std::chrono::steady_clock::time_point kernel_host_start_;
   double host_kernel_seconds_ = 0;
+  double host_kernel_cpu_seconds_ = 0;
+  // Wall/CPU time spent inside ParallelBlocks during the current kernel
+  // (reset by BeginKernel; folded into the CPU total by EndKernel).
+  double kernel_parallel_wall_ = 0;
+  double kernel_parallel_cpu_ = 0;
   uint64_t interleave_seed_ = 0x9e3779b97f4a7c15ull;
-  // Scratch for the generic paths (grown on demand; member state so the
-  // per-warp path never allocates in steady state).
-  std::vector<uint64_t> scratch_addrs_;
-  std::vector<uint64_t> scratch_sectors_;
-  std::vector<uint64_t> scratch_lines_;
+
+  int sim_threads_ = 1;
+  std::unique_ptr<ParallelPool> pool_;     // Lazily created when threads > 1.
+  std::unique_ptr<BlockContext> seq_ctx_;  // Reused by the inline path.
 };
 
 /// RAII allocation-tag frame: every allocation made while the scope is

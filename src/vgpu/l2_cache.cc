@@ -1,15 +1,17 @@
 #include "vgpu/l2_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/bit_util.h"
 
 namespace gpujoin::vgpu {
 
-L2Cache::L2Cache(const DeviceConfig& config) {
+L2Cache::L2Cache(const DeviceConfig& config, uint64_t bytes_override) {
   ways_ = std::max(1, config.l2_ways);
+  const uint64_t bytes = bytes_override != 0 ? bytes_override : config.l2_bytes;
   const size_t total_sectors =
-      std::max<size_t>(1, config.l2_bytes / config.sector_bytes);
+      std::max<size_t>(1, bytes / static_cast<uint64_t>(config.sector_bytes));
   num_sets_ = std::max<size_t>(1, total_sectors / ways_);
   // Power-of-two sets make indexing a mask; round down to keep capacity <=
   // configured size.
@@ -39,13 +41,18 @@ bool L2Cache::AccessSlow(uint64_t sector_id) {
   uint32_t* lru = &lru_[set * ways_];
   ++clock_;
   for (int w = 0; w < ways_; ++w) {
-    if (tags[w] == sector_id) {
+    // A matching tag from a previous epoch is stale: the slot was logically
+    // cleared, so the access must miss (exactly as after a memset clear).
+    if (tags[w] == sector_id && lru[w] >= epoch_) {
       lru[w] = clock_;
       last_sector_ = sector_id;
       last_slot_ = set * ways_ + w;
       return true;
     }
   }
+  // Stale slots carry pre-epoch stamps, so the LRU scan always evicts them
+  // before any current-epoch slot — identical fill behavior to an actually
+  // emptied set.
   int victim = 0;
   uint32_t victim_lru = ~uint32_t{0};
   for (int w = 0; w < ways_; ++w) {
@@ -61,12 +68,40 @@ bool L2Cache::AccessSlow(uint64_t sector_id) {
   return false;
 }
 
-void L2Cache::Clear() {
+void L2Cache::HardClear() {
   std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   std::fill(lru_.begin(), lru_.end(), 0);
   clock_ = 0;
+  epoch_ = 1;
   last_sector_ = kInvalidTag;
   last_slot_ = 0;
+}
+
+void L2Cache::Clear() {
+  if (clock_ >= kClockHighWater) {
+    HardClear();
+    return;
+  }
+  epoch_ = clock_ + 1;
+  last_sector_ = kInvalidTag;
+  last_slot_ = 0;
+}
+
+std::vector<uint64_t> L2Cache::ResidentSectorsByLru() const {
+  std::vector<std::pair<uint32_t, uint64_t>> stamped;
+  const size_t n = tags_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (tags_[i] != kInvalidTag && lru_[i] >= epoch_) {
+      stamped.emplace_back(lru_[i], tags_[i]);
+    }
+  }
+  // LRU stamps are unique (every access increments the clock), so this
+  // order is total and deterministic.
+  std::sort(stamped.begin(), stamped.end());
+  std::vector<uint64_t> out;
+  out.reserve(stamped.size());
+  for (const auto& [stamp, tag] : stamped) out.push_back(tag);
+  return out;
 }
 
 }  // namespace gpujoin::vgpu

@@ -10,10 +10,18 @@
 // behavior: tags and LRU stamps are stored as separate flat arrays (the
 // per-set scans vectorize), Access() is inline with a one-entry MRU
 // shortcut (sequential streams re-touch warp-boundary sectors constantly),
-// and AccessRun() classifies a contiguous ascending sector range in bulk
-// for Device::AccessRun. All of these are bit-identical in observable
-// behavior (hit/miss sequence, LRU state, victim choice) to the plain
-// per-sector lookup.
+// AccessRun() classifies a contiguous ascending sector range in bulk for
+// Device::AccessRun, and Clear() is an O(1) epoch bump (per-block shard
+// resets in the parallel simulation path would otherwise memset the tag
+// arrays thousands of times per kernel). All of these are bit-identical in
+// observable behavior (hit/miss sequence, LRU state, victim choice) to the
+// plain per-sector lookup with a full memset clear: a slot is valid only if
+// its LRU stamp is from the current epoch, and stale slots always lose the
+// victim scan to valid ones (their stamps are older by construction).
+//
+// An optional byte-capacity override supports the block-shard use: a
+// BlockContext models one thread block's slice of the L2, sized
+// independently of the device total (see block_sim.h).
 
 #ifndef GPUJOIN_VGPU_L2_CACHE_H_
 #define GPUJOIN_VGPU_L2_CACHE_H_
@@ -27,7 +35,9 @@ namespace gpujoin::vgpu {
 
 class L2Cache {
  public:
-  explicit L2Cache(const DeviceConfig& config);
+  /// Models a cache of `bytes_override` bytes (or config.l2_bytes when 0)
+  /// with the config's sector size and associativity.
+  explicit L2Cache(const DeviceConfig& config, uint64_t bytes_override = 0);
 
   /// Looks up (and on miss, installs) a sector. Returns true on hit.
   bool Access(uint64_t sector_id) {
@@ -58,20 +68,34 @@ class L2Cache {
     return hits;
   }
 
-  /// Invalidates all contents (e.g., between experiments).
+  /// Invalidates all contents (between experiments, and per block in the
+  /// parallel shard path). O(1): bumps the validity epoch instead of
+  /// clearing the tag arrays; falls back to a hard clear when the LRU clock
+  /// nears wraparound.
   void Clear();
+
+  /// The resident sector ids, least recently used first. Replaying them
+  /// through Access() on another cache reproduces this cache's contents and
+  /// recency order — the deterministic shard-merge step of the parallel
+  /// simulation path.
+  std::vector<uint64_t> ResidentSectorsByLru() const;
 
   size_t num_sets() const { return num_sets_; }
   int ways() const { return ways_; }
 
  private:
   bool AccessSlow(uint64_t sector_id);
+  void HardClear();
 
   static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+  /// Hard-clear threshold: far below uint32 wraparound, far above any
+  /// plausible per-epoch access count.
+  static constexpr uint32_t kClockHighWater = 0x40000000u;
 
   size_t num_sets_;
   int ways_;
   uint32_t clock_ = 0;  // Higher = more recently used.
+  uint32_t epoch_ = 1;  // Slots with lru_ < epoch_ are invalid (stale).
   std::vector<uint64_t> tags_;  // num_sets_ * ways_, SoA with lru_.
   std::vector<uint32_t> lru_;
   uint64_t last_sector_ = kInvalidTag;  // One-entry MRU shortcut.

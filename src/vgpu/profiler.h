@@ -37,6 +37,10 @@ struct KernelProfile {
 /// Observability only — deterministic simulated results never read it.
 struct SimSelfProfile {
   double host_seconds = 0;
+  /// CPU seconds summed across the parallel simulation path's worker
+  /// threads (equal to host_seconds when GPUJOIN_SIM_THREADS=1); the
+  /// wall-vs-CPU gap shows the realized fan-out.
+  double host_cpu_seconds = 0;
   double sim_cycles = 0;
   uint64_t kernels = 0;
 };
