@@ -29,6 +29,15 @@
 #   (metrics schema) and TRACE_smoke.json (Chrome trace events) with
 #   tools/bench_json_check, which fails on missing or non-finite fields.
 #
+#        scripts/reproduce.sh --scheduler [rounds]
+#   Multi-tenant scheduler mode: runs a short adversarial tenant soak
+#   (tools/lifecycle_soak, default 4 rounds) — one hog tenant versus
+#   interactive tenants with salted arrivals, cancels, and deadlines under
+#   a shrinking budget — twice with the same seed, asserting the two runs
+#   print identical per-round latency reports (scheduler determinism), and
+#   once more with GPUJOIN_SIM_THREADS=8 to prove the thread fan-out does
+#   not change a single scheduling decision.
+#
 #        scripts/reproduce.sh --lifecycle [rounds]
 #   Query-lifecycle mode: runs the concurrent-admission soak
 #   (tools/lifecycle_soak, default 8 rounds) — mixed join/group-by
@@ -101,6 +110,39 @@ if [[ "${1:-}" == "--json" ]]; then
     build/bench/bench_fig10_wide
   build/tools/bench_json_check "$outdir"/BENCH_smoke.json "$outdir"/TRACE_smoke.json
   echo "ok: schema-valid artifacts in $outdir/ (load the trace at ui.perfetto.dev)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--scheduler" ]]; then
+  # Reuse an already-configured build tree (whatever its generator);
+  # configure fresh with Ninja otherwise.
+  if [[ ! -f build/CMakeCache.txt ]]; then
+    cmake -B build -G Ninja
+  fi
+  cmake --build build
+
+  rounds="${2:-4}"
+  seed="${GPUJOIN_SOAK_SEED:-1}"
+  echo "===== adversarial tenant soak ($rounds rounds, seed $seed) ====="
+  build/tools/lifecycle_soak "$rounds" --seed "$seed" | tee soak_a.txt
+
+  echo "===== replay determinism (same seed, fresh run) ====="
+  build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_b.txt
+  if ! diff soak_a.txt soak_b.txt; then
+    echo "FAIL: two soak runs with the same seed diverged"
+    exit 1
+  fi
+  echo "ok: identical per-round latency reports across runs"
+
+  echo "===== thread-count invariance (GPUJOIN_SIM_THREADS=8) ====="
+  GPUJOIN_SIM_THREADS=8 build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_t8.txt
+  if ! diff soak_a.txt soak_t8.txt; then
+    echo "FAIL: scheduling decisions changed under GPUJOIN_SIM_THREADS=8"
+    exit 1
+  fi
+  echo "ok: bit-identical scheduling at 1 and 8 simulation threads"
+  rm -f soak_a.txt soak_b.txt soak_t8.txt
+  echo "done: scheduler soak + determinism checks passed"
   exit 0
 fi
 

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kYielded:
+      return "Yielded";
+    case StatusCode::kTenantOverQuota:
+      return "TenantOverQuota";
   }
   return "Unknown";
 }

@@ -9,11 +9,7 @@
 
 namespace gpujoin::join {
 
-namespace {
-
-/// Host-side stable partition of a table by the low `bits` of column 0.
-/// Returns per-fragment tables.
-std::vector<HostTable> PartitionHost(const HostTable& t, int bits) {
+std::vector<HostTable> PartitionHostByKeyRadix(const HostTable& t, int bits) {
   const uint32_t fanout = 1u << bits;
   const uint64_t n = t.num_rows();
   std::vector<uint64_t> counts(fanout, 0);
@@ -38,8 +34,6 @@ std::vector<HostTable> PartitionHost(const HostTable& t, int bits) {
   }
   return frags;
 }
-
-}  // namespace
 
 uint64_t HostTableBytes(const HostTable& t) {
   uint64_t bytes = 0;
@@ -92,8 +86,8 @@ Result<OutOfCoreRunResult> RunOutOfCoreJoin(vgpu::Device& device, JoinAlgo algo,
   const double dev_t0 = device.ElapsedSeconds();
   const auto host_t0 = std::chrono::steady_clock::now();
 
-  std::vector<HostTable> r_frags = PartitionHost(r, bits);
-  std::vector<HostTable> s_frags = PartitionHost(s, bits);
+  std::vector<HostTable> r_frags = PartitionHostByKeyRadix(r, bits);
+  std::vector<HostTable> s_frags = PartitionHostByKeyRadix(s, bits);
 
   double host_partition_s = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - host_t0)

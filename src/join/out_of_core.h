@@ -10,6 +10,7 @@
 #define GPUJOIN_JOIN_OUT_OF_CORE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "join/join.h"
@@ -41,6 +42,13 @@ struct OutOfCoreRunResult {
 
 /// Total payload bytes of a host table (all columns, no metadata).
 uint64_t HostTableBytes(const HostTable& t);
+
+/// Host-side stable partition of a table by the low `bits` radix digits of
+/// column 0 (the key). Returns 2^bits per-fragment tables; rows with equal
+/// keys always land in the same fragment, and row order inside a fragment
+/// follows the input order. Shared by the out-of-core join stream and the
+/// scheduler's fragment decomposition (service/fragments.cc).
+std::vector<HostTable> PartitionHostByKeyRadix(const HostTable& t, int bits);
 
 /// Derives the fragment count (as log2) so that the average co-fragment
 /// pair fits `device_budget_fraction` of the device's global memory; join

@@ -174,8 +174,9 @@ inline Status CheckLifecycle(vgpu::Device& device) {
   Status st = device.LifecycleStatus();
   if (!st.ok()) {
     TraceInstant(device,
-                 st.IsCancelled() ? "lifecycle:cancelled"
-                                  : "lifecycle:deadline_exceeded",
+                 st.IsCancelled()  ? "lifecycle:cancelled"
+                 : st.IsYielded() ? "lifecycle:yielded"
+                                   : "lifecycle:deadline_exceeded",
                  st.message());
   }
   return st;

@@ -1,27 +1,45 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "join/out_of_core.h"
 #include "obs/trace.h"
 
 namespace gpujoin::service {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// splitmix64: the deterministic tie-break stream for pass rotation (same
+/// generator family as BackoffPolicy jitter and FaultInjector).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void AppendColumns(HostTable& into, const HostTable& part) {
+  for (size_t c = 0; c < part.columns.size(); ++c) {
+    into.columns[c].values.insert(into.columns[c].values.end(),
+                                  part.columns[c].values.begin(),
+                                  part.columns[c].values.end());
+  }
+}
+
+}  // namespace
 
 const char* AdmissionDecisionName(AdmissionDecision d) {
   switch (d) {
     case AdmissionDecision::kAdmitted: return "admitted";
     case AdmissionDecision::kQueued: return "queued";
     case AdmissionDecision::kRejected: return "rejected";
+    case AdmissionDecision::kDeferred: return "deferred";
   }
   return "unknown";
-}
-
-size_t QueryService::QueuedCount() const {
-  size_t n = 0;
-  for (const Pending& p : pending_) {
-    if (!p.reserved) ++n;
-  }
-  return n;
 }
 
 QueryService::QueryService(vgpu::Device& device, ServiceOptions options)
@@ -30,9 +48,42 @@ QueryService::QueryService(vgpu::Device& device, ServiceOptions options)
                         ? options.budget_bytes
                         : device.config().global_mem_bytes),
       max_queue_(options.max_queue),
-      backoff_(options.backoff) {}
+      backoff_(options.backoff),
+      sched_(options.scheduler) {
+  for (const TenantQuota& q : options.tenants) {
+    TenantState state;
+    state.quota = q;
+    if (state.quota.quota_bytes == 0) state.quota.quota_bytes = budget_bytes_;
+    tenants_.emplace(q.name, std::move(state));
+  }
+}
+
+const TenantState* QueryService::tenant(const std::string& name) const {
+  auto it = tenants_.find(name.empty() ? "default" : name);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+TenantState& QueryService::ResolveTenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  // Unconfigured tenants are unconstrained beyond the global budget: full
+  // quota, no borrowing (nothing to borrow past the budget), shared queue
+  // limit. This keeps single-tenant workloads byte-compatible with the
+  // pre-quota service.
+  TenantState state;
+  state.quota.name = name;
+  state.quota.quota_bytes = budget_bytes_;
+  state.quota.borrow_limit_bytes = 0;
+  state.quota.max_queue = max_queue_;
+  return tenants_.emplace(name, std::move(state)).first->second;
+}
 
 stats::MemoryEstimate QueryService::Estimate(const QueryRequest& request) const {
+  if (request.estimate_bytes_override > 0) {
+    stats::MemoryEstimate est;
+    est.working_bytes = request.estimate_bytes_override;
+    return est;
+  }
   if (request.kind == QueryKind::kJoin) {
     return stats::EstimateJoinMemory(*request.r, *request.s);
   }
@@ -40,16 +91,75 @@ stats::MemoryEstimate QueryService::Estimate(const QueryRequest& request) const 
       *request.r, static_cast<int>(request.groupby_spec.aggregates.size()));
 }
 
+int QueryService::ResolveFragmentBits(const QueryRequest& request,
+                                      uint64_t need) const {
+  const int cap = std::max(0, sched_.max_fragment_bits);
+  if (request.fragment_bits_override >= 0) {
+    return std::min(request.fragment_bits_override, cap);
+  }
+  if (!sched_.interleave) return 0;
+  return DeriveScheduleFragmentBits(need, budget_bytes_,
+                                    sched_.fragment_target_fraction, cap);
+}
+
+size_t QueryService::QueuedCount() const {
+  size_t n = 0;
+  for (const auto& [name, t] : tenants_) n += t.stats.queued;
+  return n;
+}
+
+bool QueryService::TryReserve(Run& run) {
+  // All limit checks in subtraction form: near-UINT64_MAX estimates must
+  // reject, not wrap (the old `reserved + need <= budget` form overflowed).
+  const uint64_t need = run.need;
+  if (reserved_bytes_ > budget_bytes_ ||
+      need > budget_bytes_ - reserved_bytes_) {
+    return false;
+  }
+  TenantState& t = ResolveTenant(run.request.tenant);
+  const uint64_t quota = t.quota.quota_bytes;
+  const uint64_t quota_avail =
+      quota > t.stats.reserved_bytes ? quota - t.stats.reserved_bytes : 0;
+  const uint64_t borrow = need > quota_avail ? need - quota_avail : 0;
+  if (borrow > 0) {
+    const uint64_t borrow_avail =
+        t.quota.borrow_limit_bytes > t.stats.borrowed_bytes
+            ? t.quota.borrow_limit_bytes - t.stats.borrowed_bytes
+            : 0;
+    if (borrow > borrow_avail) return false;
+  }
+  reserved_bytes_ += need;
+  t.stats.reserved_bytes += need;
+  t.stats.borrowed_bytes += borrow;
+  run.reserved = true;
+  run.borrowed = borrow;
+  outcomes_[run.id].borrowed_bytes = borrow;
+  return true;
+}
+
+void QueryService::ReleaseReservation(Run& run) {
+  TenantState& t = ResolveTenant(run.request.tenant);
+  reserved_bytes_ -= run.need;
+  t.stats.reserved_bytes -= run.need;
+  t.stats.borrowed_bytes -= run.borrowed;
+  run.reserved = false;
+  run.borrowed = 0;
+}
+
 Result<int> QueryService::Submit(QueryRequest request) {
   if (request.r == nullptr ||
       (request.kind == QueryKind::kJoin && request.s == nullptr)) {
     return Status::InvalidArgument("QueryService::Submit: missing input table");
   }
+  if (request.tenant.empty()) request.tenant = "default";
 
   const int id = static_cast<int>(outcomes_.size());
   QueryOutcome out;
   out.name = request.name;
+  out.tenant = request.tenant;
+  out.priority = request.priority;
   out.estimate = Estimate(request);
+  out.submitted_at_cycles = device_.elapsed_cycles();
   const uint64_t need = out.estimate.total_bytes();
 
   if (need > budget_bytes_) {
@@ -60,172 +170,550 @@ Result<int> QueryService::Submit(QueryRequest request) {
         std::to_string(need) + " B but the service budget is " +
         std::to_string(budget_bytes_) + " B");
     obs::TraceInstant(device_, "admission:rejected", out.status.message());
+    ResolveTenant(request.tenant).stats.rejected++;
     outcomes_.push_back(std::move(out));
     return id;
   }
 
-  Pending p;
-  p.id = id;
-  if (reserved_bytes_ + need <= budget_bytes_) {
-    reserved_bytes_ += need;
-    p.reserved = true;
-    out.admission = AdmissionDecision::kAdmitted;
-    obs::TraceInstant(device_, "admission:reserved",
-                      "query '" + request.name + "' reserved " +
-                          std::to_string(need) + " B (" +
-                          std::to_string(reserved_bytes_) + "/" +
-                          std::to_string(budget_bytes_) + " B reserved)");
-  } else if (QueuedCount() < max_queue_) {
-    // Budget oversubscribed but the query fits an idle device: queue it.
-    out.admission = AdmissionDecision::kQueued;
-    obs::TraceInstant(device_, "admission:queued",
-                      "query '" + request.name + "' queued behind " +
-                          std::to_string(pending_.size()) + " submission(s): " +
-                          std::to_string(need) + " B needed, " +
-                          std::to_string(budget_bytes_ - reserved_bytes_) +
-                          " B unreserved");
-  } else {
-    out.admission = AdmissionDecision::kRejected;
-    out.status = Status::ResourceExhausted(
-        "admission rejected: queue full (" + std::to_string(max_queue_) +
-        " queued submission(s)) for query '" + request.name + "'");
-    obs::TraceInstant(device_, "admission:rejected", out.status.message());
-    outcomes_.push_back(std::move(out));
-    return id;
-  }
-  p.request = std::move(request);
+  Run run;
+  run.id = id;
+  run.need = need;
+  run.request = std::move(request);
   outcomes_.push_back(std::move(out));
-  pending_.push_back(std::move(p));
+
+  if (run.request.arrival_cycles > device_.elapsed_cycles()) {
+    // Models an asynchronous Submit racing the drain: admission is
+    // evaluated when the simulated clock reaches the arrival time.
+    outcomes_[id].admission = AdmissionDecision::kDeferred;
+    obs::TraceInstant(device_, "admission:deferred",
+                      "query '" + run.request.name + "' arrives at cycle " +
+                          std::to_string(run.request.arrival_cycles));
+  } else {
+    run.arrived = true;
+    AdmitOrQueue(run);
+    if (run.done) return id;  // Rejected: never enters the pending set.
+  }
+
+  const int bits = ResolveFragmentBits(run.request, need);
+  if (run.request.kind == QueryKind::kJoin) {
+    run.plan = FragmentPlan::ForJoin(*run.request.r, *run.request.s, bits);
+  } else {
+    run.plan = FragmentPlan::ForGroupBy(*run.request.r, bits);
+  }
+  outcomes_[id].fragments_total = static_cast<int>(run.plan.units().size());
+  run.control.set_token(run.request.lifecycle.token);
+  pending_.push_back(std::move(run));
   return id;
 }
 
-Status QueryService::RunOne(Pending& p) {
-  QueryOutcome& out = outcomes_[p.id];
-  const uint64_t need = out.estimate.total_bytes();
+void QueryService::AdmitOrQueue(Run& run) {
+  QueryOutcome& out = outcomes_[run.id];
+  TenantState& t = ResolveTenant(run.request.tenant);
+  const uint64_t need = run.need;
 
-  // Queued at Submit: take the reservation now, pacing retries with the
-  // backoff policy. With serial execution nothing frees budget while we
-  // wait, so exhausting the retry budget is a deterministic backpressure
-  // failure, not a hang.
-  if (!p.reserved) {
-    for (int attempt = 1; !p.reserved; ++attempt) {
-      if (reserved_bytes_ + need <= budget_bytes_) {
-        reserved_bytes_ += need;
-        p.reserved = true;
+  if (TryReserve(run)) {
+    out.admission = AdmissionDecision::kAdmitted;
+    t.stats.admitted++;
+    obs::TraceInstant(device_, "admission:reserved",
+                      "query '" + out.name + "' (tenant '" + out.tenant +
+                          "') reserved " + std::to_string(need) + " B (" +
+                          std::to_string(run.borrowed) + " B borrowed, " +
+                          std::to_string(reserved_bytes_) + "/" +
+                          std::to_string(budget_bytes_) + " B reserved)");
+    return;
+  }
+
+  if (QueuedCount() >= max_queue_) {
+    out.admission = AdmissionDecision::kRejected;
+    out.status = Status::ResourceExhausted(
+        "admission rejected: queue full (" + std::to_string(max_queue_) +
+        " queued submission(s)) for query '" + out.name + "'");
+    obs::TraceInstant(device_, "admission:rejected", out.status.message());
+    t.stats.rejected++;
+    run.done = true;
+    return;
+  }
+  if (t.stats.queued >= t.quota.max_queue) {
+    out.admission = AdmissionDecision::kRejected;
+    out.status = Status::TenantOverQuota(
+        "tenant '" + out.tenant + "' queue full (" +
+        std::to_string(t.quota.max_queue) +
+        " queued submission(s)) for query '" + out.name + "'");
+    obs::TraceInstant(device_, "admission:rejected", out.status.message());
+    t.stats.rejected++;
+    t.stats.over_quota++;
+    run.done = true;
+    return;
+  }
+
+  out.admission = AdmissionDecision::kQueued;
+  t.stats.queued++;
+  t.stats.queued_total++;
+  obs::TraceInstant(
+      device_, "admission:queued",
+      "query '" + out.name + "' (tenant '" + out.tenant + "') queued: " +
+          std::to_string(need) + " B needed, " +
+          std::to_string(budget_bytes_ - reserved_bytes_) + " B unreserved");
+}
+
+void QueryService::ProcessArrivals(std::vector<Run>& batch) {
+  const double now = device_.elapsed_cycles();
+  for (Run& r : batch) {
+    if (r.done || r.arrived) continue;
+    if (r.request.arrival_cycles > now) continue;
+    r.arrived = true;
+    obs::TraceInstant(device_, "sched:arrival",
+                      "query '" + outcomes_[r.id].name + "' (tenant '" +
+                          outcomes_[r.id].tenant + "', priority " +
+                          std::to_string(r.request.priority) +
+                          ") arrived at cycle " + std::to_string(now));
+    AdmitOrQueue(r);
+  }
+}
+
+void QueryService::AdmitQueuedAfterRelease(std::vector<Run>& batch) {
+  // A freed reservation goes to the highest-priority waiter first; FIFO
+  // order only breaks ties within a priority tier. Otherwise an early-
+  // submitted bulk query would capture every release ahead of interactive
+  // queries that outrank it.
+  std::vector<Run*> waiting;
+  for (Run& run : batch) {
+    if (run.done || !run.arrived || run.reserved) continue;
+    waiting.push_back(&run);
+  }
+  std::stable_sort(waiting.begin(), waiting.end(),
+                   [](const Run* a, const Run* b) {
+                     return a->request.priority > b->request.priority;
+                   });
+  for (Run* rp : waiting) {
+    Run& r = *rp;
+    if (!TryReserve(r)) continue;
+    TenantState& t = ResolveTenant(r.request.tenant);
+    t.stats.queued--;
+    t.stats.admitted++;
+    outcomes_[r.id].admission = AdmissionDecision::kAdmitted;
+    obs::TraceInstant(device_, "admission:reserved",
+                      "queued query '" + outcomes_[r.id].name +
+                          "' reserved " + std::to_string(r.need) +
+                          " B after a release");
+  }
+}
+
+void QueryService::RetryQueuedIdle(std::vector<Run>& batch) {
+  // Nothing is runnable and no arrival is pending, so only the paced
+  // retries below separate a queued query from a deterministic
+  // backpressure failure (nothing else will free budget).
+  for (Run& r : batch) {
+    if (r.done || !r.arrived || r.reserved) continue;
+    TenantState& t = ResolveTenant(r.request.tenant);
+    for (int attempt = 1;; ++attempt) {
+      if (TryReserve(r)) {
+        t.stats.queued--;
+        t.stats.admitted++;
+        outcomes_[r.id].admission = AdmissionDecision::kAdmitted;
         obs::TraceInstant(device_, "admission:reserved",
-                          "queued query '" + out.name + "' reserved " +
-                              std::to_string(need) + " B on attempt " +
-                              std::to_string(attempt));
-        break;
+                          "queued query '" + outcomes_[r.id].name +
+                              "' reserved " + std::to_string(r.need) +
+                              " B on attempt " + std::to_string(attempt));
+        return;  // Runnable now; let the scheduler take a pass.
       }
       if (!backoff_.AttemptAllowed(attempt + 1)) {
-        out.status = Status::ResourceExhausted(
-            "admission retry budget exhausted for queued query '" + out.name +
-            "': " + std::to_string(need) + " B needed, " +
-            std::to_string(budget_bytes_ - reserved_bytes_) +
-            " B unreserved after " + std::to_string(attempt) + " attempt(s)");
-        obs::TraceInstant(device_, "admission:rejected", out.status.message());
-        return Status::OK();
+        // Statically infeasible for this tenant (even an idle service could
+        // not reserve it): quota + borrow allowance can never cover `need`.
+        const uint64_t quota = t.quota.quota_bytes;
+        const bool tenant_limited =
+            r.need > quota && r.need - quota > t.quota.borrow_limit_bytes;
+        Status st =
+            tenant_limited
+                ? Status::TenantOverQuota(
+                      "admission retry budget exhausted for queued query '" +
+                      outcomes_[r.id].name + "': tenant '" + outcomes_[r.id].tenant +
+                      "' needs " + std::to_string(r.need) + " B against quota " +
+                      std::to_string(quota) + " B + borrow limit " +
+                      std::to_string(t.quota.borrow_limit_bytes) + " B after " +
+                      std::to_string(attempt) + " attempt(s)")
+                : Status::ResourceExhausted(
+                      "admission retry budget exhausted for queued query '" +
+                      outcomes_[r.id].name + "': " + std::to_string(r.need) +
+                      " B needed, " +
+                      std::to_string(budget_bytes_ - reserved_bytes_) +
+                      " B unreserved after " + std::to_string(attempt) +
+                      " attempt(s)");
+        obs::TraceInstant(device_, "admission:rejected", st.message());
+        t.stats.queued--;
+        t.stats.rejected++;
+        if (tenant_limited) t.stats.over_quota++;
+        Finalize(r, std::move(st));
+        break;  // Next queued submission.
       }
       device_.AdvanceClock(backoff_.DelayCycles(attempt));
     }
   }
+}
 
-  // Reservation is held from here: the guard releases it on every exit
-  // path, so `p.reserved` flips off now (Drain's unwind must not release
-  // it a second time).
-  struct ReservationGuard {
-    uint64_t* reserved;
-    uint64_t bytes;
-    ~ReservationGuard() { *reserved -= bytes; }
-  } guard{&reserved_bytes_, need};
-  p.reserved = false;
+Status QueryService::RunUnit(Run& run) {
+  const FragmentUnit& u = run.plan.units()[run.next_unit];
+  const QueryRequest& req = run.request;
+  QueryOutcome& out = outcomes_[run.id];
+  HostTable part;
+  uint64_t part_rows = 0;
 
-  const QueryRequest& req = p.request;
-  const uint64_t baseline_live = device_.memory_stats().live_bytes;
-
-  vgpu::LifecycleControl control(
-      req.lifecycle.token,
-      req.lifecycle.deadline_cycles > 0
-          ? vgpu::Deadline::AfterCycles(device_.elapsed_cycles(),
-                                        req.lifecycle.deadline_cycles)
-          : vgpu::Deadline::Never());
-  control.set_cancel_at_kernel(req.lifecycle.cancel_at_kernel);
-  out.started_at_cycles = device_.elapsed_cycles();
-  {
-    vgpu::LifecycleScope scope(device_, control);
-    if (req.kind == QueryKind::kJoin) {
-      Result<join::ResilientJoinResult> run = join::RunJoinResilient(
-          device_, req.join_algo, *req.r, *req.s, req.join_options);
-      if (run.ok()) {
-        out.output = std::move(run->output);
-        out.output_rows = run->output_rows;
-        out.attempts = run->attempts;
-        out.status = Status::OK();
-      } else {
-        out.status = run.status();
-      }
-    } else {
-      // Upload, aggregate, download. The device-resident tables must die
-      // inside this block so the post-query watermark check sees a clean
-      // device.
-      Result<Table> input = Table::FromHost(device_, *req.r);
-      if (!input.ok()) {
-        out.status = input.status();
-      } else {
-        Result<groupby::ResilientGroupByResult> run =
-            groupby::RunGroupByResilient(device_, req.groupby_algo,
-                                         input.value(), req.groupby_spec,
-                                         req.groupby_options);
-        if (run.ok()) {
-          out.output = run->run.output.ToHost();
-          out.output_rows = run->run.num_groups;
-          out.attempts = run->attempts;
-          out.status = Status::OK();
-        } else {
-          out.status = run.status();
-        }
-      }
+  if (req.kind == QueryKind::kJoin) {
+    if (run.plan.fragmented()) {
+      // Fragment streaming is modelled like the out-of-core path: the
+      // co-fragment pair crosses PCIe up, the partial result crosses down.
+      device_.ChargeHostTransfer(join::HostTableBytes(*u.r) +
+                                 join::HostTableBytes(*u.s));
+      GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device_));
+    }
+    Result<join::ResilientJoinResult> jr = join::RunJoinResilient(
+        device_, req.join_algo, *u.r, *u.s, req.join_options);
+    GPUJOIN_RETURN_IF_ERROR(jr.status());
+    out.attempts = std::max(out.attempts, jr->attempts);
+    part = std::move(jr->output);
+    part_rows = jr->output_rows;
+    if (run.plan.fragmented()) {
+      device_.ChargeHostTransfer(join::HostTableBytes(part));
+    }
+  } else {
+    if (run.plan.fragmented()) {
+      device_.ChargeHostTransfer(join::HostTableBytes(*u.r));
+      GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device_));
+    }
+    // Upload, aggregate, download. The device-resident tables must die
+    // inside this call so the post-turn watermark check sees a clean
+    // device.
+    GPUJOIN_ASSIGN_OR_RETURN(Table input, Table::FromHost(device_, *u.r));
+    Result<groupby::ResilientGroupByResult> gr = groupby::RunGroupByResilient(
+        device_, req.groupby_algo, input, req.groupby_spec,
+        req.groupby_options);
+    GPUJOIN_RETURN_IF_ERROR(gr.status());
+    out.attempts = std::max(out.attempts, gr->attempts);
+    part = gr->run.output.ToHost();
+    part_rows = gr->run.num_groups;
+    if (run.plan.fragmented()) {
+      device_.ChargeHostTransfer(join::HostTableBytes(part));
     }
   }
-  out.finished_at_cycles = device_.elapsed_cycles();
-  out.kernels_launched = control.kernels_launched();
-  obs::TraceInstant(device_, "admission:released",
-                    "query '" + out.name + "' released " +
-                        std::to_string(need) + " B (" +
-                        StatusCodeToString(out.status.code()) + ")");
 
-  // The leak-audit contract: whatever the outcome — success, cancellation,
-  // deadline, OOM — the query must leave the device at its entry watermark.
+  // Merge in fixed fragment order: units run (and re-run after preemption)
+  // strictly in plan order, so appending is the deterministic merge.
+  if (!run.partial_init) {
+    run.partial = std::move(part);
+    run.partial_init = true;
+  } else {
+    AppendColumns(run.partial, part);
+  }
+  run.partial_rows += part_rows;
+  return Status::OK();
+}
+
+Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
+                                     TurnResult* turn) {
+  QueryOutcome& out = outcomes_[run.id];
+  TenantState& t = ResolveTenant(run.request.tenant);
+  const double turn_start = device_.elapsed_cycles();
+
+  if (!run.started) {
+    run.started = true;
+    out.started_at_cycles = turn_start;
+    // Wait is measured from when the query became runnable: a deferred
+    // arrival is not waiting before its arrival time.
+    out.wait_cycles =
+        turn_start -
+        std::max(out.submitted_at_cycles, run.request.arrival_cycles);
+    t.stats.wait_cycles += out.wait_cycles;
+    if (run.request.lifecycle.deadline_cycles > 0) {
+      run.control.set_deadline(vgpu::Deadline::AfterCycles(
+          turn_start, run.request.lifecycle.deadline_cycles));
+    }
+    run.control.set_cancel_at_kernel(run.request.lifecycle.cancel_at_kernel);
+  }
+
+  // Pre-turn seam: a cancel or deadline that tripped while the query was
+  // waiting its turn terminalizes it without touching the device.
+  run.control.Evaluate(turn_start);
+  if (run.control.tripped()) {
+    Finalize(run, run.control.status());
+    AdmitQueuedAfterRelease(batch);
+    return Status::OK();
+  }
+
+  // Nothing to run (every co-fragment pair was empty): empty result.
+  if (run.next_unit >= run.plan.units().size()) {
+    Finalize(run, Status::OK());
+    AdmitQueuedAfterRelease(batch);
+    return Status::OK();
+  }
+
+  if (run.resume_pending) {
+    run.resume_pending = false;
+    obs::TraceInstant(device_, "sched:resume",
+                      "query '" + out.name + "' resumes fragment " +
+                          std::to_string(run.next_unit) + " after preemption");
+  }
+
+  // Arm the preemption point: the earliest future arrival that outranks
+  // this query trips a kYielded unwind at the first seam past it.
+  if (sched_.interleave) {
+    double preempt_at = kInf;
+    for (const Run& w : batch) {
+      if (w.done || w.arrived) continue;
+      if (w.request.priority <= run.request.priority) continue;
+      preempt_at = std::min(preempt_at, w.request.arrival_cycles);
+    }
+    if (preempt_at > turn_start && preempt_at < kInf) {
+      run.control.set_yield_at_cycles(preempt_at);
+    }
+  }
+
+  const uint64_t baseline_live = device_.memory_stats().live_bytes;
+  Status st;
+  {
+    obs::TraceSpan span(device_, "sched", "turn:" + out.name);
+    span.Annotate("tenant", out.tenant);
+    span.Annotate("priority", std::to_string(out.priority));
+    span.Annotate("fragment", std::to_string(run.next_unit) + "/" +
+                                  std::to_string(run.plan.units().size()));
+    vgpu::LifecycleScope scope(device_, run.control);
+    st = RunUnit(run);
+  }
+  // Disarm the preemption triggers; clears a kYielded trip (including one
+  // that fired on the fragment's final clock advance after its work was
+  // already complete) without touching cancel/deadline state.
+  run.control.ClearYield();
+  if (st.ok() && run.plan.fragmented()) {
+    // Mirror the out-of-core stream: a deadline/cancel that tripped during
+    // the fragment's download fails the query at this seam rather than one
+    // turn later.
+    run.control.Evaluate(device_.elapsed_cycles());
+    if (run.control.tripped()) st = run.control.status();
+  }
+
+  const double turn_cycles = device_.elapsed_cycles() - turn_start;
+  turn->cycles = turn_cycles;
+  out.run_cycles += turn_cycles;
+  t.stats.run_cycles += turn_cycles;
+  out.fragment_turns++;
+  out.kernels_launched = run.control.kernels_launched();
+
+  // The leak-audit contract: whatever the outcome — success, preemption,
+  // cancellation, deadline, OOM — a fragment turn must leave the device at
+  // its entry watermark.
   const uint64_t live = device_.memory_stats().live_bytes;
   if (live != baseline_live) {
     return Status::Internal(
-        "QueryService: query '" + out.name + "' (" +
-        StatusCodeToString(out.status.code()) + ") left " +
-        std::to_string(live) + " live bytes (entry watermark " +
-        std::to_string(baseline_live) + ")\n" + device_.LeakReport());
+        "QueryService: query '" + out.name + "' fragment turn (" +
+        StatusCodeToString(st.code()) + ") left " + std::to_string(live) +
+        " live bytes (entry watermark " + std::to_string(baseline_live) +
+        ")\n" + device_.LeakReport());
+  }
+
+  if (st.ok()) {
+    ++run.next_unit;
+    if (run.next_unit >= run.plan.units().size()) {
+      Finalize(run, Status::OK());
+      AdmitQueuedAfterRelease(batch);
+    }
+  } else if (st.IsYielded()) {
+    // Preempted: the fragment unwound cleanly and stays at the front of
+    // the query's plan; the scheduler re-runs it after the preemptor.
+    turn->yielded = true;
+    run.resume_pending = true;
+    out.preemptions++;
+    t.stats.preemptions++;
+    obs::TraceInstant(device_, "sched:preempt",
+                      "query '" + out.name + "' yielded fragment " +
+                          std::to_string(run.next_unit) + " at cycle " +
+                          std::to_string(device_.elapsed_cycles()) + ": " +
+                          st.message());
+  } else {
+    Finalize(run, std::move(st));
+    AdmitQueuedAfterRelease(batch);
+  }
+  return Status::OK();
+}
+
+void QueryService::Finalize(Run& run, Status status) {
+  QueryOutcome& out = outcomes_[run.id];
+  TenantState& t = ResolveTenant(run.request.tenant);
+  if (run.reserved) {
+    const uint64_t need = run.need;
+    ReleaseReservation(run);
+    obs::TraceInstant(device_, "admission:released",
+                      "query '" + out.name + "' released " +
+                          std::to_string(need) + " B (" +
+                          StatusCodeToString(status.code()) + ")");
+  }
+  run.done = true;
+  out.status = std::move(status);
+  out.finished_at_cycles = device_.elapsed_cycles();
+  out.kernels_launched = run.control.kernels_launched();
+  if (out.status.ok()) {
+    out.output = std::move(run.partial);
+    out.output_rows = run.partial_rows;
+    t.stats.completed++;
+  }
+  obs::TraceInstant(
+      device_, "sched:complete",
+      "query=" + out.name + " tenant=" + out.tenant +
+          " priority=" + std::to_string(out.priority) +
+          " status=" + StatusCodeToString(out.status.code()) +
+          " wait_cycles=" + std::to_string(out.wait_cycles) +
+          " run_cycles=" + std::to_string(out.run_cycles) +
+          " preemptions=" + std::to_string(out.preemptions) +
+          " fragments=" + std::to_string(out.fragments_total));
+}
+
+Status QueryService::DrainBatch(std::vector<Run>& batch) {
+  uint64_t pass = 0;
+  const double quantum = std::max(sched_.quantum_cycles, 1.0);
+  for (;;) {
+    ProcessArrivals(batch);
+
+    std::vector<Run*> runnable;
+    double next_arrival = kInf;
+    bool have_queued = false;
+    for (Run& r : batch) {
+      if (r.done) continue;
+      if (!r.arrived) {
+        next_arrival = std::min(next_arrival, r.request.arrival_cycles);
+        continue;
+      }
+      if (r.reserved) {
+        runnable.push_back(&r);
+      } else {
+        have_queued = true;
+      }
+    }
+
+    if (runnable.empty()) {
+      if (next_arrival < kInf) {
+        const double now = device_.elapsed_cycles();
+        if (next_arrival > now) {
+          obs::TraceInstant(device_, "sched:idle",
+                            "no runnable query; advancing clock " +
+                                std::to_string(next_arrival - now) +
+                                " cycles to the next arrival");
+          device_.AdvanceClock(next_arrival - now);
+        }
+        continue;
+      }
+      if (have_queued) {
+        RetryQueuedIdle(batch);
+        continue;
+      }
+      break;  // Everything terminal.
+    }
+
+    // Strict priority: only the highest tier present gets fragment turns.
+    int tier = runnable.front()->request.priority;
+    for (const Run* r : runnable) tier = std::max(tier, r->request.priority);
+    std::vector<Run*> members;
+    for (Run* r : runnable) {
+      if (r->request.priority == tier) members.push_back(r);
+    }
+    // When a higher-priority query has arrived but cannot reserve memory,
+    // interleaving the running tier only delays the first release it is
+    // waiting for (every member finishes late instead of one finishing
+    // early). Focus on completion in that case: run the member with the
+    // least remaining work until it releases its reservation.
+    const auto memory_starved_above = [&batch, tier]() {
+      for (const Run& r : batch) {
+        if (!r.done && r.arrived && !r.reserved &&
+            r.request.priority > tier) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    if (sched_.interleave && members.size() > 1) {
+      if (memory_starved_above()) {
+        // Shortest-remaining-first, sticky across yield-broken passes:
+        // the most advanced member keeps the focus until it frees its
+        // reservation, instead of re-rotating to a fresh member and
+        // stretching the starved waiter's latency.
+        std::stable_sort(members.begin(), members.end(),
+                         [](const Run* a, const Run* b) {
+                           return a->plan.units().size() - a->next_unit <
+                                  b->plan.units().size() - b->next_unit;
+                         });
+      } else {
+        // Seeded rotation: which member a pass starts at must not always
+        // favor low submission ids, but must replay identically for a
+        // given seed.
+        const size_t offset = static_cast<size_t>(
+            SplitMix64(sched_.seed ^ pass) % members.size());
+        std::rotate(members.begin(), members.begin() + offset,
+                    members.end());
+      }
+    }
+    uint64_t min_need = 0;
+    for (const Run* r : members) {
+      const uint64_t need = std::max<uint64_t>(r->need, 1);
+      min_need = min_need == 0 ? need : std::min(min_need, need);
+    }
+
+    bool break_pass = false;
+    for (Run* q : members) {
+      if (q->done || !q->reserved) continue;
+      if (sched_.interleave) {
+        // Deficit-weighted round-robin: service share proportional to the
+        // reserved bytes (a tenant that reserves more gets more device
+        // time per pass), clamped so one huge reservation cannot own a
+        // whole pass.
+        const double weight = std::clamp(
+            static_cast<double>(std::max<uint64_t>(q->need, 1)) /
+                static_cast<double>(min_need),
+            1.0, 4.0);
+        q->deficit += quantum * weight;
+      }
+      while (!q->done && (!sched_.interleave || q->deficit > 0 ||
+                          memory_starved_above())) {
+        TurnResult turn;
+        GPUJOIN_RETURN_IF_ERROR(RunFragmentTurn(*q, batch, &turn));
+        if (sched_.interleave) q->deficit -= turn.cycles;
+        if (turn.yielded) {
+          break_pass = true;  // A higher-priority arrival is due.
+          break;
+        }
+        // The turn may have admitted queued work or reached an arrival
+        // that outranks this tier; if so, restart the pass on the new
+        // tier immediately.
+        ProcessArrivals(batch);
+        for (const Run& r : batch) {
+          if (!r.done && r.arrived && r.reserved &&
+              r.request.priority > tier) {
+            break_pass = true;
+            break;
+          }
+        }
+        if (break_pass) break;
+      }
+      if (break_pass) break;
+    }
+    ++pass;
   }
   return Status::OK();
 }
 
 Status QueryService::Drain() {
-  std::vector<Pending> batch = std::move(pending_);
+  std::vector<Run> batch = std::move(pending_);
   pending_.clear();
-  for (Pending& p : batch) {
-    Status st = RunOne(p);
-    if (!st.ok()) {
-      // Broken invariant: unwind the remaining reservations so the budget
-      // is consistent, then surface the error.
-      for (Pending& rest : batch) {
-        if (&rest != &p && rest.reserved) {
-          reserved_bytes_ -= outcomes_[rest.id].estimate.total_bytes();
-          rest.reserved = false;
-        }
+  Status st = DrainBatch(batch);
+  if (!st.ok()) {
+    // Broken invariant: unwind the remaining reservations and queue counts
+    // so the budget is consistent, then surface the error.
+    for (Run& r : batch) {
+      if (r.reserved) ReleaseReservation(r);
+      if (!r.done && r.arrived && !r.reserved) {
+        TenantState& t = ResolveTenant(r.request.tenant);
+        if (t.stats.queued > 0) t.stats.queued--;
       }
-      return st;
     }
   }
-  return Status::OK();
+  return st;
 }
 
 }  // namespace gpujoin::service

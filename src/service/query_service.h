@@ -1,30 +1,47 @@
-// Query lifecycle service: the admission-control front door over the
-// resilient join / group-by entry points (DESIGN.md §11).
+// Multi-tenant query service: admission control plus a deterministic
+// deficit-weighted round-robin scheduler over the resilient join / group-by
+// entry points (DESIGN.md §11 admission, §13 scheduling).
 //
-// A QueryService owns one device's memory budget. Submitting a query
-// estimates its device-memory footprint host-side (stats::EstimateJoinMemory
-// / EstimateGroupByMemory — no simulated cycles are spent) and either
-//   * RESERVES the estimate against the budget and admits the query,
-//   * QUEUES it (structured backpressure) when the budget is currently
-//     oversubscribed but the query could fit an idle device, or
-//   * REJECTS it with a structured kResourceExhausted admission error when
-//     the estimate exceeds the total budget or the queue is full.
-// Drain() then executes admitted and queued queries in admission order,
-// installing a per-query vgpu::LifecycleControl (cancel token + simulated-
-// cycle deadline + the cancel-at-kernel test knob) for the duration of each
-// run. Reservations are released on EVERY exit path — success, cancellation,
-// deadline, resource exhaustion, internal error — so the budget always
-// returns to zero once the service drains (service_test.cc asserts this
-// together with Device::CheckNoLeaks()).
+// A QueryService owns one device's memory budget, split into named
+// per-tenant quotas (service/tenant.h). Submitting a query estimates its
+// device-memory footprint host-side (stats::EstimateJoinMemory /
+// EstimateGroupByMemory — no simulated cycles are spent) and either
+//   * RESERVES the estimate against the tenant's quota (borrowing a
+//     bounded amount from the unreserved pool when allowed) and admits,
+//   * QUEUES it (structured backpressure) when the quota or budget is
+//     currently oversubscribed but the query could fit later,
+//   * DEFERS it when its arrival_cycles lies in the simulated future
+//     (admission is evaluated at arrival during Drain), or
+//   * REJECTS it with a structured kResourceExhausted (global budget /
+//     queue) or kTenantOverQuota (tenant quota, borrow allowance, or
+//     tenant queue) admission error.
 //
-// Determinism: admission order is submission order, deadlines are simulated
-// cycles, queue retries are paced by the shared BackoffPolicy charged to the
-// simulated clock — a drained workload is bit-identical on replay.
+// Drain() no longer runs admitted queries to completion in admission
+// order: each query is decomposed into resumable fragments at the existing
+// lifecycle seams (service/fragments.h) and a deficit-weighted round-robin
+// — weighted by each query's reserved bytes — interleaves fragments of all
+// runnable queries, so a long scan cannot starve short lookups. Strict
+// priority tiers ride on top: a higher-priority arrival preempts the
+// running query at its next cooperative seam (kernel boundary, allocation,
+// clock advance) through the kYielded lifecycle trip; the interrupted
+// fragment unwinds with zero leaks and re-runs after the high-priority
+// work, bit-identically. Reservations are released on EVERY exit path, so
+// the budget always returns to zero once the service drains.
+//
+// Determinism: fragment decomposition, quota arithmetic, deficit updates,
+// and preemption points are all functions of host-side estimates and the
+// simulated clock; round-robin tie-breaks rotate by a seeded hash of the
+// pass index. A drained workload is bit-identical on replay and at any
+// GPUJOIN_SIM_THREADS fan-out. Every scheduling decision is observable:
+// the scheduler emits spans (category "sched") and instants through
+// obs::Tracer, so per-tenant wait/run/preempt latency is assertable from
+// traces (tools/lifecycle_soak does exactly that).
 
 #ifndef GPUJOIN_SERVICE_QUERY_SERVICE_H_
 #define GPUJOIN_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,6 +49,8 @@
 #include "common/status.h"
 #include "groupby/resilient.h"
 #include "join/resilient.h"
+#include "service/fragments.h"
+#include "service/tenant.h"
 #include "stats/estimator.h"
 #include "storage/table.h"
 #include "vgpu/device.h"
@@ -45,10 +64,13 @@ struct QueryLifecycleOptions {
   /// at its next cooperative seam.
   vgpu::CancelToken token;
   /// Relative simulated-cycle budget measured from the query's start of
-  /// execution (not submission). <= 0 disables the deadline.
+  /// execution (not submission). <= 0 disables the deadline. With
+  /// interleaving the clock keeps running while the query is preempted —
+  /// it is a latency deadline, not a device-time budget.
   double deadline_cycles = 0;
   /// Test knob: trip the cancel token when the Nth kernel of this query
-  /// launches (1-based; 0 = disarmed). Mirrors GPUJOIN_CANCEL_AT_KERNEL.
+  /// launches (1-based; 0 = disarmed; counts across fragment resumptions).
+  /// Mirrors GPUJOIN_CANCEL_AT_KERNEL.
   uint64_t cancel_at_kernel = 0;
 };
 
@@ -72,93 +94,236 @@ struct QueryRequest {
   groupby::GroupByResilienceOptions groupby_options;
 
   QueryLifecycleOptions lifecycle;
+
+  // --- Multi-tenant scheduling (DESIGN.md §13) ---
+
+  /// Quota the reservation is charged to ("" = "default"). Tenants not
+  /// named in ServiceOptions::tenants get an implicit full-budget quota.
+  std::string tenant;
+  /// Strict priority tier: the scheduler only runs fragments of the
+  /// highest tier present, and a higher-priority arrival preempts the
+  /// running query at its next lifecycle seam. Default 0 (batch).
+  int priority = 0;
+  /// Simulated-cycle arrival time. A submission whose arrival lies in the
+  /// future is DEFERRED: it models an asynchronous Submit racing a running
+  /// Drain, deterministically — admission happens when the simulated clock
+  /// reaches it. <= the current clock means "available immediately".
+  double arrival_cycles = 0;
+  /// Caller-supplied admission estimate in bytes (0 = run the host-side
+  /// estimators). Lets external planners override the reservation size.
+  uint64_t estimate_bytes_override = 0;
+  /// Fragment decomposition override: -1 = scheduler policy
+  /// (SchedulerOptions), 0 = force a single fragment, >0 = force 2^n
+  /// fragments. Capped at SchedulerOptions::max_fragment_bits.
+  int fragment_bits_override = -1;
 };
 
 /// How admission classified a submission.
-enum class AdmissionDecision { kAdmitted, kQueued, kRejected };
+enum class AdmissionDecision { kAdmitted, kQueued, kRejected, kDeferred };
 
 const char* AdmissionDecisionName(AdmissionDecision d);
 
 /// Final record of one submitted query.
 struct QueryOutcome {
   std::string name;
+  std::string tenant;
+  int priority = 0;
+  /// Final admission state (a deferred/queued submission that later
+  /// reserved reads kAdmitted after Drain).
   AdmissionDecision admission = AdmissionDecision::kAdmitted;
-  /// Execution status: OK, kCancelled, kDeadlineExceeded, kResourceExhausted
-  /// (post-ladder), or the admission rejection for kRejected queries.
+  /// Execution status: OK, kCancelled, kDeadlineExceeded,
+  /// kResourceExhausted (post-ladder or admission), kTenantOverQuota
+  /// (admission backpressure), or the rejection for kRejected queries.
+  /// Never kYielded — yields are absorbed by the scheduler.
   Status status = Status::OK();
-  /// Result rows, downloaded to host (empty unless status is OK).
+  /// Result rows, downloaded to host (empty unless status is OK). For a
+  /// fragmented query, fragment partials concatenated in fixed fragment
+  /// order — deterministic, but a different row order than an
+  /// unfragmented run of the same query.
   HostTable output;
   uint64_t output_rows = 0;
-  /// Resilience-ladder attempts consumed (0 for rejected/unrun queries).
+  /// Max resilience-ladder attempts consumed by any fragment (0 for
+  /// rejected/unrun queries, 1 = every fragment succeeded first try).
   int attempts = 0;
   /// The admission estimate reserved while the query ran.
   stats::MemoryEstimate estimate;
-  /// Simulated cycles at execution start / end (0/0 when never run).
+  /// Bytes of the reservation borrowed beyond the tenant quota.
+  uint64_t borrowed_bytes = 0;
+
+  // --- Scheduling telemetry (simulated cycles) ---
+  /// Fragments in the plan / fragment turns actually executed (turns can
+  /// exceed the plan size when preempted fragments re-run).
+  int fragments_total = 0;
+  int fragment_turns = 0;
+  /// Times a fragment of this query was preempted (kYielded unwind).
+  int preemptions = 0;
+  double submitted_at_cycles = 0;
+  /// Clock at the first fragment turn / at finalization (0/0 if never run).
   double started_at_cycles = 0;
   double finished_at_cycles = 0;
+  /// started - submitted (admission + queue + arrival wait).
+  double wait_cycles = 0;
+  /// Cycles the query actually occupied the device (sum of its turns,
+  /// including turns that were preempted and re-run).
+  double run_cycles = 0;
   /// Kernels launched while the query's lifecycle control was installed.
   uint64_t kernels_launched = 0;
+};
+
+/// Scheduler policy knobs. Defaults interleave with a quantum comparable
+/// to a small fragment's cost; legacy run-to-completion admission order is
+/// `interleave = false`.
+struct SchedulerOptions {
+  /// false = run each admitted query to completion in admission order (the
+  /// pre-scheduler behavior; no preemption, no interleaving).
+  bool interleave = true;
+  /// Deficit quantum in simulated cycles credited per round-robin pass.
+  /// Sized near one fragment turn's cost (PCIe up + body + PCIe down) at
+  /// test scale, so a pass grants each runnable query a fragment or two —
+  /// a quantum much larger than the workload degenerates to
+  /// run-to-completion.
+  double quantum_cycles = 25'000;
+  /// Seed for the pass-rotation tie-break (which runnable query a pass
+  /// starts at), so equal-deficit ties do not always favor low ids.
+  uint64_t seed = 0x5eedc0ffee15600dull;
+  /// Auto-fragmentation target: a query whose estimate exceeds this
+  /// fraction of the budget is split until the per-fragment share fits
+  /// (see DeriveScheduleFragmentBits). <= 0 disables auto-fragmentation.
+  double fragment_target_fraction = 0.25;
+  /// Cap on fragment bits (auto and per-request overrides).
+  int max_fragment_bits = 6;
 };
 
 struct ServiceOptions {
   /// Admission budget in bytes; 0 = the device's global memory capacity.
   uint64_t budget_bytes = 0;
-  /// Queued submissions allowed beyond the reserved budget before Submit
-  /// rejects with backpressure.
+  /// Queued submissions allowed across all tenants before Submit rejects
+  /// with backpressure.
   size_t max_queue = 16;
-  /// Paces admission retries for queued queries during Drain (delays are
-  /// charged to the simulated clock).
+  /// Named tenant quotas. Tenants not listed (and the "" / "default"
+  /// tenant) get an implicit quota of the full budget with no borrowing
+  /// and a queue limit of max_queue.
+  std::vector<TenantQuota> tenants;
+  /// Paces admission retries for queued queries when the scheduler is
+  /// otherwise idle (delays are charged to the simulated clock).
   BackoffPolicy backoff;
+  SchedulerOptions scheduler;
 };
 
-/// Single-device, run-to-completion query service. Submissions accumulate
-/// (reserving budget immediately when it is available); Drain() executes
-/// everything in admission order on the simulator's single thread.
+/// A configured tenant's quota plus its live accounting.
+struct TenantState {
+  TenantQuota quota;
+  TenantStats stats;
+};
+
+/// Single-device query service. Submissions accumulate (reserving budget
+/// immediately when it is available); Drain() interleaves fragments of
+/// every runnable query on the simulator's single thread until all
+/// submissions reach a terminal outcome.
 class QueryService {
  public:
   explicit QueryService(vgpu::Device& device, ServiceOptions options = {});
 
-  /// Admits, queues, or rejects the request. Returns the query id (index
-  /// into outcomes()) in all three cases; rejection is recorded in the
+  /// Admits, queues, defers, or rejects the request. Returns the query id
+  /// (index into outcomes()) in all cases; rejection is recorded in the
   /// outcome's status rather than thrown, so a full workload's fate is
   /// inspectable in one place. Returns InvalidArgument for malformed
   /// requests (missing tables).
   Result<int> Submit(QueryRequest request);
 
-  /// Executes every admitted/queued query in admission order. Always leaves
+  /// Runs every pending submission to a terminal outcome. Always leaves
   /// reserved_bytes() == 0 and the device lifecycle-free, whatever the mix
-  /// of outcomes. Returns the first Internal error encountered (a leak or a
-  /// broken invariant); per-query cancellations/deadlines/OOMs are recorded
-  /// in their outcomes, not returned.
+  /// of outcomes. Returns the first Internal error encountered (a leak or
+  /// a broken invariant); per-query cancellations/deadlines/OOMs/quota
+  /// rejections are recorded in their outcomes, not returned.
   Status Drain();
 
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
   const QueryOutcome& outcome(int id) const { return outcomes_[id]; }
 
-  /// Bytes currently reserved against the budget.
+  /// Bytes currently reserved against the budget (all tenants).
   uint64_t reserved_bytes() const { return reserved_bytes_; }
   uint64_t budget_bytes() const { return budget_bytes_; }
-  /// Submissions admitted-but-not-yet-run plus queued ones.
+  /// Submissions not yet drained (admitted, queued, or deferred).
   size_t pending() const { return pending_.size(); }
 
+  /// Per-tenant quota state and counters, keyed by tenant name. Tenants
+  /// appear on first use or configuration; std::map iteration order makes
+  /// reports deterministic.
+  const std::map<std::string, TenantState>& tenants() const {
+    return tenants_;
+  }
+  /// Null when the tenant has never been configured or used.
+  const TenantState* tenant(const std::string& name) const;
+
  private:
-  struct Pending {
+  /// Scheduler-side state of one not-yet-finished submission.
+  struct Run {
     int id = 0;
     QueryRequest request;
-    bool reserved = false;  // Budget held since Submit (admitted) or not
-                            // (queued; reserved during Drain).
+    FragmentPlan plan;
+    size_t next_unit = 0;
+    double deficit = 0;
+    uint64_t need = 0;
+    uint64_t borrowed = 0;
+    bool arrived = false;   // arrival_cycles reached (admission evaluated)
+    bool reserved = false;  // holds a budget reservation
+    bool started = false;   // first fragment turn taken
+    bool done = false;      // terminal outcome recorded
+    bool resume_pending = false;  // last turn was preempted
+    vgpu::LifecycleControl control;
+    HostTable partial;
+    uint64_t partial_rows = 0;
+    bool partial_init = false;
   };
 
-  Status RunOne(Pending& p);
+  struct TurnResult {
+    bool yielded = false;
+    /// Simulated cycles the turn consumed (charged against the deficit).
+    double cycles = 0;
+  };
+
   stats::MemoryEstimate Estimate(const QueryRequest& request) const;
+  TenantState& ResolveTenant(const std::string& name);
+  int ResolveFragmentBits(const QueryRequest& request, uint64_t need) const;
   size_t QueuedCount() const;
+
+  /// Overflow-safe reservation attempt against tenant quota + borrow
+  /// allowance + global budget. On success flips run.reserved and charges
+  /// the tenant; returns false without side effects otherwise.
+  bool TryReserve(Run& run);
+  void ReleaseReservation(Run& run);
+
+  Status DrainBatch(std::vector<Run>& batch);
+  /// Classifies an arrived submission: reserve (admit), queue under the
+  /// global and tenant queue limits, or reject with backpressure.
+  void AdmitOrQueue(Run& run);
+  /// Evaluates admission for waiting submissions whose arrival time has
+  /// been reached (admit / queue / reject).
+  void ProcessArrivals(std::vector<Run>& batch);
+  /// Admission-order sweep over queued submissions after a reservation
+  /// release; no pacing (budget just changed).
+  void AdmitQueuedAfterRelease(std::vector<Run>& batch);
+  /// Idle path: nothing runnable, no future arrivals — paced, bounded
+  /// admission retries for queued submissions; queries whose retry budget
+  /// exhausts get a structured backpressure outcome.
+  void RetryQueuedIdle(std::vector<Run>& batch);
+  /// Runs one fragment turn of `run` (arming the preemption point), and
+  /// merges / requeues / finalizes according to the turn's status.
+  /// Returns Internal on a broken invariant (leak), OK otherwise.
+  Status RunFragmentTurn(Run& run, std::vector<Run>& batch, TurnResult* turn);
+  /// One fragment body: upload → operate → download on the current unit.
+  Status RunUnit(Run& run);
+  void Finalize(Run& run, Status status);
 
   vgpu::Device& device_;
   uint64_t budget_bytes_ = 0;
   size_t max_queue_ = 0;
   BackoffPolicy backoff_;
+  SchedulerOptions sched_;
   uint64_t reserved_bytes_ = 0;
-  std::vector<Pending> pending_;
+  std::map<std::string, TenantState> tenants_;
+  std::vector<Run> pending_;
   std::vector<QueryOutcome> outcomes_;
 };
 

@@ -100,6 +100,40 @@ class LifecycleControl {
   void set_cancel_at_kernel(uint64_t nth) { cancel_at_kernel_ = nth; }
   uint64_t cancel_at_kernel() const { return cancel_at_kernel_; }
 
+  // --- Preemption (scheduler yield) ---
+  //
+  // A yield trip turns the sticky status into kYielded at the next
+  // cooperative seam — same unwind discipline as a cancellation (every
+  // allocation freed, device back at its entry watermark) but NOT terminal:
+  // the scheduler clears the trip with ClearYield() and re-runs the
+  // interrupted fragment later. Cancel and deadline always outrank a
+  // pending yield (a dead query must not be resumed).
+
+  /// Trips kYielded once the simulated clock passes `cycles` (absolute).
+  /// Infinity (the default) disarms. The scheduler arms this with the
+  /// arrival time of the next higher-priority query before each fragment.
+  void set_yield_at_cycles(double cycles) { yield_at_cycles_ = cycles; }
+  double yield_at_cycles() const { return yield_at_cycles_; }
+
+  /// Test knob mirroring cancel_at_kernel: trips kYielded when the Nth
+  /// kernel (1-based, counted since installation or Rearm) launches.
+  /// 0 = disarmed. Lets tests force a preemption at every kernel seam.
+  void set_yield_at_kernel(uint64_t nth) { yield_at_kernel_ = nth; }
+  uint64_t yield_at_kernel() const { return yield_at_kernel_; }
+
+  /// True while the sticky status is a yield (the control is preempted,
+  /// not dead).
+  bool yielded() const { return status_.IsYielded(); }
+
+  /// Clears a kYielded trip and disarms both yield triggers so the query
+  /// can resume; kernel counters and cancel/deadline state are untouched.
+  /// No-op unless the current sticky status is a yield.
+  void ClearYield() {
+    yield_at_cycles_ = std::numeric_limits<double>::infinity();
+    yield_at_kernel_ = 0;
+    if (status_.IsYielded()) status_ = Status::OK();
+  }
+
   /// Kernels launched while this control was installed.
   uint64_t kernels_launched() const { return kernels_launched_; }
 
@@ -108,11 +142,14 @@ class LifecycleControl {
   const Status& status() const { return status_; }
   bool tripped() const { return !status_.ok(); }
 
-  /// Clears the trip state and the kernel counter for reuse by a new query
-  /// (the token and deadline are caller state and are left untouched).
+  /// Clears the trip state, the kernel counter, and any armed yield
+  /// triggers for reuse by a new query (the token and deadline are caller
+  /// state and are left untouched).
   void Rearm() {
     status_ = Status::OK();
     kernels_launched_ = 0;
+    yield_at_cycles_ = std::numeric_limits<double>::infinity();
+    yield_at_kernel_ = 0;
   }
 
   // --- Device-side hooks (called by vgpu::Device; not for query code) ---
@@ -124,6 +161,9 @@ class LifecycleControl {
     if (cancel_at_kernel_ != 0 && kernels_launched_ == cancel_at_kernel_) {
       token_.RequestCancel("cancelled at kernel boundary " +
                            std::to_string(kernels_launched_));
+    }
+    if (yield_at_kernel_ != 0 && kernels_launched_ == yield_at_kernel_) {
+      yield_at_cycles_ = -std::numeric_limits<double>::infinity();
     }
     Evaluate(elapsed_cycles);
   }
@@ -148,6 +188,13 @@ class LifecycleControl {
           std::to_string(elapsed_cycles) + " cycles elapsed, deadline " +
           std::to_string(deadline_.cycles) + " (after " +
           std::to_string(kernels_launched_) + " kernel(s))");
+      return;
+    }
+    if (elapsed_cycles >= yield_at_cycles_) {
+      status_ = Status::Yielded(
+          "preempted at seam: " + std::to_string(elapsed_cycles) +
+          " cycles elapsed, yield point " + std::to_string(yield_at_cycles_) +
+          " (after " + std::to_string(kernels_launched_) + " kernel(s))");
     }
   }
 
@@ -155,6 +202,8 @@ class LifecycleControl {
   CancelToken token_;
   Deadline deadline_;
   uint64_t cancel_at_kernel_ = 0;
+  uint64_t yield_at_kernel_ = 0;
+  double yield_at_cycles_ = std::numeric_limits<double>::infinity();
   uint64_t kernels_launched_ = 0;
   Status status_;
 };

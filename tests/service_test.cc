@@ -327,5 +327,134 @@ TEST(QueryServiceTest, ResultsMatchDirectExecution) {
   EXPECT_EQ(device.total_stats(), direct_device.total_stats());
 }
 
+// ---------------------------------------------------------------------------
+// Queued-submission edges and admission arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, AbsurdEstimateDoesNotOverflowAdmission) {
+  // Regression: the admission check used to be the addition form
+  // `reserved + need <= budget`, which wraps for near-UINT64_MAX estimates
+  // and silently ADMITS an absurd reservation (corrupting reserved_bytes
+  // into a tiny wrapped value). The subtraction form must queue it instead
+  // and leave the existing reservation intact.
+  vgpu::Device device = MakeTestDevice();
+  ServiceOptions options;
+  options.budget_bytes = UINT64_MAX;  // Largest budget: nothing is
+                                      // rejected as "never fits".
+  QueryService service(device, options);
+  const workload::JoinWorkload w = SmallJoinWorkload();
+
+  ASSERT_OK_AND_ASSIGN(int small_id, service.Submit(JoinRequest(w, "small")));
+  EXPECT_EQ(service.outcome(small_id).admission, AdmissionDecision::kAdmitted);
+  const uint64_t reserved_before = service.reserved_bytes();
+  ASSERT_GT(reserved_before, 0u);
+
+  QueryRequest absurd = JoinRequest(w, "absurd");
+  absurd.estimate_bytes_override = UINT64_MAX - 1;  // reserved + need wraps.
+  ASSERT_OK_AND_ASSIGN(int absurd_id, service.Submit(std::move(absurd)));
+  // Overflow would have admitted it; the correct outcome is QUEUED (it
+  // fits once the small query releases) with the accounting untouched.
+  EXPECT_EQ(service.outcome(absurd_id).admission, AdmissionDecision::kQueued);
+  EXPECT_EQ(service.reserved_bytes(), reserved_before);
+
+  ASSERT_OK(service.Drain());
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(service.outcome(small_id).status);
+  // Once the budget is free the absurd reservation fits UINT64_MAX and the
+  // (small) tables run normally — the override only governs admission.
+  ASSERT_OK(service.outcome(absurd_id).status);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, QueueLimitBoundaryAtAndOnePast) {
+  vgpu::Device device = MakeTestDevice();
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const uint64_t need = stats::EstimateJoinMemory(w.r, w.s).total_bytes();
+  ServiceOptions options;
+  options.budget_bytes = need;  // Exactly one reservation fits.
+  options.max_queue = 2;
+  QueryService service(device, options);
+
+  ASSERT_OK_AND_ASSIGN(int a, service.Submit(JoinRequest(w, "running")));
+  ASSERT_OK_AND_ASSIGN(int b, service.Submit(JoinRequest(w, "queued_1")));
+  ASSERT_OK_AND_ASSIGN(int c, service.Submit(JoinRequest(w, "queued_2")));
+  ASSERT_OK_AND_ASSIGN(int d, service.Submit(JoinRequest(w, "one_past")));
+
+  EXPECT_EQ(service.outcome(a).admission, AdmissionDecision::kAdmitted);
+  EXPECT_EQ(service.outcome(b).admission, AdmissionDecision::kQueued);
+  // AT the limit: the second queued submission still fits the queue.
+  EXPECT_EQ(service.outcome(c).admission, AdmissionDecision::kQueued);
+  // ONE PAST the limit: structured backpressure, not a queue overflow.
+  EXPECT_EQ(service.outcome(d).admission, AdmissionDecision::kRejected);
+  EXPECT_TRUE(service.outcome(d).status.IsResourceExhausted());
+  EXPECT_NE(service.outcome(d).status.message().find("queue full"),
+            std::string::npos);
+
+  ASSERT_OK(service.Drain());
+  for (int id : {a, b, c}) ASSERT_OK(service.outcome(id).status);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, CancelledPredecessorReleasesReservationToQueued) {
+  vgpu::Device device = MakeTestDevice();
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const uint64_t need = stats::EstimateJoinMemory(w.r, w.s).total_bytes();
+  ServiceOptions options;
+  options.budget_bytes = need;  // Successor can only run via the release.
+  QueryService service(device, options);
+
+  QueryRequest doomed = JoinRequest(w, "doomed");
+  vgpu::CancelToken token = doomed.lifecycle.token;
+  ASSERT_OK_AND_ASSIGN(int doomed_id, service.Submit(std::move(doomed)));
+  ASSERT_OK_AND_ASSIGN(int heir_id, service.Submit(JoinRequest(w, "heir")));
+  EXPECT_EQ(service.outcome(heir_id).admission, AdmissionDecision::kQueued);
+  token.RequestCancel("superseded");
+
+  ASSERT_OK(service.Drain());
+  EXPECT_TRUE(service.outcome(doomed_id).status.IsCancelled());
+  // The cancelled predecessor's release admitted the queued successor.
+  EXPECT_EQ(service.outcome(heir_id).admission, AdmissionDecision::kAdmitted);
+  ASSERT_OK(service.outcome(heir_id).status);
+  EXPECT_GT(service.outcome(heir_id).output_rows, 0u);
+  EXPECT_EQ(service.reserved_bytes(), 0u);
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(QueryServiceTest, QueuedBackoffPacingIsDeterministic) {
+  // A queued query that can never reserve (tenant quota + borrow allowance
+  // below its need) exhausts its paced admission retries; the backoff
+  // delays are simulated cycles, so two identical runs must fail at the
+  // same simulated time with the same attempt count in the message.
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  const uint64_t need = stats::EstimateJoinMemory(w.r, w.s).total_bytes();
+
+  auto run = [&](double* elapsed, std::string* message) {
+    vgpu::Device device = MakeTestDevice();
+    ServiceOptions options;
+    options.tenants.push_back({"capped", need / 4, 0, 4});
+    QueryService service(device, options);
+    QueryRequest req = JoinRequest(w, "starved");
+    req.tenant = "capped";
+    const int id = service.Submit(std::move(req)).ValueOrDie();
+    EXPECT_EQ(service.outcome(id).admission, AdmissionDecision::kQueued);
+    EXPECT_TRUE(service.Drain().ok());
+    const QueryOutcome& out = service.outcome(id);
+    EXPECT_TRUE(out.status.IsTenantOverQuota()) << out.status.ToString();
+    EXPECT_NE(out.status.message().find("attempt(s)"), std::string::npos);
+    *elapsed = device.elapsed_cycles();
+    *message = out.status.message();
+    EXPECT_TRUE(device.CheckNoLeaks().ok());
+  };
+
+  double elapsed_a = 0, elapsed_b = 0;
+  std::string message_a, message_b;
+  run(&elapsed_a, &message_a);
+  run(&elapsed_b, &message_b);
+  EXPECT_GT(elapsed_a, 0.0);  // The paced retries advanced the clock.
+  EXPECT_DOUBLE_EQ(elapsed_a, elapsed_b);
+  EXPECT_EQ(message_a, message_b);
+}
+
 }  // namespace
 }  // namespace gpujoin::service

@@ -50,6 +50,21 @@ TEST(StatusTest, LifecyclePredicates) {
   EXPECT_TRUE(Status::ResourceExhausted("oom").IsResourceExhausted());
 }
 
+TEST(StatusTest, SchedulerStatuses) {
+  const Status yielded = Status::Yielded("seam");
+  EXPECT_TRUE(yielded.IsYielded());
+  EXPECT_FALSE(yielded.IsCancelled());
+  // A yield is resumable, never a terminal outcome: deliberately NOT a
+  // lifecycle stop, so resilience ladders and callers propagate it
+  // untouched instead of treating it like a cancellation.
+  EXPECT_FALSE(yielded.IsLifecycleStop());
+
+  const Status over = Status::TenantOverQuota("capped");
+  EXPECT_TRUE(over.IsTenantOverQuota());
+  EXPECT_FALSE(over.IsResourceExhausted());
+  EXPECT_FALSE(over.IsLifecycleStop());
+}
+
 TEST(StatusTest, LifecycleToString) {
   EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
   EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
@@ -71,6 +86,9 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kYielded), "Yielded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTenantOverQuota),
+               "TenantOverQuota");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,27 +1,42 @@
-// Concurrent-admission soak for the query lifecycle layer (DESIGN.md §11).
+// Adversarial multi-tenant soak for the query scheduler (DESIGN.md §13).
 //
-// Drives a QueryService through rounds of mixed join / group-by submissions
-// under a progressively shrinking admission budget, salting in per-query
-// deadlines and cancel-at-kernel trips. After every round it asserts the
-// lifecycle invariants the service promises:
+// Each round drives one hog tenant (large, fragmented, low-priority joins)
+// against several interactive tenants (small, high-priority queries that
+// arrive mid-round and preempt the hog at lifecycle seams) through a
+// QueryService whose budget shrinks round over round. Cancel-at-kernel
+// trips, tight deadlines, and arrival times are salted from a seed
+// (GPUJOIN_SOAK_SEED or --seed; printed on failure so any run reproduces).
+//
+// After every round the soak asserts the scheduler's invariants:
 //   * reserved_bytes() returns to 0 whatever the mix of outcomes,
 //   * the device has zero outstanding allocations (CheckNoLeaks),
-//   * every outcome carries a structured status (OK / Cancelled /
-//     DeadlineExceeded / ResourceExhausted / InvalidArgument) — never an
-//     Internal error, which would mean a broken invariant.
-// Exits 0 on success, 1 with a report on the first violated invariant.
+//   * every outcome is structured (OK / Cancelled / DeadlineExceeded /
+//     ResourceExhausted / OutOfMemory / TenantOverQuota) — never Internal
+//     and never a leaked kYielded,
+//   * latency fairness: interactive p95 wait, measured from the tracer's
+//     "sched:complete" instants (not service internals), stays a small
+//     fraction of the hog's round makespan even though the hog was
+//     submitted first.
+// Exits 0 on success, 1 with a report (and the seed) on the first
+// violated invariant.
 //
-// Run via `scripts/reproduce.sh --lifecycle` or directly:
-//   ./build/tools/lifecycle_soak [rounds]
+// Run via `scripts/reproduce.sh --scheduler` or directly:
+//   ./build/tools/lifecycle_soak [rounds] [--seed N]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "groupby/groupby.h"
+#include "harness/harness.h"
 #include "join/join.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "storage/table.h"
 #include "vgpu/device.h"
@@ -30,15 +45,55 @@
 namespace gpujoin {
 namespace {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t g_seed = 0;
+
 int Fail(const std::string& what) {
-  std::fprintf(stderr, "lifecycle_soak: FAIL: %s\n", what.c_str());
+  std::fprintf(stderr,
+               "lifecycle_soak: FAIL (reproduce with --seed %llu): %s\n",
+               static_cast<unsigned long long>(g_seed), what.c_str());
   return 1;
 }
 
 bool IsStructuredOutcome(const Status& s) {
   return s.ok() || s.IsLifecycleStop() || s.IsResourceExhausted() ||
-         s.code() == StatusCode::kOutOfMemory ||
+         s.IsTenantOverQuota() || s.code() == StatusCode::kOutOfMemory ||
          s.code() == StatusCode::kInvalidArgument;
+}
+
+/// Wait/run samples for one tenant in one round, parsed back out of the
+/// tracer's "sched:complete" instants — the soak asserts latency from the
+/// observability surface, not from service internals.
+struct TenantLatency {
+  std::vector<double> wait;
+  std::vector<double> run;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+double ParseField(const std::string& detail, const std::string& key) {
+  const size_t pos = detail.find(key + "=");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(detail.c_str() + pos + key.size() + 1, nullptr);
+}
+
+std::string ParseTag(const std::string& detail, const std::string& key) {
+  const size_t pos = detail.find(key + "=");
+  if (pos == std::string::npos) return "";
+  const size_t begin = pos + key.size() + 1;
+  const size_t end = detail.find(' ', begin);
+  return detail.substr(begin, end == std::string::npos ? end : end - begin);
 }
 
 int Run(int rounds) {
@@ -47,46 +102,113 @@ int Run(int rounds) {
   using service::QueryService;
   using service::ServiceOptions;
 
-  // Shared inputs, generated once: a small join pair and a group-by table.
-  workload::JoinWorkloadSpec jspec;
-  jspec.r_rows = uint64_t{1} << 10;
-  jspec.s_rows = uint64_t{1} << 11;
-  jspec.seed = 17;
-  auto jw = workload::GenerateJoinInput(jspec);
-  GPUJOIN_CHECK_OK(jw.status());
+  // Shared inputs, generated once. The hog join is an order of magnitude
+  // heavier than the interactive queries.
+  workload::JoinWorkloadSpec hog_spec;
+  hog_spec.r_rows = uint64_t{1} << 11;
+  hog_spec.s_rows = uint64_t{1} << 12;
+  hog_spec.seed = 17;
+  auto hog_w = workload::GenerateJoinInput(hog_spec);
+  GPUJOIN_CHECK_OK(hog_w.status());
+
+  workload::JoinWorkloadSpec small_spec;
+  small_spec.r_rows = uint64_t{1} << 8;
+  small_spec.s_rows = uint64_t{1} << 9;
+  small_spec.seed = 19;
+  auto small_w = workload::GenerateJoinInput(small_spec);
+  GPUJOIN_CHECK_OK(small_w.status());
 
   workload::GroupByWorkloadSpec gspec;
-  gspec.rows = uint64_t{1} << 11;
-  gspec.num_groups = uint64_t{1} << 6;
+  gspec.rows = uint64_t{1} << 10;
+  gspec.num_groups = uint64_t{1} << 5;
   gspec.seed = 23;
   auto gin = workload::GenerateGroupByInput(gspec);
   GPUJOIN_CHECK_OK(gin.status());
 
+  // GPUJOIN_SIM_THREADS fans out the block simulation; the scheduler
+  // contract says not one scheduling decision may change.
   vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(
       vgpu::DeviceConfig::A100(), uint64_t{1} << 16));
+  device.set_parallel_sim(harness::SimThreadsFromEnv());
 
-  // Size one join estimate so the budget schedule below meaningfully
-  // oversubscribes: round 0 fits everything, later rounds force queueing
-  // and eventually rejections.
-  const uint64_t one_join =
-      stats::EstimateJoinMemory(jw->r, jw->s).total_bytes();
+  const uint64_t hog_need =
+      stats::EstimateJoinMemory(hog_w->r, hog_w->s).total_bytes();
+  const uint64_t small_need =
+      stats::EstimateJoinMemory(small_w->r, small_w->s).total_bytes();
+
+  // Pin the hog's solo makespan once so salted arrival times land mid-run.
+  // The probe goes through the service with the same fragmentation the
+  // rounds use: a fragmented run is dominated by per-fragment PCIe
+  // transfers, so the raw kernel cost would understate it by ~200x.
+  double hog_solo_cycles = 0;
+  {
+    vgpu::Device probe(vgpu::DeviceConfig::ScaledToWorkload(
+        vgpu::DeviceConfig::A100(), uint64_t{1} << 16));
+    probe.set_parallel_sim(harness::SimThreadsFromEnv());
+    QueryService solo(probe);
+    QueryRequest req;
+    req.name = "probe";
+    req.kind = QueryKind::kJoin;
+    req.join_algo = join::JoinAlgo::kPhjOm;
+    req.r = &hog_w->r;
+    req.s = &hog_w->s;
+    req.fragment_bits_override = 3;
+    GPUJOIN_CHECK_OK(solo.Submit(std::move(req)).status());
+    GPUJOIN_CHECK_OK(solo.Drain());
+    hog_solo_cycles = probe.elapsed_cycles();
+  }
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.set_enabled(true);
 
   uint64_t total_ok = 0, total_cancelled = 0, total_deadline = 0;
-  uint64_t total_rejected = 0, total_queued = 0;
+  uint64_t total_backpressure = 0, total_preemptions = 0;
 
   for (int round = 0; round < rounds; ++round) {
-    ServiceOptions opts;
-    // Shrinks 4x -> 2x -> 1.5x -> 1.2x of a single join's footprint.
-    const double scale[] = {4.0, 2.0, 1.5, 1.2};
-    opts.budget_bytes = static_cast<uint64_t>(
-        one_join * scale[round % 4]);
-    opts.max_queue = 4;
-    QueryService svc(device, opts);
+    tracer.Clear();
+    const uint64_t salt = SplitMix64(g_seed ^ static_cast<uint64_t>(round));
 
-    const join::JoinAlgo algos[] = {
-        join::JoinAlgo::kNphj, join::JoinAlgo::kPhjOm,
-        join::JoinAlgo::kSmjUm};
-    for (int q = 0; q < 6; ++q) {
+    ServiceOptions opts;
+    // Budget shrinks round over round: 3x -> 2x -> 1.5x -> 1.2x the hog's
+    // footprint, so early rounds interleave freely and late rounds force
+    // queueing, borrowing, and tenant backpressure.
+    const double scale[] = {3.0, 2.0, 1.5, 1.2};
+    opts.budget_bytes =
+        static_cast<uint64_t>(static_cast<double>(hog_need) *
+                              scale[round % 4]);
+    opts.max_queue = 8;
+    // The hog gets most of the budget; interactive tenants split the rest
+    // with bounded borrowing; "greedy" is deliberately quota-starved so
+    // some of its submissions draw kTenantOverQuota backpressure.
+    opts.tenants.push_back({"hog", opts.budget_bytes, 0, 2});
+    opts.tenants.push_back({"int0", small_need * 2, small_need, 4});
+    opts.tenants.push_back({"int1", small_need * 2, small_need, 4});
+    opts.tenants.push_back({"greedy", small_need / 3, 0, 2});
+    opts.scheduler.seed = salt;
+    QueryService svc(device, opts);
+    const double round_start = device.elapsed_cycles();
+
+    // The hog submits first and would monopolize the device in admission
+    // order; fragmentation + DWRR + priority preemption must prevent that.
+    for (int h = 0; h < 2; ++h) {
+      QueryRequest req;
+      req.name = "r" + std::to_string(round) + "hog" + std::to_string(h);
+      req.kind = QueryKind::kJoin;
+      req.join_algo = join::JoinAlgo::kPhjOm;
+      req.r = &hog_w->r;
+      req.s = &hog_w->s;
+      req.tenant = "hog";
+      req.priority = 0;
+      req.fragment_bits_override = 3;
+      GPUJOIN_CHECK_OK(svc.Submit(std::move(req)).status());
+    }
+
+    const join::JoinAlgo algos[] = {join::JoinAlgo::kNphj,
+                                    join::JoinAlgo::kPhjOm,
+                                    join::JoinAlgo::kSmjUm};
+    const char* tenants[] = {"int0", "int1", "greedy"};
+    for (int q = 0; q < 9; ++q) {
+      const uint64_t qsalt = SplitMix64(salt ^ static_cast<uint64_t>(q + 1));
       QueryRequest req;
       req.name = "r" + std::to_string(round) + "q" + std::to_string(q);
       if (q % 3 == 2) {
@@ -95,29 +217,49 @@ int Run(int rounds) {
         req.groupby_spec.aggregates = {{1, groupby::AggOp::kSum}};
       } else {
         req.kind = QueryKind::kJoin;
-        req.join_algo = algos[(round + q) % 3];
-        req.r = &jw->r;
-        req.s = &jw->s;
+        req.join_algo = algos[qsalt % 3];
+        req.r = &small_w->r;
+        req.s = &small_w->s;
       }
-      // Salt in lifecycle trips: every 3rd query gets a kernel-boundary
-      // cancellation, every 4th a tight deadline (both deterministic).
-      if (q % 3 == 1) req.lifecycle.cancel_at_kernel = 1 + (round + q) % 5;
-      if (q % 4 == 3) req.lifecycle.deadline_cycles = 1'000;
-      auto id = svc.Submit(std::move(req));
-      GPUJOIN_CHECK_OK(id.status());
+      req.tenant = tenants[q % 3];
+      req.priority = 5;  // Interactive tier outranks the hog.
+      // Salted arrival inside the hog's makespan: models async submissions
+      // racing the drain and forces preemption at lifecycle seams.
+      req.arrival_cycles =
+          round_start + static_cast<double>(qsalt % 1000) / 1000.0 *
+                            hog_solo_cycles * 1.5;
+      // Salted lifecycle trips: some queries cancel at a kernel boundary,
+      // some carry a deadline that may fire mid-fragment.
+      if (qsalt % 4 == 1) {
+        req.lifecycle.cancel_at_kernel = 1 + qsalt % 7;
+      }
+      // The interactive joins run ~300-1500 cycles, so a 400-cycle
+      // deadline lands mid-run for most algorithms and must unwind
+      // cleanly; the fastest queries beat it, which is also fine.
+      if (qsalt % 5 == 2) req.lifecycle.deadline_cycles = 400;
+      GPUJOIN_CHECK_OK(svc.Submit(std::move(req)).status());
     }
 
     Status drained = svc.Drain();
     if (!drained.ok()) return Fail("Drain: " + drained.ToString());
 
+    // --- Invariants -------------------------------------------------------
     if (svc.reserved_bytes() != 0) {
       return Fail("round " + std::to_string(round) + ": reserved_bytes = " +
                   std::to_string(svc.reserved_bytes()) + " after Drain");
+    }
+    for (const auto& [name, t] : svc.tenants()) {
+      if (t.stats.reserved_bytes != 0 || t.stats.borrowed_bytes != 0 ||
+          t.stats.queued != 0) {
+        return Fail("round " + std::to_string(round) + ": tenant '" + name +
+                    "' accounting not drained");
+      }
     }
     Status leaks = device.CheckNoLeaks();
     if (!leaks.ok()) {
       return Fail("round " + std::to_string(round) + ": " + leaks.ToString());
     }
+    double hog_makespan = 0;
     for (const auto& out : svc.outcomes()) {
       if (!IsStructuredOutcome(out.status)) {
         return Fail("query " + out.name + ": unstructured outcome " +
@@ -126,25 +268,85 @@ int Run(int rounds) {
       if (out.status.ok()) ++total_ok;
       if (out.status.IsCancelled()) ++total_cancelled;
       if (out.status.IsDeadlineExceeded()) ++total_deadline;
-      if (out.admission == service::AdmissionDecision::kRejected)
-        ++total_rejected;
-      if (out.admission == service::AdmissionDecision::kQueued)
-        ++total_queued;
+      if (out.status.IsTenantOverQuota() || out.status.IsResourceExhausted())
+        ++total_backpressure;
+      total_preemptions += static_cast<uint64_t>(out.preemptions);
+      if (out.tenant == "hog" && out.finished_at_cycles > 0) {
+        hog_makespan = std::max(
+            hog_makespan, out.finished_at_cycles - out.submitted_at_cycles);
+      }
+    }
+
+    // --- Per-tenant latency, derived from the trace -----------------------
+    std::map<std::string, TenantLatency> latency;
+    for (const obs::EventRecord& ev : tracer.events()) {
+      if (ev.name != "sched:complete") continue;
+      const std::string tenant = ParseTag(ev.detail, "tenant");
+      const double wait = ParseField(ev.detail, "wait_cycles");
+      const double run = ParseField(ev.detail, "run_cycles");
+      if (tenant.empty() || wait < 0 || run < 0) {
+        return Fail("unparseable sched:complete instant: " + ev.detail);
+      }
+      latency[tenant].wait.push_back(wait);
+      latency[tenant].run.push_back(run);
+    }
+    if (latency.empty()) return Fail("no sched:complete instants traced");
+
+    std::string report = "round " + std::to_string(round) +
+                         ": budget=" + std::to_string(opts.budget_bytes);
+    std::vector<double> interactive_wait;
+    for (const auto& [tenant, lat] : latency) {
+      report += "  " + tenant + "{n=" + std::to_string(lat.wait.size()) +
+                " wait_p50=" + std::to_string(Percentile(lat.wait, 0.5)) +
+                " wait_p95=" + std::to_string(Percentile(lat.wait, 0.95)) +
+                " run_p50=" + std::to_string(Percentile(lat.run, 0.5)) + "}";
+      if (tenant == "int0" || tenant == "int1") {
+        interactive_wait.insert(interactive_wait.end(), lat.wait.begin(),
+                                lat.wait.end());
+      }
+    }
+    std::printf("lifecycle_soak: %s\n", report.c_str());
+
+    // Latency fairness: the interactive tenants were submitted AFTER two
+    // hog queries, yet their p95 wait must stay bounded by ONE hog query's
+    // solo runtime. When the budget fits both hogs, preemption-at-seam
+    // keeps waits to roughly one fragment turn; when the hogs hold the
+    // whole budget, an interactive waits at most for the first release,
+    // which focus-on-completion scheduling caps near the solo runtime
+    // (interleaving would double it). Admission order must never dictate
+    // service order.
+    const double p95 = Percentile(interactive_wait, 0.95);
+    const double wait_bound = 1.25 * hog_solo_cycles;
+    if (hog_makespan > 0 && !interactive_wait.empty() && p95 > wait_bound) {
+      return Fail("round " + std::to_string(round) +
+                  ": interactive wait p95 " + std::to_string(p95) +
+                  " exceeds bound " + std::to_string(wait_bound) +
+                  " (1.25x hog solo " + std::to_string(hog_solo_cycles) +
+                  ", hog makespan " + std::to_string(hog_makespan) + ")");
     }
   }
 
+  tracer.set_enabled(false);
   std::printf(
-      "lifecycle_soak: OK (%d rounds: %llu ok, %llu cancelled, "
-      "%llu deadline-exceeded, %llu queued, %llu rejected; "
+      "lifecycle_soak: OK (%d rounds, seed %llu: %llu ok, %llu cancelled, "
+      "%llu deadline-exceeded, %llu backpressured, %llu preemptions; "
       "budget returned to 0 and zero leaks every round)\n",
-      rounds, static_cast<unsigned long long>(total_ok),
+      rounds, static_cast<unsigned long long>(g_seed),
+      static_cast<unsigned long long>(total_ok),
       static_cast<unsigned long long>(total_cancelled),
       static_cast<unsigned long long>(total_deadline),
-      static_cast<unsigned long long>(total_queued),
-      static_cast<unsigned long long>(total_rejected));
-  // The soak is only meaningful if it exercised every outcome class.
-  if (total_ok == 0 || total_cancelled == 0 || total_deadline == 0) {
-    return Fail("soak never exercised some outcome class");
+      static_cast<unsigned long long>(total_backpressure),
+      static_cast<unsigned long long>(total_preemptions));
+  // The soak is only meaningful if it exercised every outcome class the
+  // scheduler can produce.
+  if (total_ok == 0 || total_cancelled == 0 || total_deadline == 0 ||
+      total_backpressure == 0 || total_preemptions == 0) {
+    return Fail("soak never exercised some outcome class (ok=" +
+                std::to_string(total_ok) + " cancelled=" +
+                std::to_string(total_cancelled) + " deadline=" +
+                std::to_string(total_deadline) + " backpressure=" +
+                std::to_string(total_backpressure) + " preemptions=" +
+                std::to_string(total_preemptions) + ")");
   }
   return 0;
 }
@@ -154,9 +356,18 @@ int Run(int rounds) {
 
 int main(int argc, char** argv) {
   int rounds = 8;
-  if (argc > 1) rounds = std::atoi(argv[1]);
+  if (const char* env = std::getenv("GPUJOIN_SOAK_SEED")) {
+    gpujoin::g_seed = std::strtoull(env, nullptr, 0);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      gpujoin::g_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      rounds = std::atoi(argv[i]);
+    }
+  }
   if (rounds <= 0) {
-    std::fprintf(stderr, "usage: lifecycle_soak [rounds>0]\n");
+    std::fprintf(stderr, "usage: lifecycle_soak [rounds>0] [--seed N]\n");
     return 2;
   }
   return gpujoin::Run(rounds);
