@@ -52,10 +52,12 @@ inline void RecordRun(const vgpu::Device& device,
                       std::vector<std::pair<std::string, std::string>> params,
                       std::string algo, const join::PhaseBreakdown& phases,
                       double mtuples_per_sec, uint64_t peak_mem_bytes,
-                      uint64_t output_rows, const vgpu::KernelStats& stats) {
+                      uint64_t output_rows, const vgpu::KernelStats& stats,
+                      std::string backend = "vgpu") {
   obs::MetricRow row;
   row.params = std::move(params);
   row.algo = std::move(algo);
+  row.backend = std::move(backend);
   const double hz = device.config().clock_ghz * 1e9;
   row.transform_cycles = phases.transform_s * hz;
   row.match_cycles = phases.match_s * hz;
@@ -90,7 +92,7 @@ class RunReporter {
   void Add(std::vector<std::string> param_values, const std::string& algo,
            const join::PhaseBreakdown& phases, double mtuples_per_sec,
            uint64_t peak_mem_bytes, uint64_t output_rows,
-           const vgpu::KernelStats& stats) {
+           const vgpu::KernelStats& stats, std::string backend = "vgpu") {
     std::vector<std::string> cells = param_values;
     cells.push_back(algo);
     cells.push_back(Ms(phases.transform_s));
@@ -106,7 +108,7 @@ class RunReporter {
       params.emplace_back(param_headers_[i], param_values[i]);
     }
     RecordRun(device_, std::move(params), algo, phases, mtuples_per_sec,
-              peak_mem_bytes, output_rows, stats);
+              peak_mem_bytes, output_rows, stats, std::move(backend));
   }
 
   void Add(std::vector<std::string> param_values, join::JoinAlgo algo,

@@ -29,6 +29,14 @@
 #   (metrics schema) and TRACE_smoke.json (Chrome trace events) with
 #   tools/bench_json_check, which fails on missing or non-finite fields.
 #
+#        scripts/reproduce.sh --crossover
+#   Backend-routing mode: runs bench_hyb1_crossover at smoke scale with
+#   GPUJOIN_HYB1_ASSERT=1, so the vectorized CPU backend must win by >=2x
+#   at the smallest scale, the simulated GPU must win at the largest, and
+#   the cost-based router must land within 5% of the best backend at every
+#   scale. The exported BENCH_hyb1_crossover.json (including the per-row
+#   "backend" field) is then schema-checked with tools/bench_json_check.
+#
 #        scripts/reproduce.sh --scheduler [rounds]
 #   Multi-tenant scheduler mode: runs a short adversarial tenant soak
 #   (tools/lifecycle_soak, default 4 rounds) — one hog tenant versus
@@ -64,6 +72,13 @@ if [[ "${1:-}" == "--sanitize" && "${2:-}" == "tsan" ]]; then
   echo "===== threaded bench smoke under TSan ====="
   GPUJOIN_SCALE=16 GPUJOIN_SIM_THREADS=8 GPUJOIN_JSON_DIR="" \
     TSAN_OPTIONS="halt_on_error=1" build-tsan/bench/bench_fig07_gather
+
+  echo "===== threaded cpux backend smoke under TSan ====="
+  # The cpux worker pool (count-then-fill into disjoint ranges) must be as
+  # race-free as the simulator's ParallelBlocks path. No crossover
+  # assertions here: TSan skews the wall clock both backends are timed on.
+  GPUJOIN_SCALE=14 GPUJOIN_SIM_THREADS=8 GPUJOIN_JSON_DIR="" \
+    TSAN_OPTIONS="halt_on_error=1" build-tsan/bench/bench_hyb1_crossover
   echo "done: see test_output_tsan.txt"
   exit 0
 fi
@@ -110,6 +125,22 @@ if [[ "${1:-}" == "--json" ]]; then
     build/bench/bench_fig10_wide
   build/tools/bench_json_check "$outdir"/BENCH_smoke.json "$outdir"/TRACE_smoke.json
   echo "ok: schema-valid artifacts in $outdir/ (load the trace at ui.perfetto.dev)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--crossover" ]]; then
+  if [[ ! -f build/CMakeCache.txt ]]; then
+    cmake -B build -G Ninja
+  fi
+  cmake --build build
+
+  outdir="${2:-bench_json_crossover}"
+  rm -rf "$outdir"
+  echo "===== CPU/GPU crossover + router placement (GPUJOIN_HYB1_ASSERT) ====="
+  GPUJOIN_SCALE=16 GPUJOIN_HYB1_ASSERT=1 GPUJOIN_JSON_DIR="$outdir" \
+    build/bench/bench_hyb1_crossover
+  build/tools/bench_json_check "$outdir"/BENCH_hyb1_crossover.json
+  echo "ok: crossover assertions held and BENCH_hyb1_crossover.json is schema-valid"
   exit 0
 fi
 

@@ -1,0 +1,85 @@
+#include "cpux/context.h"
+
+#include <algorithm>
+
+namespace gpujoin::cpux {
+
+Context::Context(int threads)
+    : pool_(std::make_unique<TaskPool>(std::max(1, threads))) {}
+
+void Context::set_fault_injector(vgpu::FaultInjector injector) {
+  std::lock_guard<std::mutex> lk(mu_);
+  injector_ = injector;
+}
+
+uint64_t Context::live_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_bytes_;
+}
+
+uint64_t Context::peak_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_bytes_;
+}
+
+uint64_t Context::allocation_attempts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return attempts_;
+}
+
+void Context::ResetPeak() {
+  std::lock_guard<std::mutex> lk(mu_);
+  peak_bytes_ = live_bytes_;
+}
+
+Status Context::CheckNoLeaks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (live_bytes_ == 0 && outstanding_.empty()) return Status::OK();
+  std::string report;
+  for (const auto& [tag, entry] : outstanding_) {
+    report += "  " + tag + ": " + std::to_string(entry.first) + " buffer(s), " +
+              std::to_string(entry.second) + " bytes\n";
+  }
+  return Status::Internal("cpux leak: " + std::to_string(live_bytes_) +
+                          " bytes outstanding\n" + report);
+}
+
+std::string Context::LeakReport() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string report;
+  for (const auto& [tag, entry] : outstanding_) {
+    report += tag + ": " + std::to_string(entry.first) + " buffer(s), " +
+              std::to_string(entry.second) + " bytes\n";
+  }
+  return report;
+}
+
+Status Context::OnAllocate(uint64_t bytes, const char* tag) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++attempts_;
+  if (injector_.ShouldFail(bytes)) {
+    return Status::ResourceExhausted(
+        "cpux: injected allocation failure at attempt " +
+        std::to_string(attempts_) + " (" + std::to_string(bytes) +
+        " bytes, tag " + (tag != nullptr ? tag : "untagged") + ")");
+  }
+  live_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  auto& entry = outstanding_[tag != nullptr ? tag : "untagged"];
+  ++entry.first;
+  entry.second += bytes;
+  return Status::OK();
+}
+
+void Context::OnFree(uint64_t bytes, const char* tag) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_bytes_ -= bytes;
+  auto it = outstanding_.find(tag != nullptr ? tag : "untagged");
+  if (it != outstanding_.end()) {
+    --it->second.first;
+    it->second.second -= bytes;
+    if (it->second.first == 0) outstanding_.erase(it);
+  }
+}
+
+}  // namespace gpujoin::cpux

@@ -1,0 +1,155 @@
+// Execution context for the vectorized CPU backend: a tracked host
+// allocator with the same robustness contract PR 2 gave the simulated
+// device, plus the worker pool and the host timing surface.
+//
+//   * Every significant cpux buffer (anything O(n) or a hash-table slab)
+//     is allocated through Context as a tagged cpux::Buffer<T>. The context
+//     counts attempts, live bytes, and the peak watermark, and consults a
+//     deterministic vgpu::FaultInjector on every attempt — so the
+//     exhaustive failure sweeps (fail allocation k, assert a clean Status,
+//     zero leaks, bit-identical replay) run against the CPU backend exactly
+//     as they run against the device.
+//   * Buffers are RAII: destruction returns their bytes, and CheckNoLeaks()
+//     / LeakReport() audit whatever is still outstanding by tag.
+//   * Allocation is coordinator-thread-only by design: the engines allocate
+//     every buffer up front in a deterministic order and hand workers
+//     disjoint ranges, which is also what makes fail-nth injection
+//     replayable. A mutex still guards the counters so misuse is a data-race
+//     report, not silent corruption.
+
+#ifndef GPUJOIN_CPUX_CONTEXT_H_
+#define GPUJOIN_CPUX_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "cpux/task_pool.h"
+#include "vgpu/fault.h"
+
+namespace gpujoin::cpux {
+
+class Context {
+ public:
+  /// `threads` sizes the worker pool (1 = fully sequential). Results are
+  /// bit-identical for every value; only wall/CPU seconds change.
+  explicit Context(int threads = 1);
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  int threads() const { return pool_->threads(); }
+  TaskPool& pool() { return *pool_; }
+
+  /// Arms (or disarms, with a default-constructed injector) allocation-
+  /// failure injection. Resets the injector's counters only, not the
+  /// live/peak accounting.
+  void set_fault_injector(vgpu::FaultInjector injector);
+  const vgpu::FaultInjector& fault_injector() const { return injector_; }
+
+  uint64_t live_bytes() const;
+  uint64_t peak_bytes() const;
+  /// Allocation attempts seen since construction (failed ones included) —
+  /// the sweep bound for fail-nth fault injection.
+  uint64_t allocation_attempts() const;
+
+  /// Restarts the peak watermark from the current live bytes (engines call
+  /// this at run start so peak_bytes() reports a per-run peak).
+  void ResetPeak();
+
+  /// OK when no tracked buffer is outstanding; Internal with LeakReport()
+  /// otherwise.
+  Status CheckNoLeaks() const;
+  /// "tag: n buffers, b bytes" lines for every outstanding tag.
+  std::string LeakReport() const;
+
+  // --- Buffer internals (not for direct use) ---
+  Status OnAllocate(uint64_t bytes, const char* tag);
+  void OnFree(uint64_t bytes, const char* tag);
+
+ private:
+  mutable std::mutex mu_;
+  vgpu::FaultInjector injector_;
+  uint64_t live_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
+  uint64_t attempts_ = 0;
+  /// tag -> (outstanding buffers, outstanding bytes).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> outstanding_;
+  std::unique_ptr<TaskPool> pool_;
+};
+
+/// A tracked, move-only host buffer. Allocate() consults the context's
+/// fault injector and accounting before committing memory; destruction
+/// releases the bytes. Contents are zero-initialized.
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+
+  static Result<Buffer<T>> Allocate(Context& ctx, uint64_t n, const char* tag) {
+    Buffer<T> buf;
+    buf.bytes_ = n * sizeof(T);
+    GPUJOIN_RETURN_IF_ERROR(ctx.OnAllocate(buf.bytes_, tag));
+    buf.ctx_ = &ctx;
+    buf.tag_ = tag;
+    buf.data_.resize(n);
+    return buf;
+  }
+
+  ~Buffer() { Release(); }
+
+  Buffer(Buffer&& other) noexcept { *this = std::move(other); }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      ctx_ = other.ctx_;
+      tag_ = other.tag_;
+      bytes_ = other.bytes_;
+      data_ = std::move(other.data_);
+      other.ctx_ = nullptr;
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  uint64_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  T& operator[](uint64_t i) { return data_[i]; }
+  const T& operator[](uint64_t i) const { return data_[i]; }
+
+  /// Moves the underlying storage out (for zero-copy handoff into a
+  /// HostColumn); the buffer releases its accounting immediately.
+  std::vector<T> TakeStorage() {
+    std::vector<T> out = std::move(data_);
+    Release();
+    return out;
+  }
+
+ private:
+  void Release() {
+    if (ctx_ != nullptr) {
+      ctx_->OnFree(bytes_, tag_);
+      ctx_ = nullptr;
+    }
+    data_.clear();
+  }
+
+  Context* ctx_ = nullptr;
+  const char* tag_ = "";
+  uint64_t bytes_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gpujoin::cpux
+
+#endif  // GPUJOIN_CPUX_CONTEXT_H_

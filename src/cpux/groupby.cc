@@ -1,0 +1,410 @@
+#include "cpux/groupby.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "cpux/kernels.h"
+#include "cpux/partition.h"
+
+namespace gpujoin::cpux {
+
+namespace {
+
+using groupby::AggOp;
+using groupby::AggSpec;
+using groupby::GroupByAlgo;
+using groupby::GroupBySpec;
+
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+Status ValidateGroupByInput(const HostTable& input, const GroupBySpec& spec) {
+  if (input.columns.empty()) {
+    return Status::InvalidArgument("cpux groupby: input has no key column");
+  }
+  for (const HostColumn& col : input.columns) {
+    if (col.is_string()) {
+      return Status::InvalidArgument(
+          "cpux groupby: string column '" + col.name +
+          "' not supported (route to vgpu)");
+    }
+  }
+  if (input.num_rows() >= std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("cpux groupby: input exceeds 2^32 - 1 rows");
+  }
+  for (const int64_t key : input.columns[0].values) {
+    if (key < 0) {
+      return Status::InvalidArgument("cpux groupby: negative group key");
+    }
+  }
+  for (const AggSpec& a : spec.aggregates) {
+    if (a.op == AggOp::kCount) continue;
+    if (a.column < 1 || a.column >= static_cast<int>(input.columns.size())) {
+      return Status::InvalidArgument(
+          "cpux groupby: aggregate references column " +
+          std::to_string(a.column) + " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+int64_t AggInit(AggOp op) {
+  switch (op) {
+    case AggOp::kMin:
+      return std::numeric_limits<int64_t>::max();
+    case AggOp::kMax:
+      return std::numeric_limits<int64_t>::min();
+    default:
+      return 0;
+  }
+}
+
+void AggUpdate(AggOp op, int64_t* acc, int64_t v) {
+  switch (op) {
+    case AggOp::kSum:
+    case AggOp::kAvg:
+      *acc += v;
+      break;
+    case AggOp::kMin:
+      *acc = std::min(*acc, v);
+      break;
+    case AggOp::kMax:
+      *acc = std::max(*acc, v);
+      break;
+    case AggOp::kCount:
+      break;
+  }
+}
+
+int64_t AggFinalize(AggOp op, int64_t acc, int64_t count) {
+  switch (op) {
+    case AggOp::kCount:
+      return count;
+    case AggOp::kAvg:
+      return count == 0 ? 0 : acc / count;
+    default:
+      return acc;
+  }
+}
+
+/// An open-addressing accumulator table carved out of shared slabs.
+/// Per slot: the group key (-1 empty), the row count, and one int64
+/// accumulator per aggregate (agg-major: aggs[a * capacity + slot]).
+struct AccTable {
+  int64_t* slot_keys = nullptr;
+  int64_t* slot_count = nullptr;
+  int64_t* slot_aggs = nullptr;
+  uint64_t mask = 0;
+
+  uint64_t capacity() const { return mask + 1; }
+
+  void Clear() { std::fill(slot_keys, slot_keys + capacity(), int64_t{-1}); }
+
+  /// Sequential batched-hash update of rows [0, n). The aggregated value
+  /// for row i is read from the input column at row `ids ? ids[i] : i`
+  /// (so the partitioned engine feeds permuted keys but original rows).
+  /// Returns the number of new groups claimed.
+  uint64_t Accumulate(const int64_t* keys, const uint32_t* ids, uint64_t n,
+                      const GroupBySpec& spec, const HostTable& input) {
+    const size_t num_aggs = spec.aggregates.size();
+    uint64_t groups = 0;
+    uint64_t hashes[kBatchSize];
+    for (uint64_t base = 0; base < n; base += kBatchSize) {
+      const uint64_t m = std::min(kBatchSize, n - base);
+      HashBatch(keys + base, m, mask, hashes);
+      for (uint64_t i = 0; i < m; ++i) {
+        const int64_t key = keys[base + i];
+        const uint64_t row =
+            ids != nullptr ? ids[base + i] : base + i;
+        uint64_t h = hashes[i];
+        while (slot_keys[h] != -1 && slot_keys[h] != key) h = (h + 1) & mask;
+        if (slot_keys[h] == -1) {
+          slot_keys[h] = key;
+          slot_count[h] = 0;
+          for (size_t a = 0; a < num_aggs; ++a) {
+            slot_aggs[a * capacity() + h] = AggInit(spec.aggregates[a].op);
+          }
+          ++groups;
+        }
+        ++slot_count[h];
+        for (size_t a = 0; a < num_aggs; ++a) {
+          const AggSpec& as = spec.aggregates[a];
+          if (as.op == AggOp::kCount) continue;
+          AggUpdate(as.op, &slot_aggs[a * capacity() + h],
+                    input.columns[as.column].values[row]);
+        }
+      }
+    }
+    return groups;
+  }
+
+  /// Emits finalized groups in slot order into out_key / out_aggs[a],
+  /// writing `groups` rows starting at `out_base`. out_aggs entries are
+  /// full output columns (indexed absolutely).
+  void Emit(const GroupBySpec& spec, uint64_t out_base, int64_t* out_key,
+            const std::vector<int64_t*>& out_aggs) const {
+    uint64_t out = out_base;
+    for (uint64_t slot = 0; slot < capacity(); ++slot) {
+      if (slot_keys[slot] == -1) continue;
+      out_key[out] = slot_keys[slot];
+      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+        out_aggs[a][out] =
+            AggFinalize(spec.aggregates[a].op, slot_aggs[a * capacity() + slot],
+                        slot_count[slot]);
+      }
+      ++out;
+    }
+  }
+};
+
+/// Output column buffers: one key column plus one per aggregate.
+struct OutputBuffers {
+  Buffer<int64_t> key;
+  std::vector<Buffer<int64_t>> aggs;
+  std::vector<int64_t*> agg_ptrs;
+};
+
+Result<OutputBuffers> AllocateOutput(Context& ctx, uint64_t groups,
+                                     size_t num_aggs) {
+  OutputBuffers out;
+  GPUJOIN_ASSIGN_OR_RETURN(out.key,
+                           Buffer<int64_t>::Allocate(ctx, groups, "cpux.gb.out"));
+  out.aggs.reserve(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        auto buf, Buffer<int64_t>::Allocate(ctx, groups, "cpux.gb.out"));
+    out.aggs.push_back(std::move(buf));
+  }
+  for (auto& buf : out.aggs) out.agg_ptrs.push_back(buf.data());
+  return out;
+}
+
+HostTable FinishOutput(const HostTable& input, const GroupBySpec& spec,
+                       OutputBuffers* out) {
+  HostTable result;
+  result.name = "cpux_groupby_result";
+  HostColumn key_col;
+  key_col.name = input.columns[0].name;
+  key_col.type = input.columns[0].type;
+  key_col.values = out->key.TakeStorage();
+  result.columns.push_back(std::move(key_col));
+  for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+    HostColumn col;
+    col.name = groupby::AggOpName(spec.aggregates[a].op);
+    if (spec.aggregates[a].op != AggOp::kCount) {
+      col.name += "_" + input.columns[spec.aggregates[a].column].name;
+    }
+    col.type = DataType::kInt64;
+    col.values = out->aggs[a].TakeStorage();
+    result.columns.push_back(std::move(col));
+  }
+  return result;
+}
+
+/// --- Engine 1: one global accumulator table, sequential update. The
+/// deterministic host analogue of the device's global-atomics variant;
+/// it is the small-input path, so it trades parallelism for zero
+/// partitioning cost.
+Result<CpuxRunResult> HashGlobal(Context& ctx, const HostTable& input,
+                                 const GroupBySpec& spec) {
+  const uint64_t n = input.num_rows();
+  const size_t num_aggs = spec.aggregates.size();
+  CpuxRunResult res;
+
+  const auto t_agg = Clock::now();
+  const uint64_t capacity =
+      bit_util::NextPowerOfTwo(std::max<uint64_t>(n * 2, 16));
+  GPUJOIN_ASSIGN_OR_RETURN(auto slot_keys,
+                           Buffer<int64_t>::Allocate(ctx, capacity, "cpux.gb.acc"));
+  GPUJOIN_ASSIGN_OR_RETURN(auto slot_count,
+                           Buffer<int64_t>::Allocate(ctx, capacity, "cpux.gb.acc"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slot_aggs,
+      Buffer<int64_t>::Allocate(ctx, capacity * num_aggs, "cpux.gb.acc"));
+  AccTable table{slot_keys.data(), slot_count.data(), slot_aggs.data(),
+                 capacity - 1};
+  table.Clear();
+  const uint64_t groups =
+      table.Accumulate(input.columns[0].values.data(), nullptr, n, spec, input);
+  res.phases.match_wall_s += Since(t_agg);
+
+  const auto t_emit = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(auto out, AllocateOutput(ctx, groups, num_aggs));
+  table.Emit(spec, 0, out.key.data(), out.agg_ptrs);
+  res.output = FinishOutput(input, spec, &out);
+  res.output_rows = groups;
+  res.phases.materialize_wall_s += Since(t_emit);
+  return res;
+}
+
+/// --- Engine 2: radix-partition the keys, aggregate partitions in
+/// parallel against per-partition slab tables, emit densely into
+/// pre-computed disjoint output ranges.
+Result<CpuxRunResult> HashPartitioned(Context& ctx, const HostTable& input,
+                                      const GroupBySpec& spec,
+                                      const CpuxOptions& options,
+                                      double* cpu_s) {
+  const uint64_t n = input.num_rows();
+  const size_t num_aggs = spec.aggregates.size();
+  const int bits = options.radix_bits_override >= 1
+                       ? std::min(options.radix_bits_override, kMaxPartitionBits)
+                       : DerivePartitionBits(n);
+  const uint64_t fanout = uint64_t{1} << bits;
+  CpuxRunResult res;
+
+  const auto t_transform = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto part, RadixPartition(ctx, input.columns[0].values.data(), n, bits,
+                                "cpux.gb.part", cpu_s));
+  res.phases.transform_wall_s += Since(t_transform);
+
+  const auto t_agg = Clock::now();
+  std::vector<uint64_t> capacity(fanout, 0), slot_off(fanout + 1, 0);
+  for (uint64_t p = 0; p < fanout; ++p) {
+    if (part.size(p) > 0) {
+      capacity[p] =
+          bit_util::NextPowerOfTwo(std::max<uint64_t>(part.size(p) * 2, 16));
+    }
+    slot_off[p + 1] = slot_off[p] + capacity[p];
+  }
+  const uint64_t total_slots = slot_off[fanout];
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slab_keys, Buffer<int64_t>::Allocate(ctx, total_slots, "cpux.gb.acc"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slab_count, Buffer<int64_t>::Allocate(ctx, total_slots, "cpux.gb.acc"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slab_aggs,
+      Buffer<int64_t>::Allocate(ctx, total_slots * num_aggs, "cpux.gb.acc"));
+
+  auto table_for = [&](uint64_t p) {
+    return AccTable{slab_keys.data() + slot_off[p],
+                    slab_count.data() + slot_off[p],
+                    slab_aggs.data() + slot_off[p] * num_aggs, capacity[p] - 1};
+  };
+
+  std::vector<uint64_t> group_off(fanout + 1, 0);
+  *cpu_s += ctx.pool().ParallelFor(fanout, [&](uint64_t p) {
+    if (capacity[p] == 0) return;
+    AccTable table = table_for(p);
+    table.Clear();
+    group_off[p + 1] =
+        table.Accumulate(part.keys.data() + part.offsets[p],
+                         part.ids.data() + part.offsets[p], part.size(p), spec,
+                         input);
+  });
+  for (uint64_t p = 0; p < fanout; ++p) group_off[p + 1] += group_off[p];
+  const uint64_t groups = group_off[fanout];
+  res.phases.match_wall_s += Since(t_agg);
+
+  const auto t_emit = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(auto out, AllocateOutput(ctx, groups, num_aggs));
+  int64_t* out_key = out.key.data();
+  *cpu_s += ctx.pool().ParallelFor(fanout, [&](uint64_t p) {
+    if (capacity[p] == 0) return;
+    table_for(p).Emit(spec, group_off[p], out_key, out.agg_ptrs);
+  });
+  res.output = FinishOutput(input, spec, &out);
+  res.output_rows = groups;
+  res.phases.materialize_wall_s += Since(t_emit);
+  return res;
+}
+
+/// --- Engine 3: parallel chunk sort + serial segmented reduction over
+/// equal-key runs (count the runs, then finalize each into its slot).
+Result<CpuxRunResult> SortBased(Context& ctx, const HostTable& input,
+                                const GroupBySpec& spec, double* cpu_s) {
+  const uint64_t n = input.num_rows();
+  const size_t num_aggs = spec.aggregates.size();
+  CpuxRunResult res;
+
+  const auto t_transform = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto sorted,
+      SortKeyIds(ctx, input.columns[0].values.data(), n, "cpux.gb.sort", cpu_s));
+  res.phases.transform_wall_s += Since(t_transform);
+
+  const auto t_agg = Clock::now();
+  const KeyId* data = sorted.data();
+  uint64_t groups = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i == 0 || data[i].key != data[i - 1].key) ++groups;
+  }
+  res.phases.match_wall_s += Since(t_agg);
+
+  const auto t_emit = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(auto out, AllocateOutput(ctx, groups, num_aggs));
+  int64_t* out_key = out.key.data();
+  std::vector<int64_t> acc(num_aggs);
+  uint64_t g = 0;
+  uint64_t i = 0;
+  while (i < n) {
+    const int64_t key = data[i].key;
+    for (size_t a = 0; a < num_aggs; ++a) acc[a] = AggInit(spec.aggregates[a].op);
+    int64_t count = 0;
+    while (i < n && data[i].key == key) {
+      ++count;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const AggSpec& as = spec.aggregates[a];
+        if (as.op == AggOp::kCount) continue;
+        AggUpdate(as.op, &acc[a],
+                  input.columns[as.column].values[data[i].id]);
+      }
+      ++i;
+    }
+    out_key[g] = key;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      out.agg_ptrs[a][g] = AggFinalize(spec.aggregates[a].op, acc[a], count);
+    }
+    ++g;
+  }
+  res.output = FinishOutput(input, spec, &out);
+  res.output_rows = groups;
+  res.phases.materialize_wall_s += Since(t_emit);
+  return res;
+}
+
+}  // namespace
+
+Result<CpuxRunResult> RunGroupBy(Context& ctx, GroupByAlgo algo,
+                                 const HostTable& input, const GroupBySpec& spec,
+                                 const CpuxOptions& options) {
+  GPUJOIN_RETURN_IF_ERROR(ValidateGroupByInput(input, spec));
+
+  ctx.ResetPeak();
+  const double cpu0 = ThreadCpuSeconds();
+  const auto w0 = Clock::now();
+  double pool_cpu = 0;
+
+  CpuxRunResult res;
+  switch (algo) {
+    case GroupByAlgo::kHashGlobal: {
+      GPUJOIN_ASSIGN_OR_RETURN(res, HashGlobal(ctx, input, spec));
+      break;
+    }
+    case GroupByAlgo::kHashPartitioned: {
+      GPUJOIN_ASSIGN_OR_RETURN(
+          res, HashPartitioned(ctx, input, spec, options, &pool_cpu));
+      break;
+    }
+    case GroupByAlgo::kSortBased: {
+      GPUJOIN_ASSIGN_OR_RETURN(res, SortBased(ctx, input, spec, &pool_cpu));
+      break;
+    }
+  }
+  res.wall_seconds = Since(w0);
+  res.cpu_seconds = (ThreadCpuSeconds() - cpu0) + pool_cpu;
+  res.peak_bytes = ctx.peak_bytes();
+  res.throughput_tuples_per_sec =
+      res.wall_seconds > 0 ? static_cast<double>(input.num_rows()) / res.wall_seconds
+                           : 0;
+  return res;
+}
+
+}  // namespace gpujoin::cpux

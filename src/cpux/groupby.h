@@ -1,0 +1,41 @@
+// Vectorized CPU grouped aggregation for the cpux backend, mirroring the
+// device's three algorithm families (groupby.h):
+//
+//   kHashGlobal       one accumulator table, sequential batched-hash
+//                     update (the device's global-atomics variant maps to
+//                     a deterministic single-thread update on the host)
+//   kHashPartitioned  radix-partition the keys, then aggregate each
+//                     partition in parallel against its own cache-sized
+//                     accumulator slab and emit densely
+//   kSortBased        parallel chunk sort + serial segmented reduction
+//
+// Same discipline as the join engines: coordinator-only allocation in a
+// deterministic order, fixed-size parallel decomposition, output ranges
+// pre-computed from counts — bit-identical at any thread count.
+//
+// Output schema matches the device: [group key, one int64 per aggregate],
+// aggregate columns named "<op>_<column>" ("count" for kCount). AVG is the
+// integer mean floor(sum/count); MIN/MAX initialize from int64 max/min.
+
+#ifndef GPUJOIN_CPUX_GROUPBY_H_
+#define GPUJOIN_CPUX_GROUPBY_H_
+
+#include "common/status.h"
+#include "cpux/context.h"
+#include "cpux/join.h"
+#include "groupby/groupby.h"
+#include "storage/table.h"
+
+namespace gpujoin::cpux {
+
+/// Runs a grouped aggregation of `input` grouped by column 0. Inputs must
+/// be integer tables with non-negative keys and fewer than 2^32 - 1 rows.
+/// The result's output_rows is the group count.
+Result<CpuxRunResult> RunGroupBy(Context& ctx, groupby::GroupByAlgo algo,
+                                 const HostTable& input,
+                                 const groupby::GroupBySpec& spec,
+                                 const CpuxOptions& options = {});
+
+}  // namespace gpujoin::cpux
+
+#endif  // GPUJOIN_CPUX_GROUPBY_H_

@@ -1,0 +1,346 @@
+#include "cpux/join.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "cpux/kernels.h"
+#include "cpux/partition.h"
+
+namespace gpujoin::cpux {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+Status ValidateJoinInput(const HostTable& t, const char* side) {
+  if (t.columns.empty()) {
+    return Status::InvalidArgument(std::string("cpux join: table ") + side +
+                                   " has no key column");
+  }
+  for (const HostColumn& col : t.columns) {
+    if (col.is_string()) {
+      return Status::InvalidArgument(
+          std::string("cpux join: string column '") + col.name + "' in " +
+          side + " not supported (route to vgpu)");
+    }
+  }
+  if (t.num_rows() >= std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(std::string("cpux join: table ") + side +
+                                   " exceeds 2^32 - 1 rows");
+  }
+  for (const int64_t key : t.columns[0].values) {
+    if (key < 0) {
+      return Status::InvalidArgument(std::string("cpux join: table ") + side +
+                                     " has a negative key");
+    }
+  }
+  return Status::OK();
+}
+
+/// Matched (r row id, s row id) pairs in emission order.
+struct MatchIds {
+  Buffer<uint32_t> r_ids;
+  Buffer<uint32_t> s_ids;
+  uint64_t n = 0;
+};
+
+/// --- Engine 1: global linear-probe hash join (kNphj). Build r into one
+/// table; count/fill over fixed-size s chunks.
+Result<MatchIds> NphjMatch(Context& ctx, const HostTable& r,
+                           const HostTable& s, CpuxPhases* phases,
+                           double* cpu_s) {
+  const uint64_t nr = r.num_rows();
+  const uint64_t ns = s.num_rows();
+  const int64_t* r_keys = r.columns[0].values.data();
+  const int64_t* s_keys = s.columns[0].values.data();
+
+  const auto t_match = Clock::now();
+  const uint64_t capacity =
+      bit_util::NextPowerOfTwo(std::max<uint64_t>(nr * 2, 16));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slot_keys, Buffer<int64_t>::Allocate(ctx, capacity, "cpux.join.ht"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slot_ids, Buffer<uint32_t>::Allocate(ctx, capacity, "cpux.join.ht"));
+  ProbeTable table{slot_keys.data(), slot_ids.data(), capacity - 1};
+  table.Clear();
+  table.Build(r_keys, nullptr, nr);
+
+  const uint64_t num_chunks = NumChunks(ns);
+  std::vector<uint64_t> offsets(num_chunks + 1, 0);
+  *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+    const uint64_t begin = c * kChunkRows;
+    const uint64_t len = std::min(ns, begin + kChunkRows) - begin;
+    offsets[c + 1] = table.CountMatches(s_keys + begin, len);
+  });
+  for (uint64_t c = 0; c < num_chunks; ++c) offsets[c + 1] += offsets[c];
+
+  MatchIds out;
+  out.n = offsets[num_chunks];
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+  uint32_t* out_r = out.r_ids.data();
+  uint32_t* out_s = out.s_ids.data();
+  *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+    const uint64_t begin = c * kChunkRows;
+    const uint64_t len = std::min(ns, begin + kChunkRows) - begin;
+    table.FillMatches(s_keys + begin, nullptr, len,
+                      static_cast<uint32_t>(begin), out_r + offsets[c],
+                      out_s + offsets[c]);
+  });
+  phases->match_wall_s += Since(t_match);
+  return out;
+}
+
+/// --- Engine 2: radix-partitioned hash join (kPhjUm / kPhjOm).
+/// Co-partition both sides by low key bits, then build/probe each partition
+/// against its own cache-sized table carved out of shared slot slabs.
+/// Per-partition capacities (2x the partition's build rows, rounded up to a
+/// power of two) keep total slab memory ~4x the build side even under heavy
+/// skew, where a uniform max-partition capacity would explode.
+Result<MatchIds> PhjMatch(Context& ctx, const HostTable& r, const HostTable& s,
+                          const CpuxOptions& options, CpuxPhases* phases,
+                          double* cpu_s) {
+  const uint64_t nr = r.num_rows();
+  const uint64_t ns = s.num_rows();
+  const int bits = options.radix_bits_override >= 1
+                       ? std::min(options.radix_bits_override, kMaxPartitionBits)
+                       : DerivePartitionBits(nr);
+  const uint64_t fanout = uint64_t{1} << bits;
+
+  const auto t_transform = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto pr, RadixPartition(ctx, r.columns[0].values.data(), nr, bits,
+                              "cpux.join.part_r", cpu_s));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto ps, RadixPartition(ctx, s.columns[0].values.data(), ns, bits,
+                              "cpux.join.part_s", cpu_s));
+  phases->transform_wall_s += Since(t_transform);
+
+  const auto t_match = Clock::now();
+  // Carve per-partition tables out of shared slabs. A partition gets slots
+  // only when both sides are non-empty there.
+  std::vector<uint64_t> capacity(fanout, 0), slot_off(fanout + 1, 0);
+  for (uint64_t p = 0; p < fanout; ++p) {
+    if (pr.size(p) > 0 && ps.size(p) > 0) {
+      capacity[p] =
+          bit_util::NextPowerOfTwo(std::max<uint64_t>(pr.size(p) * 2, 16));
+    }
+    slot_off[p + 1] = slot_off[p] + capacity[p];
+  }
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slab_keys,
+      Buffer<int64_t>::Allocate(ctx, slot_off[fanout], "cpux.join.ht"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto slab_ids,
+      Buffer<uint32_t>::Allocate(ctx, slot_off[fanout], "cpux.join.ht"));
+
+  // Phase A (parallel per partition): build + count.
+  std::vector<uint64_t> offsets(fanout + 1, 0);
+  *cpu_s += ctx.pool().ParallelFor(fanout, [&](uint64_t p) {
+    if (capacity[p] == 0) return;
+    ProbeTable table{slab_keys.data() + slot_off[p],
+                     slab_ids.data() + slot_off[p], capacity[p] - 1};
+    table.Clear();
+    table.Build(pr.keys.data() + pr.offsets[p], pr.ids.data() + pr.offsets[p],
+                pr.size(p));
+    offsets[p + 1] = table.CountMatches(ps.keys.data() + ps.offsets[p], ps.size(p));
+  });
+  for (uint64_t p = 0; p < fanout; ++p) offsets[p + 1] += offsets[p];
+
+  MatchIds out;
+  out.n = offsets[fanout];
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+
+  // Phase B (parallel per partition): fill from the still-built tables,
+  // emitting original s row ids from the partitioned id column.
+  uint32_t* out_r = out.r_ids.data();
+  uint32_t* out_s = out.s_ids.data();
+  *cpu_s += ctx.pool().ParallelFor(fanout, [&](uint64_t p) {
+    if (capacity[p] == 0) return;
+    ProbeTable table{slab_keys.data() + slot_off[p],
+                     slab_ids.data() + slot_off[p], capacity[p] - 1};
+    table.FillMatches(ps.keys.data() + ps.offsets[p],
+                      ps.ids.data() + ps.offsets[p], ps.size(p), 0,
+                      out_r + offsets[p], out_s + offsets[p]);
+  });
+  phases->match_wall_s += Since(t_match);
+  return out;
+}
+
+/// --- Engine 3: sort-merge join (kSmjUm / kSmjOm). Parallel chunk sort of
+/// both sides, then a serial merge emitting the run product per key group
+/// (count pass, then fill into an exact-size buffer).
+Result<MatchIds> SmjMatch(Context& ctx, const HostTable& r, const HostTable& s,
+                          CpuxPhases* phases, double* cpu_s) {
+  const uint64_t nr = r.num_rows();
+  const uint64_t ns = s.num_rows();
+
+  const auto t_transform = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(auto sr, SortKeyIds(ctx, r.columns[0].values.data(),
+                                               nr, "cpux.join.sort_r", cpu_s));
+  GPUJOIN_ASSIGN_OR_RETURN(auto ss, SortKeyIds(ctx, s.columns[0].values.data(),
+                                               ns, "cpux.join.sort_s", cpu_s));
+  phases->transform_wall_s += Since(t_transform);
+
+  const auto t_match = Clock::now();
+  const KeyId* a = sr.data();
+  const KeyId* b = ss.data();
+  // Count pass: sum of run products over equal-key groups.
+  uint64_t total = 0;
+  {
+    uint64_t i = 0, j = 0;
+    while (i < nr && j < ns) {
+      if (a[i].key < b[j].key) {
+        ++i;
+      } else if (b[j].key < a[i].key) {
+        ++j;
+      } else {
+        const int64_t key = a[i].key;
+        uint64_t ri = i, sj = j;
+        while (ri < nr && a[ri].key == key) ++ri;
+        while (sj < ns && b[sj].key == key) ++sj;
+        total += (ri - i) * (sj - j);
+        i = ri;
+        j = sj;
+      }
+    }
+  }
+
+  MatchIds out;
+  out.n = total;
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.r_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      out.s_ids, Buffer<uint32_t>::Allocate(ctx, out.n, "cpux.join.match"));
+  uint32_t* out_r = out.r_ids.data();
+  uint32_t* out_s = out.s_ids.data();
+
+  // Fill pass: s-outer / r-inner within each group (fixed emission order).
+  uint64_t i = 0, j = 0, cursor = 0;
+  while (i < nr && j < ns) {
+    if (a[i].key < b[j].key) {
+      ++i;
+    } else if (b[j].key < a[i].key) {
+      ++j;
+    } else {
+      const int64_t key = a[i].key;
+      uint64_t ri = i, sj = j;
+      while (ri < nr && a[ri].key == key) ++ri;
+      while (sj < ns && b[sj].key == key) ++sj;
+      for (uint64_t y = j; y < sj; ++y) {
+        for (uint64_t x = i; x < ri; ++x) {
+          out_r[cursor] = a[x].id;
+          out_s[cursor] = b[y].id;
+          ++cursor;
+        }
+      }
+      i = ri;
+      j = sj;
+    }
+  }
+  phases->match_wall_s += Since(t_match);
+  return out;
+}
+
+/// Gathers every output column through the match ids (parallel over fixed
+/// chunks of output rows): [key (from s), r payloads..., s payloads...].
+Result<HostTable> Materialize(Context& ctx, const HostTable& r,
+                              const HostTable& s, const MatchIds& m,
+                              double* cpu_s) {
+  const uint64_t n = m.n;
+  const uint64_t num_chunks = NumChunks(n);
+  HostTable result;
+  result.name = "cpux_join_result";
+
+  auto gather_column = [&](const HostColumn& src,
+                           const uint32_t* ids) -> Status {
+    GPUJOIN_ASSIGN_OR_RETURN(
+        auto dst, Buffer<int64_t>::Allocate(ctx, n, "cpux.join.out"));
+    const int64_t* src_vals = src.values.data();
+    int64_t* dst_vals = dst.data();
+    *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+      const uint64_t begin = c * kChunkRows;
+      const uint64_t len = std::min(n, begin + kChunkRows) - begin;
+      GatherI64(src_vals, ids + begin, len, dst_vals + begin);
+    });
+    HostColumn col;
+    col.name = src.name;
+    col.type = src.type;
+    col.values = dst.TakeStorage();
+    result.columns.push_back(std::move(col));
+    return Status::OK();
+  };
+
+  GPUJOIN_RETURN_IF_ERROR(gather_column(s.columns[0], m.s_ids.data()));
+  for (size_t c = 1; c < r.columns.size(); ++c) {
+    GPUJOIN_RETURN_IF_ERROR(gather_column(r.columns[c], m.r_ids.data()));
+  }
+  for (size_t c = 1; c < s.columns.size(); ++c) {
+    GPUJOIN_RETURN_IF_ERROR(gather_column(s.columns[c], m.s_ids.data()));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<CpuxRunResult> RunJoin(Context& ctx, join::JoinAlgo algo,
+                              const HostTable& r, const HostTable& s,
+                              const CpuxOptions& options) {
+  GPUJOIN_RETURN_IF_ERROR(ValidateJoinInput(r, "r"));
+  GPUJOIN_RETURN_IF_ERROR(ValidateJoinInput(s, "s"));
+
+  ctx.ResetPeak();
+  const double cpu0 = ThreadCpuSeconds();
+  const auto w0 = Clock::now();
+  double pool_cpu = 0;
+
+  CpuxRunResult res;
+  MatchIds match;
+  switch (algo) {
+    case join::JoinAlgo::kNphj: {
+      GPUJOIN_ASSIGN_OR_RETURN(match,
+                               NphjMatch(ctx, r, s, &res.phases, &pool_cpu));
+      break;
+    }
+    case join::JoinAlgo::kPhjUm:
+    case join::JoinAlgo::kPhjOm: {
+      GPUJOIN_ASSIGN_OR_RETURN(
+          match, PhjMatch(ctx, r, s, options, &res.phases, &pool_cpu));
+      break;
+    }
+    case join::JoinAlgo::kSmjUm:
+    case join::JoinAlgo::kSmjOm: {
+      GPUJOIN_ASSIGN_OR_RETURN(match,
+                               SmjMatch(ctx, r, s, &res.phases, &pool_cpu));
+      break;
+    }
+  }
+
+  const auto t_mat = Clock::now();
+  GPUJOIN_ASSIGN_OR_RETURN(res.output, Materialize(ctx, r, s, match, &pool_cpu));
+  res.phases.materialize_wall_s = Since(t_mat);
+
+  res.output_rows = match.n;
+  res.wall_seconds = Since(w0);
+  res.cpu_seconds = (ThreadCpuSeconds() - cpu0) + pool_cpu;
+  res.peak_bytes = ctx.peak_bytes();
+  res.throughput_tuples_per_sec =
+      res.wall_seconds > 0
+          ? static_cast<double>(r.num_rows() + s.num_rows()) / res.wall_seconds
+          : 0;
+  return res;
+}
+
+}  // namespace gpujoin::cpux

@@ -1,0 +1,103 @@
+#include "cpux/partition.h"
+
+#include <algorithm>
+
+namespace gpujoin::cpux {
+
+Result<PartitionedColumn> RadixPartition(Context& ctx, const int64_t* keys,
+                                         uint64_t n, int bits, const char* tag,
+                                         double* cpu_s) {
+  const uint64_t fanout = uint64_t{1} << bits;
+  const uint64_t num_chunks = NumChunks(n);
+
+  PartitionedColumn out;
+  out.bits = bits;
+  GPUJOIN_ASSIGN_OR_RETURN(out.keys, Buffer<int64_t>::Allocate(ctx, n, tag));
+  GPUJOIN_ASSIGN_OR_RETURN(out.ids, Buffer<uint32_t>::Allocate(ctx, n, tag));
+  GPUJOIN_ASSIGN_OR_RETURN(
+      auto hist, Buffer<uint64_t>::Allocate(ctx, num_chunks * fanout, tag));
+
+  // Pass 1: per-chunk digit histograms (parallel over fixed-size chunks).
+  uint64_t* hist_data = hist.data();
+  *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+    const uint64_t begin = c * kChunkRows;
+    const uint64_t end = std::min(n, begin + kChunkRows);
+    uint64_t* h = hist_data + c * fanout;
+    for (uint64_t i = begin; i < end; ++i) {
+      ++h[PartitionDigit(keys[i], bits)];
+    }
+  });
+
+  // Serial prefix over the (digit, chunk) grid: hist[c * fanout + d] becomes
+  // chunk c's write cursor for digit d. Digit-major order makes partitions
+  // contiguous and chunk order (= input order) stable within each partition.
+  out.offsets.assign(fanout + 1, 0);
+  uint64_t running = 0;
+  for (uint64_t d = 0; d < fanout; ++d) {
+    out.offsets[d] = running;
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      const uint64_t count = hist_data[c * fanout + d];
+      hist_data[c * fanout + d] = running;
+      running += count;
+    }
+  }
+  out.offsets[fanout] = running;
+
+  // Pass 2: scatter (parallel; every chunk writes its pre-computed disjoint
+  // ranges, so the result is identical at any pool size).
+  int64_t* out_keys = out.keys.data();
+  uint32_t* out_ids = out.ids.data();
+  *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+    const uint64_t begin = c * kChunkRows;
+    const uint64_t end = std::min(n, begin + kChunkRows);
+    uint64_t* cursor = hist_data + c * fanout;
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t dst = cursor[PartitionDigit(keys[i], bits)]++;
+      out_keys[dst] = keys[i];
+      out_ids[dst] = static_cast<uint32_t>(i);
+    }
+  });
+
+  return out;
+}
+
+Result<Buffer<KeyId>> SortKeyIds(Context& ctx, const int64_t* keys, uint64_t n,
+                                 const char* tag, double* cpu_s) {
+  const uint64_t num_chunks = NumChunks(n);
+  GPUJOIN_ASSIGN_OR_RETURN(auto sorted, Buffer<KeyId>::Allocate(ctx, n, tag));
+  KeyId* data = sorted.data();
+
+  // Sort each fixed-size chunk in place (parallel).
+  *cpu_s += ctx.pool().ParallelFor(num_chunks, [&](uint64_t c) {
+    const uint64_t begin = c * kChunkRows;
+    const uint64_t end = std::min(n, begin + kChunkRows);
+    for (uint64_t i = begin; i < end; ++i) {
+      data[i] = KeyId{keys[i], static_cast<uint32_t>(i)};
+    }
+    std::sort(data + begin, data + end, KeyIdLess);
+  });
+  if (num_chunks <= 1) return sorted;
+
+  // Serial k-way merge of the sorted chunks. (key, id) is a unique total
+  // order, so the merged output is a fixed function of the input.
+  GPUJOIN_ASSIGN_OR_RETURN(auto merged, Buffer<KeyId>::Allocate(ctx, n, tag));
+  std::vector<uint64_t> cursor(num_chunks), limit(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    cursor[c] = c * kChunkRows;
+    limit[c] = std::min(n, cursor[c] + kChunkRows);
+  }
+  KeyId* out = merged.data();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t best = num_chunks;
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      if (cursor[c] == limit[c]) continue;
+      if (best == num_chunks || KeyIdLess(data[cursor[c]], data[cursor[best]])) {
+        best = c;
+      }
+    }
+    out[i] = data[cursor[best]++];
+  }
+  return merged;
+}
+
+}  // namespace gpujoin::cpux

@@ -1,0 +1,53 @@
+// Parallel radix partition and sort for the cpux backend, shared by the
+// join and group-by engines.
+//
+// Both kernels decompose the input into FIXED-SIZE chunks (kernels.h:
+// kChunkRows) and pre-compute every chunk's output range from per-chunk
+// histograms, so workers scatter into disjoint destinations and the result
+// is bit-identical at any TaskPool size. The partition is stable (chunk
+// order = input order within a partition); the sort is a total order on
+// (key, id), so its output is unique whatever the decomposition.
+
+#ifndef GPUJOIN_CPUX_PARTITION_H_
+#define GPUJOIN_CPUX_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cpux/context.h"
+#include "cpux/kernels.h"
+
+namespace gpujoin::cpux {
+
+/// A radix-partitioned copy of (key, id) pairs in SoA layout (separate key
+/// and id arrays, the shape the batch kernels consume).
+struct PartitionedColumn {
+  Buffer<int64_t> keys;
+  Buffer<uint32_t> ids;
+  /// Partition p occupies [offsets[p], offsets[p+1]) of keys/ids.
+  std::vector<uint64_t> offsets;
+  int bits = 0;
+
+  uint64_t fanout() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  uint64_t size(uint64_t p) const { return offsets[p + 1] - offsets[p]; }
+};
+
+/// Partitions keys[0..n) (implicit ids 0..n-1) into 2^bits partitions by
+/// the low key bits. One vectorized pass: parallel per-chunk histograms, a
+/// serial prefix over the (chunk, digit) grid, then a parallel scatter into
+/// disjoint ranges. Adds the pool workers' CPU seconds to *cpu_s.
+Result<PartitionedColumn> RadixPartition(Context& ctx, const int64_t* keys,
+                                         uint64_t n, int bits, const char* tag,
+                                         double* cpu_s);
+
+/// Sorts (key, id) pairs of keys[0..n) (implicit ids 0..n-1) by (key, id):
+/// parallel sort of fixed-size chunks, then a serial k-way merge. The
+/// comparison key is unique, so the output is a fixed function of the
+/// input. Adds the pool workers' CPU seconds to *cpu_s.
+Result<Buffer<KeyId>> SortKeyIds(Context& ctx, const int64_t* keys, uint64_t n,
+                                 const char* tag, double* cpu_s);
+
+}  // namespace gpujoin::cpux
+
+#endif  // GPUJOIN_CPUX_PARTITION_H_

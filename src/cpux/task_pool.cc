@@ -1,0 +1,99 @@
+#include "cpux/task_pool.h"
+
+#include <chrono>
+
+#ifdef __unix__
+#include <time.h>
+#endif
+
+namespace gpujoin::cpux {
+
+double ThreadCpuSeconds() {
+#if defined(__unix__) && defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TaskPool::TaskPool(int threads) {
+  const int extra = (threads < 1 ? 1 : threads) - 1;
+  workers_.reserve(extra);
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+double TaskPool::ParallelFor(uint64_t num_tasks,
+                             const std::function<void(uint64_t)>& fn) {
+  if (num_tasks == 0) return 0;
+  if (workers_.empty() || num_tasks == 1) {
+    for (uint64_t t = 0; t < num_tasks; ++t) fn(t);
+    return 0;  // All work ran on the calling thread's own CPU clock.
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_.store(0, std::memory_order_relaxed);
+    worker_cpu_s_ = 0;
+    workers_active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread claims tasks alongside the workers; its share is
+  // covered by the caller's own thread CPU clock, so only worker seconds
+  // are returned.
+  for (;;) {
+    const uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks) break;
+    fn(t);
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return workers_active_ == 0; });
+  fn_ = nullptr;
+  return worker_cpu_s_;
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return shutdown_ || generation_ != seen_generation; });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    const std::function<void(uint64_t)>* fn = fn_;
+    const uint64_t num_tasks = num_tasks_;
+    lk.unlock();
+
+    const double c0 = ThreadCpuSeconds();
+    for (;;) {
+      const uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
+      if (t >= num_tasks) break;
+      (*fn)(t);
+    }
+    const double cpu = ThreadCpuSeconds() - c0;
+
+    lk.lock();
+    worker_cpu_s_ += cpu;
+    if (--workers_active_ == 0) cv_done_.notify_one();
+  }
+}
+
+}  // namespace gpujoin::cpux

@@ -1,0 +1,71 @@
+// Persistent host worker pool for the vectorized CPU backend.
+//
+// ParallelFor(num_tasks, fn) runs fn(task) for every task index, claiming
+// tasks dynamically across the pool's workers plus the calling thread.
+// Determinism contract: callers decompose work into tasks whose OUTPUT
+// RANGES are a fixed function of the input (never of the thread count or
+// of claim order), so results are bit-identical for every pool size — the
+// same discipline vgpu::Device::ParallelBlocks established for the
+// simulator (DESIGN.md §12), applied to native execution.
+//
+// The pool also keeps the cpux timing surface honest: every ParallelFor
+// returns the summed per-thread CPU seconds of the region (workers + the
+// calling thread), so callers can report both wall time and the CPU time
+// actually burned across cores.
+
+#ifndef GPUJOIN_CPUX_TASK_POOL_H_
+#define GPUJOIN_CPUX_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpujoin::cpux {
+
+/// CPU seconds consumed so far by the calling thread (thread, not process).
+/// Falls back to a monotonic wall clock on platforms without per-thread
+/// CPU clocks; the relative per-region deltas stay meaningful either way.
+double ThreadCpuSeconds();
+
+class TaskPool {
+ public:
+  /// `threads` is the TOTAL worker count including the calling thread, so
+  /// TaskPool(1) spawns nothing and runs inline. Values < 1 clamp to 1.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int threads() const { return 1 + static_cast<int>(workers_.size()); }
+
+  /// Runs fn(task) for task in [0, num_tasks); blocks until all complete.
+  /// Returns the summed CPU seconds the POOL WORKERS spent inside fn (the
+  /// calling thread's share is visible on its own thread CPU clock, so
+  /// callers report total CPU as their own delta plus these returns).
+  /// fn must not call ParallelFor on the same pool (no nesting).
+  double ParallelFor(uint64_t num_tasks, const std::function<void(uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(uint64_t)>* fn_ = nullptr;
+  uint64_t num_tasks_ = 0;
+  std::atomic<uint64_t> next_{0};
+  uint64_t generation_ = 0;
+  int workers_active_ = 0;
+  double worker_cpu_s_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gpujoin::cpux
+
+#endif  // GPUJOIN_CPUX_TASK_POOL_H_

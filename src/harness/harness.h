@@ -9,7 +9,17 @@
 //   GPUJOIN_SIM_THREADS host threads for the parallel simulation path
 //                       (default 1 = sequential). Simulated results and
 //                       stats are bit-identical for every value; only host
-//                       wall-clock changes (see DESIGN.md §12).
+//                       wall-clock changes (see DESIGN.md §12). Also sizes
+//                       the cpux backend's worker pool in benches and the
+//                       service (same contract: results are bit-identical
+//                       at every setting).
+//   GPUJOIN_BACKEND     operator backend: "auto" (cost-based routing),
+//                       "cpu"/"cpux" (vectorized host engines), or
+//                       "gpu"/"vgpu" (simulated device). Parsed by
+//                       ops::ParseBackend; consumed by the router-aware
+//                       benches (bench_hyb1_crossover) and by
+//                       service::QueryService (whose default remains vgpu
+//                       when unset — see DESIGN.md §14).
 //   GPUJOIN_FAULT_NTH   fail the Nth device allocation (one-shot).
 //   GPUJOIN_FAULT_BYTES fail every allocation once cumulative allocated
 //                       bytes exceed this budget.

@@ -43,6 +43,18 @@ void RenderNode(const std::vector<Node>& nodes, int32_t id, double root_cycles,
   const std::string child_indent =
       indent + (span.parent < 0 ? "" : (last ? "   " : "│  "));
 
+  // Free-form annotations (backend routing, cost estimates, ...). The
+  // "mem:<tag>" live-byte breakdown recorded at span close is bookkeeping,
+  // not narrative — skip it here.
+  std::string aline;
+  for (const auto& [key, value] : span.attrs) {
+    if (key.rfind("mem:", 0) == 0) continue;
+    aline += (aline.empty() ? "" : " ") + key + "=" + value;
+  }
+  if (!aline.empty()) {
+    out += child_indent + "   [" + aline + "]\n";
+  }
+
   if (!node.kernels.empty() && opts.top_k_kernels > 0) {
     std::vector<std::pair<std::string, std::pair<double, uint64_t>>> ks(
         node.kernels.begin(), node.kernels.end());

@@ -34,6 +34,7 @@ std::string MetricsSink::ToJson() const {
   for (const MetricRow& row : rows_) {
     w.BeginObject();
     w.Key("algo").String(row.algo);
+    w.Key("backend").String(row.backend.empty() ? "vgpu" : row.backend);
     w.Key("params").BeginObject();
     for (const auto& [key, value] : row.params) {
       w.Key(key).String(value);
@@ -158,6 +159,14 @@ Status ValidateBenchReport(const JsonValue& root) {
       return Status::InvalidArgument(where + ": not an object");
     }
     GPUJOIN_RETURN_IF_ERROR(RequireString(row, where, "algo"));
+    // "backend" is optional (pre-routing baselines lack it) but must be a
+    // non-empty string when present.
+    if (const JsonValue* backend = row.Find("backend"); backend != nullptr) {
+      if (!backend->is_string() || backend->string.empty()) {
+        return Status::InvalidArgument(where +
+                                       ": backend must be a non-empty string");
+      }
+    }
     const JsonValue* params = row.Find("params");
     if (params == nullptr || !params->is_object()) {
       return Missing(where, "params");

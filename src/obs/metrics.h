@@ -16,6 +16,7 @@
 //     "rows": [
 //       {
 //         "algo": "PHJ-OM",
+//         "backend": "vgpu" | "cpux" | "auto:cpux" | ...,  // Executing backend.
 //         "params": {"zipf": "0.50", ...},   // Bench-specific dimensions.
 //         "mtuples_per_sec": 123.4,
 //         "phases": {"transform_cycles": ..., "match_cycles": ...,
@@ -28,10 +29,13 @@
 //       }, ...
 //     ]
 //   }
-// Every field above except "sim" is REQUIRED and must be a finite number /
-// non-empty string; ValidateBenchReport (and tools/bench_json_check)
-// enforce that, so a NaN phase time or a missing metric fails CI instead
-// of shipping silently.
+// Every field above except "sim" and "backend" is REQUIRED and must be a
+// finite number / non-empty string; ValidateBenchReport (and
+// tools/bench_json_check) enforce that, so a NaN phase time or a missing
+// metric fails CI instead of shipping silently. "backend" is optional for
+// compatibility with baselines recorded before backend routing existed,
+// but must be a non-empty string when present (rows written by current
+// code always carry it).
 
 #ifndef GPUJOIN_OBS_METRICS_H_
 #define GPUJOIN_OBS_METRICS_H_
@@ -53,6 +57,10 @@ struct MetricRow {
   /// printed in the human table).
   std::vector<std::pair<std::string, std::string>> params;
   std::string algo;
+  /// Backend that executed the run: "vgpu", "cpux", or "auto:<chosen>" for
+  /// router-decided runs. Serialized as "vgpu" when left empty (the
+  /// pre-routing default: every bench ran on the simulated device).
+  std::string backend;
   double transform_cycles = 0;
   double match_cycles = 0;
   double materialize_cycles = 0;

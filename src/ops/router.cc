@@ -1,0 +1,275 @@
+#include "ops/router.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace gpujoin::ops {
+
+namespace {
+
+std::string Sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+/// Simulated seconds for one host<->device transfer of `bytes`.
+double TransferSeconds(const vgpu::DeviceConfig& config, uint64_t bytes) {
+  return static_cast<double>(bytes) / (config.pcie_gbps * 1e9) +
+         config.CyclesToSeconds(config.pcie_latency_cycles);
+}
+
+/// Projected cpux tuples/second at the configured worker count.
+double CpuxRate(double single_thread_rate, const CostModel& cost, int threads) {
+  const int extra = threads > 1 ? threads - 1 : 0;
+  return single_thread_rate * (1.0 + cost.cpux_thread_scaling * extra);
+}
+
+/// Whether cpux can run over this table at all (the engines are
+/// integer-only; string columns stay on the vgpu path, whose dictionary
+/// encoder handles them).
+bool CpuxEligibleTable(const HostTable& t, std::string* why) {
+  for (const HostColumn& col : t.columns) {
+    if (col.is_string()) {
+      *why = "strings";
+      return false;
+    }
+  }
+  if (t.num_rows() >= uint64_t{0xFFFFFFFF}) {
+    *why = "rows";
+    return false;
+  }
+  return true;
+}
+
+bool CpuxEligibleJoin(const JoinOp& op, std::string* why) {
+  return CpuxEligibleTable(*op.r, why) && CpuxEligibleTable(*op.s, why);
+}
+
+bool CpuxEligibleGroupBy(const GroupByOp& op, std::string* why) {
+  return CpuxEligibleTable(*op.input, why);
+}
+
+void PickByCost(RouteDecision* d, Backend force, bool eligible,
+                const std::string& guard) {
+  if (force != Backend::kAuto) {
+    d->backend = force;
+    d->reason = "forced";
+    return;
+  }
+  if (!eligible) {
+    d->backend = Backend::kVgpu;
+    d->reason = guard;
+    return;
+  }
+  d->backend =
+      d->cpux_seconds <= d->vgpu_seconds ? Backend::kCpux : Backend::kVgpu;
+  d->reason = "cost";
+}
+
+}  // namespace
+
+RouterOptions RouterOptions::FromEnv(RouterOptions base) {
+  const char* env = std::getenv("GPUJOIN_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    Result<Backend> parsed = ParseBackend(env);
+    if (parsed.ok()) base.force = *parsed;
+  }
+  return base;
+}
+
+RouterOptions RouterOptions::FromEnv() { return FromEnv(RouterOptions{}); }
+
+Result<Backend> BackendFromEnv(Backend fallback) {
+  const char* env = std::getenv("GPUJOIN_BACKEND");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return ParseBackend(env);
+}
+
+RouteDecision RouteJoin(const JoinOp& op, const vgpu::DeviceConfig& config,
+                        const RouterOptions& options) {
+  RouteDecision d;
+  d.memory = stats::EstimateJoinMemory(*op.r, *op.s);
+  const double tuples =
+      static_cast<double>(op.r->num_rows() + op.s->num_rows());
+  const CostModel& cost = options.cost;
+
+  d.cpux_seconds =
+      cost.cpux_fixed_s +
+      tuples / CpuxRate(cost.cpux_join_tuples_per_sec, cost,
+                        options.cpux_threads);
+  d.vgpu_seconds = TransferSeconds(config, stats::EstimateDeviceBytes(*op.r)) +
+                   TransferSeconds(config, stats::EstimateDeviceBytes(*op.s)) +
+                   TransferSeconds(config, d.memory.output_bytes) +
+                   config.CyclesToSeconds(cost.kernels_per_join *
+                                          config.launch_overhead_cycles) +
+                   tuples / cost.vgpu_join_tuples_per_sec;
+
+  std::string guard;
+  PickByCost(&d, options.force, CpuxEligibleJoin(op, &guard), guard);
+  return d;
+}
+
+RouteDecision RouteGroupBy(const GroupByOp& op,
+                           const vgpu::DeviceConfig& config,
+                           const RouterOptions& options) {
+  RouteDecision d;
+  d.memory = stats::EstimateGroupByMemory(
+      *op.input, static_cast<int>(op.spec.aggregates.size()));
+  const double tuples = static_cast<double>(op.input->num_rows());
+  const CostModel& cost = options.cost;
+
+  d.cpux_seconds =
+      cost.cpux_fixed_s +
+      tuples / CpuxRate(cost.cpux_groupby_tuples_per_sec, cost,
+                        options.cpux_threads);
+  d.vgpu_seconds =
+      TransferSeconds(config, stats::EstimateDeviceBytes(*op.input)) +
+      TransferSeconds(config, d.memory.output_bytes) +
+      config.CyclesToSeconds(cost.kernels_per_groupby *
+                             config.launch_overhead_cycles) +
+      tuples / cost.vgpu_groupby_tuples_per_sec;
+
+  std::string guard;
+  PickByCost(&d, options.force, CpuxEligibleGroupBy(op, &guard), guard);
+  return d;
+}
+
+Router::Router(vgpu::Device& device, const RouterOptions& options)
+    : device_(&device),
+      options_(options),
+      vgpu_(device),
+      cpux_(options.cpux_threads) {}
+
+Result<OperatorRunResult> Router::Dispatch(Backend backend,
+                                           const JoinOp* join_op,
+                                           const GroupByOp* groupby_op) {
+  OperatorProvider& provider =
+      backend == Backend::kCpux ? static_cast<OperatorProvider&>(cpux_)
+                                : static_cast<OperatorProvider&>(vgpu_);
+  return join_op != nullptr ? provider.RunJoin(*join_op)
+                            : provider.RunGroupBy(*groupby_op);
+}
+
+Result<OperatorRunResult> Router::RunRouted(const RouteDecision& decision,
+                                            const JoinOp* join_op,
+                                            const GroupByOp* groupby_op,
+                                            const std::string& span_name) {
+  decisions_.push_back(decision);
+  obs::TraceSpan span(*device_, "op", span_name);
+  span.Annotate("backend", BackendName(decision.backend));
+  span.Annotate("cost_cpux_s", Sci(decision.cpux_seconds));
+  span.Annotate("cost_vgpu_s", Sci(decision.vgpu_seconds));
+  span.Annotate("est_bytes", std::to_string(decision.memory.total_bytes()));
+  span.Annotate("route_reason", decision.reason);
+
+  Result<OperatorRunResult> first = Dispatch(decision.backend, join_op,
+                                             groupby_op);
+  if (first.ok()) return first;
+  const Status& st = first.status();
+  const bool resource = st.IsResourceExhausted() ||
+                        st.code() == StatusCode::kOutOfMemory;
+  if (!options_.allow_fallback || !resource) return first;
+
+  const Backend other =
+      decision.backend == Backend::kCpux ? Backend::kVgpu : Backend::kCpux;
+  std::string guard;
+  if (other == Backend::kCpux) {
+    const bool eligible = join_op != nullptr
+                              ? CpuxEligibleJoin(*join_op, &guard)
+                              : CpuxEligibleGroupBy(*groupby_op, &guard);
+    if (!eligible) return first;
+  }
+
+  const std::string detail = std::string(BackendName(decision.backend)) +
+                             " -> " + BackendName(other) + ": " +
+                             st.ToString();
+  obs::TraceInstant(*device_, "backend_fallback", detail);
+  span.Annotate("fallback_backend", BackendName(other));
+
+  Result<OperatorRunResult> second = Dispatch(other, join_op, groupby_op);
+  if (!second.ok()) return first;  // The routed backend's error is primary.
+  OperatorRunResult res = std::move(second).value();
+  res.degradation.insert(res.degradation.begin(),
+                         DegradationStep{"backend_fallback", detail});
+  return res;
+}
+
+Result<OperatorRunResult> Router::RunJoin(const JoinOp& op) {
+  GPUJOIN_RETURN_IF_ERROR([&] {
+    if (op.r == nullptr || op.s == nullptr) {
+      return Status::InvalidArgument("router join missing input table(s)");
+    }
+    return Status::OK();
+  }());
+  const RouteDecision decision = RouteJoin(op, device_->config(), options_);
+  return RunRouted(decision, &op, nullptr,
+                   std::string("join:") + join::JoinAlgoName(op.algo));
+}
+
+Result<OperatorRunResult> Router::RunGroupBy(const GroupByOp& op) {
+  GPUJOIN_RETURN_IF_ERROR([&] {
+    if (op.input == nullptr) {
+      return Status::InvalidArgument("router groupby missing input table");
+    }
+    return Status::OK();
+  }());
+  const RouteDecision decision = RouteGroupBy(op, device_->config(), options_);
+  return RunRouted(decision, nullptr, &op,
+                   std::string("groupby:") +
+                       groupby::GroupByAlgoName(op.algo));
+}
+
+Result<Router::PipelineRunResult> Router::RunJoinPipeline(
+    const HostTable& fact, const std::vector<HostTable>& dims,
+    join::JoinAlgo algo, const join::JoinOptions& options) {
+  const size_t n = dims.size();
+  if (n == 0) {
+    return Status::InvalidArgument("router pipeline: no dimension tables");
+  }
+  if (fact.columns.size() < n) {
+    return Status::InvalidArgument(
+        "router pipeline: fact table has fewer columns than foreign keys");
+  }
+
+  PipelineRunResult out;
+  // Invariant: before stage i, current's column 0 is FK_i+1 and the other
+  // columns are everything carried (remaining FKs, fact payloads, payloads
+  // accumulated from earlier dims).
+  HostTable current = fact;
+  for (size_t i = 0; i < n; ++i) {
+    JoinOp jop;
+    jop.algo = algo;
+    jop.options = options;
+    jop.r = &dims[i];
+    jop.s = &current;
+    GPUJOIN_ASSIGN_OR_RETURN(OperatorRunResult res, RunJoin(jop));
+    out.seconds += res.seconds;
+    out.stage_backends.push_back(res.backend);
+
+    if (i + 1 < n) {
+      // Stage output: [key, dim_i payloads..., carried...]. Drop the
+      // consumed key and rotate the next FK (right after dim_i's payloads)
+      // to the front.
+      const size_t fk_pos = 1 + (dims[i].columns.size() - 1);
+      HostTable next;
+      next.name = res.output.name;
+      next.columns.push_back(std::move(res.output.columns[fk_pos]));
+      for (size_t c = 1; c < res.output.columns.size(); ++c) {
+        if (c == fk_pos) continue;
+        next.columns.push_back(std::move(res.output.columns[c]));
+      }
+      current = std::move(next);
+    } else {
+      current = std::move(res.output);
+    }
+  }
+  out.final_rows = current.num_rows();
+  out.output = std::move(current);
+  return out;
+}
+
+}  // namespace gpujoin::ops

@@ -49,7 +49,15 @@ QueryService::QueryService(vgpu::Device& device, ServiceOptions options)
                         : device.config().global_mem_bytes),
       max_queue_(options.max_queue),
       backoff_(options.backoff),
-      sched_(options.scheduler) {
+      sched_(options.scheduler),
+      default_backend_(options.default_backend),
+      cpux_threads_(std::max(1, options.cpux_threads)) {
+  // GPUJOIN_BACKEND overrides the configured default; unset or unparsable
+  // leaves it alone (a service cannot surface a Status from a constructor).
+  if (Result<ops::Backend> env = ops::BackendFromEnv(default_backend_);
+      env.ok()) {
+    default_backend_ = *env;
+  }
   for (const TenantQuota& q : options.tenants) {
     TenantState state;
     state.quota = q;
@@ -351,14 +359,93 @@ void QueryService::RetryQueuedIdle(std::vector<Run>& batch) {
   }
 }
 
-Status QueryService::RunUnit(Run& run) {
+ops::CpuxProvider& QueryService::Cpux() {
+  if (cpux_ == nullptr) {
+    cpux_ = std::make_unique<ops::CpuxProvider>(cpux_threads_);
+  }
+  return *cpux_;
+}
+
+bool QueryService::ResolveUseCpux(const QueryRequest& request,
+                                  const FragmentUnit& unit,
+                                  std::string* label) const {
+  const ops::Backend want = request.backend.value_or(default_backend_);
+  if (want != ops::Backend::kAuto) {
+    *label = ops::BackendName(want);
+    return want == ops::Backend::kCpux;
+  }
+  // Cost-based route per fragment unit: pure function of tuple counts and
+  // the device config, so replays and every GPUJOIN_SIM_THREADS setting
+  // pick the same backend.
+  ops::RouterOptions ropts;
+  ropts.cpux_threads = cpux_threads_;
+  ops::RouteDecision decision;
+  if (request.kind == QueryKind::kJoin) {
+    ops::JoinOp op;
+    op.algo = request.join_algo;
+    op.options = request.join_options.join;
+    op.r = unit.r;
+    op.s = unit.s;
+    decision = ops::RouteJoin(op, device_.config(), ropts);
+  } else {
+    ops::GroupByOp op;
+    op.algo = request.groupby_algo;
+    op.spec = request.groupby_spec;
+    op.options = request.groupby_options.groupby;
+    op.input = unit.r;
+    decision = ops::RouteGroupBy(op, device_.config(), ropts);
+  }
+  *label = std::string("auto:") + ops::BackendName(decision.backend);
+  return decision.backend == ops::Backend::kCpux;
+}
+
+Status QueryService::RunUnit(Run& run, bool use_cpux) {
   const FragmentUnit& u = run.plan.units()[run.next_unit];
   const QueryRequest& req = run.request;
   QueryOutcome& out = outcomes_[run.id];
   HostTable part;
   uint64_t part_rows = 0;
+  bool ran_on_cpux = false;
 
-  if (req.kind == QueryKind::kJoin) {
+  if (use_cpux) {
+    // Host-side execution: zero simulated cycles, no PCIe charges. A cpux
+    // resource failure is the cross-backend fallback rung — the fragment
+    // re-runs on the vgpu resilient path below.
+    Result<ops::OperatorRunResult> rr = [&]() {
+      if (req.kind == QueryKind::kJoin) {
+        ops::JoinOp op;
+        op.algo = req.join_algo;
+        op.options = req.join_options.join;
+        op.r = u.r;
+        op.s = u.s;
+        return Cpux().RunJoin(op);
+      }
+      ops::GroupByOp op;
+      op.algo = req.groupby_algo;
+      op.spec = req.groupby_spec;
+      op.options = req.groupby_options.groupby;
+      op.input = u.r;
+      return Cpux().RunGroupBy(op);
+    }();
+    if (rr.ok()) {
+      out.attempts = std::max(out.attempts, rr->attempts);
+      part = std::move(rr->output);
+      part_rows = rr->output_rows;
+      ran_on_cpux = true;
+    } else if (rr.status().code() == StatusCode::kResourceExhausted ||
+               rr.status().code() == StatusCode::kOutOfMemory) {
+      obs::TraceInstant(device_, "backend_fallback",
+                        "query '" + out.name + "' fragment " +
+                            std::to_string(run.next_unit) +
+                            ": cpux failed (" + rr.status().message() +
+                            "); retrying on vgpu");
+      out.backend += "->vgpu";
+    } else {
+      return rr.status();
+    }
+  }
+
+  if (!ran_on_cpux && req.kind == QueryKind::kJoin) {
     if (run.plan.fragmented()) {
       // Fragment streaming is modelled like the out-of-core path: the
       // co-fragment pair crosses PCIe up, the partial result crosses down.
@@ -375,7 +462,7 @@ Status QueryService::RunUnit(Run& run) {
     if (run.plan.fragmented()) {
       device_.ChargeHostTransfer(join::HostTableBytes(part));
     }
-  } else {
+  } else if (!ran_on_cpux) {
     if (run.plan.fragmented()) {
       device_.ChargeHostTransfer(join::HostTableBytes(*u.r));
       GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device_));
@@ -467,6 +554,12 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
     }
   }
 
+  std::string backend_label;
+  const bool use_cpux = ResolveUseCpux(
+      run.request, run.plan.units()[run.next_unit], &backend_label);
+  // Keep a "->vgpu" fallback record from an earlier fragment visible.
+  if (out.backend.rfind(backend_label, 0) != 0) out.backend = backend_label;
+
   const uint64_t baseline_live = device_.memory_stats().live_bytes;
   Status st;
   {
@@ -475,8 +568,9 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
     span.Annotate("priority", std::to_string(out.priority));
     span.Annotate("fragment", std::to_string(run.next_unit) + "/" +
                                   std::to_string(run.plan.units().size()));
+    span.Annotate("backend", backend_label);
     vgpu::LifecycleScope scope(device_, run.control);
-    st = RunUnit(run);
+    st = RunUnit(run, use_cpux);
   }
   // Disarm the preemption triggers; clears a kYielded trip (including one
   // that fired on the fragment's final clock advance after its work was

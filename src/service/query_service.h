@@ -42,6 +42,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,7 @@
 #include "common/status.h"
 #include "groupby/resilient.h"
 #include "join/resilient.h"
+#include "ops/router.h"
 #include "service/fragments.h"
 #include "service/tenant.h"
 #include "stats/estimator.h"
@@ -94,6 +97,15 @@ struct QueryRequest {
   groupby::GroupByResilienceOptions groupby_options;
 
   QueryLifecycleOptions lifecycle;
+
+  /// Execution backend for this query's fragments: unset = the service's
+  /// default_backend; kAuto = per-fragment cost-based routing
+  /// (ops::RouteJoin/RouteGroupBy); kCpux/kVgpu force a backend. cpux
+  /// fragments run host-side and consume ZERO simulated cycles (no PCIe
+  /// charges, no kernels), so cycle-based deadlines and cancel_at_kernel
+  /// only trip on vgpu fragments; a cpux resource failure falls back to the
+  /// vgpu resilient path (recorded as a "backend_fallback" trace instant).
+  std::optional<ops::Backend> backend;
 
   // --- Multi-tenant scheduling (DESIGN.md §13) ---
 
@@ -147,6 +159,10 @@ struct QueryOutcome {
   int attempts = 0;
   /// The admission estimate reserved while the query ran.
   stats::MemoryEstimate estimate;
+  /// Backend that executed the query's fragments: "vgpu", "cpux",
+  /// "auto:<chosen>" for routed queries, with "->vgpu" appended when the
+  /// cross-backend OOM fallback fired. Empty for queries that never ran.
+  std::string backend;
   /// Bytes of the reservation borrowed beyond the tenant quota.
   uint64_t borrowed_bytes = 0;
 
@@ -208,6 +224,14 @@ struct ServiceOptions {
   /// otherwise idle (delays are charged to the simulated clock).
   BackoffPolicy backoff;
   SchedulerOptions scheduler;
+  /// Backend for queries that do not set QueryRequest::backend. The
+  /// service default stays kVgpu so the simulated-cycle accounting of
+  /// existing workloads is untouched; GPUJOIN_BACKEND overrides this at
+  /// construction (unset or unparsable leaves it alone).
+  ops::Backend default_backend = ops::Backend::kVgpu;
+  /// Worker threads for the service-owned cpux context (created lazily on
+  /// the first cpux fragment).
+  int cpux_threads = 1;
 };
 
 /// A configured tenant's quota plus its live accounting.
@@ -246,6 +270,12 @@ class QueryService {
   uint64_t budget_bytes() const { return budget_bytes_; }
   /// Submissions not yet drained (admitted, queued, or deferred).
   size_t pending() const { return pending_.size(); }
+
+  /// The service-owned cpux provider (created lazily on first use; this
+  /// accessor forces creation). Exposed so callers and tests can inspect
+  /// the context or arm its fault injector, mirroring
+  /// ops::Router::cpux_provider().
+  ops::CpuxProvider& cpux_provider() { return Cpux(); }
 
   /// Per-tenant quota state and counters, keyed by tenant name. Tenants
   /// appear on first use or configuration; std::map iteration order makes
@@ -312,8 +342,15 @@ class QueryService {
   /// merges / requeues / finalizes according to the turn's status.
   /// Returns Internal on a broken invariant (leak), OK otherwise.
   Status RunFragmentTurn(Run& run, std::vector<Run>& batch, TurnResult* turn);
-  /// One fragment body: upload → operate → download on the current unit.
-  Status RunUnit(Run& run);
+  /// One fragment body: upload → operate → download on the current unit
+  /// (or a host-side cpux run when `use_cpux`, with vgpu OOM fallback).
+  Status RunUnit(Run& run, bool use_cpux);
+  /// Resolves the executing backend for one fragment unit (request override
+  /// → service default → cost-based route) and names it for telemetry.
+  bool ResolveUseCpux(const QueryRequest& request, const FragmentUnit& unit,
+                      std::string* label) const;
+  /// The lazily created service-owned cpux provider.
+  ops::CpuxProvider& Cpux();
   void Finalize(Run& run, Status status);
 
   vgpu::Device& device_;
@@ -321,6 +358,9 @@ class QueryService {
   size_t max_queue_ = 0;
   BackoffPolicy backoff_;
   SchedulerOptions sched_;
+  ops::Backend default_backend_ = ops::Backend::kVgpu;
+  int cpux_threads_ = 1;
+  std::unique_ptr<ops::CpuxProvider> cpux_;
   uint64_t reserved_bytes_ = 0;
   std::map<std::string, TenantState> tenants_;
   std::vector<Run> pending_;
