@@ -55,6 +55,19 @@
 #   GPUJOIN_DEADLINE_CYCLES / GPUJOIN_CANCEL_AT_KERNEL harness knobs: a
 #   bench under each knob must exit non-zero with a clean DeadlineExceeded /
 #   Cancelled diagnostic and no leak abort.
+#
+#        scripts/reproduce.sh --metrics [outdir]
+#   Metrics-registry mode (DESIGN.md §15): runs the canonical 4-round
+#   scheduler soak with metrics export and checks the whole observability
+#   pipeline — METRICS_scheduler_soak.json passes the schema AND the
+#   counter reconciliation cross-checks (admissions == terminal outcomes,
+#   router decisions == routed ops), the Prometheus exposition carries its
+#   TYPE lines, and a rerun at GPUJOIN_SIM_THREADS=8 produces byte-identical
+#   artifacts. Then validates every committed bench/results/*.json,
+#   smoke-tests the GPUJOIN_EXPLAIN "[metrics]" summary block, and finishes
+#   with the soft bench-regression gate: tools/bench_compare diffs the
+#   freshly generated BENCH_*.json against the committed baselines and
+#   must return a green verdict.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -154,11 +167,14 @@ if [[ "${1:-}" == "--scheduler" ]]; then
 
   rounds="${2:-4}"
   seed="${GPUJOIN_SOAK_SEED:-1}"
+  # GPUJOIN_JSON_DIR="" keeps determinism sweeps at arbitrary rounds/seeds
+  # from overwriting the canonical committed baselines in bench/results
+  # (those are regenerated by --metrics, which pins 4 rounds / seed 1).
   echo "===== adversarial tenant soak ($rounds rounds, seed $seed) ====="
-  build/tools/lifecycle_soak "$rounds" --seed "$seed" | tee soak_a.txt
+  GPUJOIN_JSON_DIR="" build/tools/lifecycle_soak "$rounds" --seed "$seed" | tee soak_a.txt
 
   echo "===== replay determinism (same seed, fresh run) ====="
-  build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_b.txt
+  GPUJOIN_JSON_DIR="" build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_b.txt
   if ! diff soak_a.txt soak_b.txt; then
     echo "FAIL: two soak runs with the same seed diverged"
     exit 1
@@ -166,7 +182,7 @@ if [[ "${1:-}" == "--scheduler" ]]; then
   echo "ok: identical per-round latency reports across runs"
 
   echo "===== thread-count invariance (GPUJOIN_SIM_THREADS=8) ====="
-  GPUJOIN_SIM_THREADS=8 build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_t8.txt
+  GPUJOIN_JSON_DIR="" GPUJOIN_SIM_THREADS=8 build/tools/lifecycle_soak "$rounds" --seed "$seed" > soak_t8.txt
   if ! diff soak_a.txt soak_t8.txt; then
     echo "FAIL: scheduling decisions changed under GPUJOIN_SIM_THREADS=8"
     exit 1
@@ -183,7 +199,7 @@ if [[ "${1:-}" == "--lifecycle" ]]; then
 
   rounds="${2:-8}"
   echo "===== concurrent-admission soak ($rounds rounds) ====="
-  build/tools/lifecycle_soak "$rounds"
+  GPUJOIN_JSON_DIR="" build/tools/lifecycle_soak "$rounds"
 
   check_knob() {
     local label="$1" expect="$2"; shift 2
@@ -216,6 +232,62 @@ if [[ "${1:-}" == "--lifecycle" ]]; then
   check_knob "cancellation smoke (GPUJOIN_CANCEL_AT_KERNEL)" "Cancelled" \
     GPUJOIN_CANCEL_AT_KERNEL=3
   echo "done: lifecycle soak + harness knob smoke passed"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--metrics" ]]; then
+  if [[ ! -f build/CMakeCache.txt ]]; then
+    cmake -B build -G Ninja
+  fi
+  cmake --build build
+
+  outdir="${2:-bench_json_metrics}"
+  rm -rf "$outdir" "$outdir.t8"
+
+  echo "===== scheduler soak with metrics export (4 rounds, seed 1) ====="
+  GPUJOIN_JSON_DIR="$outdir" build/tools/lifecycle_soak 4 --seed 1
+  build/tools/bench_json_check --reconcile \
+    "$outdir"/BENCH_scheduler_soak.json "$outdir"/METRICS_scheduler_soak.json
+  echo "ok: soak metrics are schema-valid and reconcile"
+
+  echo "===== Prometheus exposition sanity ====="
+  grep -q '^# TYPE service_admissions_total counter' "$outdir"/METRICS_scheduler_soak.prom
+  grep -q '^# TYPE service_wait_cycles histogram' "$outdir"/METRICS_scheduler_soak.prom
+  grep -q '^# TYPE router_decisions_total counter' "$outdir"/METRICS_scheduler_soak.prom
+  echo "ok: TYPE lines present in METRICS_scheduler_soak.prom"
+
+  echo "===== replay stability at GPUJOIN_SIM_THREADS=8 ====="
+  GPUJOIN_JSON_DIR="$outdir.t8" GPUJOIN_SIM_THREADS=8 \
+    build/tools/lifecycle_soak 4 --seed 1 > /dev/null
+  for f in BENCH_scheduler_soak.json METRICS_scheduler_soak.json \
+           METRICS_scheduler_soak.prom; do
+    if ! diff "$outdir/$f" "$outdir.t8/$f"; then
+      echo "FAIL: $f differs between 1 and 8 simulation threads"
+      exit 1
+    fi
+  done
+  echo "ok: byte-identical metrics artifacts at 1 and 8 simulation threads"
+
+  echo "===== committed artifact hygiene (bench/results/*.json) ====="
+  build/tools/bench_json_check --reconcile bench/results/*.json
+
+  echo "===== EXPLAIN metrics summary smoke ====="
+  out="$(GPUJOIN_SCALE=16 GPUJOIN_EXPLAIN=1 GPUJOIN_JSON_DIR="$outdir" \
+    build/bench/bench_fig08_narrow)"
+  if ! grep -q '^\[metrics\]' <<<"$out"; then
+    echo "FAIL: GPUJOIN_EXPLAIN output is missing the [metrics] summary"
+    exit 1
+  fi
+  echo "ok: EXPLAIN output carries the [metrics] summary block"
+
+  echo "===== bench-regression gate (tools/bench_compare) ====="
+  # fig08 and the crossover sweep regenerate at the committed baselines'
+  # scale, so the gate compares real rows, not just the soak's.
+  GPUJOIN_SCALE=16 GPUJOIN_JSON_DIR="$outdir" build/bench/bench_hyb1_crossover > /dev/null
+  build/tools/bench_compare --fresh "$outdir" --baseline bench/results \
+    --out "$outdir"/bench_compare_verdict.json
+  rm -rf "$outdir.t8"
+  echo "done: metrics pipeline green (artifacts + verdict in $outdir/)"
   exit 0
 fi
 

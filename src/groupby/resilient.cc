@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace gpujoin::groupby {
@@ -17,6 +18,10 @@ bool IsResourceFailure(const Status& st) {
 
 Status VerifyCleanRollback(vgpu::Device& device, uint64_t baseline_live) {
   const uint64_t live = device.memory_stats().live_bytes;
+  obs::MetricsRegistry::Global().CounterAdd(
+      "vgpu_leak_check_total",
+      {{"op", "groupby"},
+       {"outcome", live == baseline_live ? "clean" : "leak"}});
   if (live != baseline_live) {
     return Status::Internal(
         "RunGroupByResilient: failed attempt left " + std::to_string(live) +
@@ -42,6 +47,8 @@ Result<ResilientGroupByResult> RunGroupByResilient(
       std::string("resilient_groupby:") + GroupByAlgoName(algo));
   // The input table is resident and stays so: the watermark includes it.
   const uint64_t baseline_live = device.memory_stats().live_bytes;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t faults0 = device.memory_stats().injected_failures;
   GroupByAlgo current = algo;
   GroupByOptions gopts = options.groupby;
   int attempt = 0;
@@ -60,10 +67,17 @@ Result<ResilientGroupByResult> RunGroupByResilient(
       res.run = std::move(run).value();
       res.attempts = attempt;
       res.algo_used = current;
+      const uint64_t absorbed =
+          device.memory_stats().injected_failures - faults0;
+      if (absorbed > 0) {
+        reg.CounterAdd("vgpu_faults_survived_total", {{"op", "groupby"}},
+                       absorbed);
+      }
       return res;
     }
     if (!IsResourceFailure(run.status())) return run.status();
     obs::TraceInstant(device, "resource_failure", run.status().message());
+    reg.CounterAdd("resilient_resource_failures_total", {{"op", "groupby"}});
     GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
     last_error = run.status();
     if (attempt >= options.max_attempts) break;
@@ -76,6 +90,8 @@ Result<ResilientGroupByResult> RunGroupByResilient(
       res.degradation.push_back(
           {"algo_fallback", "GB-HASH-GLOBAL failed (" + last_error.message() +
                                 "); falling back to GB-HASH-PART"});
+      reg.CounterAdd("resilient_degradations_total",
+                     {{"op", "groupby"}, {"action", "algo_fallback"}});
       continue;
     }
     if (current == GroupByAlgo::kHashPartitioned) {
@@ -87,6 +103,9 @@ Result<ResilientGroupByResult> RunGroupByResilient(
              "GB-HASH-PART failed (" + last_error.message() +
                  "); retrying with radix_bits=" +
                  std::to_string(gopts.radix_bits_override)});
+        reg.CounterAdd(
+            "resilient_degradations_total",
+            {{"op", "groupby"}, {"action", "retry_more_partition_bits"}});
         continue;
       }
       if (options.allow_algo_fallback) {
@@ -94,6 +113,8 @@ Result<ResilientGroupByResult> RunGroupByResilient(
         res.degradation.push_back(
             {"algo_fallback", "GB-HASH-PART failed (" + last_error.message() +
                                   "); falling back to GB-SORT"});
+        reg.CounterAdd("resilient_degradations_total",
+                       {{"op", "groupby"}, {"action", "algo_fallback"}});
         continue;
       }
     }

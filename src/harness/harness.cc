@@ -10,6 +10,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "vgpu/profiler.h"
 
@@ -221,8 +222,19 @@ void PrintSimSummary() {
       static_cast<unsigned long long>(p.kernels), p.sim_cycles, p.host_seconds,
       p.host_cpu_seconds, SimThreadsFromEnv(), rate);
 
+  // Fold the simulator self-profile into the registry: kernel count and
+  // simulated cycles are replay-stable; the host wall/CPU seconds go
+  // through the host-flagged entry points.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (p.kernels > 0) {
+    reg.CounterAdd("sim_kernels_total", {}, p.kernels);
+    reg.HistogramObserve("sim_section_cycles", {}, p.sim_cycles);
+    reg.HostHistogramObserve("sim_section_host_seconds", {}, p.host_seconds);
+  }
+
   if (std::getenv("GPUJOIN_EXPLAIN") != nullptr) {
     std::fputs(obs::RenderExplain(obs::Tracer::Global()).c_str(), stdout);
+    std::fputs(obs::RenderMetricsSummary(reg.Snapshot()).c_str(), stdout);
   }
   const std::string dir = obs::JsonDirFromEnv();
   const obs::MetricsSink& sink = obs::MetricsSink::Global();
@@ -241,6 +253,19 @@ void PrintSimSummary() {
     } else {
       std::fprintf(stderr, "[json] trace export failed: %s\n",
                    st.message().c_str());
+    }
+    const obs::MetricsSnapshot snap = reg.Snapshot();
+    if (!snap.empty()) {
+      for (auto* writer : {&obs::WriteMetricsJson, &obs::WriteMetricsProm}) {
+        Result<std::string> path =
+            (*writer)(snap, dir, sink.bench(), /*include_host_timing=*/true);
+        if (path.ok()) {
+          std::printf("[json] wrote %s\n", path->c_str());
+        } else {
+          std::fprintf(stderr, "[json] metrics export failed: %s\n",
+                       path.status().message().c_str());
+        }
+      }
     }
   }
   vgpu::ResetGlobalSimSelfProfile();

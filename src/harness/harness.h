@@ -26,10 +26,12 @@
 //   GPUJOIN_FAULT_PROB  fail each allocation with this probability [0,1).
 //   GPUJOIN_FAULT_SEED  RNG seed for GPUJOIN_FAULT_PROB (default 42).
 //   GPUJOIN_JSON_DIR    directory for BENCH_<name>.json (structured
-//                       metrics) and TRACE_<name>.json (Chrome trace-event
-//                       / Perfetto), written at PrintSimSummary() with
-//                       tracing enabled. Defaults to bench/results when
-//                       unset; set GPUJOIN_JSON_DIR="" to disable export.
+//                       metrics), TRACE_<name>.json (Chrome trace-event
+//                       / Perfetto), and METRICS_<name>.json/.prom
+//                       (registry snapshot + Prometheus text exposition),
+//                       written at PrintSimSummary() with tracing enabled.
+//                       Defaults to bench/results when unset; set
+//                       GPUJOIN_JSON_DIR="" to disable export.
 //   GPUJOIN_BENCH_NAME  overrides the bench name derived from the banner
 //                       (used by scripts/reproduce.sh --json smoke runs).
 //   GPUJOIN_TRACE       enable span tracing without JSON export.
@@ -132,10 +134,11 @@ void PrintBanner(const std::string& experiment, const std::string& what);
 /// Prints a one-line simulator self-profile: kernels simulated, simulated
 /// cycles, host wall-clock spent simulating, and sim throughput
 /// (cycles/second of host time). Call at the end of a bench main. Also
-/// renders EXPLAIN ANALYZE when GPUJOIN_EXPLAIN is set, flushes
-/// BENCH_/TRACE_ JSON when GPUJOIN_JSON_DIR is set, and resets the
-/// process-wide sim self-profile so back-to-back experiments in one
-/// process report independent summaries.
+/// folds the self-profile into the obs metrics registry, renders EXPLAIN
+/// ANALYZE plus the "[metrics]" summary block when GPUJOIN_EXPLAIN is set,
+/// flushes BENCH_/TRACE_/METRICS_ artifacts when GPUJOIN_JSON_DIR is set,
+/// and resets the process-wide sim self-profile so back-to-back
+/// experiments in one process report independent summaries.
 void PrintSimSummary();
 
 }  // namespace gpujoin::harness

@@ -6,6 +6,7 @@
 
 #include "join/out_of_core.h"
 #include "join/transform.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "prim/hash_join.h"
 
@@ -28,6 +29,9 @@ bool IsRadixPartitioned(JoinAlgo algo) {
 /// an Internal error — degrading further would hide it.
 Status VerifyCleanRollback(vgpu::Device& device, uint64_t baseline_live) {
   const uint64_t live = device.memory_stats().live_bytes;
+  obs::MetricsRegistry::Global().CounterAdd(
+      "vgpu_leak_check_total",
+      {{"op", "join"}, {"outcome", live == baseline_live ? "clean" : "leak"}});
   if (live != baseline_live) {
     return Status::Internal(
         "RunJoinResilient: failed attempt left " + std::to_string(live) +
@@ -79,7 +83,18 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
   ResilientJoinResult res;
   obs::TraceSpan query_span(
       device, "query", std::string("resilient_join:") + JoinAlgoName(algo));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   const uint64_t baseline_live = device.memory_stats().live_bytes;
+  const uint64_t faults0 = device.memory_stats().injected_failures;
+  // A query that completes despite injected allocation faults survived
+  // them; recorded on the success paths only.
+  const auto record_survived = [&] {
+    const uint64_t absorbed =
+        device.memory_stats().injected_failures - faults0;
+    if (absorbed > 0) {
+      reg.CounterAdd("vgpu_faults_survived_total", {{"op", "join"}}, absorbed);
+    }
+  };
   const double t0 = device.ElapsedSeconds();
   int attempt = 0;
   Status last_error = Status::OK();
@@ -99,10 +114,12 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
     if (st.ok()) {
       res.attempts = attempt;
       res.device_seconds = device.ElapsedSeconds() - t0;
+      record_survived();
       return res;
     }
     if (!IsResourceFailure(st)) return st;
     obs::TraceInstant(device, "resource_failure", st.message());
+    reg.CounterAdd("resilient_resource_failures_total", {{"op", "join"}});
     GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
     last_error = st;
 
@@ -119,6 +136,8 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
              "); retrying in-memory with radix_bits=" + std::to_string(bits)});
     obs::TraceInstant(device, "degradation:retry_more_partition_bits",
                       res.degradation.back().detail);
+    reg.CounterAdd("resilient_degradations_total",
+                   {{"op", "join"}, {"action", "retry_more_partition_bits"}});
     GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
   }
 
@@ -139,6 +158,8 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
                std::to_string(frag_bits)});
       obs::TraceInstant(device, "degradation:out_of_core_fallback",
                         res.degradation.back().detail);
+      reg.CounterAdd("resilient_degradations_total",
+                     {{"op", "join"}, {"action", "out_of_core_fallback"}});
       OutOfCoreOptions oopts;
       oopts.join = options.join;
       oopts.fragment_bits = frag_bits;
@@ -155,9 +176,11 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
         res.attempts = attempt;
         res.used_out_of_core = true;
         res.device_seconds = device.ElapsedSeconds() - t0;
+        record_survived();
         return res;
       }
       if (!IsResourceFailure(oc.status())) return oc.status();
+      reg.CounterAdd("resilient_resource_failures_total", {{"op", "join"}});
       GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
       last_error = oc.status();
       if (frag_bits >= 20) break;  // Fragmentation limit reached.

@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace gpujoin::obs {
 
 namespace {
@@ -142,6 +144,74 @@ std::string RenderExplain(const Tracer& tracer, const ExplainOptions& options) {
                     ev.at_cycles, ev.name.c_str(), ev.detail.c_str());
       out += line;
     }
+  }
+  return out;
+}
+
+std::string RenderMetricsSummary(const MetricsSnapshot& snapshot) {
+  // Each line aggregates one layer's counters across all label sets; a
+  // layer with zero samples contributes no line, and an idle snapshot
+  // renders nothing at all.
+  const auto total = [&snapshot](const char* name) {
+    return snapshot.CounterTotal(name);
+  };
+  std::string out;
+  const auto add_line = [&out](const std::string& line) {
+    if (out.empty()) out = "[metrics]\n";
+    out += "  " + line + "\n";
+  };
+
+  const uint64_t admissions = total("service_admissions_total");
+  if (admissions > 0) {
+    add_line("service: admissions=" + std::to_string(admissions) +
+             " outcomes=" + std::to_string(total("service_outcomes_total")) +
+             " quota_borrows=" +
+             std::to_string(total("service_quota_borrow_total")) +
+             " backend_fallbacks=" +
+             std::to_string(total("service_backend_fallback_total")));
+  }
+  const uint64_t turns = total("sched_turns_total");
+  if (turns > 0) {
+    add_line("sched: turns=" + std::to_string(turns) + " passes=" +
+             std::to_string(total("sched_passes_total")) + " preemptions=" +
+             std::to_string(total("sched_preemptions_total")) +
+             " idle_advances=" +
+             std::to_string(total("sched_idle_advances_total")));
+  }
+  const uint64_t decisions = total("router_decisions_total");
+  if (decisions > 0) {
+    std::string by_backend;
+    for (const auto& [key, cell] : snapshot.cells) {
+      if (key.name != "router_decisions_total") continue;
+      for (const auto& [k, v] : key.labels) {
+        if (k != "backend") continue;
+        by_backend += " " + v + "+=" + std::to_string(cell.counter);
+      }
+    }
+    add_line("router: decisions=" + std::to_string(decisions) + " ops=" +
+             std::to_string(total("router_ops_total")) + " fallbacks=" +
+             std::to_string(total("router_fallback_total")) + by_backend);
+  }
+  const uint64_t ops = total("ops_executed_total");
+  if (ops > 0) {
+    add_line(
+        "exec: ops=" + std::to_string(ops) + " vgpu_kernels=" +
+        std::to_string(total("vgpu_kernel_launches_total")) +
+        " degradations=" + std::to_string(total("resilient_degradations_total")) +
+        " resource_failures=" +
+        std::to_string(total("resilient_resource_failures_total")) +
+        " faults_survived=" +
+        std::to_string(total("vgpu_faults_survived_total")));
+  }
+  const uint64_t sim_kernels = total("sim_kernels_total");
+  if (sim_kernels > 0) {
+    std::string line = "sim: kernels=" + std::to_string(sim_kernels);
+    if (const HistogramData* h = snapshot.Histogram("sim_section_cycles")) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " cycles=%.4g", h->sum);
+      line += buf;
+    }
+    add_line(line);
   }
   return out;
 }

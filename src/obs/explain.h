@@ -27,6 +27,16 @@ struct ExplainOptions {
 /// when a span's non-kernel children do not cover its cycles.
 std::string RenderExplain(const Tracer& tracer, const ExplainOptions& options = {});
 
+class MetricsSnapshot;
+
+/// Renders the cross-query counters of a metrics snapshot as the
+/// "[metrics]" summary block appended to GPUJOIN_EXPLAIN=1 output:
+/// one line each for the service (admissions/outcomes/borrows), the
+/// scheduler (turns/passes/preemptions), the router (decisions/fallbacks),
+/// and the execution layer (ops/launches/degradations/faults). Sections
+/// with no samples are omitted; an empty snapshot renders "".
+std::string RenderMetricsSummary(const MetricsSnapshot& snapshot);
+
 }  // namespace gpujoin::obs
 
 #endif  // GPUJOIN_OBS_EXPLAIN_H_

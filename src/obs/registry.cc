@@ -1,0 +1,642 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/metrics.h"
+
+namespace gpujoin::obs {
+
+namespace {
+
+// Structural misuse (unbounded labels, type clashes) is a programmer error:
+// fail loudly and immediately rather than exporting a corrupt registry.
+[[noreturn]] void RegistryAbort(const std::string& what) {
+  std::fprintf(stderr, "FATAL: MetricsRegistry misuse: %s\n", what.c_str());
+  std::abort();
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricLabels SortedLabels(std::string_view name, const MetricLabels& labels) {
+  if (labels.size() > MetricsRegistry::kMaxLabels) {
+    RegistryAbort(std::string(name) + ": more than " +
+                  std::to_string(MetricsRegistry::kMaxLabels) + " labels");
+  }
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].first.empty()) {
+      RegistryAbort(std::string(name) + ": empty label key");
+    }
+    if (i > 0 && sorted[i].first == sorted[i - 1].first) {
+      RegistryAbort(std::string(name) + ": duplicate label key \"" +
+                    sorted[i].first + "\"");
+    }
+  }
+  return sorted;
+}
+
+// Shortest decimal form that still round-trips: integers print without a
+// fractional part so exports stay byte-stable and diff-friendly.
+std::string FormatNumber(double v) {
+  if (!std::isfinite(v)) return "NaN";  // never happens for registry values
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+Status MetricsMissing(const std::string& where, const std::string& field) {
+  return Status::InvalidArgument(where + ": missing or invalid \"" + field +
+                                 "\"");
+}
+
+Result<std::string> WriteTextFile(const std::string& dir,
+                                  const std::string& filename,
+                                  const std::string& body) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  const std::string path = dir + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) return Status::Internal("short write to " + path);
+  return path;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// --- HistogramData ---------------------------------------------------------
+
+int32_t HistogramData::BucketIndex(double v) {
+  if (!(v >= 1.0)) return -1;  // underflow bucket; also catches NaN
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5,1)
+  int32_t e2 = exp - 1;                     // v in [2^e2, 2^(e2+1))
+  if (e2 > 500) e2 = 500;                   // clamp: 2^500 is "infinity" here
+  // Linear position of v within its octave, in [0, kSubBuckets).
+  const double within = frac * 2.0 - 1.0;  // in [0,1)
+  int sub = static_cast<int>(within * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return e2 * kSubBuckets + sub;
+}
+
+double HistogramData::BucketLowerBound(int32_t index) {
+  if (index < 0) return 0.0;
+  const int32_t e2 = index / kSubBuckets;
+  const int32_t sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e2);
+}
+
+double HistogramData::BucketUpperBound(int32_t index) {
+  if (index < 0) return 1.0;
+  return BucketLowerBound(index + 1);
+}
+
+void HistogramData::Observe(double v) {
+  if (!std::isfinite(v)) {
+    RegistryAbort("histogram observation is not finite");
+  }
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[BucketIndex(v)];
+}
+
+void HistogramData::Add(const HistogramData& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (const auto& [index, n] : o.buckets) buckets[index] += n;
+}
+
+void HistogramData::Sub(const HistogramData& earlier) {
+  if (earlier.count == 0) return;
+  count = count >= earlier.count ? count - earlier.count : 0;
+  sum -= earlier.sum;
+  for (const auto& [index, n] : earlier.buckets) {
+    auto it = buckets.find(index);
+    if (it == buckets.end()) continue;
+    it->second = it->second >= n ? it->second - n : 0;
+    if (it->second == 0) buckets.erase(it);
+  }
+  if (count == 0) {
+    sum = 0;
+    min = 0;
+    max = 0;
+  }
+  // min/max cannot be tightened without the raw stream; they stay as the
+  // full-history envelope, which keeps quantile bounds conservative.
+}
+
+double HistogramData::QuantileUpperBound(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      return std::clamp(BucketUpperBound(index), min, max);
+    }
+  }
+  return max;
+}
+
+double HistogramData::QuantileLowerBound(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      return std::clamp(BucketLowerBound(index), min, max);
+    }
+  }
+  return max;
+}
+
+// --- MetricKey -------------------------------------------------------------
+
+std::string MetricKey::ToString() const {
+  std::string out = name;
+  if (labels.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// --- MetricsSnapshot -------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [key, cell] : cells) {
+    MetricCell d = cell;
+    auto it = earlier.cells.find(key);
+    if (it != earlier.cells.end()) {
+      const MetricCell& e = it->second;
+      switch (d.type) {
+        case MetricType::kCounter:
+          d.counter = d.counter >= e.counter ? d.counter - e.counter : 0;
+          break;
+        case MetricType::kGauge:
+          break;  // gauges are instantaneous: keep the later value
+        case MetricType::kHistogram:
+          d.hist.Sub(e.hist);
+          break;
+      }
+    }
+    // Drop cells the window never touched so deltas only show activity.
+    const bool touched = (d.type == MetricType::kCounter && d.counter > 0) ||
+                         (d.type == MetricType::kGauge) ||
+                         (d.type == MetricType::kHistogram && d.hist.count > 0);
+    if (touched) out.cells.emplace(key, std::move(d));
+  }
+  return out;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [key, cell] : other.cells) {
+    auto [it, inserted] = cells.emplace(key, cell);
+    if (inserted) continue;
+    MetricCell& mine = it->second;
+    if (mine.type != cell.type) {
+      RegistryAbort("merge type mismatch for " + key.ToString());
+    }
+    switch (mine.type) {
+      case MetricType::kCounter:
+        mine.counter += cell.counter;
+        break;
+      case MetricType::kGauge:
+        mine.gauge = std::max(mine.gauge, cell.gauge);
+        break;
+      case MetricType::kHistogram:
+        mine.hist.Add(cell.hist);
+        break;
+    }
+  }
+}
+
+const MetricCell* MetricsSnapshot::Find(std::string_view name,
+                                        const MetricLabels& labels) const {
+  MetricKey key{std::string(name), SortedLabels(name, labels)};
+  auto it = cells.find(key);
+  return it == cells.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                       const MetricLabels& labels) const {
+  const MetricCell* cell = Find(name, labels);
+  if (cell == nullptr || cell->type != MetricType::kCounter) return 0;
+  return cell->counter;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  uint64_t total = 0;
+  // cells are ordered by name first, so all label sets of one name are
+  // contiguous; a linear scan is fine at registry cardinalities.
+  for (const auto& [key, cell] : cells) {
+    if (key.name == name && cell.type == MetricType::kCounter) {
+      total += cell.counter;
+    }
+  }
+  return total;
+}
+
+const HistogramData* MetricsSnapshot::Histogram(
+    std::string_view name, const MetricLabels& labels) const {
+  const MetricCell* cell = Find(name, labels);
+  if (cell == nullptr || cell->type != MetricType::kHistogram) return nullptr;
+  return &cell->hist;
+}
+
+std::string MetricsSnapshot::ToPrometheus(bool include_host_timing) const {
+  std::string out;
+  // Two fixed-order passes: replay-stable cells first, host-timing cells
+  // after a marker so "everything above the marker" is diffable across
+  // GPUJOIN_SIM_THREADS settings.
+  for (const int pass : {0, 1}) {
+    if (pass == 1) {
+      if (!include_host_timing) break;
+      bool any_host = false;
+      for (const auto& [key, cell] : cells) any_host |= cell.host_timing;
+      if (!any_host) break;
+      out += "# host-timing metrics below (not replay-stable)\n";
+    }
+    std::string last_name;
+    for (const auto& [key, cell] : cells) {
+      if (cell.host_timing != (pass == 1)) continue;
+      if (key.name != last_name) {
+        out += "# TYPE " + key.name + " " + MetricTypeName(cell.type) + "\n";
+        last_name = key.name;
+      }
+      switch (cell.type) {
+        case MetricType::kCounter:
+          out += key.ToString() + " " +
+                 FormatNumber(static_cast<double>(cell.counter)) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += key.ToString() + " " + FormatNumber(cell.gauge) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          uint64_t cumulative = 0;
+          for (const auto& [index, n] : cell.hist.buckets) {
+            cumulative += n;
+            MetricKey bkey = key;
+            bkey.name += "_bucket";
+            bkey.labels.emplace_back(
+                "le", FormatNumber(HistogramData::BucketUpperBound(index)));
+            out += bkey.ToString() + " " +
+                   FormatNumber(static_cast<double>(cumulative)) + "\n";
+          }
+          MetricKey inf = key;
+          inf.name += "_bucket";
+          inf.labels.emplace_back("le", "+Inf");
+          out += inf.ToString() + " " +
+                 FormatNumber(static_cast<double>(cell.hist.count)) + "\n";
+          MetricKey sum = key;
+          sum.name += "_sum";
+          out += sum.ToString() + " " + FormatNumber(cell.hist.sum) + "\n";
+          MetricKey cnt = key;
+          cnt.name += "_count";
+          out += cnt.ToString() + " " +
+                 FormatNumber(static_cast<double>(cell.hist.count)) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson(const std::string& name,
+                                    bool include_host_timing) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Number(static_cast<int64_t>(1));
+  w.Key("bench").String(name);
+  w.Key("metrics").BeginArray();
+  for (const auto& [key, cell] : cells) {
+    if (cell.host_timing && !include_host_timing) continue;
+    w.BeginObject();
+    w.Key("name").String(key.name);
+    w.Key("type").String(MetricTypeName(cell.type));
+    w.Key("host_timing").Bool(cell.host_timing);
+    w.Key("labels").BeginObject();
+    for (const auto& [k, v] : key.labels) w.Key(k).String(v);
+    w.EndObject();
+    switch (cell.type) {
+      case MetricType::kCounter:
+        w.Key("value").Number(cell.counter);
+        break;
+      case MetricType::kGauge:
+        w.Key("value").Number(cell.gauge);
+        break;
+      case MetricType::kHistogram:
+        w.Key("count").Number(cell.hist.count);
+        w.Key("sum").Number(cell.hist.sum);
+        w.Key("min").Number(cell.hist.min);
+        w.Key("max").Number(cell.hist.max);
+        w.Key("buckets").BeginArray();
+        for (const auto& [index, n] : cell.hist.buckets) {
+          w.BeginObject();
+          w.Key("le").Number(HistogramData::BucketUpperBound(index));
+          w.Key("count").Number(n);
+          w.EndObject();
+        }
+        w.EndArray();
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricCell& MetricsRegistry::Cell(std::string_view name,
+                                  const MetricLabels& labels, MetricType type,
+                                  bool host_timing) {
+  if (!ValidMetricName(name)) {
+    RegistryAbort("invalid metric name \"" + std::string(name) + "\"");
+  }
+  MetricKey key{std::string(name), SortedLabels(name, labels)};
+  auto [it, inserted] = cells_.try_emplace(std::move(key));
+  MetricCell& cell = it->second;
+  if (inserted) {
+    cell.type = type;
+    cell.host_timing = host_timing;
+  } else if (cell.type != type || cell.host_timing != host_timing) {
+    RegistryAbort(std::string(name) + ": type/host-timing mismatch (" +
+                  MetricTypeName(cell.type) + " vs " + MetricTypeName(type) +
+                  ")");
+  }
+  return cell;
+}
+
+void MetricsRegistry::CounterAdd(std::string_view name,
+                                 const MetricLabels& labels, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell(name, labels, MetricType::kCounter, false).counter += delta;
+}
+
+void MetricsRegistry::GaugeSet(std::string_view name,
+                               const MetricLabels& labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell(name, labels, MetricType::kGauge, false).gauge = value;
+}
+
+void MetricsRegistry::GaugeMax(std::string_view name,
+                               const MetricLabels& labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricCell& cell = Cell(name, labels, MetricType::kGauge, false);
+  cell.gauge = std::max(cell.gauge, value);
+}
+
+void MetricsRegistry::HistogramObserve(std::string_view name,
+                                       const MetricLabels& labels,
+                                       double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell(name, labels, MetricType::kHistogram, false).hist.Observe(value);
+}
+
+void MetricsRegistry::HostGaugeSet(std::string_view name,
+                                   const MetricLabels& labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell(name, labels, MetricType::kGauge, true).gauge = value;
+}
+
+void MetricsRegistry::HostHistogramObserve(std::string_view name,
+                                           const MetricLabels& labels,
+                                           double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell(name, labels, MetricType::kHistogram, true).hist.Observe(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.cells = cells_;
+  return snap;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+// --- Validation / writers --------------------------------------------------
+
+Status ValidateMetricsReport(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument(
+        "metrics report: top level is not an object");
+  }
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1) {
+    return MetricsMissing("metrics report", "schema_version");
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    return MetricsMissing("metrics report", "bench");
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return MetricsMissing("metrics report", "metrics");
+  }
+  for (size_t i = 0; i < metrics->array.size(); ++i) {
+    const JsonValue& m = metrics->array[i];
+    const std::string where = "metrics[" + std::to_string(i) + "]";
+    if (!m.is_object()) {
+      return Status::InvalidArgument(where + ": not an object");
+    }
+    const JsonValue* name = m.Find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return MetricsMissing(where, "name");
+    }
+    const JsonValue* type = m.Find("type");
+    if (type == nullptr || !type->is_string() ||
+        (type->string != "counter" && type->string != "gauge" &&
+         type->string != "histogram")) {
+      return MetricsMissing(where, "type");
+    }
+    const JsonValue* host = m.Find("host_timing");
+    if (host == nullptr || host->kind != JsonValue::Kind::kBool) {
+      return MetricsMissing(where, "host_timing");
+    }
+    const JsonValue* labels = m.Find("labels");
+    if (labels == nullptr || !labels->is_object()) {
+      return MetricsMissing(where, "labels");
+    }
+    for (const auto& [k, v] : labels->object) {
+      if (k.empty() || !v.is_string()) {
+        return Status::InvalidArgument(where +
+                                       ": labels must map keys to strings");
+      }
+    }
+    if (type->string == "histogram") {
+      for (const char* f : {"count", "sum", "min", "max"}) {
+        const JsonValue* v = m.Find(f);
+        if (v == nullptr || !v->is_number() || !std::isfinite(v->number)) {
+          return MetricsMissing(where, f);
+        }
+      }
+      const double count = m.Find("count")->number;
+      if (count < 0) {
+        return Status::InvalidArgument(where + ": negative count");
+      }
+      const JsonValue* buckets = m.Find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        return MetricsMissing(where, "buckets");
+      }
+      double last_le = -1;
+      double bucket_total = 0;
+      for (size_t b = 0; b < buckets->array.size(); ++b) {
+        const JsonValue& bucket = buckets->array[b];
+        const std::string bwhere =
+            where + ".buckets[" + std::to_string(b) + "]";
+        if (!bucket.is_object()) {
+          return Status::InvalidArgument(bwhere + ": not an object");
+        }
+        const JsonValue* le = bucket.Find("le");
+        const JsonValue* n = bucket.Find("count");
+        if (le == nullptr || !le->is_number() || !std::isfinite(le->number)) {
+          return MetricsMissing(bwhere, "le");
+        }
+        if (n == nullptr || !n->is_number() || !std::isfinite(n->number) ||
+            n->number < 0) {
+          return MetricsMissing(bwhere, "count");
+        }
+        if (le->number <= last_le) {
+          return Status::InvalidArgument(
+              bwhere + ": bucket upper bounds must be strictly ascending");
+        }
+        last_le = le->number;
+        bucket_total += n->number;
+      }
+      if (bucket_total != count) {
+        return Status::InvalidArgument(
+            where + ": bucket counts do not sum to count");
+      }
+    } else {
+      const JsonValue* v = m.Find("value");
+      if (v == nullptr || !v->is_number() || !std::isfinite(v->number)) {
+        return MetricsMissing(where, "value");
+      }
+      if (type->string == "counter" && v->number < 0) {
+        return Status::InvalidArgument(where + ": negative counter");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> WriteMetricsJson(const MetricsSnapshot& snapshot,
+                                     const std::string& dir,
+                                     const std::string& name,
+                                     bool include_host_timing) {
+  const std::string bench = SanitizeBenchName(name);
+  return WriteTextFile(dir, "METRICS_" + bench + ".json",
+                       snapshot.ToJson(bench, include_host_timing));
+}
+
+Result<std::string> WriteMetricsProm(const MetricsSnapshot& snapshot,
+                                     const std::string& dir,
+                                     const std::string& name,
+                                     bool include_host_timing) {
+  const std::string bench = SanitizeBenchName(name);
+  return WriteTextFile(dir, "METRICS_" + bench + ".prom",
+                       snapshot.ToPrometheus(include_host_timing));
+}
+
+}  // namespace gpujoin::obs

@@ -1,0 +1,236 @@
+// Deterministic, label-dimensioned metrics registry (DESIGN.md §15) — the
+// cross-run aggregation layer the per-query Tracer cannot provide. Every
+// layer of the stack (service admission/scheduling, the CPU/GPU router,
+// the resilient operators, the providers, the harness) records monotonic
+// counters, gauges, and log₂-bucketed histograms here; snapshots export as
+// a Prometheus-style text exposition, a schema-validated METRICS_<name>.json
+// under GPUJOIN_JSON_DIR, and the sched/router summary block appended to
+// GPUJOIN_EXPLAIN=1 output.
+//
+// Determinism contract: metrics are keyed by (name, sorted labels) in a
+// std::map, so iteration, snapshot, Delta, Merge, and both exports are in
+// one fixed order — a workload whose instrumented values are themselves
+// deterministic (simulated cycles, counts, bytes) produces bit-identical
+// exports at every GPUJOIN_SIM_THREADS setting, with tracing on or off,
+// and under fault-injection replay (tests/metrics_test.cc asserts all
+// three). Metrics measuring HOST time (cpux wall seconds, simulator
+// self-profiling) are intrinsically replay-unstable; they must be recorded
+// through the Host* entry points, which flag the cell so exports can
+// segregate or exclude them (the Prometheus writer emits them after a
+// marker line; ToJson can drop them entirely).
+//
+// Label cardinality rules: at most kMaxLabels labels per metric; label
+// values must come from bounded sets (status codes, backend/decision/
+// action enums, configured tenant names) — NEVER query names, paths, or
+// anything per-submission, which would grow the registry without bound.
+// Violations of the structural rules (too many labels, duplicate keys,
+// empty or non-[a-z0-9_:] names) abort with a diagnostic: they are
+// programmer errors, not data.
+
+#ifndef GPUJOIN_OBS_REGISTRY_H_
+#define GPUJOIN_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// "counter" / "gauge" / "histogram".
+const char* MetricTypeName(MetricType t);
+
+/// Label set: key/value pairs. Callers may pass them in any order; the
+/// registry sorts by key before keying the cell.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Log-linear histogram: each power of two splits into kSubBuckets linear
+/// sub-buckets, so an upper-bound quantile estimate overshoots the true
+/// value by at most 1/kSubBuckets of an octave (~19%) instead of a full
+/// octave. Values < 1 share one underflow bucket (index -1, bound [0,1));
+/// non-positive values land there too. Buckets are sparse: only observed
+/// indices are stored, in ascending index order.
+struct HistogramData {
+  static constexpr int kSubBuckets = 4;
+
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  /// bucket index -> observations in that bucket (non-cumulative).
+  std::map<int32_t, uint64_t> buckets;
+
+  /// The bucket index `v` falls into.
+  static int32_t BucketIndex(double v);
+  /// Half-open bucket range [lower, upper) for an index.
+  static double BucketLowerBound(int32_t index);
+  static double BucketUpperBound(int32_t index);
+
+  void Observe(double v);
+  void Add(const HistogramData& o);
+  /// Subtracts an earlier observation window (callers guarantee `earlier`
+  /// is a prefix of this histogram's history; counts saturate at 0).
+  void Sub(const HistogramData& earlier);
+
+  /// Upper/lower bound of the q-quantile (q in [0,1]) from the bucket
+  /// boundaries, clamped into [min, max]. 0 when empty.
+  double QuantileUpperBound(double q) const;
+  double QuantileLowerBound(double q) const;
+};
+
+/// Registry key: metric name plus its sorted label set.
+struct MetricKey {
+  std::string name;
+  MetricLabels labels;  // sorted by key
+
+  bool operator<(const MetricKey& o) const {
+    if (name != o.name) return name < o.name;
+    return labels < o.labels;
+  }
+  bool operator==(const MetricKey& o) const {
+    return name == o.name && labels == o.labels;
+  }
+  /// name{k="v",...} (Prometheus sample syntax, values escaped).
+  std::string ToString() const;
+};
+
+/// One metric cell. Exactly one of counter/gauge/hist is meaningful,
+/// selected by `type`.
+struct MetricCell {
+  MetricType type = MetricType::kCounter;
+  /// True for cells recorded through the Host* entry points: the value
+  /// measures host time and is NOT replay-stable. Exports segregate these.
+  bool host_timing = false;
+  uint64_t counter = 0;
+  double gauge = 0;
+  HistogramData hist;
+};
+
+/// Fixed-order snapshot of a registry (or a delta/merge of snapshots).
+class MetricsSnapshot {
+ public:
+  std::map<MetricKey, MetricCell> cells;
+
+  bool empty() const { return cells.empty(); }
+  size_t size() const { return cells.size(); }
+
+  /// This snapshot minus an earlier one of the same registry: counters and
+  /// histogram buckets subtract (saturating at 0), gauges keep this
+  /// snapshot's value. Cells absent from `earlier` pass through.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  /// Adds `other` into this snapshot in fixed key order: counters and
+  /// histograms add, gauges take the max (the only order-independent gauge
+  /// merge). Merging any permutation of shard snapshots yields the same
+  /// result — the bit-identical merge the parallel-simulation contract
+  /// requires.
+  void Merge(const MetricsSnapshot& other);
+
+  const MetricCell* Find(std::string_view name,
+                         const MetricLabels& labels = {}) const;
+  /// Counter value of one cell (0 when absent).
+  uint64_t CounterValue(std::string_view name,
+                        const MetricLabels& labels = {}) const;
+  /// Sum of all counter cells with this name, across every label set.
+  uint64_t CounterTotal(std::string_view name) const;
+  /// Histogram of one cell (nullptr when absent or not a histogram).
+  const HistogramData* Histogram(std::string_view name,
+                                 const MetricLabels& labels = {}) const;
+
+  /// Prometheus text exposition: "# TYPE" lines, samples in fixed key
+  /// order, histograms as cumulative le-buckets plus _sum/_count. Cells
+  /// flagged host_timing are emitted after a marker comment (or dropped
+  /// when include_host_timing is false), so "diff everything above the
+  /// marker" is the replay-stability check.
+  std::string ToPrometheus(bool include_host_timing = true) const;
+
+  /// METRICS_<name>.json document (schema below; see ValidateMetricsReport).
+  std::string ToJson(const std::string& name,
+                     bool include_host_timing = true) const;
+};
+
+/// Process-wide metrics registry. Mutations are cheap (one map lookup) and
+/// mutex-guarded; the deterministic layers only ever record from the
+/// simulator's driving thread, so ordering is deterministic wherever the
+/// recorded values are.
+class MetricsRegistry {
+ public:
+  static constexpr size_t kMaxLabels = 4;
+
+  static MetricsRegistry& Global();
+
+  void CounterAdd(std::string_view name, const MetricLabels& labels = {},
+                  uint64_t delta = 1);
+  void GaugeSet(std::string_view name, const MetricLabels& labels,
+                double value);
+  /// Keeps the maximum of the current and new value (high-watermark gauge).
+  void GaugeMax(std::string_view name, const MetricLabels& labels,
+                double value);
+  void HistogramObserve(std::string_view name, const MetricLabels& labels,
+                        double value);
+
+  /// Host-timing variants: identical semantics, but the cell is flagged
+  /// replay-unstable and segregated by the exports.
+  void HostGaugeSet(std::string_view name, const MetricLabels& labels,
+                    double value);
+  void HostHistogramObserve(std::string_view name, const MetricLabels& labels,
+                            double value);
+
+  MetricsSnapshot Snapshot() const;
+  void Clear();
+  size_t size() const;
+
+ private:
+  MetricCell& Cell(std::string_view name, const MetricLabels& labels,
+                   MetricType type, bool host_timing);
+
+  mutable std::mutex mu_;
+  std::map<MetricKey, MetricCell> cells_;
+};
+
+// --- Export / validation ---------------------------------------------------
+//
+// METRICS_<name>.json schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<sanitized name>",
+//     "metrics": [
+//       {"name": "service_admissions_total", "type": "counter",
+//        "host_timing": false,
+//        "labels": {"decision": "admitted", "tenant": "hog"},
+//        "value": 12},
+//       {"name": "...", "type": "gauge", ..., "value": 1.5},
+//       {"name": "service_wait_cycles", "type": "histogram", ...,
+//        "count": 5, "sum": 123.0, "min": 1.0, "max": 50.0,
+//        "buckets": [{"le": 16.0, "count": 3}, ...]}   // non-cumulative
+//     ]
+//   }
+// Bucket "le" values are the buckets' upper bounds, strictly ascending, and
+// the bucket counts must sum to "count". Every number must be finite.
+
+/// Validates a parsed METRICS_*.json against the schema above.
+Status ValidateMetricsReport(const JsonValue& root);
+
+/// Writes snapshot.ToJson(name) to `dir`/METRICS_<name>.json (creating
+/// `dir`); returns the path written.
+Result<std::string> WriteMetricsJson(const MetricsSnapshot& snapshot,
+                                     const std::string& dir,
+                                     const std::string& name,
+                                     bool include_host_timing = true);
+/// Writes snapshot.ToPrometheus() to `dir`/METRICS_<name>.prom.
+Result<std::string> WriteMetricsProm(const MetricsSnapshot& snapshot,
+                                     const std::string& dir,
+                                     const std::string& name,
+                                     bool include_host_timing = true);
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_REGISTRY_H_

@@ -6,6 +6,7 @@
 #include "cpux/join.h"
 #include "groupby/resilient.h"
 #include "join/resilient.h"
+#include "obs/registry.h"
 #include "stats/estimator.h"
 
 namespace gpujoin::ops {
@@ -52,6 +53,7 @@ Result<OperatorRunResult> VgpuProvider::RunJoin(const JoinOp& op) {
   GPUJOIN_RETURN_IF_ERROR(ValidateJoinOp(op));
   vgpu::Device& dev = *device_;
   dev.ResetPeakMemory();
+  const uint64_t launches0 = dev.kernels_launched();
   const double t0 = dev.ElapsedSeconds();
 
   // Upload both inputs over the simulated link (one transfer setup each).
@@ -80,6 +82,10 @@ Result<OperatorRunResult> VgpuProvider::RunJoin(const JoinOp& op) {
   res.phases.materialize_s = t_down - t_run;
   res.attempts = run.attempts;
   res.degradation = std::move(run.degradation);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("ops_executed_total", {{"op", "join"}, {"backend", "vgpu"}});
+  reg.CounterAdd("vgpu_kernel_launches_total", {{"op", "join"}},
+                 dev.kernels_launched() - launches0);
   return res;
 }
 
@@ -87,6 +93,7 @@ Result<OperatorRunResult> VgpuProvider::RunGroupBy(const GroupByOp& op) {
   GPUJOIN_RETURN_IF_ERROR(ValidateGroupByOp(op));
   vgpu::Device& dev = *device_;
   dev.ResetPeakMemory();
+  const uint64_t launches0 = dev.kernels_launched();
   const double t0 = dev.ElapsedSeconds();
 
   dev.ChargeHostTransfer(stats::EstimateDeviceBytes(*op.input));
@@ -114,6 +121,11 @@ Result<OperatorRunResult> VgpuProvider::RunGroupBy(const GroupByOp& op) {
   res.phases.materialize_s = t_down - t_run;
   res.attempts = run.attempts;
   res.degradation = std::move(run.degradation);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("ops_executed_total",
+                 {{"op", "groupby"}, {"backend", "vgpu"}});
+  reg.CounterAdd("vgpu_kernel_launches_total", {{"op", "groupby"}},
+                 dev.kernels_launched() - launches0);
   return res;
 }
 
@@ -134,6 +146,7 @@ Result<OperatorRunResult> CpuxProvider::RunJoin(const JoinOp& op) {
   res.phases.transform_s = run.phases.transform_wall_s;
   res.phases.match_s = run.phases.match_wall_s;
   res.phases.materialize_s = run.phases.materialize_wall_s;
+  RecordRun("join", run.wall_seconds);
   return res;
 }
 
@@ -155,7 +168,19 @@ Result<OperatorRunResult> CpuxProvider::RunGroupBy(const GroupByOp& op) {
   res.phases.transform_s = run.phases.transform_wall_s;
   res.phases.match_s = run.phases.match_wall_s;
   res.phases.materialize_s = run.phases.materialize_wall_s;
+  RecordRun("groupby", run.wall_seconds);
   return res;
+}
+
+void CpuxProvider::RecordRun(const char* op, double wall_seconds) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("ops_executed_total", {{"op", op}, {"backend", "cpux"}});
+  // Host wall time is not replay-stable: keep it behind the host flag so
+  // METRICS exports stay diffable across GPUJOIN_SIM_THREADS.
+  reg.HostHistogramObserve("cpux_op_host_seconds", {{"op", op}}, wall_seconds);
+  const Status leaks = ctx_->CheckNoLeaks();
+  reg.CounterAdd("cpux_leak_check_total",
+                 {{"outcome", leaks.ok() ? "clean" : "leak"}});
 }
 
 }  // namespace gpujoin::ops

@@ -122,6 +122,10 @@ class CpuxProvider : public OperatorProvider {
   cpux::Context& context() { return *ctx_; }
 
  private:
+  /// Meters one completed op: ops_executed_total, the host-flagged wall
+  /// histogram, and a post-run leak check against the cpux context.
+  void RecordRun(const char* op, double wall_seconds);
+
   std::unique_ptr<cpux::Context> ctx_;
 };
 

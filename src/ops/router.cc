@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace gpujoin::ops {
@@ -159,6 +160,12 @@ Result<OperatorRunResult> Router::RunRouted(const RouteDecision& decision,
                                             const GroupByOp* groupby_op,
                                             const std::string& span_name) {
   decisions_.push_back(decision);
+  const char* op_kind = join_op != nullptr ? "join" : "groupby";
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("router_decisions_total",
+                 {{"op", op_kind},
+                  {"backend", BackendName(decision.backend)},
+                  {"reason", decision.reason}});
   obs::TraceSpan span(*device_, "op", span_name);
   span.Annotate("backend", BackendName(decision.backend));
   span.Annotate("cost_cpux_s", Sci(decision.cpux_seconds));
@@ -166,13 +173,39 @@ Result<OperatorRunResult> Router::RunRouted(const RouteDecision& decision,
   span.Annotate("est_bytes", std::to_string(decision.memory.total_bytes()));
   span.Annotate("route_reason", decision.reason);
 
+  // Every RunRouted call records exactly one router_ops_total sample on
+  // its way out, so router_decisions_total == router_ops_total reconciles
+  // in every binary, success or error. The backend label is the one the op
+  // actually ended on; successes also feed the projected/actual cost-ratio
+  // histograms (vgpu actuals are simulated seconds and replay-stable; cpux
+  // actuals are host wall time, so that ratio stays behind the host flag).
+  const auto record_op = [&](Backend final_backend,
+                             const OperatorRunResult* res) {
+    reg.CounterAdd("router_ops_total",
+                   {{"op", op_kind}, {"backend", BackendName(final_backend)}});
+    if (res == nullptr || res->seconds <= 0) return;
+    if (final_backend == Backend::kVgpu) {
+      reg.HistogramObserve("router_cost_ratio", {{"op", op_kind}},
+                           decision.vgpu_seconds / res->seconds);
+    } else {
+      reg.HostHistogramObserve("router_cost_ratio_host", {{"op", op_kind}},
+                               decision.cpux_seconds / res->seconds);
+    }
+  };
+
   Result<OperatorRunResult> first = Dispatch(decision.backend, join_op,
                                              groupby_op);
-  if (first.ok()) return first;
+  if (first.ok()) {
+    record_op(decision.backend, &first.value());
+    return first;
+  }
   const Status& st = first.status();
   const bool resource = st.IsResourceExhausted() ||
                         st.code() == StatusCode::kOutOfMemory;
-  if (!options_.allow_fallback || !resource) return first;
+  if (!options_.allow_fallback || !resource) {
+    record_op(decision.backend, nullptr);
+    return first;
+  }
 
   const Backend other =
       decision.backend == Backend::kCpux ? Backend::kVgpu : Backend::kCpux;
@@ -181,7 +214,10 @@ Result<OperatorRunResult> Router::RunRouted(const RouteDecision& decision,
     const bool eligible = join_op != nullptr
                               ? CpuxEligibleJoin(*join_op, &guard)
                               : CpuxEligibleGroupBy(*groupby_op, &guard);
-    if (!eligible) return first;
+    if (!eligible) {
+      record_op(decision.backend, nullptr);
+      return first;
+    }
   }
 
   const std::string detail = std::string(BackendName(decision.backend)) +
@@ -189,12 +225,19 @@ Result<OperatorRunResult> Router::RunRouted(const RouteDecision& decision,
                              st.ToString();
   obs::TraceInstant(*device_, "backend_fallback", detail);
   span.Annotate("fallback_backend", BackendName(other));
+  reg.CounterAdd("router_fallback_total",
+                 {{"from", BackendName(decision.backend)},
+                  {"to", BackendName(other)}});
 
   Result<OperatorRunResult> second = Dispatch(other, join_op, groupby_op);
-  if (!second.ok()) return first;  // The routed backend's error is primary.
+  if (!second.ok()) {
+    record_op(decision.backend, nullptr);
+    return first;  // The routed backend's error is primary.
+  }
   OperatorRunResult res = std::move(second).value();
   res.degradation.insert(res.degradation.begin(),
                          DegradationStep{"backend_fallback", detail});
+  record_op(other, &res);
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "join/out_of_core.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace gpujoin::service {
@@ -142,6 +143,15 @@ bool QueryService::TryReserve(Run& run) {
   run.reserved = true;
   run.borrowed = borrow;
   outcomes_[run.id].borrowed_bytes = borrow;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (borrow > 0) {
+    reg.CounterAdd("service_quota_borrow_total",
+                   {{"tenant", run.request.tenant}});
+    reg.CounterAdd("service_quota_borrow_bytes_total",
+                   {{"tenant", run.request.tenant}}, borrow);
+  }
+  reg.GaugeMax("service_reserved_peak_bytes", {},
+               static_cast<double>(reserved_bytes_));
   return true;
 }
 
@@ -179,6 +189,8 @@ Result<int> QueryService::Submit(QueryRequest request) {
         std::to_string(budget_bytes_) + " B");
     obs::TraceInstant(device_, "admission:rejected", out.status.message());
     ResolveTenant(request.tenant).stats.rejected++;
+    RecordAdmission(out);
+    RecordTerminal(out);
     outcomes_.push_back(std::move(out));
     return id;
   }
@@ -196,10 +208,16 @@ Result<int> QueryService::Submit(QueryRequest request) {
     obs::TraceInstant(device_, "admission:deferred",
                       "query '" + run.request.name + "' arrives at cycle " +
                           std::to_string(run.request.arrival_cycles));
+    RecordAdmission(outcomes_[id]);
   } else {
     run.arrived = true;
     AdmitOrQueue(run);
-    if (run.done) return id;  // Rejected: never enters the pending set.
+    RecordAdmission(outcomes_[id]);
+    if (run.done) {
+      // Rejected: never enters the pending set, so this is terminal now.
+      RecordTerminal(outcomes_[id]);
+      return id;
+    }
   }
 
   const int bits = ResolveFragmentBits(run.request, need);
@@ -257,6 +275,11 @@ void QueryService::AdmitOrQueue(Run& run) {
   out.admission = AdmissionDecision::kQueued;
   t.stats.queued++;
   t.stats.queued_total++;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.HistogramObserve("service_queue_depth", {{"tenant", out.tenant}},
+                       static_cast<double>(t.stats.queued));
+  reg.GaugeMax("service_queue_depth_peak", {{"tenant", out.tenant}},
+               static_cast<double>(t.stats.queued));
   obs::TraceInstant(
       device_, "admission:queued",
       "query '" + out.name + "' (tenant '" + out.tenant + "') queued: " +
@@ -276,6 +299,9 @@ void QueryService::ProcessArrivals(std::vector<Run>& batch) {
                           std::to_string(r.request.priority) +
                           ") arrived at cycle " + std::to_string(now));
     AdmitOrQueue(r);
+    // A deferred arrival can be rejected at its evaluation time; that is
+    // terminal without ever reaching Finalize.
+    if (r.done) RecordTerminal(outcomes_[r.id]);
   }
 }
 
@@ -440,6 +466,8 @@ Status QueryService::RunUnit(Run& run, bool use_cpux) {
                             ": cpux failed (" + rr.status().message() +
                             "); retrying on vgpu");
       out.backend += "->vgpu";
+      obs::MetricsRegistry::Global().CounterAdd(
+          "service_backend_fallback_total", {{"tenant", out.tenant}});
     } else {
       return rr.status();
     }
@@ -559,6 +587,10 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
       run.request, run.plan.units()[run.next_unit], &backend_label);
   // Keep a "->vgpu" fallback record from an earlier fragment visible.
   if (out.backend.rfind(backend_label, 0) != 0) out.backend = backend_label;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("sched_turns_total", {{"tenant", out.tenant}});
+  reg.CounterAdd("service_backend_resolved_total",
+                 {{"backend", backend_label}});
 
   const uint64_t baseline_live = device_.memory_stats().live_bytes;
   Status st;
@@ -595,6 +627,8 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
   // cancellation, deadline, OOM — a fragment turn must leave the device at
   // its entry watermark.
   const uint64_t live = device_.memory_stats().live_bytes;
+  reg.CounterAdd("service_leak_check_total",
+                 {{"outcome", live == baseline_live ? "clean" : "leak"}});
   if (live != baseline_live) {
     return Status::Internal(
         "QueryService: query '" + out.name + "' fragment turn (" +
@@ -616,6 +650,7 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
     run.resume_pending = true;
     out.preemptions++;
     t.stats.preemptions++;
+    reg.CounterAdd("sched_preemptions_total", {{"tenant", out.tenant}});
     obs::TraceInstant(device_, "sched:preempt",
                       "query '" + out.name + "' yielded fragment " +
                           std::to_string(run.next_unit) + " at cycle " +
@@ -657,6 +692,33 @@ void QueryService::Finalize(Run& run, Status status) {
           " run_cycles=" + std::to_string(out.run_cycles) +
           " preemptions=" + std::to_string(out.preemptions) +
           " fragments=" + std::to_string(out.fragments_total));
+  RecordTerminal(out);
+}
+
+void QueryService::RecordAdmission(const QueryOutcome& out) {
+  obs::MetricsRegistry::Global().CounterAdd(
+      "service_admissions_total",
+      {{"decision", AdmissionDecisionName(out.admission)},
+       {"tenant", out.tenant}});
+}
+
+void QueryService::RecordTerminal(const QueryOutcome& out) {
+  // Exactly one sample per submitted query (Finalize, or the reject paths
+  // that never reach it), so Σ service_admissions_total ==
+  // Σ service_outcomes_total reconciles after every Drain.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const obs::MetricLabels tenant = {{"tenant", out.tenant}};
+  reg.CounterAdd("service_outcomes_total",
+                 {{"status", StatusCodeToString(out.status.code())},
+                  {"tenant", out.tenant}});
+  reg.HistogramObserve("service_wait_cycles", tenant, out.wait_cycles);
+  reg.HistogramObserve("service_run_cycles", tenant, out.run_cycles);
+  reg.HistogramObserve("service_query_preemptions", tenant,
+                       static_cast<double>(out.preemptions));
+  if (out.kernels_launched > 0) {
+    reg.CounterAdd("service_kernels_launched_total", tenant,
+                   static_cast<uint64_t>(out.kernels_launched));
+  }
 }
 
 Status QueryService::DrainBatch(std::vector<Run>& batch) {
@@ -689,6 +751,8 @@ Status QueryService::DrainBatch(std::vector<Run>& batch) {
                             "no runnable query; advancing clock " +
                                 std::to_string(next_arrival - now) +
                                 " cycles to the next arrival");
+          obs::MetricsRegistry::Global().CounterAdd(
+              "sched_idle_advances_total");
           device_.AdvanceClock(next_arrival - now);
         }
         continue;
@@ -788,6 +852,7 @@ Status QueryService::DrainBatch(std::vector<Run>& batch) {
       if (break_pass) break;
     }
     ++pass;
+    obs::MetricsRegistry::Global().CounterAdd("sched_passes_total");
   }
   return Status::OK();
 }

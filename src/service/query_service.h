@@ -352,6 +352,13 @@ class QueryService {
   /// The lazily created service-owned cpux provider.
   ops::CpuxProvider& Cpux();
   void Finalize(Run& run, Status status);
+  /// Meters the submission-time admission decision (exactly once per
+  /// submitted query) into the obs registry.
+  static void RecordAdmission(const QueryOutcome& out);
+  /// Meters a terminal outcome (status counter + per-tenant wait/run/
+  /// preemption histograms), exactly once per submitted query — from
+  /// Finalize, or from the reject paths that never reach it.
+  static void RecordTerminal(const QueryOutcome& out);
 
   vgpu::Device& device_;
   uint64_t budget_bytes_ = 0;

@@ -275,6 +275,7 @@ Status Device::Reset() {
   fault_ = FaultInjector();
   lifecycle_ = nullptr;
   alloc_tag_stack_.clear();
+  kernels_launched_ = 0;
   ResetStats();
   return Status::OK();
 }
@@ -282,6 +283,7 @@ Status Device::Reset() {
 void Device::BeginKernel(const char* name) {
   assert(!in_kernel_ && "kernels do not nest");
   in_kernel_ = true;
+  ++kernels_launched_;
   kernel_name_ = name;
   engine_.stats = KernelStats{};
   kernel_parallel_wall_ = 0;

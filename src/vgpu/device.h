@@ -149,6 +149,10 @@ class Device {
 
   /// Stats of the most recently completed kernel.
   const KernelStats& last_kernel_stats() const { return last_kernel_; }
+  /// Kernels launched since construction/Reset(). Deliberately NOT zeroed
+  /// by ResetStats(): phase-bracketed reports reset stats mid-query, but
+  /// callers metering launch counts (obs registry) need the full tally.
+  uint64_t kernels_launched() const { return kernels_launched_; }
   /// Stats accumulated over all kernels since construction/ResetStats().
   const KernelStats& total_stats() const { return total_; }
   /// Per-kernel-name profiling (the Nsight Compute analog, Table 4).
@@ -337,6 +341,7 @@ class Device {
 
   bool in_kernel_ = false;
   const char* kernel_name_ = "";
+  uint64_t kernels_launched_ = 0;
   KernelStats last_kernel_;
   KernelStats total_;
   Profiler profiler_;

@@ -1,0 +1,357 @@
+// Bench-regression comparator: diffs a directory of freshly generated
+// BENCH_*.json reports against the committed baselines in bench/results/
+// and emits a machine-readable verdict. This is the soft regression gate
+// the CI metrics-smoke job runs — the committed bench trajectory stops
+// being decorative and starts being enforced.
+//
+//   $ bench_compare --fresh outdir [--baseline bench/results]
+//                   [--out verdict.json] [--tolerance 1.0]
+//
+// Matching: each fresh BENCH_<name>.json pairs with the baseline of the
+// same filename; fresh files with no baseline are reported as "new" (info,
+// not a regression). Within a file, rows pair by (algo, backend, params).
+// Files whose scale_log2 differs are skipped (a smoke run at 2^14 says
+// nothing about a committed 2^24 baseline).
+//
+// Tolerance bands per metric (scaled by --tolerance):
+//   output_rows     exact — these are correctness, not performance
+//   total_cycles    +25% (higher is a regression; simulated, so any drift
+//                   beyond rounding is a real cost-model change)
+//   mtuples_per_sec -25% (lower is a regression)
+//   l2_hit_rate     ±0.10 absolute
+//   peak_mem_bytes  +25%
+// Rows from host-timed backends (backend contains "cpux", or mixed rows
+// like "auto:cpux") compare output_rows only: wall-clock metrics are not
+// replay-stable across machines. Out-of-band *improvements* are flagged
+// "improved" (info) so baselines get refreshed rather than silently stale.
+//
+// Exit codes: 0 green, 3 regression, 1 I/O or parse error, 2 usage.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using gpujoin::Result;
+using gpujoin::Status;
+using gpujoin::obs::JsonValue;
+using gpujoin::obs::JsonWriter;
+using gpujoin::obs::ParseJson;
+using gpujoin::obs::ValidateBenchReport;
+
+struct RowMetrics {
+  double output_rows = 0;
+  double total_cycles = 0;
+  double mtuples_per_sec = 0;
+  double l2_hit_rate = 0;
+  double peak_mem_bytes = 0;
+  std::string backend;
+  std::string algo;
+};
+
+struct Finding {
+  std::string severity;  // "regression" | "improved" | "new" | "skipped"
+  std::string detail;
+};
+
+struct FileReport {
+  std::string file;
+  std::vector<Finding> findings;
+  bool has_regression() const {
+    for (const Finding& f : findings) {
+      if (f.severity == "regression") return true;
+    }
+    return false;
+  }
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::InvalidArgument("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Internal("read error on " + path);
+  return data;
+}
+
+Result<JsonValue> LoadBenchReport(const std::string& path) {
+  GPUJOIN_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  GPUJOIN_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(data));
+  GPUJOIN_RETURN_IF_ERROR(ValidateBenchReport(doc));
+  return doc;
+}
+
+/// Stable row key: algo|backend|sorted params. Two runs of the same bench
+/// produce rows in the same order, but keying makes the comparison robust
+/// to row insertion when a bench grows a new configuration.
+std::string RowKey(const JsonValue& row) {
+  std::string key = row.Find("algo")->string;
+  const JsonValue* backend = row.Find("backend");
+  key += "|" + (backend != nullptr ? backend->string : std::string("vgpu"));
+  const JsonValue* params = row.Find("params");
+  std::map<std::string, std::string> sorted;
+  for (const auto& [k, v] : params->object) sorted[k] = v.string;
+  for (const auto& [k, v] : sorted) key += "|" + k + "=" + v;
+  return key;
+}
+
+RowMetrics ExtractRow(const JsonValue& row) {
+  RowMetrics m;
+  m.algo = row.Find("algo")->string;
+  const JsonValue* backend = row.Find("backend");
+  m.backend = backend != nullptr ? backend->string : "vgpu";
+  m.output_rows = row.Find("output_rows")->number;
+  m.total_cycles = row.Find("phases")->Find("total_cycles")->number;
+  m.mtuples_per_sec = row.Find("mtuples_per_sec")->number;
+  m.l2_hit_rate = row.Find("l2_hit_rate")->number;
+  m.peak_mem_bytes = row.Find("peak_mem_bytes")->number;
+  return m;
+}
+
+/// Wall-clock metrics on cpux rows vary with the host machine; only the
+/// simulated backend's numbers are comparable across runs.
+bool HostTimed(const RowMetrics& m) {
+  return m.backend.find("cpux") != std::string::npos ||
+         m.algo.find("CPU") != std::string::npos;
+}
+
+void CompareRelative(const std::string& key, const char* metric,
+                     double baseline, double fresh, double band,
+                     bool higher_is_worse, std::vector<Finding>* out) {
+  if (baseline <= 0) return;  // Nothing to compare against.
+  const double ratio = fresh / baseline;
+  char buf[256];
+  if (higher_is_worse ? ratio > 1.0 + band : ratio < 1.0 - band) {
+    std::snprintf(buf, sizeof(buf), "%s: %s %.4g -> %.4g (%+.1f%%)",
+                  key.c_str(), metric, baseline, fresh,
+                  (ratio - 1.0) * 100.0);
+    out->push_back({"regression", buf});
+  } else if (higher_is_worse ? ratio < 1.0 - band : ratio > 1.0 + band) {
+    std::snprintf(buf, sizeof(buf), "%s: %s %.4g -> %.4g (%+.1f%%)",
+                  key.c_str(), metric, baseline, fresh,
+                  (ratio - 1.0) * 100.0);
+    out->push_back({"improved", buf});
+  }
+}
+
+void CompareRows(const std::string& key, const RowMetrics& baseline,
+                 const RowMetrics& fresh, double tolerance,
+                 std::vector<Finding>* out) {
+  if (fresh.output_rows != baseline.output_rows) {
+    out->push_back({"regression",
+                    key + ": output_rows " +
+                        std::to_string(static_cast<long long>(
+                            baseline.output_rows)) +
+                        " -> " +
+                        std::to_string(static_cast<long long>(
+                            fresh.output_rows)) +
+                        " (correctness metric: must match exactly)"});
+    return;
+  }
+  if (HostTimed(fresh)) return;  // Wall-clock rows: correctness only.
+
+  const double band = 0.25 * tolerance;
+  CompareRelative(key, "total_cycles", baseline.total_cycles,
+                  fresh.total_cycles, band, /*higher_is_worse=*/true, out);
+  CompareRelative(key, "mtuples_per_sec", baseline.mtuples_per_sec,
+                  fresh.mtuples_per_sec, band, /*higher_is_worse=*/false, out);
+  CompareRelative(key, "peak_mem_bytes", baseline.peak_mem_bytes,
+                  fresh.peak_mem_bytes, band, /*higher_is_worse=*/true, out);
+  const double l2_delta = fresh.l2_hit_rate - baseline.l2_hit_rate;
+  if (std::fabs(l2_delta) > 0.10 * tolerance) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s: l2_hit_rate %.3f -> %.3f (%+.3f)",
+                  key.c_str(), baseline.l2_hit_rate, fresh.l2_hit_rate,
+                  l2_delta);
+    out->push_back({l2_delta < 0 ? "regression" : "improved", buf});
+  }
+}
+
+FileReport CompareFiles(const std::string& name, const JsonValue& baseline,
+                        const JsonValue& fresh, double tolerance) {
+  FileReport report;
+  report.file = name;
+
+  const double base_scale = baseline.Find("scale_log2")->number;
+  const double fresh_scale = fresh.Find("scale_log2")->number;
+  if (base_scale != fresh_scale) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "scale_log2 %g (baseline) vs %g (fresh): not comparable",
+                  base_scale, fresh_scale);
+    report.findings.push_back({"skipped", buf});
+    return report;
+  }
+
+  std::map<std::string, RowMetrics> base_rows;
+  for (const JsonValue& row : baseline.Find("rows")->array) {
+    base_rows[RowKey(row)] = ExtractRow(row);
+  }
+  for (const JsonValue& row : fresh.Find("rows")->array) {
+    const std::string key = RowKey(row);
+    auto it = base_rows.find(key);
+    if (it == base_rows.end()) {
+      report.findings.push_back({"new", key + ": no baseline row"});
+      continue;
+    }
+    CompareRows(key, it->second, ExtractRow(row), tolerance,
+                &report.findings);
+  }
+  return report;
+}
+
+std::string VerdictJson(const std::vector<FileReport>& reports,
+                        bool regression) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Number(static_cast<int64_t>(1));
+  w.Key("verdict").String(regression ? "regression" : "green");
+  w.Key("files").BeginArray();
+  for (const FileReport& r : reports) {
+    w.BeginObject();
+    w.Key("file").String(r.file);
+    w.Key("verdict").String(r.has_regression() ? "regression" : "green");
+    w.Key("findings").BeginArray();
+    for (const Finding& f : r.findings) {
+      w.BeginObject();
+      w.Key("severity").String(f.severity);
+      w.Key("detail").String(f.detail);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir = "bench/results";
+  std::string fresh_dir;
+  std::string out_path;
+  double tolerance = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = arg_value("--baseline")) {
+      baseline_dir = v;
+    } else if (const char* v = arg_value("--fresh")) {
+      fresh_dir = v;
+    } else if (const char* v = arg_value("--out")) {
+      out_path = v;
+    } else if (const char* v = arg_value("--tolerance")) {
+      tolerance = std::atof(v);
+      if (tolerance <= 0) {
+        std::fprintf(stderr, "--tolerance must be > 0\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --fresh DIR [--baseline DIR] [--out FILE] "
+                   "[--tolerance MULT]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (fresh_dir.empty()) {
+    std::fprintf(stderr, "--fresh DIR is required\n");
+    return 2;
+  }
+
+  std::error_code ec;
+  std::vector<std::string> fresh_files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(fresh_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.find(".json") != std::string::npos) {
+      fresh_files.push_back(name);
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list %s: %s\n", fresh_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (fresh_files.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json files in %s\n", fresh_dir.c_str());
+    return 1;
+  }
+  std::sort(fresh_files.begin(), fresh_files.end());
+
+  std::vector<FileReport> reports;
+  bool regression = false;
+  for (const std::string& name : fresh_files) {
+    const std::string fresh_path = fresh_dir + "/" + name;
+    const std::string base_path = baseline_dir + "/" + name;
+
+    Result<JsonValue> fresh = LoadBenchReport(fresh_path);
+    if (!fresh.ok()) {
+      std::fprintf(stderr, "ERROR %s: %s\n", fresh_path.c_str(),
+                   fresh.status().message().c_str());
+      return 1;
+    }
+    FileReport report;
+    if (!std::filesystem::exists(base_path)) {
+      report.file = name;
+      report.findings.push_back(
+          {"new", "no committed baseline at " + base_path});
+    } else {
+      Result<JsonValue> base = LoadBenchReport(base_path);
+      if (!base.ok()) {
+        std::fprintf(stderr, "ERROR %s: %s\n", base_path.c_str(),
+                     base.status().message().c_str());
+        return 1;
+      }
+      report = CompareFiles(name, *base, *fresh, tolerance);
+    }
+    regression = regression || report.has_regression();
+    reports.push_back(std::move(report));
+  }
+
+  for (const FileReport& r : reports) {
+    std::printf("%-10s %s\n", r.has_regression() ? "REGRESSION" : "ok",
+                r.file.c_str());
+    for (const Finding& f : r.findings) {
+      std::printf("  [%s] %s\n", f.severity.c_str(), f.detail.c_str());
+    }
+  }
+  std::printf("verdict: %s (%zu file(s), tolerance x%.2f)\n",
+              regression ? "regression" : "green", reports.size(), tolerance);
+
+  const std::string verdict = VerdictJson(reports, regression);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(verdict.data(), 1, verdict.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return regression ? 3 : 0;
+}

@@ -2,11 +2,21 @@
 // GPUJOIN_JSON_DIR: BENCH_*.json files are validated against the metrics
 // schema (ValidateBenchReport: required fields, finite numbers, ranged
 // rates), TRACE_*.json files against the Chrome trace-event shape
-// (ValidateChromeTrace). Used by scripts/reproduce.sh --json; exits
-// non-zero on the first invalid or unreadable file so CI fails loudly on
-// NaN throughputs or missing fields.
+// (ValidateChromeTrace), and METRICS_*.json files against the registry
+// snapshot schema (ValidateMetricsReport: typed samples, string labels,
+// ascending histogram buckets that sum to their counts). Used by
+// scripts/reproduce.sh --json / --metrics; exits non-zero on the first
+// invalid or unreadable file so CI fails loudly on NaN throughputs or
+// missing fields.
 //
 //   $ bench_json_check out/BENCH_smoke.json out/TRACE_smoke.json
+//   $ bench_json_check --reconcile out/METRICS_smoke.json
+//
+// --reconcile additionally cross-checks METRICS_*.json internal
+// consistency: every admitted query must have a terminal outcome
+// (Σ service_admissions_total == Σ service_outcomes_total) and every
+// router decision must have produced exactly one routed op
+// (Σ router_decisions_total == Σ router_ops_total).
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +26,7 @@
 #include "common/status.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/registry.h"
 
 namespace {
 
@@ -41,9 +52,54 @@ std::string Basename(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-// Validates one file, choosing the schema from the BENCH_/TRACE_ filename
-// prefix. Returns OK only for a parseable, schema-valid document.
-gpujoin::Status CheckFile(const std::string& path) {
+/// Sum of all counter samples named `name` in a parsed METRICS report.
+double CounterSum(const gpujoin::obs::JsonValue& root, const char* name) {
+  double total = 0;
+  const gpujoin::obs::JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr) return 0;
+  for (const gpujoin::obs::JsonValue& m : metrics->array) {
+    const gpujoin::obs::JsonValue* n = m.Find("name");
+    const gpujoin::obs::JsonValue* type = m.Find("type");
+    const gpujoin::obs::JsonValue* value = m.Find("value");
+    if (n == nullptr || type == nullptr || value == nullptr) continue;
+    if (n->string == name && type->string == "counter") {
+      total += value->number;
+    }
+  }
+  return total;
+}
+
+/// Counter reconciliation on a schema-valid METRICS report. Pairs absent
+/// from the report (e.g. a bench with no service layer) pass vacuously.
+gpujoin::Status Reconcile(const gpujoin::obs::JsonValue& root) {
+  struct Pair {
+    const char* left;
+    const char* right;
+    const char* what;
+  };
+  const Pair pairs[] = {
+      {"service_admissions_total", "service_outcomes_total",
+       "every submitted query must reach a terminal outcome"},
+      {"router_decisions_total", "router_ops_total",
+       "every route decision must produce exactly one routed op"},
+  };
+  for (const Pair& p : pairs) {
+    const double left = CounterSum(root, p.left);
+    const double right = CounterSum(root, p.right);
+    if (left != right) {
+      return gpujoin::Status::InvalidArgument(
+          std::string("reconciliation failed: ") + p.left + " (" +
+          std::to_string(left) + ") != " + p.right + " (" +
+          std::to_string(right) + "): " + p.what);
+    }
+  }
+  return gpujoin::Status::OK();
+}
+
+// Validates one file, choosing the schema from the BENCH_/TRACE_/METRICS_
+// filename prefix. Returns OK only for a parseable, schema-valid document
+// (which, with `reconcile`, also passes the counter cross-checks).
+gpujoin::Status CheckFile(const std::string& path, bool reconcile) {
   auto data = ReadFile(path);
   if (!data.ok()) return data.status();
 
@@ -60,30 +116,47 @@ gpujoin::Status CheckFile(const std::string& path) {
   if (base.rfind("BENCH_", 0) == 0) {
     return gpujoin::obs::ValidateBenchReport(*doc);
   }
+  if (base.rfind("METRICS_", 0) == 0 && base.find(".json") != std::string::npos) {
+    GPUJOIN_RETURN_IF_ERROR(gpujoin::obs::ValidateMetricsReport(*doc));
+    return reconcile ? Reconcile(*doc) : gpujoin::Status::OK();
+  }
   return gpujoin::Status::InvalidArgument(
-      path + ": expected a BENCH_*.json or TRACE_*.json filename");
+      path +
+      ": expected a BENCH_*.json, TRACE_*.json, or METRICS_*.json filename");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <BENCH_*.json|TRACE_*.json>...\n", argv[0]);
+  bool reconcile = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reconcile") == 0) {
+      reconcile = true;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--reconcile] "
+                 "<BENCH_*.json|TRACE_*.json|METRICS_*.json>...\n",
+                 argv[0]);
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
-    const gpujoin::Status st = CheckFile(argv[i]);
+  for (const std::string& path : paths) {
+    const gpujoin::Status st = CheckFile(path, reconcile);
     if (st.ok()) {
-      std::printf("OK      %s\n", argv[i]);
+      std::printf("OK      %s\n", path.c_str());
     } else {
-      std::printf("INVALID %s: %s\n", argv[i], st.message().c_str());
+      std::printf("INVALID %s: %s\n", path.c_str(), st.message().c_str());
       ++failures;
     }
   }
   if (failures > 0) {
-    std::fprintf(stderr, "%d of %d file(s) failed validation\n", failures,
-                 argc - 1);
+    std::fprintf(stderr, "%d of %zu file(s) failed validation\n", failures,
+                 paths.size());
     return 1;
   }
   return 0;

@@ -13,10 +13,22 @@
 //   * every outcome is structured (OK / Cancelled / DeadlineExceeded /
 //     ResourceExhausted / OutOfMemory / TenantOverQuota) — never Internal
 //     and never a leaked kYielded,
-//   * latency fairness: interactive p95 wait, measured from the tracer's
-//     "sched:complete" instants (not service internals), stays a small
-//     fraction of the hog's round makespan even though the hog was
-//     submitted first.
+//   * the obs::MetricsRegistry telemetry reconciles with ground truth:
+//     admissions == terminal outcomes == submissions, scheduler turns ==
+//     the sum of per-query fragment turns == backend resolutions, and each
+//     tenant's service_wait_cycles histogram has exactly one sample per
+//     outcome with the exact p95 inside the histogram's quantile bracket,
+//   * latency fairness: interactive p95 wait stays a small fraction of the
+//     hog's round makespan even though the hog was submitted first.
+// A post-round phase routes a few operators through ops::Router and checks
+// the router telemetry reconciles too (decisions == routed ops).
+//
+// When GPUJOIN_JSON_DIR is non-empty (default bench/results) the soak also
+// emits BENCH_scheduler_soak.json (one row per round) plus
+// METRICS_scheduler_soak.json/.prom written WITHOUT host-timing samples,
+// so the exported bytes are identical at every GPUJOIN_SIM_THREADS — the
+// replay-stability diff scripts/reproduce.sh --metrics performs.
+//
 // Exits 0 on success, 1 with a report (and the seed) on the first
 // violated invariant.
 //
@@ -24,6 +36,7 @@
 //   ./build/tools/lifecycle_soak [rounds] [--seed N]
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +49,11 @@
 #include "groupby/groupby.h"
 #include "harness/harness.h"
 #include "join/join.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
+#include "ops/operator.h"
+#include "ops/router.h"
 #include "service/query_service.h"
 #include "storage/table.h"
 #include "vgpu/device.h"
@@ -67,14 +84,6 @@ bool IsStructuredOutcome(const Status& s) {
          s.code() == StatusCode::kInvalidArgument;
 }
 
-/// Wait/run samples for one tenant in one round, parsed back out of the
-/// tracer's "sched:complete" instants — the soak asserts latency from the
-/// observability surface, not from service internals.
-struct TenantLatency {
-  std::vector<double> wait;
-  std::vector<double> run;
-};
-
 double Percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -82,18 +91,17 @@ double Percentile(std::vector<double> v, double p) {
   return v[idx];
 }
 
-double ParseField(const std::string& detail, const std::string& key) {
-  const size_t pos = detail.find(key + "=");
-  if (pos == std::string::npos) return -1;
-  return std::strtod(detail.c_str() + pos + key.size() + 1, nullptr);
-}
-
-std::string ParseTag(const std::string& detail, const std::string& key) {
-  const size_t pos = detail.find(key + "=");
-  if (pos == std::string::npos) return "";
-  const size_t begin = pos + key.size() + 1;
-  const size_t end = detail.find(' ', begin);
-  return detail.substr(begin, end == std::string::npos ? end : end - begin);
+/// Nearest-rank order statistic, matching the rank convention the
+/// registry's HistogramData::QuantileUpperBound/LowerBound bracket: the
+/// ceil(q*n)-th smallest sample (1-based).
+double NearestRank(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  if (rank < 1) rank = 1;
+  if (rank > v.size()) rank = v.size();
+  return v[rank - 1];
 }
 
 int Run(int rounds) {
@@ -161,12 +169,26 @@ int Run(int rounds) {
   obs::Tracer& tracer = obs::Tracer::Global();
   tracer.set_enabled(true);
 
+  // The soak owns the process, so it owns the process-wide registry and
+  // metrics sink: start both from zero, meter every round through them,
+  // and export the snapshot at the end. The probe above ran before the
+  // Clear() so its telemetry does not pollute the round accounting.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Clear();
+  obs::MetricsSink& sink = obs::MetricsSink::Global();
+  sink.Clear();
+  sink.Configure("scheduler_soak", "adversarial multi-tenant scheduler soak",
+                 device.config().name, 16);
+
   uint64_t total_ok = 0, total_cancelled = 0, total_deadline = 0;
   uint64_t total_backpressure = 0, total_preemptions = 0;
 
   for (int round = 0; round < rounds; ++round) {
     tracer.Clear();
     const uint64_t salt = SplitMix64(g_seed ^ static_cast<uint64_t>(round));
+    const obs::MetricsSnapshot before = reg.Snapshot();
+    const double round_cycles0 = device.elapsed_cycles();
+    const vgpu::KernelStats round_stats0 = device.total_stats();
 
     ServiceOptions opts;
     // Budget shrinks round over round: 3x -> 2x -> 1.5x -> 1.2x the hog's
@@ -239,6 +261,7 @@ int Run(int rounds) {
       if (qsalt % 5 == 2) req.lifecycle.deadline_cycles = 400;
       GPUJOIN_CHECK_OK(svc.Submit(std::move(req)).status());
     }
+    const uint64_t submissions = 2 + 9;
 
     Status drained = svc.Drain();
     if (!drained.ok()) return Fail("Drain: " + drained.ToString());
@@ -260,6 +283,9 @@ int Run(int rounds) {
       return Fail("round " + std::to_string(round) + ": " + leaks.ToString());
     }
     double hog_makespan = 0;
+    uint64_t fragment_turns = 0;
+    uint64_t round_output_rows = 0;
+    std::map<std::string, std::vector<double>> tenant_wait;
     for (const auto& out : svc.outcomes()) {
       if (!IsStructuredOutcome(out.status)) {
         return Fail("query " + out.name + ": unstructured outcome " +
@@ -271,38 +297,77 @@ int Run(int rounds) {
       if (out.status.IsTenantOverQuota() || out.status.IsResourceExhausted())
         ++total_backpressure;
       total_preemptions += static_cast<uint64_t>(out.preemptions);
+      fragment_turns += static_cast<uint64_t>(out.fragment_turns);
+      round_output_rows += out.output_rows;
+      tenant_wait[out.tenant].push_back(out.wait_cycles);
       if (out.tenant == "hog" && out.finished_at_cycles > 0) {
         hog_makespan = std::max(
             hog_makespan, out.finished_at_cycles - out.submitted_at_cycles);
       }
     }
 
-    // --- Per-tenant latency, derived from the trace -----------------------
-    std::map<std::string, TenantLatency> latency;
-    for (const obs::EventRecord& ev : tracer.events()) {
-      if (ev.name != "sched:complete") continue;
-      const std::string tenant = ParseTag(ev.detail, "tenant");
-      const double wait = ParseField(ev.detail, "wait_cycles");
-      const double run = ParseField(ev.detail, "run_cycles");
-      if (tenant.empty() || wait < 0 || run < 0) {
-        return Fail("unparseable sched:complete instant: " + ev.detail);
-      }
-      latency[tenant].wait.push_back(wait);
-      latency[tenant].run.push_back(run);
+    // --- Telemetry reconciliation -----------------------------------------
+    // The per-round registry delta must agree with the service's own ground
+    // truth: the metrics layer is only trustworthy if it cannot drift.
+    const obs::MetricsSnapshot delta = reg.Snapshot().Delta(before);
+    const uint64_t adm = delta.CounterTotal("service_admissions_total");
+    const uint64_t outc = delta.CounterTotal("service_outcomes_total");
+    if (adm != submissions || outc != submissions) {
+      return Fail("round " + std::to_string(round) +
+                  ": admission/outcome counters do not reconcile: "
+                  "admissions=" +
+                  std::to_string(adm) + " outcomes=" + std::to_string(outc) +
+                  " submissions=" + std::to_string(submissions));
     }
-    if (latency.empty()) return Fail("no sched:complete instants traced");
+    const uint64_t turns = delta.CounterTotal("sched_turns_total");
+    const uint64_t resolved =
+        delta.CounterTotal("service_backend_resolved_total");
+    if (turns != fragment_turns || resolved != fragment_turns) {
+      return Fail("round " + std::to_string(round) +
+                  ": turn counters do not reconcile: sched_turns=" +
+                  std::to_string(turns) + " backend_resolved=" +
+                  std::to_string(resolved) + " fragment_turns=" +
+                  std::to_string(fragment_turns));
+    }
 
+    // --- Per-tenant latency, re-derived from the registry -----------------
+    // One wait sample lands in service_wait_cycles{tenant} per terminal
+    // outcome, and the log-linear histogram's p95 bracket must contain the
+    // exact nearest-rank p95 computed from the outcomes themselves.
     std::string report = "round " + std::to_string(round) +
                          ": budget=" + std::to_string(opts.budget_bytes);
     std::vector<double> interactive_wait;
-    for (const auto& [tenant, lat] : latency) {
-      report += "  " + tenant + "{n=" + std::to_string(lat.wait.size()) +
-                " wait_p50=" + std::to_string(Percentile(lat.wait, 0.5)) +
-                " wait_p95=" + std::to_string(Percentile(lat.wait, 0.95)) +
-                " run_p50=" + std::to_string(Percentile(lat.run, 0.5)) + "}";
+    for (const auto& [tenant, waits] : tenant_wait) {
+      const obs::HistogramData* hist =
+          delta.Histogram("service_wait_cycles", {{"tenant", tenant}});
+      if (hist == nullptr) {
+        return Fail("round " + std::to_string(round) + ": tenant '" + tenant +
+                    "' has no service_wait_cycles histogram");
+      }
+      if (hist->count != waits.size()) {
+        return Fail("round " + std::to_string(round) + ": tenant '" + tenant +
+                    "' wait histogram count " + std::to_string(hist->count) +
+                    " != " + std::to_string(waits.size()) + " outcomes");
+      }
+      const double exact_p95 = NearestRank(waits, 0.95);
+      const double lo = hist->QuantileLowerBound(0.95);
+      const double hi = hist->QuantileUpperBound(0.95);
+      if (exact_p95 < lo - 1e-9 || exact_p95 > hi + 1e-9) {
+        return Fail("round " + std::to_string(round) + ": tenant '" + tenant +
+                    "' exact wait p95 " + std::to_string(exact_p95) +
+                    " outside histogram bracket [" + std::to_string(lo) +
+                    ", " + std::to_string(hi) + "]");
+      }
+      char tbuf[160];
+      std::snprintf(tbuf, sizeof(tbuf),
+                    "  %s{n=%llu wait_p50<=%.0f wait_p95<=%.0f}",
+                    tenant.c_str(),
+                    static_cast<unsigned long long>(hist->count),
+                    hist->QuantileUpperBound(0.5), hi);
+      report += tbuf;
       if (tenant == "int0" || tenant == "int1") {
-        interactive_wait.insert(interactive_wait.end(), lat.wait.begin(),
-                                lat.wait.end());
+        interactive_wait.insert(interactive_wait.end(), waits.begin(),
+                                waits.end());
       }
     }
     std::printf("lifecycle_soak: %s\n", report.c_str());
@@ -324,13 +389,75 @@ int Run(int rounds) {
                   " (1.25x hog solo " + std::to_string(hog_solo_cycles) +
                   ", hog makespan " + std::to_string(hog_makespan) + ")");
     }
+
+    // --- One BENCH_scheduler_soak.json row per round ----------------------
+    // Everything here derives from simulated state, so the row is
+    // bit-identical on replay and at every GPUJOIN_SIM_THREADS.
+    const double round_cycles = device.elapsed_cycles() - round_cycles0;
+    vgpu::KernelStats round_stats = device.total_stats();
+    round_stats.Sub(round_stats0);
+    obs::MetricRow row;
+    row.algo = "soak-round";
+    row.backend = "vgpu";
+    row.params = {{"round", std::to_string(round)},
+                  {"budget_bytes", std::to_string(opts.budget_bytes)},
+                  {"seed", std::to_string(g_seed)}};
+    row.total_cycles = round_cycles;
+    const double round_seconds = device.config().CyclesToSeconds(round_cycles);
+    row.mtuples_per_sec =
+        round_seconds > 0
+            ? static_cast<double>(round_output_rows) / 1e6 / round_seconds
+            : 0;
+    row.l2_hit_rate =
+        round_stats.sectors > 0
+            ? static_cast<double>(round_stats.l2_hit_sectors) /
+                  static_cast<double>(round_stats.sectors)
+            : 0;
+    row.peak_mem_bytes = opts.budget_bytes;
+    row.output_rows = round_output_rows;
+    row.stats = round_stats;
+    sink.AddRow(row);
+  }
+
+  // --- Router telemetry reconciliation ------------------------------------
+  // A short routed phase after the rounds: every RunJoin/RunGroupBy entry
+  // must meter exactly one decision and exactly one routed op, whatever
+  // backend the cost model picks.
+  {
+    const obs::MetricsSnapshot before = reg.Snapshot();
+    ops::Router router(device);
+    for (int j = 0; j < 2; ++j) {
+      ops::JoinOp op;
+      op.algo = join::JoinAlgo::kPhjOm;
+      op.r = &small_w->r;
+      op.s = &small_w->s;
+      auto run = router.RunJoin(op);
+      if (!run.ok()) return Fail("router join: " + run.status().ToString());
+    }
+    ops::GroupByOp gop;
+    gop.input = &*gin;
+    gop.spec.aggregates = {{1, groupby::AggOp::kSum}};
+    auto grun = router.RunGroupBy(gop);
+    if (!grun.ok()) return Fail("router groupby: " + grun.status().ToString());
+
+    const obs::MetricsSnapshot delta = reg.Snapshot().Delta(before);
+    const uint64_t decisions = delta.CounterTotal("router_decisions_total");
+    const uint64_t routed = delta.CounterTotal("router_ops_total");
+    const uint64_t executed = delta.CounterTotal("ops_executed_total");
+    if (decisions != 3 || routed != 3 || executed != 3) {
+      return Fail("router counters do not reconcile: decisions=" +
+                  std::to_string(decisions) + " routed_ops=" +
+                  std::to_string(routed) + " executed=" +
+                  std::to_string(executed) + " (expected 3 each)");
+    }
   }
 
   tracer.set_enabled(false);
   std::printf(
       "lifecycle_soak: OK (%d rounds, seed %llu: %llu ok, %llu cancelled, "
       "%llu deadline-exceeded, %llu backpressured, %llu preemptions; "
-      "budget returned to 0 and zero leaks every round)\n",
+      "budget returned to 0, zero leaks, and telemetry reconciled every "
+      "round)\n",
       rounds, static_cast<unsigned long long>(g_seed),
       static_cast<unsigned long long>(total_ok),
       static_cast<unsigned long long>(total_cancelled),
@@ -347,6 +474,28 @@ int Run(int rounds) {
                 std::to_string(total_deadline) + " backpressure=" +
                 std::to_string(total_backpressure) + " preemptions=" +
                 std::to_string(total_preemptions) + ")");
+  }
+
+  // --- Artifact export -----------------------------------------------------
+  // METRICS artifacts are written WITHOUT host-timing samples so the bytes
+  // are identical at every GPUJOIN_SIM_THREADS setting — reproduce.sh
+  // --metrics diffs the 1-thread and 8-thread exports byte for byte.
+  const std::string dir = obs::JsonDirFromEnv();
+  if (!dir.empty()) {
+    const Result<std::string> bench_path = sink.WriteJson(dir);
+    if (!bench_path.ok()) {
+      return Fail("bench export: " + bench_path.status().ToString());
+    }
+    std::printf("lifecycle_soak: wrote %s\n", bench_path->c_str());
+    const obs::MetricsSnapshot snap = reg.Snapshot();
+    for (auto* writer : {&obs::WriteMetricsJson, &obs::WriteMetricsProm}) {
+      const Result<std::string> path =
+          (*writer)(snap, dir, "scheduler_soak", /*include_host_timing=*/false);
+      if (!path.ok()) {
+        return Fail("metrics export: " + path.status().ToString());
+      }
+      std::printf("lifecycle_soak: wrote %s\n", path->c_str());
+    }
   }
   return 0;
 }
