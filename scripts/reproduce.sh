@@ -56,6 +56,20 @@
 #   bench under each knob must exit non-zero with a clean DeadlineExceeded /
 #   Cancelled diagnostic and no leak abort.
 #
+#        scripts/reproduce.sh --chaos [rounds]
+#   Transient-fault mode (DESIGN.md §16): runs the chaos soak
+#   (tools/lifecycle_soak --chaos, default 6 rounds) across three seeds.
+#   Every round replays a fixed query mix three times — a fault-free
+#   reference, a chaos pass under seeded kernel faults or an
+#   always-tripping watchdog, and a replay — asserting structured terminal
+#   outcomes, rows bit-identical to the reference for every completed
+#   query, breaker-trip/hedge/retry double-entry against the metrics
+#   registry, and bit-identical replays. Then proves the chaos METRICS
+#   artifacts are byte-identical at 1 and 8 simulation threads, and
+#   smoke-checks the kernel-fault harness knobs: a bench under
+#   GPUJOIN_FAULT_KERNEL_NTH / GPUJOIN_WATCHDOG_CYCLES must exit non-zero
+#   with a clean kernel_fault / watchdog_timeout diagnostic and no leaks.
+#
 #        scripts/reproduce.sh --metrics [outdir]
 #   Metrics-registry mode (DESIGN.md §15): runs the canonical 4-round
 #   scheduler soak with metrics export and checks the whole observability
@@ -65,9 +79,10 @@
 #   TYPE lines, and a rerun at GPUJOIN_SIM_THREADS=8 produces byte-identical
 #   artifacts. Then validates every committed bench/results/*.json,
 #   smoke-tests the GPUJOIN_EXPLAIN "[metrics]" summary block, and finishes
-#   with the soft bench-regression gate: tools/bench_compare diffs the
+#   with the bench-regression gate: tools/bench_compare --strict diffs the
 #   freshly generated BENCH_*.json against the committed baselines and
-#   must return a green verdict.
+#   must return a green verdict (exit 3 on regression; without --strict
+#   the tool is report-only).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -235,6 +250,72 @@ if [[ "${1:-}" == "--lifecycle" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--chaos" ]]; then
+  if [[ ! -f build/CMakeCache.txt ]]; then
+    cmake -B build -G Ninja
+  fi
+  cmake --build build
+
+  rounds="${2:-6}"
+  echo "===== transient-fault chaos soak ($rounds rounds x 3 seeds) ====="
+  # Each seeded soak injects probabilistic kernel faults and watchdog
+  # timeouts, then asserts: every query reaches a structured terminal
+  # outcome, retried/hedged queries return rows bit-identical to a
+  # fault-free reference pass, breaker trips reconcile with the metrics
+  # registry's double entry, and a replay of every chaos round is
+  # bit-identical.
+  for seed in 1 2 3; do
+    GPUJOIN_JSON_DIR="" build/tools/lifecycle_soak --chaos "$rounds" --seed "$seed"
+  done
+
+  echo "===== chaos replay stability at GPUJOIN_SIM_THREADS=8 ====="
+  outdir="bench_json_chaos"
+  rm -rf "$outdir" "$outdir.t8"
+  GPUJOIN_JSON_DIR="$outdir" GPUJOIN_SIM_THREADS=1 \
+    build/tools/lifecycle_soak --chaos "$rounds" --seed 1 > /dev/null
+  GPUJOIN_JSON_DIR="$outdir.t8" GPUJOIN_SIM_THREADS=8 \
+    build/tools/lifecycle_soak --chaos "$rounds" --seed 1 > /dev/null
+  for f in METRICS_chaos_soak.json METRICS_chaos_soak.prom; do
+    if ! diff "$outdir/$f" "$outdir.t8/$f"; then
+      echo "FAIL: $f differs between 1 and 8 simulation threads"
+      exit 1
+    fi
+  done
+  rm -rf "$outdir.t8"
+  echo "ok: byte-identical chaos metrics at 1 and 8 simulation threads"
+
+  check_fault_knob() {
+    local label="$1" expect="$2"; shift 2
+    echo "===== $label ====="
+    set +e
+    local out rc
+    out="$(env "$@" GPUJOIN_SCALE=14 build/bench/bench_fig08_narrow 2>&1)"
+    rc=$?
+    set -e
+    echo "$out" | tail -n 2
+    if [[ "$rc" -eq 0 ]]; then
+      echo "FAIL: bench succeeded despite $label"
+      exit 1
+    fi
+    if ! grep -q "$expect" <<<"$out"; then
+      echo "FAIL: bench did not fail with a clean $expect diagnostic"
+      exit 1
+    fi
+    if grep -q "leaked simulated memory" <<<"$out"; then
+      echo "FAIL: $label leaked device memory"
+      exit 1
+    fi
+    echo "ok: $label produced a clean $expect failure"
+  }
+
+  check_fault_knob "kernel-fault smoke (GPUJOIN_FAULT_KERNEL_NTH)" \
+    "kernel_fault" GPUJOIN_FAULT_KERNEL_NTH=2
+  check_fault_knob "watchdog smoke (GPUJOIN_WATCHDOG_CYCLES)" \
+    "watchdog_timeout" GPUJOIN_WATCHDOG_CYCLES=1
+  echo "done: chaos soak + kernel-fault knob smoke passed"
+  exit 0
+fi
+
 if [[ "${1:-}" == "--metrics" ]]; then
   if [[ ! -f build/CMakeCache.txt ]]; then
     cmake -B build -G Ninja
@@ -284,7 +365,7 @@ if [[ "${1:-}" == "--metrics" ]]; then
   # fig08 and the crossover sweep regenerate at the committed baselines'
   # scale, so the gate compares real rows, not just the soak's.
   GPUJOIN_SCALE=16 GPUJOIN_JSON_DIR="$outdir" build/bench/bench_hyb1_crossover > /dev/null
-  build/tools/bench_compare --fresh "$outdir" --baseline bench/results \
+  build/tools/bench_compare --strict --fresh "$outdir" --baseline bench/results \
     --out "$outdir"/bench_compare_verdict.json
   rm -rf "$outdir.t8"
   echo "done: metrics pipeline green (artifacts + verdict in $outdir/)"

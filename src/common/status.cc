@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Yielded";
     case StatusCode::kTenantOverQuota:
       return "TenantOverQuota";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -34,6 +34,12 @@ enum class StatusCode {
   /// Per-tenant admission backpressure: the submission exceeds the tenant's
   /// quota (plus its borrowing allowance) or the tenant's queue is full.
   kTenantOverQuota = 9,
+  /// A transient fault: an injected kernel-execution fault, a watchdog
+  /// timeout on a runaway kernel, or a backend quarantined by its circuit
+  /// breaker. Retryable — unlike OOM (the work itself does not fit) the
+  /// same work is expected to succeed on a later attempt or on the other
+  /// backend. The message carries the fault kind and attempt count.
+  kUnavailable = 10,
 };
 
 /// Returns a short stable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -79,6 +85,9 @@ class Status {
   static Status TenantOverQuota(std::string msg) {
     return Status(StatusCode::kTenantOverQuota, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsResourceExhausted() const {
@@ -92,6 +101,7 @@ class Status {
   bool IsTenantOverQuota() const {
     return code_ == StatusCode::kTenantOverQuota;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   /// True for the lifecycle-layer terminal statuses: the query was stopped
   /// on purpose (cancel request or deadline), not by a fault. A yield is
   /// deliberately NOT a lifecycle stop — it is transient scheduler state,

@@ -49,9 +49,12 @@ Result<ResilientGroupByResult> RunGroupByResilient(
   const uint64_t baseline_live = device.memory_stats().live_bytes;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   const uint64_t faults0 = device.memory_stats().injected_failures;
+  const uint64_t kfaults0 = device.fault_injector().injected_kernel_faults() +
+                            device.watchdog_trips();
   GroupByAlgo current = algo;
   GroupByOptions gopts = options.groupby;
   int attempt = 0;
+  int transient_retries = 0;
   Status last_error = Status::OK();
 
   while (attempt < options.max_attempts) {
@@ -73,7 +76,44 @@ Result<ResilientGroupByResult> RunGroupByResilient(
         reg.CounterAdd("vgpu_faults_survived_total", {{"op", "groupby"}},
                        absorbed);
       }
+      const uint64_t kernel_absorbed =
+          device.fault_injector().injected_kernel_faults() +
+          device.watchdog_trips() - kfaults0;
+      if (kernel_absorbed > 0) {
+        reg.CounterAdd("vgpu_kernel_faults_survived_total",
+                       {{"op", "groupby"}}, kernel_absorbed);
+      }
       return res;
+    }
+    if (run.status().IsUnavailable()) {
+      // Transient rung: unwind, clear the sticky fault, seeded backoff, and
+      // re-run the SAME rung (no escalation — the work fits, the backend
+      // hiccuped). Once the transient budget is spent, propagate the
+      // retryable fault so the service layer can hedge backends.
+      obs::TraceInstant(device, "transient_fault", run.status().message());
+      reg.CounterAdd("resilient_transient_faults_total", {{"op", "groupby"}});
+      GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
+      device.ClearTransientFault();
+      ++transient_retries;
+      if (transient_retries >= options.backoff.max_attempts) {
+        return Status::Unavailable(
+            run.status().message() + " (attempt " +
+            std::to_string(transient_retries) +
+            "; ladder transient-retry budget exhausted)");
+      }
+      device.AdvanceClock(options.backoff.DelayCycles(transient_retries));
+      GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
+      res.degradation.push_back(
+          {"transient_retry",
+           "transient fault (" + run.status().message() +
+               "); retrying same rung, retry " +
+               std::to_string(transient_retries)});
+      obs::TraceInstant(device, "degradation:transient_retry",
+                        res.degradation.back().detail);
+      reg.CounterAdd("resilient_degradations_total",
+                     {{"op", "groupby"}, {"action", "transient_retry"}});
+      --attempt;  // Transient retries do not consume ladder attempts.
+      continue;
     }
     if (!IsResourceFailure(run.status())) return run.status();
     obs::TraceInstant(device, "resource_failure", run.status().message());

@@ -1,6 +1,7 @@
 #include "harness/harness.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,46 +45,153 @@ vgpu::DeviceConfig BaseDeviceConfig() {
   return vgpu::DeviceConfig::A100();
 }
 
-vgpu::FaultInjector FaultInjectorFromEnv() {
+namespace {
+
+/// Strict integer parse: the whole string must be a base-10 integer.
+/// (std::atoll silently reads "12abc" as 12 and "abc" as 0, so a typo'd
+/// fault spec used to dissolve into "no fault armed".)
+Result<long long> ParseInt(const char* name, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string(name) + "=" + text +
+                                   " is not an integer");
+  }
+  return v;
+}
+
+Result<double> ParseDouble(const char* name, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string(name) + "=" + text +
+                                   " is not a number");
+  }
+  return v;
+}
+
+uint64_t FaultSeedFromEnv() {
+  uint64_t seed = 42;
+  if (const char* s = std::getenv("GPUJOIN_FAULT_SEED")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end != s && *end == '\0') seed = static_cast<uint64_t>(v);
+  }
+  return seed;
+}
+
+}  // namespace
+
+Result<vgpu::FaultInjector> FaultSpecFromEnv() {
   const char* nth = std::getenv("GPUJOIN_FAULT_NTH");
   const char* bytes = std::getenv("GPUJOIN_FAULT_BYTES");
   const char* prob = std::getenv("GPUJOIN_FAULT_PROB");
-  const int set = (nth != nullptr) + (bytes != nullptr) + (prob != nullptr);
+  const char* knth = std::getenv("GPUJOIN_FAULT_KERNEL_NTH");
+  const char* kprob = std::getenv("GPUJOIN_FAULT_KERNEL_PROB");
+  const char* kburst = std::getenv("GPUJOIN_FAULT_KERNEL_BURST");
+  const int set = (nth != nullptr) + (bytes != nullptr) + (prob != nullptr) +
+                  (knth != nullptr) + (kprob != nullptr) + (kburst != nullptr);
   if (set > 1) {
-    std::fprintf(stderr,
-                 "at most one of GPUJOIN_FAULT_NTH / GPUJOIN_FAULT_BYTES / "
-                 "GPUJOIN_FAULT_PROB may be set\n");
-    std::abort();
+    return Status::InvalidArgument(
+        "at most one of GPUJOIN_FAULT_NTH / GPUJOIN_FAULT_BYTES / "
+        "GPUJOIN_FAULT_PROB / GPUJOIN_FAULT_KERNEL_NTH / "
+        "GPUJOIN_FAULT_KERNEL_PROB / GPUJOIN_FAULT_KERNEL_BURST may be set");
   }
   if (nth != nullptr) {
-    const long long v = std::atoll(nth);
+    GPUJOIN_ASSIGN_OR_RETURN(const long long v,
+                             ParseInt("GPUJOIN_FAULT_NTH", nth));
     if (v < 1) {
-      std::fprintf(stderr, "GPUJOIN_FAULT_NTH=%s must be >= 1\n", nth);
-      std::abort();
+      return Status::InvalidArgument(std::string("GPUJOIN_FAULT_NTH=") + nth +
+                                     " must be >= 1");
     }
     return vgpu::FaultInjector::FailNth(static_cast<uint64_t>(v));
   }
   if (bytes != nullptr) {
-    const long long v = std::atoll(bytes);
+    GPUJOIN_ASSIGN_OR_RETURN(const long long v,
+                             ParseInt("GPUJOIN_FAULT_BYTES", bytes));
     if (v < 0) {
-      std::fprintf(stderr, "GPUJOIN_FAULT_BYTES=%s must be >= 0\n", bytes);
-      std::abort();
+      return Status::InvalidArgument(std::string("GPUJOIN_FAULT_BYTES=") +
+                                     bytes + " must be >= 0");
     }
     return vgpu::FaultInjector::FailAfterBytes(static_cast<uint64_t>(v));
   }
   if (prob != nullptr) {
-    const double p = std::atof(prob);
+    GPUJOIN_ASSIGN_OR_RETURN(const double p,
+                             ParseDouble("GPUJOIN_FAULT_PROB", prob));
     if (p < 0 || p >= 1) {
-      std::fprintf(stderr, "GPUJOIN_FAULT_PROB=%s must be in [0,1)\n", prob);
-      std::abort();
+      return Status::InvalidArgument(std::string("GPUJOIN_FAULT_PROB=") +
+                                     prob + " must be in [0,1)");
     }
-    uint64_t seed = 42;
-    if (const char* s = std::getenv("GPUJOIN_FAULT_SEED")) {
-      seed = static_cast<uint64_t>(std::atoll(s));
-    }
-    return vgpu::FaultInjector::FailWithProbability(p, seed);
+    return vgpu::FaultInjector::FailWithProbability(p, FaultSeedFromEnv());
   }
-  return {};
+  if (knth != nullptr) {
+    GPUJOIN_ASSIGN_OR_RETURN(const long long v,
+                             ParseInt("GPUJOIN_FAULT_KERNEL_NTH", knth));
+    if (v < 1) {
+      return Status::InvalidArgument(
+          std::string("GPUJOIN_FAULT_KERNEL_NTH=") + knth + " must be >= 1");
+    }
+    return vgpu::FaultInjector::FailNthKernel(static_cast<uint64_t>(v));
+  }
+  if (kprob != nullptr) {
+    GPUJOIN_ASSIGN_OR_RETURN(const double p,
+                             ParseDouble("GPUJOIN_FAULT_KERNEL_PROB", kprob));
+    if (p < 0 || p >= 1) {
+      return Status::InvalidArgument(
+          std::string("GPUJOIN_FAULT_KERNEL_PROB=") + kprob +
+          " must be in [0,1)");
+    }
+    return vgpu::FaultInjector::FailKernelWithProbability(p,
+                                                          FaultSeedFromEnv());
+  }
+  if (kburst != nullptr) {
+    // "first:len" — a burst of `len` consecutive kernel faults starting at
+    // the `first`th kernel (1-based). "7:3" fails kernels 7, 8, 9.
+    const std::string spec(kburst);
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          std::string("GPUJOIN_FAULT_KERNEL_BURST=") + kburst +
+          " must be of the form first:len");
+    }
+    GPUJOIN_ASSIGN_OR_RETURN(
+        const long long first,
+        ParseInt("GPUJOIN_FAULT_KERNEL_BURST", spec.substr(0, colon).c_str()));
+    GPUJOIN_ASSIGN_OR_RETURN(
+        const long long len,
+        ParseInt("GPUJOIN_FAULT_KERNEL_BURST", spec.substr(colon + 1).c_str()));
+    if (first < 1 || len < 1) {
+      return Status::InvalidArgument(
+          std::string("GPUJOIN_FAULT_KERNEL_BURST=") + kburst +
+          " needs first >= 1 and len >= 1");
+    }
+    return vgpu::FaultInjector::FailKernelBurst(static_cast<uint64_t>(first),
+                                                static_cast<uint64_t>(len));
+  }
+  return vgpu::FaultInjector();
+}
+
+Result<double> WatchdogCyclesFromEnv() {
+  const char* env = std::getenv("GPUJOIN_WATCHDOG_CYCLES");
+  if (env == nullptr) return 0.0;
+  GPUJOIN_ASSIGN_OR_RETURN(const double v,
+                           ParseDouble("GPUJOIN_WATCHDOG_CYCLES", env));
+  if (v <= 0) {
+    return Status::InvalidArgument(std::string("GPUJOIN_WATCHDOG_CYCLES=") +
+                                   env + " must be > 0");
+  }
+  return v;
+}
+
+vgpu::FaultInjector FaultInjectorFromEnv() {
+  Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().message().c_str());
+    std::abort();
+  }
+  return *std::move(spec);
 }
 
 vgpu::LifecycleControl* LifecycleFromEnv() {
@@ -137,9 +245,15 @@ int SimThreadsFromEnv() {
 }
 
 vgpu::Device MakeBenchDevice() {
+  Result<double> watchdog = WatchdogCyclesFromEnv();
+  if (!watchdog.ok()) {
+    std::fprintf(stderr, "%s\n", watchdog.status().message().c_str());
+    std::abort();
+  }
   return vgpu::Device(
       vgpu::DeviceConfig::ScaledToWorkload(BaseDeviceConfig(), ScaleTuples()),
-      FaultInjectorFromEnv(), LifecycleFromEnv(), SimThreadsFromEnv());
+      FaultInjectorFromEnv(), LifecycleFromEnv(), SimThreadsFromEnv(),
+      *watchdog);
 }
 
 Result<DeviceWorkload> Upload(vgpu::Device& device,

@@ -24,7 +24,20 @@
 //   GPUJOIN_FAULT_BYTES fail every allocation once cumulative allocated
 //                       bytes exceed this budget.
 //   GPUJOIN_FAULT_PROB  fail each allocation with this probability [0,1).
-//   GPUJOIN_FAULT_SEED  RNG seed for GPUJOIN_FAULT_PROB (default 42).
+//   GPUJOIN_FAULT_KERNEL_NTH
+//                       inject a transient kernel-execution fault
+//                       (kUnavailable) at the Nth kernel launch (one-shot).
+//   GPUJOIN_FAULT_KERNEL_PROB
+//                       fail each kernel with this probability [0,1).
+//   GPUJOIN_FAULT_KERNEL_BURST
+//                       "first:len" — fail `len` consecutive kernels
+//                       starting at the `first`th (models a burst fault
+//                       domain; "7:3" fails kernels 7, 8, 9).
+//   GPUJOIN_FAULT_SEED  RNG seed for the probabilistic modes (default 42).
+//   GPUJOIN_WATCHDOG_CYCLES
+//                       simulated-cycle budget for a single kernel; a
+//                       kernel exceeding it trips a structured
+//                       watchdog_timeout (kUnavailable). Must be > 0.
 //   GPUJOIN_JSON_DIR    directory for BENCH_<name>.json (structured
 //                       metrics), TRACE_<name>.json (Chrome trace-event
 //                       / Perfetto), and METRICS_<name>.json/.prom
@@ -46,12 +59,16 @@
 //                       trip the bench device's cancel token when the Nth
 //                       kernel launches (1-based), driving a clean
 //                       kCancelled stop at that boundary.
-// At most one of NTH/BYTES/PROB may be set; the bench device is built with
-// the resulting injector armed, so any bench binary doubles as a fault-
-// injection smoke test (it must fail with a clean ResourceExhausted, never
-// crash or leak). The lifecycle knobs work the same way: a bench driven
-// with a deadline or cancel-at-kernel must stop with the structured status
-// and zero leaks, never crash.
+// At most one of the six GPUJOIN_FAULT_* mode knobs may be set; the bench
+// device is built with the resulting injector armed, so any bench binary
+// doubles as a fault-injection smoke test (it must fail with a clean
+// ResourceExhausted — or absorb/surface a clean kUnavailable for the
+// kernel-fault modes — never crash or leak). A malformed fault spec is a
+// structured startup error: FaultSpecFromEnv returns InvalidArgument and
+// the bench aborts with the diagnostic instead of silently running
+// fault-free. The lifecycle knobs work the same way: a bench driven with a
+// deadline or cancel-at-kernel must stop with the structured status and
+// zero leaks, never crash.
 
 #ifndef GPUJOIN_HARNESS_HARNESS_H_
 #define GPUJOIN_HARNESS_HARNESS_H_
@@ -77,9 +94,20 @@ uint64_t ScaleTuples();
 /// The base (unscaled) device config selected by GPUJOIN_DEVICE.
 vgpu::DeviceConfig BaseDeviceConfig();
 
+/// The fault injector requested via GPUJOIN_FAULT_* as a structured
+/// result: unarmed when no knob is set, InvalidArgument for a malformed or
+/// conflicting spec (non-numeric value, out-of-range probability, bad
+/// burst shape, more than one mode).
+Result<vgpu::FaultInjector> FaultSpecFromEnv();
+
 /// The fault injector requested via GPUJOIN_FAULT_* (unarmed when none are
-/// set; invalid or conflicting settings abort with a diagnostic).
+/// set; invalid or conflicting settings abort with FaultSpecFromEnv's
+/// diagnostic).
 vgpu::FaultInjector FaultInjectorFromEnv();
+
+/// GPUJOIN_WATCHDOG_CYCLES as a structured result: 0 when unset (watchdog
+/// disarmed), InvalidArgument for a non-numeric or non-positive value.
+Result<double> WatchdogCyclesFromEnv();
 
 /// Host threads for the parallel simulation path (GPUJOIN_SIM_THREADS,
 /// default 1; 0 or "auto" selects the hardware concurrency).

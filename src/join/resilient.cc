@@ -20,6 +20,11 @@ bool IsResourceFailure(const Status& st) {
          st.code() == StatusCode::kOutOfMemory;
 }
 
+/// Transient faults (injected kernel fault, watchdog timeout): the same
+/// work is expected to succeed on retry, so the ladder re-runs the current
+/// rung instead of escalating.
+bool IsTransientFailure(const Status& st) { return st.IsUnavailable(); }
+
 bool IsRadixPartitioned(JoinAlgo algo) {
   return algo == JoinAlgo::kPhjUm || algo == JoinAlgo::kPhjOm;
 }
@@ -88,16 +93,57 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
   const uint64_t faults0 = device.memory_stats().injected_failures;
   // A query that completes despite injected allocation faults survived
   // them; recorded on the success paths only.
+  const uint64_t kfaults0 =
+      device.fault_injector().injected_kernel_faults() +
+      device.watchdog_trips();
   const auto record_survived = [&] {
     const uint64_t absorbed =
         device.memory_stats().injected_failures - faults0;
     if (absorbed > 0) {
       reg.CounterAdd("vgpu_faults_survived_total", {{"op", "join"}}, absorbed);
     }
+    const uint64_t kernel_absorbed =
+        device.fault_injector().injected_kernel_faults() +
+        device.watchdog_trips() - kfaults0;
+    if (kernel_absorbed > 0) {
+      reg.CounterAdd("vgpu_kernel_faults_survived_total", {{"op", "join"}},
+                     kernel_absorbed);
+    }
   };
   const double t0 = device.ElapsedSeconds();
   int attempt = 0;
+  int transient_retries = 0;
   Status last_error = Status::OK();
+
+  // Transient rung, shared by every ladder level: a kUnavailable attempt
+  // unwinds cleanly, clears the device's sticky fault, waits a seeded
+  // backoff, and re-runs the SAME rung (no escalation — the work fits, the
+  // backend hiccuped). Returns true to retry; propagates the fault once
+  // the transient budget is spent so the service layer can hedge backends.
+  const auto try_absorb_transient = [&](const Status& st) -> Result<bool> {
+    if (!IsTransientFailure(st)) return false;
+    obs::TraceInstant(device, "transient_fault", st.message());
+    reg.CounterAdd("resilient_transient_faults_total", {{"op", "join"}});
+    GPUJOIN_RETURN_IF_ERROR(VerifyCleanRollback(device, baseline_live));
+    device.ClearTransientFault();
+    ++transient_retries;
+    if (transient_retries >= options.backoff.max_attempts) {
+      return Status::Unavailable(
+          st.message() + " (attempt " + std::to_string(transient_retries) +
+          "; ladder transient-retry budget exhausted)");
+    }
+    device.AdvanceClock(options.backoff.DelayCycles(transient_retries));
+    GPUJOIN_RETURN_IF_ERROR(obs::CheckLifecycle(device));
+    res.degradation.push_back(
+        {"transient_retry",
+         "transient fault (" + st.message() + "); retrying same rung, retry " +
+             std::to_string(transient_retries)});
+    obs::TraceInstant(device, "degradation:transient_retry",
+                      res.degradation.back().detail);
+    reg.CounterAdd("resilient_degradations_total",
+                   {{"op", "join"}, {"action", "transient_retry"}});
+    return true;
+  };
 
   // Rungs 1 + 2: in-memory attempts, escalating partition bits while the
   // algorithm can use them.
@@ -116,6 +162,13 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
       res.device_seconds = device.ElapsedSeconds() - t0;
       record_survived();
       return res;
+    }
+    {
+      GPUJOIN_ASSIGN_OR_RETURN(const bool retry_rung, try_absorb_transient(st));
+      if (retry_rung) {
+        --attempt;  // Transient retries do not consume ladder attempts.
+        continue;
+      }
     }
     if (!IsResourceFailure(st)) return st;
     obs::TraceInstant(device, "resource_failure", st.message());
@@ -178,6 +231,14 @@ Result<ResilientJoinResult> RunJoinResilient(vgpu::Device& device,
         res.device_seconds = device.ElapsedSeconds() - t0;
         record_survived();
         return res;
+      }
+      {
+        GPUJOIN_ASSIGN_OR_RETURN(const bool retry_rung,
+                                 try_absorb_transient(oc.status()));
+        if (retry_rung) {
+          --attempt;  // Re-run the same fragment count.
+          continue;
+        }
       }
       if (!IsResourceFailure(oc.status())) return oc.status();
       reg.CounterAdd("resilient_resource_failures_total", {{"op", "join"}});

@@ -167,16 +167,18 @@ inline void TraceInstant(vgpu::Device& device, std::string name,
 
 /// Cooperative lifecycle seam: returns the device's sticky lifecycle status
 /// (kCancelled / kDeadlineExceeded once a cancel request or simulated-cycle
-/// deadline tripped), recording a trace instant the moment a query layer
-/// observes the stop. Query drivers call this between kernels, phases,
-/// fragments, and pipeline steps, and before returning a completed result.
+/// deadline tripped, kUnavailable while a transient kernel fault is
+/// pending), recording a trace instant the moment a query layer observes
+/// the stop. Query drivers call this between kernels, phases, fragments,
+/// and pipeline steps, and before returning a completed result.
 inline Status CheckLifecycle(vgpu::Device& device) {
   Status st = device.LifecycleStatus();
   if (!st.ok()) {
     TraceInstant(device,
-                 st.IsCancelled()  ? "lifecycle:cancelled"
-                 : st.IsYielded() ? "lifecycle:yielded"
-                                   : "lifecycle:deadline_exceeded",
+                 st.IsCancelled()      ? "lifecycle:cancelled"
+                 : st.IsYielded()      ? "lifecycle:yielded"
+                 : st.IsUnavailable()  ? "lifecycle:unavailable"
+                                       : "lifecycle:deadline_exceeded",
                  st.message());
   }
   return st;

@@ -71,6 +71,22 @@ void PickByCost(RouteDecision* d, Backend force, bool eligible,
   d->reason = "cost";
 }
 
+/// Hedge rung: when the health guard quarantines the chosen backend, flip
+/// to the survivor. Quarantine outranks even a forced backend (a forced
+/// pick on a tripped breaker would just burn its retry budget), but never
+/// overrides an eligibility guard: an ineligible survivor means the
+/// original choice stands and the service retry path owns the fault.
+void ApplyQuarantine(RouteDecision* d, const RouterOptions& options,
+                     bool cpux_eligible) {
+  if (!options.quarantined || !options.quarantined(d->backend)) return;
+  const Backend other =
+      d->backend == Backend::kCpux ? Backend::kVgpu : Backend::kCpux;
+  if (other == Backend::kCpux && !cpux_eligible) return;
+  if (options.quarantined(other)) return;  // Both unhealthy: no hedge.
+  d->backend = other;
+  d->reason = "quarantined";
+}
+
 }  // namespace
 
 RouterOptions RouterOptions::FromEnv(RouterOptions base) {
@@ -110,7 +126,9 @@ RouteDecision RouteJoin(const JoinOp& op, const vgpu::DeviceConfig& config,
                    tuples / cost.vgpu_join_tuples_per_sec;
 
   std::string guard;
-  PickByCost(&d, options.force, CpuxEligibleJoin(op, &guard), guard);
+  const bool eligible = CpuxEligibleJoin(op, &guard);
+  PickByCost(&d, options.force, eligible, guard);
+  ApplyQuarantine(&d, options, eligible);
   return d;
 }
 
@@ -135,7 +153,9 @@ RouteDecision RouteGroupBy(const GroupByOp& op,
       tuples / cost.vgpu_groupby_tuples_per_sec;
 
   std::string guard;
-  PickByCost(&d, options.force, CpuxEligibleGroupBy(op, &guard), guard);
+  const bool eligible = CpuxEligibleGroupBy(op, &guard);
+  PickByCost(&d, options.force, eligible, guard);
+  ApplyQuarantine(&d, options, eligible);
   return d;
 }
 

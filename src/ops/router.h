@@ -23,6 +23,7 @@
 #define GPUJOIN_OPS_ROUTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,16 @@ struct RouterOptions {
   /// Worker threads assumed/used for the cpux backend.
   int cpux_threads = 1;
 
+  /// Optional backend-health guard (service::BackendHealth), consulted
+  /// AFTER the cost/force choice. When set and it reports the chosen
+  /// backend quarantined, the router hedges the fragment to the surviving
+  /// backend with reason "quarantined" — unless the survivor is itself
+  /// quarantined or ineligible (strings/rows can only run on vgpu), in
+  /// which case the original choice stands and the service-layer retry
+  /// path owns the fault. Deterministic: the guard reads breaker state
+  /// driven purely by the simulated clock.
+  std::function<bool(Backend)> quarantined;
+
   /// `base` with GPUJOIN_BACKEND (auto|cpu|cpux|vgpu|gpu) applied to
   /// `force` when set; unset or unparsable leaves `base` untouched.
   static RouterOptions FromEnv(RouterOptions base);
@@ -84,7 +95,8 @@ struct RouteDecision {
   double cpux_seconds = 0;
   double vgpu_seconds = 0;
   stats::MemoryEstimate memory;
-  /// "cost", "forced", or an eligibility guard ("strings", "rows").
+  /// "cost", "forced", "quarantined" (hedged off an unhealthy backend),
+  /// or an eligibility guard ("strings", "rows").
   std::string reason;
 };
 

@@ -1,0 +1,146 @@
+#include "service/health.h"
+
+#include "obs/registry.h"
+
+namespace gpujoin::service {
+
+namespace {
+
+double StateGauge(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return 0;
+    case BreakerState::kOpen:
+      return 1;
+    case BreakerState::kHalfOpen:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+std::string FaultKindOf(const Status& st) {
+  const std::string& msg = st.message();
+  const size_t colon = msg.find(':');
+  if (colon == std::string::npos || colon == 0) return "unknown";
+  const std::string kind = msg.substr(0, colon);
+  // Bounded label values only: accept the known fault domains, fold the
+  // rest into "unknown" rather than minting a label per message shape.
+  if (kind == "kernel_fault" || kind == "watchdog_timeout") return kind;
+  return "unknown";
+}
+
+BackendHealth::BackendHealth(BreakerOptions options) : options_(options) {}
+
+BackendHealth::Breaker& BackendHealth::Slot(ops::Backend backend,
+                                            const std::string& fault_kind) {
+  return breakers_[Key(ops::BackendName(backend), fault_kind)];
+}
+
+void BackendHealth::Transition(const Key& key, Breaker& b, BreakerState to,
+                               double now_cycles) {
+  if (b.state == to) return;
+  b.state = to;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("service_breaker_transitions_total",
+                 {{"backend", key.first},
+                  {"fault", key.second},
+                  {"to", BreakerStateName(to)}});
+  reg.GaugeSet("service_breaker_state",
+               {{"backend", key.first}, {"fault", key.second}},
+               StateGauge(to));
+  switch (to) {
+    case BreakerState::kOpen:
+      ++trips_;
+      b.opened_at_cycles = now_cycles;
+      break;
+    case BreakerState::kHalfOpen:
+      ++probes_;
+      break;
+    case BreakerState::kClosed:
+      ++closes_;
+      break;
+  }
+}
+
+void BackendHealth::RecordFailure(ops::Backend backend,
+                                  const std::string& fault_kind,
+                                  double now_cycles) {
+  Breaker& b = Slot(backend, fault_kind);
+  const Key key(ops::BackendName(backend), fault_kind);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.CounterAdd("service_breaker_failures_total",
+                 {{"backend", key.first}, {"fault", key.second}});
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (++b.consecutive_failures >= options_.trip_threshold) {
+        // Threshold site of the trips double-entry: every path into kOpen
+        // passes through here or the half-open re-trip below, and each
+        // also emits transitions{to="open"} inside Transition().
+        reg.CounterAdd("service_breaker_trips_total",
+                       {{"backend", key.first}, {"fault", key.second}});
+        Transition(key, b, BreakerState::kOpen, now_cycles);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe fragment failed: re-trip without a fresh threshold.
+      b.consecutive_failures = options_.trip_threshold;
+      reg.CounterAdd("service_breaker_trips_total",
+                     {{"backend", key.first}, {"fault", key.second}});
+      Transition(key, b, BreakerState::kOpen, now_cycles);
+      break;
+    case BreakerState::kOpen:
+      // A fragment already in flight when the breaker opened; count the
+      // failure but the breaker is as open as it gets.
+      ++b.consecutive_failures;
+      break;
+  }
+}
+
+void BackendHealth::RecordSuccess(ops::Backend backend, double now_cycles) {
+  const std::string name = ops::BackendName(backend);
+  for (auto& [key, b] : breakers_) {
+    if (key.first != name) continue;
+    b.consecutive_failures = 0;
+    if (b.state == BreakerState::kHalfOpen) {
+      Transition(key, b, BreakerState::kClosed, now_cycles);
+    }
+  }
+}
+
+bool BackendHealth::Quarantined(ops::Backend backend, double now_cycles) {
+  const std::string name = ops::BackendName(backend);
+  bool open = false;
+  for (auto& [key, b] : breakers_) {
+    if (key.first != name || b.state != BreakerState::kOpen) continue;
+    if (now_cycles >= b.opened_at_cycles + options_.probe_after_cycles) {
+      // Probe window elapsed: admit the next fragment as the probe.
+      Transition(key, b, BreakerState::kHalfOpen, now_cycles);
+      continue;
+    }
+    open = true;
+  }
+  return open;
+}
+
+BreakerState BackendHealth::StateOf(ops::Backend backend,
+                                    const std::string& fault_kind) const {
+  const auto it =
+      breakers_.find(Key(ops::BackendName(backend), fault_kind));
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+}  // namespace gpujoin::service

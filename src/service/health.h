@@ -1,0 +1,120 @@
+// Per-backend health model: circuit breakers over transient faults.
+//
+// Every terminal kUnavailable a fragment surfaces (injected kernel fault,
+// watchdog timeout on a runaway kernel) is recorded against the breaker
+// keyed by (backend, fault_kind). Each breaker is the classic three-state
+// machine, driven entirely by the SIMULATED clock so trips, probes, and
+// re-admissions replay bit-identically at any GPUJOIN_SIM_THREADS:
+//
+//   closed ──(trip_threshold consecutive failures)──▶ open
+//   open ──(probe_after_cycles elapse)──▶ half-open
+//   half-open ──(probe fragment succeeds)──▶ closed
+//   half-open ──(probe fragment fails)──▶ open          (re-trip)
+//
+// While ANY breaker for a backend is open, `Quarantined(backend)` is true
+// and the router hedges fragments to the surviving backend (reason
+// "quarantined", vgpu ⇄ cpux). Once the probe window elapses the breaker
+// moves to half-open and admits exactly the next fragment as a probe; its
+// outcome closes or re-trips the breaker.
+//
+// Double-entry metrics (reconciled by the chaos soak and health tests):
+//   service_breaker_trips_total{backend,fault}       — metered at the
+//     failure-threshold site (RecordFailure), once per closed/half-open
+//     → open transition,
+//   service_breaker_transitions_total{backend,fault,to} — metered in the
+//     state-machine transition helper; trips == transitions{to="open"},
+//   service_breaker_probes_total{backend,fault}      — open → half-open
+//     admissions; every probe also appears as transitions{to="half_open"},
+//   service_breaker_state{backend,fault}             — gauge, 0 closed /
+//     1 open / 2 half-open.
+
+#ifndef GPUJOIN_SERVICE_HEALTH_H_
+#define GPUJOIN_SERVICE_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "ops/operator.h"
+
+namespace gpujoin::service {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive failures of one (backend, fault_kind) that trip the
+  /// breaker open. Ladder-level transient retries are invisible here; only
+  /// faults that exhaust the ladder budget reach RecordFailure.
+  int trip_threshold = 3;
+  /// Simulated cycles an open breaker waits before moving to half-open and
+  /// admitting a probe fragment.
+  double probe_after_cycles = 2e6;
+};
+
+/// The fault-domain key carried in a kUnavailable message: the prefix
+/// before the first ':' ("kernel_fault", "watchdog_timeout"). Messages
+/// without a recognizable prefix map to "unknown" so breaker label values
+/// stay bounded.
+std::string FaultKindOf(const Status& st);
+
+class BackendHealth {
+ public:
+  explicit BackendHealth(BreakerOptions options = {});
+
+  /// Records a terminal transient failure of `fault_kind` on `backend` at
+  /// simulated time `now_cycles`. Trips the breaker open at the threshold;
+  /// a failed half-open probe re-trips immediately.
+  void RecordFailure(ops::Backend backend, const std::string& fault_kind,
+                     double now_cycles);
+
+  /// Records a successfully completed fragment on `backend`: resets every
+  /// consecutive-failure count for the backend and closes its half-open
+  /// breakers (the probe passed).
+  void RecordSuccess(ops::Backend backend, double now_cycles);
+
+  /// True while any breaker for `backend` is open at `now_cycles`. Open
+  /// breakers whose probe window has elapsed transition to half-open here
+  /// (and stop quarantining — the next fragment is the probe), so this is
+  /// the clock-driven edge of the state machine and is NOT const.
+  bool Quarantined(ops::Backend backend, double now_cycles);
+
+  /// Current state of one breaker (kClosed when never seen).
+  BreakerState StateOf(ops::Backend backend,
+                       const std::string& fault_kind) const;
+
+  /// Lifetime transition counts, for reconciliation against the registry.
+  uint64_t trips() const { return trips_; }
+  uint64_t probes() const { return probes_; }
+  uint64_t closes() const { return closes_; }
+
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_cycles = 0;
+  };
+
+  using Key = std::pair<std::string, std::string>;  // (backend, fault_kind)
+
+  Breaker& Slot(ops::Backend backend, const std::string& fault_kind);
+  void Transition(const Key& key, Breaker& b, BreakerState to,
+                  double now_cycles);
+
+  BreakerOptions options_;
+  /// Ordered map: iteration order (and thus metric emission order) is
+  /// deterministic and independent of insertion history.
+  std::map<Key, Breaker> breakers_;
+  uint64_t trips_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t closes_ = 0;
+};
+
+}  // namespace gpujoin::service
+
+#endif  // GPUJOIN_SERVICE_HEALTH_H_

@@ -31,6 +31,17 @@ void AppendColumns(HostTable& into, const HostTable& part) {
   }
 }
 
+/// Whether the cpux engines can run this table at all (integer-only, row
+/// ids fit 32 bits) — the hedge guard for forced-backend requests. The
+/// router applies the same guard internally on the kAuto path.
+bool CpuxCanRun(const HostTable* t) {
+  if (t == nullptr) return true;
+  for (const HostColumn& col : t->columns) {
+    if (col.is_string()) return false;
+  }
+  return t->num_rows() < uint64_t{0xFFFFFFFF};
+}
+
 }  // namespace
 
 const char* AdmissionDecisionName(AdmissionDecision d) {
@@ -52,7 +63,9 @@ QueryService::QueryService(vgpu::Device& device, ServiceOptions options)
       backoff_(options.backoff),
       sched_(options.scheduler),
       default_backend_(options.default_backend),
-      cpux_threads_(std::max(1, options.cpux_threads)) {
+      cpux_threads_(std::max(1, options.cpux_threads)),
+      transient_retry_limit_(std::max(0, options.transient_retry_limit)),
+      health_(options.breaker) {
   // GPUJOIN_BACKEND overrides the configured default; unset or unparsable
   // leaves it alone (a service cannot surface a Status from a constructor).
   if (Result<ops::Backend> env = ops::BackendFromEnv(default_backend_);
@@ -394,17 +407,44 @@ ops::CpuxProvider& QueryService::Cpux() {
 
 bool QueryService::ResolveUseCpux(const QueryRequest& request,
                                   const FragmentUnit& unit,
-                                  std::string* label) const {
+                                  std::string* label) {
+  const double now = device_.elapsed_cycles();
+  // Hedge-decision double entry: metered here, once per hedged resolution;
+  // the executing side meters service_hedged_fragments_total once per
+  // hedged turn. The two totals reconcile after every Drain.
+  const auto record_hedge = [&](ops::Backend to) {
+    obs::MetricsRegistry::Global().CounterAdd(
+        "service_hedge_decisions_total", {{"to", ops::BackendName(to)}});
+  };
   const ops::Backend want = request.backend.value_or(default_backend_);
   if (want != ops::Backend::kAuto) {
+    // A forced backend still hedges off an open breaker: pinning a
+    // fragment to a quarantined backend would just burn its transient
+    // retry budget. Eligibility still binds (strings stay on vgpu).
+    const ops::Backend other = want == ops::Backend::kCpux
+                                   ? ops::Backend::kVgpu
+                                   : ops::Backend::kCpux;
+    const bool other_viable =
+        other == ops::Backend::kVgpu ||
+        (CpuxCanRun(unit.r) &&
+         (request.kind != QueryKind::kJoin || CpuxCanRun(unit.s)));
+    if (health_.Quarantined(want, now) && other_viable &&
+        !health_.Quarantined(other, now)) {
+      *label = std::string("hedge:") + ops::BackendName(other);
+      record_hedge(other);
+      return other == ops::Backend::kCpux;
+    }
     *label = ops::BackendName(want);
     return want == ops::Backend::kCpux;
   }
-  // Cost-based route per fragment unit: pure function of tuple counts and
-  // the device config, so replays and every GPUJOIN_SIM_THREADS setting
-  // pick the same backend.
+  // Cost-based route per fragment unit: pure function of tuple counts, the
+  // device config, and breaker state driven by the simulated clock — so
+  // replays and every GPUJOIN_SIM_THREADS setting pick the same backend.
   ops::RouterOptions ropts;
   ropts.cpux_threads = cpux_threads_;
+  ropts.quarantined = [this, now](ops::Backend b) {
+    return health_.Quarantined(b, now);
+  };
   ops::RouteDecision decision;
   if (request.kind == QueryKind::kJoin) {
     ops::JoinOp op;
@@ -421,17 +461,24 @@ bool QueryService::ResolveUseCpux(const QueryRequest& request,
     op.input = unit.r;
     decision = ops::RouteGroupBy(op, device_.config(), ropts);
   }
-  *label = std::string("auto:") + ops::BackendName(decision.backend);
+  if (decision.reason == "quarantined") {
+    *label = std::string("hedge:") + ops::BackendName(decision.backend);
+    record_hedge(decision.backend);
+  } else {
+    *label = std::string("auto:") + ops::BackendName(decision.backend);
+  }
   return decision.backend == ops::Backend::kCpux;
 }
 
-Status QueryService::RunUnit(Run& run, bool use_cpux) {
+Status QueryService::RunUnit(Run& run, bool use_cpux,
+                             ops::Backend* executed) {
   const FragmentUnit& u = run.plan.units()[run.next_unit];
   const QueryRequest& req = run.request;
   QueryOutcome& out = outcomes_[run.id];
   HostTable part;
   uint64_t part_rows = 0;
   bool ran_on_cpux = false;
+  *executed = use_cpux ? ops::Backend::kCpux : ops::Backend::kVgpu;
 
   if (use_cpux) {
     // Host-side execution: zero simulated cycles, no PCIe charges. A cpux
@@ -466,6 +513,7 @@ Status QueryService::RunUnit(Run& run, bool use_cpux) {
                             ": cpux failed (" + rr.status().message() +
                             "); retrying on vgpu");
       out.backend += "->vgpu";
+      *executed = ops::Backend::kVgpu;
       obs::MetricsRegistry::Global().CounterAdd(
           "service_backend_fallback_total", {{"tenant", out.tenant}});
     } else {
@@ -591,8 +639,20 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
   reg.CounterAdd("sched_turns_total", {{"tenant", out.tenant}});
   reg.CounterAdd("service_backend_resolved_total",
                  {{"backend", backend_label}});
+  if (backend_label.rfind("hedge:", 0) == 0) {
+    // Execution side of the hedge double entry (decision side metered in
+    // ResolveUseCpux).
+    out.hedged_fragments++;
+    reg.CounterAdd("service_hedged_fragments_total", {{"tenant", out.tenant}});
+    obs::TraceInstant(device_, "sched:hedge",
+                      "query '" + out.name + "' fragment " +
+                          std::to_string(run.next_unit) +
+                          " hedged to " + backend_label.substr(6) +
+                          " (resolved backend quarantined)");
+  }
 
   const uint64_t baseline_live = device_.memory_stats().live_bytes;
+  ops::Backend executed = ops::Backend::kVgpu;
   Status st;
   {
     obs::TraceSpan span(device_, "sched", "turn:" + out.name);
@@ -602,7 +662,7 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
                                   std::to_string(run.plan.units().size()));
     span.Annotate("backend", backend_label);
     vgpu::LifecycleScope scope(device_, run.control);
-    st = RunUnit(run, use_cpux);
+    st = RunUnit(run, use_cpux, &executed);
   }
   // Disarm the preemption triggers; clears a kYielded trip (including one
   // that fired on the fragment's final clock advance after its work was
@@ -638,10 +698,43 @@ Status QueryService::RunFragmentTurn(Run& run, std::vector<Run>& batch,
   }
 
   if (st.ok()) {
+    // A clean fragment on this backend resets its consecutive-failure
+    // counts and closes a half-open breaker (the probe passed).
+    health_.RecordSuccess(executed, device_.elapsed_cycles());
     ++run.next_unit;
     if (run.next_unit >= run.plan.units().size()) {
       Finalize(run, Status::OK());
       AdmitQueuedAfterRelease(batch);
+    }
+  } else if (st.IsUnavailable()) {
+    // Transient fault that exhausted the ladder's own retry budget (or
+    // surfaced at a seam outside it). Feed the breaker, clear the device's
+    // sticky fault so later queries are untouched, and re-run the SAME
+    // fragment after a seeded backoff — next resolution hedges to the
+    // surviving backend once the breaker trips. The retry limit turns a
+    // persistent fault into a structured terminal kUnavailable.
+    const std::string kind = FaultKindOf(st);
+    health_.RecordFailure(executed, kind, device_.elapsed_cycles());
+    device_.ClearTransientFault();
+    ++run.transient_retries;
+    out.transient_retries = run.transient_retries;
+    if (run.transient_retries > transient_retry_limit_) {
+      Finalize(run, Status::Unavailable(
+                        st.message() + " (service transient-retry limit " +
+                        std::to_string(transient_retry_limit_) +
+                        " exhausted)"));
+      AdmitQueuedAfterRelease(batch);
+    } else {
+      reg.CounterAdd("service_transient_retries_total",
+                     {{"tenant", out.tenant}});
+      obs::TraceInstant(device_, "sched:transient_retry",
+                        "query '" + out.name + "' fragment " +
+                            std::to_string(run.next_unit) + " retry " +
+                            std::to_string(run.transient_retries) + " on " +
+                            kind + " (" + st.message() + ")");
+      device_.AdvanceClock(backoff_.DelayCycles(run.transient_retries));
+      // next_unit stays put: the fragment re-runs on a later turn, like a
+      // preempted fragment (but without the resume instant).
     }
   } else if (st.IsYielded()) {
     // Preempted: the fragment unwound cleanly and stays at the front of

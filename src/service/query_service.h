@@ -53,6 +53,7 @@
 #include "join/resilient.h"
 #include "ops/router.h"
 #include "service/fragments.h"
+#include "service/health.h"
 #include "service/tenant.h"
 #include "stats/estimator.h"
 #include "storage/table.h"
@@ -145,7 +146,8 @@ struct QueryOutcome {
   AdmissionDecision admission = AdmissionDecision::kAdmitted;
   /// Execution status: OK, kCancelled, kDeadlineExceeded,
   /// kResourceExhausted (post-ladder or admission), kTenantOverQuota
-  /// (admission backpressure), or the rejection for kRejected queries.
+  /// (admission backpressure), kUnavailable (transient faults exhausted the
+  /// service retry limit), or the rejection for kRejected queries.
   /// Never kYielded — yields are absorbed by the scheduler.
   Status status = Status::OK();
   /// Result rows, downloaded to host (empty unless status is OK). For a
@@ -173,6 +175,12 @@ struct QueryOutcome {
   int fragment_turns = 0;
   /// Times a fragment of this query was preempted (kYielded unwind).
   int preemptions = 0;
+  /// Fragment re-executions after a transient fault (kUnavailable) that
+  /// exhausted the ladder's own retry budget.
+  int transient_retries = 0;
+  /// Fragment turns hedged to the surviving backend because the resolved
+  /// backend's circuit breaker was open.
+  int hedged_fragments = 0;
   double submitted_at_cycles = 0;
   /// Clock at the first fragment turn / at finalization (0/0 if never run).
   double started_at_cycles = 0;
@@ -232,6 +240,17 @@ struct ServiceOptions {
   /// Worker threads for the service-owned cpux context (created lazily on
   /// the first cpux fragment).
   int cpux_threads = 1;
+  /// Circuit-breaker thresholds for the per-backend health model
+  /// (service/health.h): transient faults that exhaust the ladder's own
+  /// retry budget feed the breaker keyed (backend, fault_kind); an open
+  /// breaker quarantines the backend and hedges fragments to the survivor.
+  BreakerOptions breaker;
+  /// Fragment re-executions a query may spend on transient faults before
+  /// its kUnavailable becomes terminal. Sized above breaker.trip_threshold
+  /// so a persistently faulting backend trips its breaker — and the
+  /// remaining retries hedge to the healthy backend — before the budget
+  /// runs out.
+  int transient_retry_limit = 8;
 };
 
 /// A configured tenant's quota plus its live accounting.
@@ -286,6 +305,11 @@ class QueryService {
   /// Null when the tenant has never been configured or used.
   const TenantState* tenant(const std::string& name) const;
 
+  /// The per-backend circuit-breaker state (read-only; the service owns
+  /// every transition). Tests and the chaos soak reconcile its transition
+  /// counts against the metrics registry.
+  const BackendHealth& health() const { return health_; }
+
  private:
   /// Scheduler-side state of one not-yet-finished submission.
   struct Run {
@@ -301,6 +325,7 @@ class QueryService {
     bool started = false;   // first fragment turn taken
     bool done = false;      // terminal outcome recorded
     bool resume_pending = false;  // last turn was preempted
+    int transient_retries = 0;    // kUnavailable re-executions so far
     vgpu::LifecycleControl control;
     HostTable partial;
     uint64_t partial_rows = 0;
@@ -344,11 +369,15 @@ class QueryService {
   Status RunFragmentTurn(Run& run, std::vector<Run>& batch, TurnResult* turn);
   /// One fragment body: upload → operate → download on the current unit
   /// (or a host-side cpux run when `use_cpux`, with vgpu OOM fallback).
-  Status RunUnit(Run& run, bool use_cpux);
+  /// `executed` reports the backend the unit actually ran on (differs from
+  /// the resolved one when the cpux → vgpu OOM fallback fires).
+  Status RunUnit(Run& run, bool use_cpux, ops::Backend* executed);
   /// Resolves the executing backend for one fragment unit (request override
-  /// → service default → cost-based route) and names it for telemetry.
+  /// → service default → cost-based route, hedged off a quarantined
+  /// backend) and names it for telemetry ("hedge:<backend>" when hedged).
+  /// Non-const: consulting the breaker can move it open → half-open.
   bool ResolveUseCpux(const QueryRequest& request, const FragmentUnit& unit,
-                      std::string* label) const;
+                      std::string* label);
   /// The lazily created service-owned cpux provider.
   ops::CpuxProvider& Cpux();
   void Finalize(Run& run, Status status);
@@ -367,6 +396,8 @@ class QueryService {
   SchedulerOptions sched_;
   ops::Backend default_backend_ = ops::Backend::kVgpu;
   int cpux_threads_ = 1;
+  int transient_retry_limit_ = 8;
+  BackendHealth health_;
   std::unique_ptr<ops::CpuxProvider> cpux_;
   uint64_t reserved_bytes_ = 0;
   std::map<std::string, TenantState> tenants_;

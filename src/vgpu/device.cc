@@ -148,10 +148,12 @@ class Device::ParallelPool {
 };
 
 Device::Device(DeviceConfig config, FaultInjector fault,
-               LifecycleControl* lifecycle, int sim_threads)
+               LifecycleControl* lifecycle, int sim_threads,
+               double kernel_watchdog_cycles)
     : config_(std::move(config)),
       engine_(config_),
       fault_(std::move(fault)),
+      kernel_watchdog_cycles_(kernel_watchdog_cycles),
       lifecycle_(lifecycle) {
   if (sim_threads > 1) set_parallel_sim(sim_threads);
 }
@@ -184,6 +186,14 @@ Result<uint64_t> Device::AllocateRaw(uint64_t bytes, const char* tag) {
     // deterministic allocation numbering.
     lifecycle_->Evaluate(elapsed_cycles_);
     if (lifecycle_->tripped()) return lifecycle_->status();
+  }
+  if (!fault_status_.ok()) {
+    // A pending transient kernel fault rejects further allocations until a
+    // retry layer clears it: the faulted kernel's results are poisoned, so
+    // building on them would waste work. Uncounted for the same reason as
+    // lifecycle rejection — it must not shift the FaultInjector's
+    // deterministic allocation numbering.
+    return fault_status_;
   }
   ++memory_stats_.alloc_attempts;
   if (fault_.armed() && fault_.ShouldFail(bytes)) {
@@ -273,6 +283,9 @@ Status Device::Reset() {
   next_addr_ = 4096;
   elapsed_cycles_ = 0;
   fault_ = FaultInjector();
+  fault_status_ = Status::OK();
+  kernel_watchdog_cycles_ = 0;
+  watchdog_trips_ = 0;
   lifecycle_ = nullptr;
   alloc_tag_stack_.clear();
   kernels_launched_ = 0;
@@ -317,6 +330,26 @@ const KernelStats& Device::EndKernel() {
   elapsed_cycles_ += current.cycles;
   last_kernel_ = current;
   total_.Add(current);
+  // Transient-fault evaluation: the kernel's cost is now known and the
+  // launch counter identifies it, so both decisions are pure functions of
+  // (injector state, kernel index, derived cycles) — bit-identical on
+  // replay and at any host fan-out. First fault sticks; later kernels on a
+  // not-yet-unwound query keep the original diagnosis.
+  if (fault_.kernel_mode() && fault_.ShouldFailKernel() &&
+      fault_status_.ok()) {
+    fault_status_ = Status::Unavailable(
+        "kernel_fault: injected (" + fault_.ToString() + ") at kernel #" +
+        std::to_string(kernels_launched_) + " '" + kernel_name_ + "'");
+  }
+  if (kernel_watchdog_cycles_ > 0 && current.cycles > kernel_watchdog_cycles_ &&
+      fault_status_.ok()) {
+    ++watchdog_trips_;
+    fault_status_ = Status::Unavailable(
+        "watchdog_timeout: kernel #" + std::to_string(kernels_launched_) +
+        " '" + kernel_name_ + "' ran " + std::to_string(current.cycles) +
+        " cycles > watchdog budget " +
+        std::to_string(kernel_watchdog_cycles_));
+  }
   const double host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     kernel_host_start_)

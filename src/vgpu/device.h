@@ -80,8 +80,12 @@ class Device {
   /// `sim_threads` seeds the host-parallel simulation fan-out (same effect
   /// as calling set_parallel_sim() right after construction; results are
   /// bit-identical for every value).
+  /// `kernel_watchdog_cycles` arms the runaway-kernel watchdog from birth
+  /// (same as set_kernel_watchdog_cycles(); 0 = disarmed), so the harness
+  /// can wire GPUJOIN_WATCHDOG_CYCLES through the non-movable device.
   explicit Device(DeviceConfig config, FaultInjector fault = {},
-                  LifecycleControl* lifecycle = nullptr, int sim_threads = 1);
+                  LifecycleControl* lifecycle = nullptr, int sim_threads = 1,
+                  double kernel_watchdog_cycles = 0);
 
   /// Destroying a device that still holds live allocations is a hard
   /// failure (report + abort) unless set_leak_check_on_destroy(false):
@@ -109,11 +113,37 @@ class Device {
 
   // --- Fault injection ---
 
-  /// Arms (or replaces) the allocation fault injector.
+  /// Arms (or replaces) the fault injector (allocation or kernel class).
   void set_fault_injector(FaultInjector fault) { fault_ = std::move(fault); }
   /// Disarms fault injection.
   void clear_fault_injector() { fault_ = FaultInjector(); }
   const FaultInjector& fault_injector() const { return fault_; }
+
+  // --- Transient kernel faults (retryable kUnavailable) ---
+
+  /// Arms the simulated-cycle watchdog: a kernel whose derived cycle cost
+  /// exceeds `cycles` raises a sticky "watchdog_timeout" kUnavailable fault
+  /// — the structured form of a runaway-kernel launch timeout. 0 disarms
+  /// (the default). Pure function of simulated cycles, so watchdog trips
+  /// are bit-identical on replay and at any GPUJOIN_SIM_THREADS.
+  void set_kernel_watchdog_cycles(double cycles) {
+    kernel_watchdog_cycles_ = cycles;
+  }
+  double kernel_watchdog_cycles() const { return kernel_watchdog_cycles_; }
+
+  /// Sticky transient-fault status: OK until an armed kernel-mode fault
+  /// injector trips or the watchdog fires inside EndKernel, then the
+  /// kUnavailable fault (fault kind + kernel index in the message). Folded
+  /// into LifecycleStatus(), so query layers observe it at the same
+  /// cooperative seams as cancellation, and it blocks further allocations
+  /// (uncounted, like lifecycle rejection). Unlike a lifecycle stop it is
+  /// clearable: retry layers call ClearTransientFault() after a clean
+  /// unwind and run the work again.
+  const Status& TransientFaultStatus() const { return fault_status_; }
+  void ClearTransientFault() { fault_status_ = Status::OK(); }
+
+  /// Watchdog timeouts raised since construction/Reset().
+  uint64_t watchdog_trips() const { return watchdog_trips_; }
 
   // --- Leak auditing ---
 
@@ -205,11 +235,16 @@ class Device {
   /// OK when no control is installed or the control has not tripped;
   /// otherwise the sticky kCancelled / kDeadlineExceeded status. Query
   /// layers call this at cooperative seams (between kernels, fragments,
-  /// pipeline steps, and before returning a completed result).
+  /// pipeline steps, and before returning a completed result). A pending
+  /// transient kernel fault (TransientFaultStatus()) surfaces here too,
+  /// but lifecycle trips outrank it: a cancelled query must terminate,
+  /// not retry.
   Status LifecycleStatus() const {
-    if (lifecycle_ == nullptr) return Status::OK();
-    lifecycle_->Evaluate(elapsed_cycles_);
-    return lifecycle_->status();
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Evaluate(elapsed_cycles_);
+      if (!lifecycle_->status().ok()) return lifecycle_->status();
+    }
+    return fault_status_;
   }
 
   /// Advances the simulated clock outside a kernel (retry backoff sleeps).
@@ -336,6 +371,11 @@ class Device {
   std::unordered_map<uint64_t, AllocationInfo> allocations_;  // By address.
   uint64_t next_addr_ = 4096;  // Leave page 0 unmapped for easier debugging.
   FaultInjector fault_;
+  /// Sticky retryable kUnavailable raised by EndKernel (injected kernel
+  /// fault or watchdog timeout); OK when none pending.
+  Status fault_status_;
+  double kernel_watchdog_cycles_ = 0;  // 0 = watchdog disarmed.
+  uint64_t watchdog_trips_ = 0;
   std::vector<std::string> alloc_tag_stack_;
   bool leak_check_on_destroy_ = true;
 

@@ -39,13 +39,35 @@ FaultInjector FaultInjector::FailWithProbability(double p, uint64_t seed) {
   return f;
 }
 
+FaultInjector FaultInjector::FailNthKernel(uint64_t nth) {
+  FaultInjector f;
+  f.mode_ = Mode::kKernelNth;
+  f.nth_ = std::max<uint64_t>(nth, 1);
+  return f;
+}
+
+FaultInjector FaultInjector::FailKernelBurst(uint64_t first, uint64_t len) {
+  FaultInjector f;
+  f.mode_ = Mode::kKernelBurst;
+  f.burst_first_ = std::max<uint64_t>(first, 1);
+  f.burst_len_ = std::max<uint64_t>(len, 1);
+  return f;
+}
+
+FaultInjector FaultInjector::FailKernelWithProbability(double p,
+                                                       uint64_t seed) {
+  FaultInjector f;
+  f.mode_ = Mode::kKernelProbability;
+  f.probability_ = std::clamp(p, 0.0, 1.0);
+  f.rng_state_ = seed;
+  return f;
+}
+
 bool FaultInjector::ShouldFail(uint64_t bytes) {
-  if (mode_ == Mode::kNone) return false;
+  if (mode_ == Mode::kNone || kernel_mode()) return false;
   ++attempts_;
   bool fail = false;
   switch (mode_) {
-    case Mode::kNone:
-      break;
     case Mode::kNth:
       fail = attempts_ == nth_;
       break;
@@ -63,8 +85,37 @@ bool FaultInjector::ShouldFail(uint64_t bytes) {
       fail = u < probability_;
       break;
     }
+    default:
+      break;
   }
   if (fail) ++failures_;
+  return fail;
+}
+
+bool FaultInjector::ShouldFailKernel() {
+  if (!kernel_mode()) return false;
+  ++kernel_attempts_;
+  bool fail = false;
+  switch (mode_) {
+    case Mode::kKernelNth:
+      fail = kernel_attempts_ == nth_;
+      break;
+    case Mode::kKernelBurst:
+      fail = kernel_attempts_ >= burst_first_ &&
+             kernel_attempts_ < burst_first_ + burst_len_;
+      break;
+    case Mode::kKernelProbability: {
+      // Same 53-bit uniform draw as the allocation stream; the kernel
+      // counter keys the draw sequence, so replays are bit-identical.
+      const double u = static_cast<double>(SplitMix64(&rng_state_) >> 11) *
+                       0x1.0p-53;
+      fail = u < probability_;
+      break;
+    }
+    default:
+      break;
+  }
+  if (fail) ++kernel_failures_;
   return fail;
 }
 
@@ -78,6 +129,14 @@ std::string FaultInjector::ToString() const {
       return "fail-after-bytes(" + std::to_string(budget_bytes_) + ")";
     case Mode::kProbability:
       return "fail-with-probability(" + std::to_string(probability_) + ")";
+    case Mode::kKernelNth:
+      return "fail-nth-kernel(" + std::to_string(nth_) + ")";
+    case Mode::kKernelBurst:
+      return "fail-kernel-burst(" + std::to_string(burst_first_) + ":" +
+             std::to_string(burst_len_) + ")";
+    case Mode::kKernelProbability:
+      return "fail-kernel-with-probability(" + std::to_string(probability_) +
+             ")";
   }
   return "?";
 }

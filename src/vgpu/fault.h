@@ -1,10 +1,10 @@
-// FaultInjector: deterministic, configurable allocation-failure injection
-// for the simulated device.
+// FaultInjector: deterministic, configurable fault injection for the
+// simulated device, covering two fault classes:
 //
-// The injector is consulted by Device::AllocateRaw on every allocation
-// attempt; when it trips, the allocation fails with ResourceExhausted
-// exactly as a capacity OOM would, so callers exercise the same error path
-// a genuinely undersized device produces. Three modes:
+// Allocation faults — consulted by Device::AllocateRaw on every allocation
+// attempt; when the injector trips, the allocation fails with
+// ResourceExhausted exactly as a capacity OOM would, so callers exercise
+// the same error path a genuinely undersized device produces:
 //
 //   FailNth(n)              fail the nth attempt after arming, once
 //                           (exhaustive failure sweeps: for every allocation
@@ -17,6 +17,26 @@
 //                           fail each attempt independently with
 //                           probability p from a seeded splitmix64 stream
 //                           (chaos testing; fully reproducible per seed).
+//
+// Kernel-execution faults — consulted by Device::EndKernel once per kernel
+// launch; when the injector trips, the kernel's results are presumed
+// poisoned and the device raises a sticky, retryable kUnavailable fault
+// (cleared by Device::ClearTransientFault). These model transient GPU
+// failures (ECC events, launch timeouts, driver hiccups) where retrying
+// the same work is expected to succeed:
+//
+//   FailNthKernel(n)        fail the nth kernel launch after arming, once.
+//   FailKernelBurst(first, len)
+//                           fail kernels [first, first+len) — a correlated
+//                           burst, the shape a flapping device produces.
+//   FailKernelWithProbability(p, seed)
+//                           fail each kernel independently with probability
+//                           p from a seeded splitmix64 stream.
+//
+// The two classes are disjoint: a kernel-mode injector never fails an
+// allocation (and does not advance the allocation attempt counter), and
+// vice versa, so arming one class cannot shift the other's deterministic
+// numbering.
 //
 // An injector is plain value state owned by the Device; it is deliberately
 // deterministic — no wall clock, no global RNG — so a failing sweep case
@@ -43,23 +63,58 @@ class FaultInjector {
   /// [0, 1]), drawn from a deterministic splitmix64 stream seeded by `seed`.
   static FaultInjector FailWithProbability(double p, uint64_t seed);
 
+  /// Fails the `nth` kernel launch (1-based) after arming, once.
+  static FaultInjector FailNthKernel(uint64_t nth);
+  /// Fails kernel launches [first, first + len) (1-based), a correlated
+  /// burst. len == 0 is treated as 1.
+  static FaultInjector FailKernelBurst(uint64_t first, uint64_t len);
+  /// Fails each kernel launch independently with probability `p` (clamped
+  /// to [0, 1]) from a deterministic splitmix64 stream seeded by `seed`.
+  static FaultInjector FailKernelWithProbability(double p, uint64_t seed);
+
   bool armed() const { return mode_ != Mode::kNone; }
+  /// True when the armed mode targets kernel execution (not allocations).
+  bool kernel_mode() const {
+    return mode_ == Mode::kKernelNth || mode_ == Mode::kKernelBurst ||
+           mode_ == Mode::kKernelProbability;
+  }
 
   /// Called by Device::AllocateRaw for each attempt of `bytes` bytes.
   /// Advances the injector's counters; returns true when the attempt must
-  /// fail. A disarmed injector always returns false (and counts nothing).
+  /// fail. A disarmed or kernel-mode injector always returns false (and
+  /// counts nothing).
   bool ShouldFail(uint64_t bytes);
 
-  /// Attempts seen since arming (disarmed injectors count nothing).
-  uint64_t attempts_seen() const { return attempts_; }
-  /// Failures this injector has injected.
-  uint64_t injected_failures() const { return failures_; }
+  /// Called by Device::EndKernel once per kernel launch. Advances the
+  /// kernel counters; returns true when this kernel's execution must be
+  /// treated as faulted. A disarmed or allocation-mode injector always
+  /// returns false (and counts nothing).
+  bool ShouldFailKernel();
 
-  /// "disarmed", "fail-nth(3)", "fail-after-bytes(1024)", ...
+  /// Allocation attempts seen since arming (disarmed injectors count
+  /// nothing).
+  uint64_t attempts_seen() const { return attempts_; }
+  /// Allocation failures this injector has injected.
+  uint64_t injected_failures() const { return failures_; }
+  /// Kernel launches seen since arming a kernel mode.
+  uint64_t kernel_attempts_seen() const { return kernel_attempts_; }
+  /// Kernel faults this injector has injected.
+  uint64_t injected_kernel_faults() const { return kernel_failures_; }
+
+  /// "disarmed", "fail-nth(3)", "fail-after-bytes(1024)",
+  /// "fail-nth-kernel(5)", "fail-kernel-burst(4:2)", ...
   std::string ToString() const;
 
  private:
-  enum class Mode { kNone, kNth, kByteBudget, kProbability };
+  enum class Mode {
+    kNone,
+    kNth,
+    kByteBudget,
+    kProbability,
+    kKernelNth,
+    kKernelBurst,
+    kKernelProbability,
+  };
 
   Mode mode_ = Mode::kNone;
   uint64_t nth_ = 0;
@@ -69,6 +124,10 @@ class FaultInjector {
   uint64_t rng_state_ = 0;
   uint64_t attempts_ = 0;
   uint64_t failures_ = 0;
+  uint64_t burst_first_ = 0;
+  uint64_t burst_len_ = 0;
+  uint64_t kernel_attempts_ = 0;
+  uint64_t kernel_failures_ = 0;
 };
 
 }  // namespace gpujoin::vgpu

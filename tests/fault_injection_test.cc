@@ -80,6 +80,59 @@ TEST(FaultInjectorTest, ProbabilityZeroNeverFires) {
 }
 
 // ---------------------------------------------------------------------------
+// FaultInjector kernel-execution fault class
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, KernelNthFiresExactlyOnceAtN) {
+  FaultInjector fi = FaultInjector::FailNthKernel(2);
+  EXPECT_TRUE(fi.armed());
+  EXPECT_TRUE(fi.kernel_mode());
+  EXPECT_FALSE(fi.ShouldFailKernel());
+  EXPECT_TRUE(fi.ShouldFailKernel());  // Kernel 2.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fi.ShouldFailKernel());
+  EXPECT_EQ(fi.kernel_attempts_seen(), 12u);
+  EXPECT_EQ(fi.injected_kernel_faults(), 1u);
+}
+
+TEST(FaultInjectorTest, KernelAndAllocationClassesAreDisjoint) {
+  // A kernel-mode injector must never fire on (or count) allocations, and
+  // vice versa — arming one class cannot shift the other's deterministic
+  // numbering.
+  FaultInjector kernel = FaultInjector::FailNthKernel(1);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(kernel.ShouldFail(64));
+  EXPECT_EQ(kernel.attempts_seen(), 0u);
+  EXPECT_EQ(kernel.injected_failures(), 0u);
+
+  FaultInjector alloc = FaultInjector::FailNth(1);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(alloc.ShouldFailKernel());
+  EXPECT_EQ(alloc.kernel_attempts_seen(), 0u);
+  EXPECT_EQ(alloc.injected_kernel_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, KernelBurstCoversContiguousRange) {
+  FaultInjector fi = FaultInjector::FailKernelBurst(3, 2);
+  EXPECT_FALSE(fi.ShouldFailKernel());  // 1
+  EXPECT_FALSE(fi.ShouldFailKernel());  // 2
+  EXPECT_TRUE(fi.ShouldFailKernel());   // 3
+  EXPECT_TRUE(fi.ShouldFailKernel());   // 4
+  EXPECT_FALSE(fi.ShouldFailKernel());  // 5
+  EXPECT_EQ(fi.injected_kernel_faults(), 2u);
+}
+
+TEST(FaultInjectorTest, KernelProbabilityIsDeterministicPerSeed) {
+  FaultInjector a = FaultInjector::FailKernelWithProbability(0.3, 7);
+  FaultInjector b = FaultInjector::FailKernelWithProbability(0.3, 7);
+  int fails = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool fa = a.ShouldFailKernel();
+    ASSERT_EQ(fa, b.ShouldFailKernel()) << "diverged at draw " << i;
+    fails += fa;
+  }
+  EXPECT_GT(fails, 200);
+  EXPECT_LT(fails, 400);
+}
+
+// ---------------------------------------------------------------------------
 // Device integration: injection, tags, auditing, Reset
 // ---------------------------------------------------------------------------
 
@@ -107,6 +160,117 @@ TEST(DeviceFaultTest, ArmAndClearAtRuntime) {
   auto a = device.AllocateRaw(64);
   ASSERT_TRUE(a.ok());
   ASSERT_OK(device.FreeRaw(*a));
+}
+
+TEST(DeviceKernelFaultTest, InjectedKernelFaultIsStickyUnavailable) {
+  Device device(DeviceConfig::A100(), FaultInjector::FailNthKernel(1));
+  auto a = device.AllocateRaw(256, "buf");
+  ASSERT_TRUE(a.ok());
+  device.BeginKernel("victim");
+  device.LoadSeq(*a, 64, 4);
+  device.EndKernel();
+  const Status st = device.LifecycleStatus();
+  ASSERT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_NE(st.message().find("kernel_fault"), std::string::npos);
+  EXPECT_NE(st.message().find("'victim'"), std::string::npos);
+  EXPECT_EQ(device.fault_injector().injected_kernel_faults(), 1u);
+
+  // A pending fault blocks allocations UNCOUNTED, so clearing it cannot
+  // shift the allocation-fault numbering of a replay.
+  const uint64_t attempts = device.memory_stats().alloc_attempts;
+  const Result<uint64_t> blocked = device.AllocateRaw(64);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsUnavailable());
+  EXPECT_EQ(device.memory_stats().alloc_attempts, attempts);
+
+  // Unlike cancel/deadline trips, a transient fault is clearable: the
+  // retry path resumes on the same device.
+  device.ClearTransientFault();
+  EXPECT_TRUE(device.LifecycleStatus().ok());
+  auto b = device.AllocateRaw(64);
+  ASSERT_TRUE(b.ok());
+  ASSERT_OK(device.FreeRaw(*b));
+  ASSERT_OK(device.FreeRaw(*a));
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+TEST(DeviceKernelFaultTest, FirstFaultSticksButCounterKeepsAdvancing) {
+  // Two kernels inside the burst: the first fault sticks (its message
+  // names kernel #1) while the injector's deterministic counter still
+  // advances through kernel #2.
+  Device device(DeviceConfig::A100(), FaultInjector::FailKernelBurst(1, 2));
+  auto a = device.AllocateRaw(256, "buf");
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 2; ++i) {
+    device.BeginKernel("k");
+    device.LoadSeq(*a, 64, 4);
+    device.EndKernel();
+  }
+  EXPECT_EQ(device.fault_injector().kernel_attempts_seen(), 2u);
+  EXPECT_EQ(device.fault_injector().injected_kernel_faults(), 2u);
+  const Status st = device.LifecycleStatus();
+  ASSERT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("kernel #1"), std::string::npos);
+  device.ClearTransientFault();
+  ASSERT_OK(device.FreeRaw(*a));
+}
+
+TEST(DeviceKernelFaultTest, WatchdogConvertsRunawayKernelToTimeout) {
+  // A 1-cycle watchdog budget: any real kernel exceeds it.
+  Device device(DeviceConfig::A100(), FaultInjector(), nullptr, 1,
+                /*kernel_watchdog_cycles=*/1.0);
+  EXPECT_EQ(device.kernel_watchdog_cycles(), 1.0);
+  auto a = device.AllocateRaw(1 << 16, "buf");
+  ASSERT_TRUE(a.ok());
+  device.BeginKernel("runaway");
+  device.LoadSeq(*a, 1 << 14, 4);
+  device.EndKernel();
+  EXPECT_EQ(device.watchdog_trips(), 1u);
+  const Status st = device.LifecycleStatus();
+  ASSERT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_NE(st.message().find("watchdog_timeout"), std::string::npos);
+  EXPECT_NE(st.message().find("'runaway'"), std::string::npos);
+  device.ClearTransientFault();
+  ASSERT_OK(device.FreeRaw(*a));
+}
+
+TEST(DeviceKernelFaultTest, LifecycleTripOutranksTransientFault) {
+  // When both a cancel and a transient fault are pending, the lifecycle
+  // trip wins: cancellation is terminal, the fault merely retryable.
+  LifecycleControl control;
+  CancelToken token;
+  control.set_token(token);
+  Device device(DeviceConfig::A100(), FaultInjector::FailNthKernel(1),
+                &control);
+  auto a = device.AllocateRaw(256, "buf");
+  ASSERT_TRUE(a.ok());
+  device.BeginKernel("k");
+  device.LoadSeq(*a, 64, 4);
+  device.EndKernel();
+  ASSERT_TRUE(device.LifecycleStatus().IsUnavailable());
+  token.RequestCancel();
+  device.AdvanceClock(1);
+  EXPECT_TRUE(device.LifecycleStatus().IsCancelled());
+  device.set_lifecycle(nullptr);
+  device.ClearTransientFault();
+  ASSERT_OK(device.FreeRaw(*a));
+}
+
+TEST(DeviceKernelFaultTest, ResetClearsTransientFaultState) {
+  Device device(DeviceConfig::A100(), FaultInjector::FailNthKernel(1), nullptr,
+                1, /*kernel_watchdog_cycles=*/1e12);
+  auto a = device.AllocateRaw(256, "buf");
+  ASSERT_TRUE(a.ok());
+  device.BeginKernel("k");
+  device.LoadSeq(*a, 64, 4);
+  device.EndKernel();
+  ASSERT_TRUE(device.LifecycleStatus().IsUnavailable());
+  ASSERT_OK(device.FreeRaw(*a));
+  ASSERT_OK(device.Reset());
+  EXPECT_TRUE(device.LifecycleStatus().ok());
+  EXPECT_EQ(device.kernel_watchdog_cycles(), 0.0);
+  EXPECT_EQ(device.watchdog_trips(), 0u);
+  EXPECT_FALSE(device.fault_injector().armed());
 }
 
 TEST(DeviceAuditTest, OutstandingAllocationsCarryTagsAndOrder) {

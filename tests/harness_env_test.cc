@@ -170,6 +170,122 @@ TEST(HarnessEnvDeathTest, FaultInjectorRejectsInvalidValues) {
   }
 }
 
+TEST(HarnessEnvTest, KernelFaultNthFromEnvironment) {
+  ScopedEnv knth("GPUJOIN_FAULT_KERNEL_NTH", "4");
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.kernel_mode());
+  EXPECT_EQ(inj.ToString(), "fail-nth-kernel(4)");
+}
+
+TEST(HarnessEnvTest, KernelFaultProbabilityFromEnvironment) {
+  ScopedEnv kprob("GPUJOIN_FAULT_KERNEL_PROB", "0.125");
+  ScopedEnv seed("GPUJOIN_FAULT_SEED", "7");
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.kernel_mode());
+  EXPECT_EQ(inj.ToString(), "fail-kernel-with-probability(0.125000)");
+}
+
+TEST(HarnessEnvTest, KernelFaultBurstFromEnvironment) {
+  ScopedEnv kburst("GPUJOIN_FAULT_KERNEL_BURST", "7:3");
+  const vgpu::FaultInjector inj = FaultInjectorFromEnv();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.kernel_mode());
+  EXPECT_EQ(inj.ToString(), "fail-kernel-burst(7:3)");
+}
+
+TEST(HarnessEnvTest, WatchdogDisarmedByDefault) {
+  ScopedEnv wd("GPUJOIN_WATCHDOG_CYCLES", nullptr);
+  ASSERT_OK_AND_ASSIGN(const double cycles, WatchdogCyclesFromEnv());
+  EXPECT_EQ(cycles, 0.0);
+}
+
+TEST(HarnessEnvTest, WatchdogCyclesFromEnvironment) {
+  ScopedEnv wd("GPUJOIN_WATCHDOG_CYCLES", "2.5e6");
+  ASSERT_OK_AND_ASSIGN(const double cycles, WatchdogCyclesFromEnv());
+  EXPECT_EQ(cycles, 2.5e6);
+}
+
+TEST(HarnessEnvTest, MalformedSpecsAreStructuredErrors) {
+  // FaultSpecFromEnv / WatchdogCyclesFromEnv surface InvalidArgument with
+  // the offending knob named — the abort in FaultInjectorFromEnv is just
+  // this diagnostic printed (covered by the death tests below).
+  {
+    ScopedEnv knth("GPUJOIN_FAULT_KERNEL_NTH", "0");
+    const Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(spec.status().message().find("GPUJOIN_FAULT_KERNEL_NTH"),
+              std::string::npos);
+  }
+  {
+    ScopedEnv kprob("GPUJOIN_FAULT_KERNEL_PROB", "1.0");
+    const Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+    ASSERT_FALSE(spec.ok());
+    EXPECT_NE(spec.status().message().find("must be in [0,1)"),
+              std::string::npos);
+  }
+  {
+    ScopedEnv kburst("GPUJOIN_FAULT_KERNEL_BURST", "9");  // No colon.
+    const Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+    ASSERT_FALSE(spec.ok());
+    EXPECT_NE(spec.status().message().find("first:len"), std::string::npos);
+  }
+  {
+    ScopedEnv kburst("GPUJOIN_FAULT_KERNEL_BURST", "0:5");
+    const Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+    ASSERT_FALSE(spec.ok());
+    EXPECT_NE(spec.status().message().find("first >= 1"), std::string::npos);
+  }
+  {
+    ScopedEnv kburst("GPUJOIN_FAULT_KERNEL_BURST", "3:abc");
+    const Result<vgpu::FaultInjector> spec = FaultSpecFromEnv();
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ScopedEnv wd("GPUJOIN_WATCHDOG_CYCLES", "-5");
+    const Result<double> cycles = WatchdogCyclesFromEnv();
+    ASSERT_FALSE(cycles.ok());
+    EXPECT_NE(cycles.status().message().find("must be > 0"),
+              std::string::npos);
+  }
+  {
+    ScopedEnv wd("GPUJOIN_WATCHDOG_CYCLES", "soon");
+    const Result<double> cycles = WatchdogCyclesFromEnv();
+    ASSERT_FALSE(cycles.ok());
+    EXPECT_EQ(cycles.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HarnessEnvDeathTest, KernelAndAllocationKnobsAreMutuallyExclusive) {
+  ScopedEnv nth("GPUJOIN_FAULT_NTH", "3");
+  ScopedEnv knth("GPUJOIN_FAULT_KERNEL_NTH", "2");
+  EXPECT_DEATH(FaultInjectorFromEnv(), "at most one of");
+}
+
+TEST(HarnessEnvDeathTest, TwoKernelKnobsAreRejected) {
+  ScopedEnv knth("GPUJOIN_FAULT_KERNEL_NTH", "2");
+  ScopedEnv kburst("GPUJOIN_FAULT_KERNEL_BURST", "5:2");
+  EXPECT_DEATH(FaultInjectorFromEnv(), "at most one of");
+}
+
+TEST(HarnessEnvTest, BenchDeviceCarriesKernelFaultAndWatchdog) {
+  ScopedEnv scale("GPUJOIN_SCALE", "14");
+  ScopedEnv knth("GPUJOIN_FAULT_KERNEL_NTH", "1");
+  ScopedEnv wd("GPUJOIN_WATCHDOG_CYCLES", "123456");
+  vgpu::Device device = MakeBenchDevice();
+  EXPECT_TRUE(device.fault_injector().kernel_mode());
+  EXPECT_EQ(device.kernel_watchdog_cycles(), 123456.0);
+  // The very first kernel faults; the sticky kUnavailable surfaces at the
+  // next cooperative seam.
+  device.BeginKernel("k");
+  device.EndKernel();
+  EXPECT_TRUE(device.LifecycleStatus().IsUnavailable());
+  device.ClearTransientFault();
+}
+
 TEST(HarnessEnvTest, BenchDeviceCarriesEnvFaultInjector) {
   ScopedEnv scale("GPUJOIN_SCALE", "14");
   ScopedEnv nth("GPUJOIN_FAULT_NTH", "1");

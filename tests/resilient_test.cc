@@ -359,5 +359,231 @@ TEST(PipelineResilienceTest, BackoffPolicyCapsAttempts) {
   ASSERT_OK(device.CheckNoLeaks());
 }
 
+// ---------------------------------------------------------------------------
+// Exhaustive kernel-fault sweeps: for EVERY kernel launch k of every join
+// algorithm and group-by strategy, inject a one-shot transient kernel fault
+// at k and require that the resilient wrapper ABSORBS it (the transient
+// rung retries the same work): clean success, output identical to the
+// fault-free baseline, zero leaks, and a bit-identical replay of the
+// faulted run on the same reset device. The inverse of the allocation
+// sweeps in fault_injection_test.cc, which expect a clean FAILURE — a
+// kernel fault is retryable, an exhausted allocator is not.
+// ---------------------------------------------------------------------------
+
+std::string SanitizeAlgoName(const char* name) {
+  std::string s(name);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+class KernelFaultJoinSweep : public ::testing::TestWithParam<join::JoinAlgo> {};
+
+TEST_P(KernelFaultJoinSweep, EveryKernelFaultIsAbsorbedAndReplaysIdentically) {
+  const join::JoinAlgo algo = GetParam();
+  workload::JoinWorkloadSpec spec;
+  spec.r_rows = 1 << 9;
+  spec.s_rows = 1 << 10;
+  spec.seed = 7;
+  const workload::JoinWorkload w =
+      workload::GenerateJoinInput(spec).ValueOrDie();
+
+  vgpu::Device device = MakeTestDevice();
+
+  // Fault-free baseline: canonical rows plus the kernel count, which bounds
+  // the sweep (FailNthKernel numbers launches from the arming point).
+  std::vector<std::vector<int64_t>> base_rows;
+  uint64_t base_kernels = 0;
+  {
+    const uint64_t k0 = device.kernels_launched();
+    ASSERT_OK_AND_ASSIGN(join::ResilientJoinResult res,
+                         join::RunJoinResilient(device, algo, w.r, w.s));
+    base_rows = join::CanonicalRows(res.output);
+    base_kernels = device.kernels_launched() - k0;
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+  ASSERT_GT(base_kernels, 0u);
+
+  for (uint64_t k = 1; k <= base_kernels; ++k) {
+    SCOPED_TRACE("kernel fault at launch " + std::to_string(k));
+
+    ASSERT_OK(device.Reset());
+    device.set_fault_injector(vgpu::FaultInjector::FailNthKernel(k));
+    ASSERT_OK_AND_ASSIGN(join::ResilientJoinResult res,
+                         join::RunJoinResilient(device, algo, w.r, w.s));
+    EXPECT_EQ(device.fault_injector().injected_kernel_faults(), 1u);
+    bool retried = false;
+    for (const DegradationStep& step : res.degradation) {
+      if (step.action == "transient_retry") retried = true;
+    }
+    EXPECT_TRUE(retried) << "fault at kernel " << k
+                         << " never reached the transient rung";
+    EXPECT_EQ(join::CanonicalRows(res.output), base_rows);
+    const double faulted_cycles = device.elapsed_cycles();
+    const uint64_t faulted_kernels = device.kernels_launched();
+    ASSERT_OK(device.CheckNoLeaks());
+
+    // Replay: the same injector on the same reset device must reproduce
+    // the faulted run bit-identically (rows, kernel count, simulated
+    // clock) — retries are seeded, never wall-clock driven.
+    ASSERT_OK(device.Reset());
+    device.set_fault_injector(vgpu::FaultInjector::FailNthKernel(k));
+    ASSERT_OK_AND_ASSIGN(join::ResilientJoinResult replay,
+                         join::RunJoinResilient(device, algo, w.r, w.s));
+    EXPECT_EQ(join::CanonicalRows(replay.output), base_rows);
+    EXPECT_EQ(device.kernels_launched(), faulted_kernels);
+    EXPECT_EQ(device.elapsed_cycles(), faulted_cycles);
+    ASSERT_OK(device.CheckNoLeaks());
+    ASSERT_OK(device.Reset());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllJoinAlgos, KernelFaultJoinSweep,
+    ::testing::ValuesIn(join::kAllJoinAlgos),
+    [](const ::testing::TestParamInfo<join::JoinAlgo>& info) {
+      return SanitizeAlgoName(join::JoinAlgoName(info.param));
+    });
+
+class KernelFaultGroupBySweep
+    : public ::testing::TestWithParam<groupby::GroupByAlgo> {};
+
+TEST_P(KernelFaultGroupBySweep, EveryKernelFaultIsAbsorbedAndReplaysIdentically) {
+  const groupby::GroupByAlgo algo = GetParam();
+  workload::GroupByWorkloadSpec spec;
+  spec.rows = 1 << 10;
+  spec.num_groups = 1 << 6;
+  spec.seed = 11;
+  const HostTable input = workload::GenerateGroupByInput(spec).ValueOrDie();
+
+  groupby::GroupBySpec gspec;
+  gspec.aggregates.push_back({1, groupby::AggOp::kSum});
+  gspec.aggregates.push_back({1, groupby::AggOp::kCount});
+  gspec.aggregates.push_back({1, groupby::AggOp::kMax});
+
+  vgpu::Device device = MakeTestDevice();
+
+  // Fault-free baseline. The injector is armed AFTER the upload, so kernel
+  // numbering spans only the resilient call; the upload runs fault-free in
+  // every iteration (its kernels are outside the wrapper's retry scope).
+  std::vector<std::vector<int64_t>> base_rows;
+  uint64_t base_kernels = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+    const uint64_t k0 = device.kernels_launched();
+    ASSERT_OK_AND_ASSIGN(groupby::ResilientGroupByResult res,
+                         groupby::RunGroupByResilient(device, algo, t, gspec));
+    base_rows = join::CanonicalRows(res.run.output.ToHost());
+    base_kernels = device.kernels_launched() - k0;
+  }
+  ASSERT_OK(device.CheckNoLeaks());
+  ASSERT_GT(base_kernels, 0u);
+
+  for (uint64_t k = 1; k <= base_kernels; ++k) {
+    SCOPED_TRACE("kernel fault at launch " + std::to_string(k));
+
+    ASSERT_OK(device.Reset());
+    double faulted_cycles = 0;
+    uint64_t faulted_kernels = 0;
+    {
+      ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+      device.set_fault_injector(vgpu::FaultInjector::FailNthKernel(k));
+      ASSERT_OK_AND_ASSIGN(groupby::ResilientGroupByResult res,
+                           groupby::RunGroupByResilient(device, algo, t, gspec));
+      EXPECT_EQ(device.fault_injector().injected_kernel_faults(), 1u);
+      bool retried = false;
+      for (const DegradationStep& step : res.degradation) {
+        if (step.action == "transient_retry") retried = true;
+      }
+      EXPECT_TRUE(retried) << "fault at kernel " << k
+                           << " never reached the transient rung";
+      EXPECT_EQ(join::CanonicalRows(res.run.output.ToHost()), base_rows);
+      faulted_cycles = device.elapsed_cycles();
+      faulted_kernels = device.kernels_launched();
+    }
+    ASSERT_OK(device.CheckNoLeaks());
+
+    ASSERT_OK(device.Reset());
+    {
+      ASSERT_OK_AND_ASSIGN(Table t, Table::FromHost(device, input));
+      device.set_fault_injector(vgpu::FaultInjector::FailNthKernel(k));
+      ASSERT_OK_AND_ASSIGN(groupby::ResilientGroupByResult replay,
+                           groupby::RunGroupByResilient(device, algo, t, gspec));
+      EXPECT_EQ(join::CanonicalRows(replay.run.output.ToHost()), base_rows);
+      EXPECT_EQ(device.kernels_launched(), faulted_kernels);
+      EXPECT_EQ(device.elapsed_cycles(), faulted_cycles);
+    }
+    ASSERT_OK(device.CheckNoLeaks());
+    ASSERT_OK(device.Reset());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGroupByAlgos, KernelFaultGroupBySweep,
+    ::testing::ValuesIn(groupby::kAllGroupByAlgos),
+    [](const ::testing::TestParamInfo<groupby::GroupByAlgo>& info) {
+      return SanitizeAlgoName(groupby::GroupByAlgoName(info.param));
+    });
+
+// A kernel fault that never stops firing (probability 1): every retry of
+// the rung faults again, so the ladder's transient budget must exhaust and
+// surface a clean structured kUnavailable — never an infinite retry loop.
+TEST(ResilientJoinTest, PersistentKernelFaultExhaustsTransientBudget) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  device.set_fault_injector(
+      vgpu::FaultInjector::FailKernelWithProbability(1.0, /*seed=*/3));
+  join::ResilienceOptions opts;
+  opts.backoff.max_attempts = 3;
+  Result<join::ResilientJoinResult> res =
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsUnavailable()) << res.status().ToString();
+  EXPECT_NE(res.status().message().find("ladder transient-retry budget"),
+            std::string::npos)
+      << res.status().ToString();
+  device.clear_fault_injector();
+  device.ClearTransientFault();
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+// Same exhaustion contract for the watchdog: a budget so small every
+// kernel trips it means no rung can ever complete.
+TEST(ResilientJoinTest, RunawayWatchdogExhaustsTransientBudget) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  device.set_kernel_watchdog_cycles(1.0);
+  join::ResilienceOptions opts;
+  opts.backoff.max_attempts = 3;
+  Result<join::ResilientJoinResult> res =
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsUnavailable()) << res.status().ToString();
+  EXPECT_NE(res.status().message().find("watchdog_timeout"), std::string::npos)
+      << res.status().ToString();
+  EXPECT_GT(device.watchdog_trips(), 0u);
+  device.set_kernel_watchdog_cycles(0);
+  device.ClearTransientFault();
+  ASSERT_OK(device.CheckNoLeaks());
+}
+
+// A generous watchdog never perturbs a healthy run: same rows, no trips.
+TEST(ResilientJoinTest, GenerousWatchdogIsInvisible) {
+  const workload::JoinWorkload w = SmallJoinWorkload();
+  vgpu::Device device = MakeTestDevice();
+  testing::ScopedLeakCheck leak_check(device);
+  device.set_kernel_watchdog_cycles(1e15);
+  ASSERT_OK_AND_ASSIGN(
+      join::ResilientJoinResult res,
+      join::RunJoinResilient(device, join::JoinAlgo::kPhjOm, w.r, w.s));
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_EQ(device.watchdog_trips(), 0u);
+  EXPECT_EQ(join::CanonicalRows(res.output), join::ReferenceJoinRows(w.r, w.s));
+  device.set_kernel_watchdog_cycles(0);
+}
+
 }  // namespace
 }  // namespace gpujoin

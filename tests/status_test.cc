@@ -65,6 +65,25 @@ TEST(StatusTest, SchedulerStatuses) {
   EXPECT_FALSE(over.IsLifecycleStop());
 }
 
+TEST(StatusTest, UnavailableIsRetryableNotALifecycleStop) {
+  // The message convention for transient faults: fault kind + attempt
+  // count, so operators can log "what happened" without a side channel.
+  const Status s = Status::Unavailable("kernel_fault: injected (attempt 2)");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("kernel_fault"), std::string::npos);
+  EXPECT_NE(s.message().find("attempt 2"), std::string::npos);
+  // Retryable: distinct from OOM/ResourceExhausted (the work fits, the
+  // backend hiccuped) and from the deliberate lifecycle stops.
+  EXPECT_FALSE(s.IsResourceExhausted());
+  EXPECT_FALSE(s.IsLifecycleStop());
+  EXPECT_FALSE(s.IsYielded());
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_FALSE(Status::ResourceExhausted("oom").IsUnavailable());
+  EXPECT_EQ(s.ToString(),
+            "Unavailable: kernel_fault: injected (attempt 2)");
+}
+
 TEST(StatusTest, LifecycleToString) {
   EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
   EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
@@ -89,6 +108,7 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kYielded), "Yielded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kTenantOverQuota),
                "TenantOverQuota");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {

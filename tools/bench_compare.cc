@@ -5,7 +5,7 @@
 // being decorative and starts being enforced.
 //
 //   $ bench_compare --fresh outdir [--baseline bench/results]
-//                   [--out verdict.json] [--tolerance 1.0]
+//                   [--out verdict.json] [--tolerance 1.0] [--strict]
 //
 // Matching: each fresh BENCH_<name>.json pairs with the baseline of the
 // same filename; fresh files with no baseline are reported as "new" (info,
@@ -25,7 +25,12 @@
 // replay-stable across machines. Out-of-band *improvements* are flagged
 // "improved" (info) so baselines get refreshed rather than silently stale.
 //
-// Exit codes: 0 green, 3 regression, 1 I/O or parse error, 2 usage.
+// Exit codes: 0 green, 3 regression (--strict only), 1 I/O or parse
+// error, 2 usage. By default the tool is report-only: regressions are
+// printed and recorded in the verdict JSON but the exit code stays 0, so
+// ad-hoc local runs against stale baselines don't fail scripts. Gating
+// callers (CI metrics-smoke) pass --strict to turn a regression verdict
+// into exit 3.
 
 #include <algorithm>
 #include <cmath>
@@ -247,6 +252,7 @@ int main(int argc, char** argv) {
   std::string fresh_dir;
   std::string out_path;
   double tolerance = 1.0;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) != 0) return nullptr;
@@ -268,10 +274,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--tolerance must be > 0\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --fresh DIR [--baseline DIR] [--out FILE] "
-                   "[--tolerance MULT]\n",
+                   "[--tolerance MULT] [--strict]\n",
                    argv[0]);
       return 2;
     }
@@ -339,8 +347,9 @@ int main(int argc, char** argv) {
       std::printf("  [%s] %s\n", f.severity.c_str(), f.detail.c_str());
     }
   }
-  std::printf("verdict: %s (%zu file(s), tolerance x%.2f)\n",
-              regression ? "regression" : "green", reports.size(), tolerance);
+  std::printf("verdict: %s (%zu file(s), tolerance x%.2f%s)\n",
+              regression ? "regression" : "green", reports.size(), tolerance,
+              strict ? ", strict" : ", report-only");
 
   const std::string verdict = VerdictJson(reports, regression);
   if (!out_path.empty()) {
@@ -353,5 +362,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return regression ? 3 : 0;
+  return (strict && regression) ? 3 : 0;
 }

@@ -32,8 +32,23 @@
 // Exits 0 on success, 1 with a report (and the seed) on the first
 // violated invariant.
 //
-// Run via `scripts/reproduce.sh --scheduler` or directly:
-//   ./build/tools/lifecycle_soak [rounds] [--seed N]
+// --chaos switches to the transient-fault soak: each round re-runs a fixed
+// query mix three times on fresh devices — a fault-free reference pass, a
+// chaos pass with seeded kernel faults (probabilistic injector on even
+// rounds, an always-tripping watchdog on every third round), and a replay
+// of the chaos pass. Invariants per round:
+//   * every outcome is terminal and structured (kUnavailable now included),
+//   * every OK chaos outcome's rows are bit-identical to the fault-free
+//     reference — retried and hedged fragments change nothing,
+//   * reserved_bytes() == 0 and CheckNoLeaks() after every pass,
+//   * breaker/hedge double-entry reconciles: health().trips() ==
+//     service_breaker_trips_total == transitions{to="open"}, and hedge
+//     decisions == hedged fragment turns == the outcomes' hedged counts,
+//   * the replay pass is bit-identical to the chaos pass (statuses, rows,
+//     clock, breaker history).
+//
+// Run via `scripts/reproduce.sh --scheduler` / `--chaos` or directly:
+//   ./build/tools/lifecycle_soak [rounds] [--seed N] [--chaos]
 
 #include <algorithm>
 #include <cmath>
@@ -49,6 +64,7 @@
 #include "groupby/groupby.h"
 #include "harness/harness.h"
 #include "join/join.h"
+#include "join/reference.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -81,7 +97,27 @@ int Fail(const std::string& what) {
 bool IsStructuredOutcome(const Status& s) {
   return s.ok() || s.IsLifecycleStop() || s.IsResourceExhausted() ||
          s.IsTenantOverQuota() || s.code() == StatusCode::kOutOfMemory ||
-         s.code() == StatusCode::kInvalidArgument;
+         s.code() == StatusCode::kInvalidArgument || s.IsUnavailable();
+}
+
+/// Sum of all counter cells named `name` whose label set contains
+/// (label_key, label_value) — e.g. every transitions{..., to="open"} cell
+/// across backends and fault kinds.
+uint64_t SumCounterWithLabel(const obs::MetricsSnapshot& snap,
+                             const std::string& name,
+                             const std::string& label_key,
+                             const std::string& label_value) {
+  uint64_t total = 0;
+  for (const auto& [key, cell] : snap.cells) {
+    if (key.name != name || cell.type != obs::MetricType::kCounter) continue;
+    for (const auto& [k, v] : key.labels) {
+      if (k == label_key && v == label_value) {
+        total += cell.counter;
+        break;
+      }
+    }
+  }
+  return total;
 }
 
 double Percentile(std::vector<double> v, double p) {
@@ -500,24 +536,320 @@ int Run(int rounds) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --chaos: transient-fault soak (kernel faults, watchdog, breakers, hedging)
+// ---------------------------------------------------------------------------
+
+/// One pass's observable state, for reference comparison and replay diffs.
+struct ChaosPass {
+  std::vector<Status> statuses;
+  std::vector<std::vector<std::vector<int64_t>>> rows;  // canonical, per query
+  std::vector<int> retries;
+  std::vector<int> hedged;
+  double final_cycles = 0;
+  uint64_t trips = 0;
+  uint64_t probes = 0;
+  uint64_t closes = 0;
+  uint64_t terminal_unavailable = 0;
+  obs::MetricsSnapshot delta;
+};
+
+int RunChaos(int rounds) {
+  using service::QueryKind;
+  using service::QueryRequest;
+  using service::QueryService;
+  using service::ServiceOptions;
+
+  workload::JoinWorkloadSpec jspec;
+  jspec.r_rows = uint64_t{1} << 9;
+  jspec.s_rows = uint64_t{1} << 10;
+  jspec.seed = 29;
+  auto jw = workload::GenerateJoinInput(jspec);
+  GPUJOIN_CHECK_OK(jw.status());
+
+  workload::GroupByWorkloadSpec gspec;
+  gspec.rows = uint64_t{1} << 10;
+  gspec.num_groups = uint64_t{1} << 5;
+  gspec.seed = 37;
+  auto gin = workload::GenerateGroupByInput(gspec);
+  GPUJOIN_CHECK_OK(gin.status());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Clear();
+  obs::MetricsSink& sink = obs::MetricsSink::Global();
+  sink.Clear();
+  sink.Configure("chaos_soak", "transient-fault chaos soak",
+                 vgpu::DeviceConfig::A100().name, 16);
+
+  const join::JoinAlgo algos[] = {join::JoinAlgo::kPhjOm, join::JoinAlgo::kNphj,
+                                  join::JoinAlgo::kSmjUm,
+                                  join::JoinAlgo::kPhjUm};
+
+  // One pass: fresh device + service, the fixed query mix, optional fault
+  // armament. Fills `pass`; returns a non-empty error string on a violated
+  // invariant.
+  const auto run_pass = [&](uint64_t fault_seed, double fault_prob,
+                            double watchdog_cycles,
+                            ChaosPass* pass) -> std::string {
+    vgpu::Device device(vgpu::DeviceConfig::ScaledToWorkload(
+        vgpu::DeviceConfig::A100(), uint64_t{1} << 16));
+    device.set_parallel_sim(harness::SimThreadsFromEnv());
+    if (fault_prob > 0) {
+      device.set_fault_injector(
+          vgpu::FaultInjector::FailKernelWithProbability(fault_prob,
+                                                         fault_seed));
+    }
+    if (watchdog_cycles > 0) {
+      device.set_kernel_watchdog_cycles(watchdog_cycles);
+    }
+
+    const obs::MetricsSnapshot before = reg.Snapshot();
+    QueryService svc(device);
+    std::vector<int> ids;
+    for (int q = 0; q < 6; ++q) {
+      QueryRequest req;
+      req.name = "chaos" + std::to_string(q);
+      if (q % 3 == 2) {
+        req.kind = QueryKind::kGroupBy;
+        req.r = &*gin;
+        req.groupby_spec.aggregates = {{1, groupby::AggOp::kSum},
+                                       {1, groupby::AggOp::kCount}};
+      } else {
+        req.kind = QueryKind::kJoin;
+        req.join_algo = algos[q % 4];
+        req.r = &jw->r;
+        req.s = &jw->s;
+      }
+      auto id = svc.Submit(std::move(req));
+      GPUJOIN_CHECK_OK(id.status());
+      ids.push_back(*id);
+    }
+
+    const Status drained = svc.Drain();
+    if (!drained.ok()) return "Drain: " + drained.ToString();
+    device.clear_fault_injector();
+    device.ClearTransientFault();
+    device.set_kernel_watchdog_cycles(0);
+
+    if (svc.reserved_bytes() != 0) {
+      return "reserved_bytes = " + std::to_string(svc.reserved_bytes()) +
+             " after Drain";
+    }
+    const Status leaks = device.CheckNoLeaks();
+    if (!leaks.ok()) return leaks.ToString();
+
+    for (const int id : ids) {
+      const service::QueryOutcome& out = svc.outcome(id);
+      if (!IsStructuredOutcome(out.status)) {
+        return "query " + out.name + ": unstructured outcome " +
+               out.status.ToString();
+      }
+      pass->statuses.push_back(out.status);
+      pass->rows.push_back(out.status.ok() ? join::CanonicalRows(out.output)
+                                           : std::vector<std::vector<int64_t>>{});
+      pass->retries.push_back(out.transient_retries);
+      pass->hedged.push_back(out.hedged_fragments);
+      if (out.status.IsUnavailable()) ++pass->terminal_unavailable;
+    }
+    pass->final_cycles = device.elapsed_cycles();
+    pass->trips = svc.health().trips();
+    pass->probes = svc.health().probes();
+    pass->closes = svc.health().closes();
+    pass->delta = reg.Snapshot().Delta(before);
+    return "";
+  };
+
+  uint64_t total_ok = 0, total_unavailable = 0, total_trips = 0;
+  uint64_t total_hedged = 0, total_retries = 0, total_probes = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t salt =
+        SplitMix64(g_seed ^ (0xc4a05ull << 16) ^ static_cast<uint64_t>(round));
+    // Every third round trades the probabilistic injector for a watchdog
+    // budget every kernel exceeds: deterministic watchdog_timeout faults
+    // exercise the second fault domain (and its own breaker key).
+    const bool watchdog_round = round % 3 == 2;
+    const double prob =
+        watchdog_round ? 0.0
+                       : 0.03 + static_cast<double>(salt % 80) / 1000.0;
+    const double watchdog = watchdog_round ? 1.0 : 0.0;
+
+    ChaosPass reference, chaos, replay;
+    std::string err = run_pass(salt, 0.0, 0.0, &reference);
+    if (!err.empty()) {
+      return Fail("round " + std::to_string(round) + " reference: " + err);
+    }
+    for (const Status& st : reference.statuses) {
+      if (!st.ok()) {
+        return Fail("round " + std::to_string(round) +
+                    ": fault-free reference not OK: " + st.ToString());
+      }
+    }
+
+    err = run_pass(salt, prob, watchdog, &chaos);
+    if (!err.empty()) {
+      return Fail("round " + std::to_string(round) + " chaos: " + err);
+    }
+
+    // Retried / hedged queries that completed must be bit-identical to the
+    // fault-free run.
+    for (size_t q = 0; q < chaos.statuses.size(); ++q) {
+      if (!chaos.statuses[q].ok()) continue;
+      if (chaos.rows[q] != reference.rows[q]) {
+        return Fail("round " + std::to_string(round) + " query " +
+                    std::to_string(q) +
+                    ": chaos rows differ from fault-free reference (retries=" +
+                    std::to_string(chaos.retries[q]) + " hedged=" +
+                    std::to_string(chaos.hedged[q]) + ")");
+      }
+    }
+
+    // Double-entry reconciliation over the chaos pass's registry delta.
+    uint64_t hedged_outcomes = 0, retry_outcomes = 0;
+    for (size_t q = 0; q < chaos.statuses.size(); ++q) {
+      hedged_outcomes += static_cast<uint64_t>(chaos.hedged[q]);
+      retry_outcomes += static_cast<uint64_t>(chaos.retries[q]);
+    }
+    const uint64_t trips_metric =
+        chaos.delta.CounterTotal("service_breaker_trips_total");
+    const uint64_t open_transitions = SumCounterWithLabel(
+        chaos.delta, "service_breaker_transitions_total", "to", "open");
+    if (chaos.trips != trips_metric || chaos.trips != open_transitions) {
+      return Fail("round " + std::to_string(round) +
+                  ": breaker trips do not reconcile: health=" +
+                  std::to_string(chaos.trips) + " trips_total=" +
+                  std::to_string(trips_metric) + " transitions{to=open}=" +
+                  std::to_string(open_transitions));
+    }
+    const uint64_t hedge_decisions =
+        chaos.delta.CounterTotal("service_hedge_decisions_total");
+    const uint64_t hedged_fragments =
+        chaos.delta.CounterTotal("service_hedged_fragments_total");
+    if (hedge_decisions != hedged_fragments ||
+        hedged_fragments != hedged_outcomes) {
+      return Fail("round " + std::to_string(round) +
+                  ": hedge double entry does not reconcile: decisions=" +
+                  std::to_string(hedge_decisions) + " fragments=" +
+                  std::to_string(hedged_fragments) + " outcomes=" +
+                  std::to_string(hedged_outcomes));
+    }
+    // The retry counter meters scheduled re-executions; the per-outcome
+    // count also includes the increment that became terminal.
+    const uint64_t retry_metric =
+        chaos.delta.CounterTotal("service_transient_retries_total");
+    if (retry_metric + chaos.terminal_unavailable != retry_outcomes) {
+      return Fail("round " + std::to_string(round) +
+                  ": transient retries do not reconcile: metric=" +
+                  std::to_string(retry_metric) + " terminal=" +
+                  std::to_string(chaos.terminal_unavailable) + " outcomes=" +
+                  std::to_string(retry_outcomes));
+    }
+
+    // Replay: the chaos pass is a pure function of its seeds.
+    err = run_pass(salt, prob, watchdog, &replay);
+    if (!err.empty()) {
+      return Fail("round " + std::to_string(round) + " replay: " + err);
+    }
+    const bool statuses_match = [&] {
+      if (replay.statuses.size() != chaos.statuses.size()) return false;
+      for (size_t q = 0; q < chaos.statuses.size(); ++q) {
+        if (replay.statuses[q].code() != chaos.statuses[q].code()) return false;
+      }
+      return true;
+    }();
+    if (!statuses_match || replay.rows != chaos.rows ||
+        replay.final_cycles != chaos.final_cycles ||
+        replay.trips != chaos.trips || replay.probes != chaos.probes ||
+        replay.retries != chaos.retries || replay.hedged != chaos.hedged) {
+      return Fail("round " + std::to_string(round) +
+                  ": chaos replay diverged (cycles " +
+                  std::to_string(chaos.final_cycles) + " vs " +
+                  std::to_string(replay.final_cycles) + ", trips " +
+                  std::to_string(chaos.trips) + " vs " +
+                  std::to_string(replay.trips) + ")");
+    }
+
+    uint64_t round_ok = 0;
+    for (const Status& st : chaos.statuses) {
+      if (st.ok()) ++round_ok;
+    }
+    total_ok += round_ok;
+    total_unavailable += chaos.terminal_unavailable;
+    total_trips += chaos.trips;
+    total_probes += chaos.probes;
+    total_hedged += hedged_outcomes;
+    total_retries += retry_outcomes;
+    std::printf(
+        "lifecycle_soak: chaos round %d (%s): %llu/%zu ok, %llu retries, "
+        "%llu trips, %llu hedged turns, replay bit-identical\n",
+        round, watchdog_round ? "watchdog=1.0" : "kernel faults",
+        static_cast<unsigned long long>(round_ok), chaos.statuses.size(),
+        static_cast<unsigned long long>(retry_outcomes),
+        static_cast<unsigned long long>(chaos.trips),
+        static_cast<unsigned long long>(hedged_outcomes));
+  }
+
+  std::printf(
+      "lifecycle_soak: CHAOS OK (%d rounds, seed %llu: %llu ok, %llu "
+      "terminal-unavailable, %llu transient retries, %llu breaker trips, "
+      "%llu probes, %llu hedged turns; outputs matched the fault-free "
+      "reference and every replay was bit-identical)\n",
+      rounds, static_cast<unsigned long long>(g_seed),
+      static_cast<unsigned long long>(total_ok),
+      static_cast<unsigned long long>(total_unavailable),
+      static_cast<unsigned long long>(total_retries),
+      static_cast<unsigned long long>(total_trips),
+      static_cast<unsigned long long>(total_probes),
+      static_cast<unsigned long long>(total_hedged));
+  // A chaos soak that never tripped a breaker, never hedged, and never
+  // retried exercised nothing.
+  if (total_ok == 0 || total_retries == 0 || total_trips == 0 ||
+      total_hedged == 0) {
+    return Fail("chaos soak never exercised some fault class (ok=" +
+                std::to_string(total_ok) + " retries=" +
+                std::to_string(total_retries) + " trips=" +
+                std::to_string(total_trips) + " hedged=" +
+                std::to_string(total_hedged) + ")");
+  }
+
+  const std::string dir = obs::JsonDirFromEnv();
+  if (!dir.empty()) {
+    const obs::MetricsSnapshot snap = reg.Snapshot();
+    for (auto* writer : {&obs::WriteMetricsJson, &obs::WriteMetricsProm}) {
+      const Result<std::string> path =
+          (*writer)(snap, dir, "chaos_soak", /*include_host_timing=*/false);
+      if (!path.ok()) {
+        return Fail("metrics export: " + path.status().ToString());
+      }
+      std::printf("lifecycle_soak: wrote %s\n", path->c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gpujoin
 
 int main(int argc, char** argv) {
-  int rounds = 8;
+  int rounds = 0;
+  bool chaos = false;
   if (const char* env = std::getenv("GPUJOIN_SOAK_SEED")) {
     gpujoin::g_seed = std::strtoull(env, nullptr, 0);
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       gpujoin::g_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       rounds = std::atoi(argv[i]);
     }
   }
+  if (rounds == 0) rounds = chaos ? 6 : 8;
   if (rounds <= 0) {
-    std::fprintf(stderr, "usage: lifecycle_soak [rounds>0] [--seed N]\n");
+    std::fprintf(stderr,
+                 "usage: lifecycle_soak [rounds>0] [--seed N] [--chaos]\n");
     return 2;
   }
-  return gpujoin::Run(rounds);
+  return chaos ? gpujoin::RunChaos(rounds) : gpujoin::Run(rounds);
 }
